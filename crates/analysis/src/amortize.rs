@@ -1,0 +1,71 @@
+//! Preprocessing amortization (§IV-D).
+//!
+//! Sorting and building the Sell structure is a one-time investment:
+//! "for a Kronecker graph with n = 2^24, sorting takes ≈0.95 s, which
+//! constitutes ≈21 % of a single BFS run. Thus, 10 BFS runs are enough to
+//! reduce the sorting time to <2 % of the total runtime." This module is
+//! that arithmetic, used by the `repro prep` experiment with *measured*
+//! sort/build/BFS times.
+
+/// Number of BFS runs needed so preprocessing is at most `fraction` of
+/// total runtime: smallest `k` with `t_pre / (t_pre + k·t_bfs) ≤ f`.
+pub fn runs_to_amortize(t_pre: f64, t_bfs: f64, fraction: f64) -> u64 {
+    assert!(t_pre >= 0.0 && t_bfs > 0.0, "need non-negative pre and positive BFS time");
+    assert!((0.0..1.0).contains(&fraction) && fraction > 0.0, "fraction in (0,1)");
+    let k = t_pre * (1.0 - fraction) / (fraction * t_bfs);
+    k.ceil().max(0.0) as u64
+}
+
+/// Preprocessing share of total runtime after `runs` BFS executions.
+pub fn preprocessing_share(t_pre: f64, t_bfs: f64, runs: u64) -> f64 {
+    t_pre / (t_pre + runs as f64 * t_bfs)
+}
+
+/// Rows of an amortization table: (runs, preprocessing share).
+pub fn amortization_table(t_pre: f64, t_bfs: f64, runs: &[u64]) -> Vec<(u64, f64)> {
+    runs.iter().map(|&k| (k, preprocessing_share(t_pre, t_bfs, k))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papers_example() {
+        // Sorting ≈ 21 % of one BFS run: t_pre = 0.21 · t_bfs.
+        let t_bfs = 4.5; // ≈ the implied n=2^24 run time
+        let t_pre = 0.95;
+        let k = runs_to_amortize(t_pre, t_bfs, 0.02);
+        // "10 BFS runs are enough to reduce the sorting time to <2 %".
+        assert!(k <= 11, "k = {k}");
+        assert!(preprocessing_share(t_pre, t_bfs, k) <= 0.02);
+    }
+
+    #[test]
+    fn share_decreases_monotonically() {
+        let mut prev = 1.0;
+        for k in 1..20 {
+            let s = preprocessing_share(1.0, 0.5, k);
+            assert!(s < prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn zero_preprocessing_needs_zero_runs() {
+        assert_eq!(runs_to_amortize(0.0, 1.0, 0.05), 0);
+    }
+
+    #[test]
+    fn table_shape() {
+        let t = amortization_table(1.0, 1.0, &[1, 10, 100]);
+        assert_eq!(t.len(), 3);
+        assert!((t[1].1 - 1.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_rejected() {
+        runs_to_amortize(1.0, 1.0, 0.0);
+    }
+}

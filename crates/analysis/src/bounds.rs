@@ -1,0 +1,138 @@
+//! Maximum-degree and work bounds: Eq. (1) and Eq. (2) of §III-A.
+//!
+//! * Erdős–Rényi: balls-into-bins gives `ρ̂ = O(np)` when
+//!   `np = Ω(log n)`, and `ρ̂ = O(log n)` for very small `p`, yielding
+//!   Eq. (1): `W = O(Dn + Dm + DC log n)` in the sparse regime.
+//! * Power-law (`P(ρ) = α ρ^{−β}`): the tail-integral argument bounds
+//!   `ρ̂ = O((α n log n)^{1/(β−1)})` with probability `1 − 1/log n`,
+//!   yielding Eq. (2).
+
+/// High-probability max-degree bound for `G(n, p)` (with an explicit
+/// constant of 4, ample for the w.h.p. statement at the scales used).
+pub fn er_max_degree_bound(n: usize, p: f64) -> f64 {
+    let n_f = n as f64;
+    let mean = n_f * p;
+    let log_n = n_f.max(2.0).ln();
+    if mean >= log_n {
+        // ρ̂ = O(np) regime.
+        4.0 * mean
+    } else {
+        // Sparse regime: ρ̂ = O(log n).
+        4.0 * log_n
+    }
+}
+
+/// High-probability max-degree bound for a power-law graph with density
+/// normalization `alpha` and exponent `beta > 1`:
+/// `ρ̂ = O((α n log n)^{1/(β−1)})` (Eq. 2's middle step).
+pub fn powerlaw_max_degree_bound(n: usize, alpha: f64, beta: f64) -> f64 {
+    assert!(beta > 1.0, "power-law exponent must exceed 1 (got {beta})");
+    let n_f = n as f64;
+    (alpha * n_f * n_f.max(2.0).ln()).powf(1.0 / (beta - 1.0))
+}
+
+/// Eq. (1): work bound (in cells, with the same explicit constants as
+/// [`crate::work::WorkBound`]) for an ER graph.
+pub fn eq1_work_bound(n: usize, m: usize, d: usize, c: usize, p: f64) -> f64 {
+    d as f64 * (n as f64 + 2.0 * m as f64 + c as f64 * er_max_degree_bound(n, p))
+}
+
+/// Eq. (2): work bound for a power-law graph.
+pub fn eq2_work_bound(n: usize, m: usize, d: usize, c: usize, alpha: f64, beta: f64) -> f64 {
+    d as f64 * (n as f64 + 2.0 * m as f64 + c as f64 * powerlaw_max_degree_bound(n, alpha, beta))
+}
+
+/// Maximum-likelihood estimate of a power-law exponent β from observed
+/// degrees ≥ `d_min` (Clauset–Shalizi–Newman continuous MLE):
+/// `β̂ = 1 + k / Σ ln(d_i / (d_min − ½))`.
+pub fn estimate_powerlaw_exponent(degrees: &[usize], d_min: usize) -> Option<f64> {
+    let d_min = d_min.max(1);
+    let tail: Vec<f64> = degrees.iter().filter(|&&d| d >= d_min).map(|&d| d as f64).collect();
+    if tail.len() < 10 {
+        return None;
+    }
+    let denom: f64 = tail.iter().map(|&d| (d / (d_min as f64 - 0.5)).ln()).sum();
+    if denom <= 0.0 {
+        return None;
+    }
+    Some(1.0 + tail.len() as f64 / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimsell_gen::erdos_renyi_gnp;
+    use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+    use slimsell_graph::GraphStats;
+
+    #[test]
+    fn er_bound_covers_observed_max_degree() {
+        for seed in [1, 2, 3] {
+            let n = 4096;
+            let p = 16.0 / n as f64;
+            let g = erdos_renyi_gnp(n, p, seed);
+            let s = GraphStats::compute(&g, 1);
+            assert!(
+                (s.max_degree as f64) < er_max_degree_bound(n, p),
+                "seed {seed}: max degree {} exceeds bound {}",
+                s.max_degree,
+                er_max_degree_bound(n, p)
+            );
+        }
+    }
+
+    #[test]
+    fn er_sparse_regime_uses_log() {
+        let n = 1 << 20;
+        let p = 1e-7; // np ≈ 0.1 ≪ log n
+        let b = er_max_degree_bound(n, p);
+        assert!((b - 4.0 * (n as f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn powerlaw_bound_grows_with_n_and_shrinks_with_beta() {
+        let b1 = powerlaw_max_degree_bound(1 << 16, 1.0, 2.5);
+        let b2 = powerlaw_max_degree_bound(1 << 20, 1.0, 2.5);
+        assert!(b2 > b1);
+        let b3 = powerlaw_max_degree_bound(1 << 20, 1.0, 3.5);
+        assert!(b3 < b2);
+    }
+
+    #[test]
+    fn exponent_estimate_recovers_generated_beta() {
+        let degrees = slimsell_gen::config_model::powerlaw_degrees(50_000, 2.5, 2, 2_000, 7);
+        let est = estimate_powerlaw_exponent(&degrees, 4).unwrap();
+        assert!((est - 2.5).abs() < 0.35, "estimated beta {est}");
+    }
+
+    #[test]
+    fn kronecker_max_degree_within_powerlaw_bound() {
+        let g = kronecker(12, 16.0, KroneckerParams::GRAPH500, 1);
+        let s = GraphStats::compute(&g, 1);
+        let hist = GraphStats::degree_histogram(&g);
+        let degrees: Vec<usize> =
+            hist.iter().enumerate().flat_map(|(d, &c)| std::iter::repeat_n(d, c)).collect();
+        let beta = estimate_powerlaw_exponent(&degrees, 4).unwrap();
+        let bound = powerlaw_max_degree_bound(s.n, 1.0, beta);
+        assert!(
+            (s.max_degree as f64) < 4.0 * bound,
+            "max degree {} vs bound {bound} (beta {beta})",
+            s.max_degree
+        );
+    }
+
+    #[test]
+    fn eq_bounds_positive_and_ordered() {
+        let e1 = eq1_work_bound(1 << 14, 1 << 17, 8, 8, 16.0 / (1 << 14) as f64);
+        let e2 = eq2_work_bound(1 << 14, 1 << 17, 8, 8, 1.0, 2.2);
+        assert!(e1 > 0.0 && e2 > 0.0);
+        // The power-law tail term dominates the ER log term.
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn beta_must_exceed_one() {
+        powerlaw_max_degree_bound(100, 1.0, 1.0);
+    }
+}

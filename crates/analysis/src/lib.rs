@@ -1,0 +1,23 @@
+//! Analytical models from §III of the paper, in executable form.
+//!
+//! * [`work`] — the Table II work-complexity comparison and the general
+//!   bound `W = O(Dn + Dm + DCρ̂)`;
+//! * [`bounds`] — the maximum-degree and work bounds for Erdős–Rényi
+//!   (Eq. 1) and power-law (Eq. 2) graphs, plus a power-law exponent
+//!   estimator used to feed Eq. 2 with measured inputs;
+//! * [`amortize`] — the §IV-D preprocessing amortization model ("10 BFS
+//!   runs are enough to reduce the sorting time to <2 % of the total
+//!   runtime");
+//! * [`report`] — plain-text table rendering shared by the reproduction
+//!   harness.
+
+pub mod amortize;
+pub mod bounds;
+pub mod padding;
+pub mod report;
+pub mod work;
+
+pub use amortize::{amortization_table, runs_to_amortize};
+pub use bounds::{er_max_degree_bound, powerlaw_max_degree_bound, estimate_powerlaw_exponent};
+pub use padding::{padding_bound_full_sort, padding_full_sort, padding_unsorted};
+pub use work::{table2_rows, work_bound_general, WorkBound};

@@ -1,0 +1,107 @@
+//! Analytic padding model — the quantity behind Figure 3's bound
+//! justification and the `P` of every storage formula.
+//!
+//! Given a degree sequence, the padding of a fully sorted (`σ = n`)
+//! Sell structure is exactly computable: rows are sorted descending, so
+//! chunk `i` holds ranks `iC..iC+C` and pads every row up to the chunk's
+//! first (largest) degree. The paper's Figure 3 argument — total padding
+//! at most `ρ̂·C` under full sorting — is checkable against this exact
+//! value.
+
+/// Exact padding cells `P` of a fully sorted Sell structure with chunk
+/// height `c`, from an (arbitrary-order) degree sequence. Virtual rows
+/// padding `n` up to a multiple of `c` count too, matching the built
+/// structure.
+pub fn padding_full_sort(degrees: &[usize], c: usize) -> usize {
+    assert!(c > 0);
+    let mut sorted: Vec<usize> = degrees.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let n = sorted.len();
+    let n_padded = n.div_ceil(c) * c;
+    sorted.resize(n_padded, 0);
+    sorted
+        .chunks(c)
+        .map(|chunk| {
+            let cl = chunk[0];
+            chunk.iter().map(|&d| cl - d).sum::<usize>()
+        })
+        .sum()
+}
+
+/// Exact padding of the *unsorted* (`σ = 1`) layout for a degree
+/// sequence in storage order.
+pub fn padding_unsorted(degrees: &[usize], c: usize) -> usize {
+    assert!(c > 0);
+    let n = degrees.len();
+    let n_padded = n.div_ceil(c) * c;
+    let mut padded: Vec<usize> = degrees.to_vec();
+    padded.resize(n_padded, 0);
+    padded
+        .chunks(c)
+        .map(|chunk| {
+            let cl = *chunk.iter().max().unwrap();
+            chunk.iter().map(|&d| cl - d).sum::<usize>()
+        })
+        .sum()
+}
+
+/// The paper's Figure 3 upper bound on full-sort padding: `ρ̂ · C`
+/// (maximum degree times chunk height).
+pub fn padding_bound_full_sort(degrees: &[usize], c: usize) -> usize {
+    degrees.iter().copied().max().unwrap_or(0) * c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimsell_core::SellStructure;
+    use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+    use slimsell_graph::VertexId;
+
+    #[test]
+    fn matches_built_structure_exactly() {
+        let g = kronecker(10, 8.0, KroneckerParams::GRAPH500, 5);
+        let degrees: Vec<usize> = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).collect();
+        let c = 8;
+        let sorted = SellStructure::<8>::build(&g, g.num_vertices());
+        assert_eq!(padding_full_sort(&degrees, c), sorted.padding_cells());
+        let unsorted = SellStructure::<8>::build(&g, 1);
+        assert_eq!(padding_unsorted(&degrees, c), unsorted.padding_cells());
+    }
+
+    #[test]
+    fn figure3_bound_holds() {
+        let g = kronecker(11, 16.0, KroneckerParams::GRAPH500, 3);
+        let degrees: Vec<usize> = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).collect();
+        for c in [4usize, 8, 16, 32] {
+            let p = padding_full_sort(&degrees, c);
+            let bound = padding_bound_full_sort(&degrees, c);
+            assert!(p <= bound, "C={c}: P {p} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn sorting_never_increases_padding() {
+        // Alternating degrees: worst case for the unsorted layout.
+        let degrees: Vec<usize> = (0..64).map(|i| if i % 2 == 0 { 20 } else { 1 }).collect();
+        let c = 8;
+        assert!(padding_full_sort(&degrees, c) <= padding_unsorted(&degrees, c));
+        // Here sorting should save a lot.
+        assert!(padding_full_sort(&degrees, c) * 4 < padding_unsorted(&degrees, c));
+    }
+
+    #[test]
+    fn uniform_degrees_no_padding() {
+        let degrees = vec![5usize; 32];
+        assert_eq!(padding_full_sort(&degrees, 8), 0);
+        assert_eq!(padding_unsorted(&degrees, 8), 0);
+    }
+
+    #[test]
+    fn virtual_rows_counted() {
+        // n = 5 with C = 4: 3 virtual rows pad to the last chunk's max.
+        let degrees = vec![2usize; 5];
+        // chunks: [2,2,2,2] pad 0; [2,0,0,0] pad 6.
+        assert_eq!(padding_full_sort(&degrees, 4), 6);
+    }
+}

@@ -1,0 +1,150 @@
+//! Work complexity: Table II and the general Sell-based BFS bound.
+//!
+//! The paper's central complexity claim (§III-A, "Work Complexity"):
+//! padding can cost at most `ρ̂·C` cells beyond `m` per SpMV, because
+//! "the size of each block is smaller than the number of vertices in the
+//! previous (larger) block", so
+//!
+//! ```text
+//! W = O(Dn + Dm + D·C·ρ̂)
+//! ```
+//!
+//! for a graph of maximum degree ρ̂ under full sorting. [`WorkBound`]
+//! evaluates this with explicit constants so measured work (cells
+//! processed, from `slimsell_core::RunStats`) can be checked against it.
+
+use slimsell_core::RunStats;
+
+/// Evaluated work bound for one BFS run.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkBound {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// Iterations executed (≈ diameter + 1).
+    pub d: usize,
+    /// Chunk height.
+    pub c: usize,
+    /// Maximum degree ρ̂.
+    pub max_degree: usize,
+}
+
+impl WorkBound {
+    /// The §III-A bound on *matrix cells touched* across the run:
+    /// `D(2m + ρ̂C)` — per iteration the Sell structure holds at most
+    /// `2m + ρ̂C` cells (edges plus worst-case padding; `2m` because the
+    /// undirected graph stores both arc directions).
+    pub fn cells_bound(&self) -> u64 {
+        self.d as u64 * (2 * self.m as u64 + self.max_degree as u64 * self.c as u64)
+    }
+
+    /// The full `W = D·n + D·(2m + ρ̂C)` bound including the `O(n)`
+    /// per-iteration vector work.
+    pub fn total_bound(&self) -> u64 {
+        self.d as u64 * self.n as u64 + self.cells_bound()
+    }
+
+    /// Checks a measured run against the bound.
+    pub fn holds_for(&self, stats: &RunStats) -> bool {
+        stats.total_cells() <= self.cells_bound()
+    }
+}
+
+/// Evaluates the general bound from run statistics and graph numbers.
+pub fn work_bound_general(n: usize, m: usize, c: usize, max_degree: usize, stats: &RunStats) -> WorkBound {
+    WorkBound { n, m, d: stats.num_iterations(), c, max_degree }
+}
+
+/// One Table II row: scheme name and its asymptotic work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Scheme as named by the paper.
+    pub scheme: &'static str,
+    /// Asymptotic work `W` as printed in Table II.
+    pub work: &'static str,
+    /// Whether this workspace implements the scheme (every row is).
+    pub implemented_as: &'static str,
+}
+
+/// The rows of Table II, each mapped to its implementation here.
+pub fn table2_rows() -> &'static [Table2Row] {
+    const ROWS: &[Table2Row] = &[
+        Table2Row { scheme: "Traditional BFS (textbook)", work: "O(n + m)", implemented_as: "slimsell_graph::serial_bfs" },
+        Table2Row { scheme: "Traditional BFS (bag/queue-based)", work: "O(n + m)", implemented_as: "slimsell_baseline::trad_bfs" },
+        Table2Row { scheme: "Traditional BFS (direction-inversion)", work: "O(Dn + Dm)", implemented_as: "slimsell_baseline::dirop_bfs" },
+        Table2Row { scheme: "BFS-SpMV (textbook, dense matrix)", work: "O(Dn^2)", implemented_as: "(analytic only: dense MV row)" },
+        Table2Row { scheme: "BFS-SpMV (sparse)", work: "O(Dn + Dm)", implemented_as: "slimsell_core::BfsEngine (no SlimWork)" },
+        Table2Row { scheme: "BFS SpMSpV (merge sort)", work: "O(n + m log m)", implemented_as: "slimsell_baseline::spmspv_bfs(MergeSort)" },
+        Table2Row { scheme: "BFS SpMSpV (radix sort)", work: "O(n + x m)", implemented_as: "slimsell_baseline::spmspv_bfs(RadixSort)" },
+        Table2Row { scheme: "BFS SpMSpV (no sort)", work: "O(n + m)", implemented_as: "slimsell_baseline::spmspv_bfs(NoSort)" },
+        Table2Row { scheme: "This work (max degree rho^)", work: "O(Dn + Dm + DC*rho^)", implemented_as: "slimsell_core::BfsEngine + SlimSell" },
+        Table2Row { scheme: "This work (Erdos-Renyi)", work: "Eq. (1): O(Dn + Dm + DC log n)", implemented_as: "slimsell_analysis::bounds::eq1" },
+        Table2Row { scheme: "This work (power-law)", work: "Eq. (2): O(Dn + Dm + DC(a n log n)^(1/(b-1)))", implemented_as: "slimsell_analysis::bounds::eq2" },
+    ];
+    ROWS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimsell_core::{BfsEngine, BfsOptions, ChunkMatrix, SlimSellMatrix};
+    use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+    use slimsell_graph::GraphStats;
+
+    #[test]
+    fn eleven_rows() {
+        assert_eq!(table2_rows().len(), 11);
+    }
+
+    #[test]
+    fn bound_holds_on_fully_sorted_kronecker_runs() {
+        // The §III-A bound assumes full sorting ("Full sorting ... is
+        // assumed (σ = n)"), under which total padding ≤ ρ̂C.
+        for seed in [1, 2] {
+            let g = kronecker(10, 8.0, KroneckerParams::GRAPH500, seed);
+            let s = GraphStats::compute(&g, 2);
+            let root = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap();
+            let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+            for opts in [BfsOptions::default(), BfsOptions::plain()] {
+                let out = BfsEngine::run::<_, slimsell_core::TropicalSemiring, 8>(&slim, root, &opts);
+                let wb = work_bound_general(s.n, s.m, 8, s.max_degree, &out.stats);
+                assert!(
+                    wb.holds_for(&out.stats),
+                    "bound {} < measured {}",
+                    wb.cells_bound(),
+                    out.stats.total_cells()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_layout_can_exceed_the_sorted_bound_per_iteration() {
+        // Without sorting the per-iteration padding is NOT bounded by
+        // ρ̂C — the reason σ matters. Alternating high/low-degree rows
+        // force cl = ρ̂ in every chunk.
+        use slimsell_graph::GraphBuilder;
+        let n = 256usize;
+        let mut b = GraphBuilder::new(n);
+        for v in (0..n as u32).step_by(2) {
+            for k in 1..=16u32 {
+                b.edge(v, (v + k) % n as u32);
+            }
+        }
+        let g = b.build();
+        let unsorted = SlimSellMatrix::<8>::build(&g, 1);
+        let sorted = SlimSellMatrix::<8>::build(&g, n);
+        let s = GraphStats::compute(&g, 2);
+        let per_iter_bound = 2 * s.m + s.max_degree * 8;
+        assert!(unsorted.structure().total_cells() > per_iter_bound);
+        assert!(sorted.structure().total_cells() <= per_iter_bound);
+    }
+
+    #[test]
+    fn bound_arithmetic() {
+        let wb = WorkBound { n: 100, m: 400, d: 5, c: 8, max_degree: 30 };
+        assert_eq!(wb.cells_bound(), 5 * (800 + 240));
+        assert_eq!(wb.total_bound(), 5 * 100 + 5 * (800 + 240));
+    }
+}

@@ -1,0 +1,125 @@
+//! Textbook dense BFS-SpMV — Table II's `O(Dn²)` row.
+//!
+//! The naive algebraic BFS multiplies the *dense* adjacency matrix by
+//! the frontier vector every iteration. It exists here to make the
+//! work-complexity comparison measurable end-to-end: the measured cell
+//! count is exactly `D·n²`, dwarfing every sparse scheme — the gap the
+//! paper's Table II formalizes. Only sensible for small `n` (the dense
+//! matrix is `n²` bytes); the constructor enforces a cap.
+
+use slimsell_graph::{CsrGraph, VertexId, UNREACHABLE};
+
+/// Dense adjacency-matrix BFS (boolean semiring).
+#[derive(Clone, Debug)]
+pub struct DenseBfs {
+    n: usize,
+    /// Row-major dense adjacency (0/1 bytes).
+    a: Vec<u8>,
+}
+
+/// Output of a dense BFS run.
+#[derive(Clone, Debug)]
+pub struct DenseBfsOutput {
+    /// Hop distances.
+    pub dist: Vec<u32>,
+    /// Matrix cells touched: `iterations · n²`.
+    pub cells: u64,
+}
+
+impl DenseBfs {
+    /// Materializes the dense adjacency matrix (`n ≤ 4096` enforced).
+    pub fn new(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        assert!(n <= 4096, "dense BFS is O(n^2) storage; n = {n} is too large");
+        let mut a = vec![0u8; n * n];
+        for u in 0..n as VertexId {
+            for &v in g.neighbors(u) {
+                a[u as usize * n + v as usize] = 1;
+            }
+        }
+        Self { n, a }
+    }
+
+    /// Runs BFS from `root` with dense MV products.
+    pub fn run(&self, root: VertexId) -> DenseBfsOutput {
+        let n = self.n;
+        assert!((root as usize) < n, "root {root} out of range");
+        let mut dist = vec![UNREACHABLE; n];
+        let mut frontier = vec![0u8; n];
+        let mut visited = vec![0u8; n];
+        dist[root as usize] = 0;
+        frontier[root as usize] = 1;
+        visited[root as usize] = 1;
+        let mut cells = 0u64;
+        let mut level = 0u32;
+        loop {
+            level += 1;
+            // y = A ⊗_B f : full dense sweep, n² cells.
+            let mut next = vec![0u8; n];
+            for (v, nv) in next.iter_mut().enumerate() {
+                let row = &self.a[v * n..(v + 1) * n];
+                let mut acc = 0u8;
+                for (j, &aij) in row.iter().enumerate() {
+                    acc |= aij & frontier[j];
+                }
+                cells += n as u64;
+                *nv = acc & !visited[v];
+            }
+            let mut any = false;
+            for v in 0..n {
+                if next[v] != 0 {
+                    dist[v] = level;
+                    visited[v] = 1;
+                    any = true;
+                }
+            }
+            frontier = next;
+            if !any {
+                break;
+            }
+        }
+        DenseBfsOutput { dist, cells }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimsell_graph::{serial_bfs, GraphBuilder};
+    use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+
+    #[test]
+    fn matches_serial() {
+        let g = kronecker(8, 6.0, KroneckerParams::GRAPH500, 3);
+        let root = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap();
+        let out = DenseBfs::new(&g).run(root);
+        assert_eq!(out.dist, serial_bfs(&g, root).dist);
+    }
+
+    #[test]
+    fn work_is_d_n_squared() {
+        // Path 0-1-2-3: distances reach 3, plus one empty sweep = 4
+        // iterations of n² cells each.
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        let out = DenseBfs::new(&g).run(0);
+        assert_eq!(out.cells, 4 * 16);
+        assert_eq!(out.dist, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dense_work_dwarfs_sparse() {
+        let g = kronecker(8, 4.0, KroneckerParams::GRAPH500, 1);
+        let root = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap();
+        let dense = DenseBfs::new(&g).run(root);
+        let sparse = crate::trad::trad_bfs(&g, root);
+        assert_eq!(dense.dist, sparse.dist);
+        assert!(dense.cells > 20 * sparse.edges_scanned, "dense {} vs sparse {}", dense.cells, sparse.edges_scanned);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn rejects_large_graphs() {
+        let g = GraphBuilder::new(5000).build();
+        DenseBfs::new(&g);
+    }
+}

@@ -1,0 +1,26 @@
+//! BFS comparison baselines.
+//!
+//! The paper compares BFS-SpMV + SlimSell against "the work-efficient
+//! highly-optimized OpenMP BFS Graph500 code (Trad-BFS)" (§IV,
+//! "Comparison Targets"). This crate is the Rust counterpart of that
+//! baseline plus the other schemes of Table II:
+//!
+//! * [`trad`] — level-synchronous parallel queue BFS with the Graph500
+//!   optimization the paper singles out ("it reduces the amount of
+//!   fine-grained synchronization by checking if the vertex was visited
+//!   before executing an atomic"); `O(n + m)` work.
+//! * [`dirop`] — Beamer direction-optimizing queue BFS
+//!   (top-down/bottom-up switching), the `O(Dn + Dm)` row of Table II.
+//! * [`spmspv`] — BFS as sparse-matrix × *sparse*-vector products with
+//!   the three duplicate-elimination strategies of Table II (merge sort,
+//!   radix sort, no sort).
+
+pub mod dense;
+pub mod dirop;
+pub mod spmspv;
+pub mod trad;
+
+pub use dense::{DenseBfs, DenseBfsOutput};
+pub use dirop::{dirop_bfs, DirOptBfsOptions};
+pub use spmspv::{spmspv_bfs, Dedup};
+pub use trad::{trad_bfs, LevelTimes, TradOutput};

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the SpMV kernels.
+//!
+//! Groups:
+//! * `spmv_sweep_table5` — one full matrix sweep (all chunks) per
+//!   representation × semiring at C = 8: the kernel-level version of
+//!   Table V (SlimSell vs Sell-C-σ).
+//! * `spmv_lane_width` — the same sweep at C ∈ {4, 8, 16, 32}: the
+//!   architecture axis (CPU/KNL/GPU-warp widths).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slimsell_core::chunk_mv;
+use slimsell_core::matrix::{ChunkMatrix, SellCSigma, SlimSellMatrix};
+use slimsell_core::semiring::{BooleanSemiring, RealSemiring, SelMaxSemiring, Semiring, TropicalSemiring};
+use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+use slimsell_graph::CsrGraph;
+
+fn graph() -> CsrGraph {
+    kronecker(13, 16.0, KroneckerParams::GRAPH500, 42)
+}
+
+fn sweep<M: ChunkMatrix<C>, S: Semiring, const C: usize>(m: &M, x: &[f32]) -> f32 {
+    let nc = m.structure().num_chunks();
+    let mut acc = 0.0;
+    for i in 0..nc {
+        acc += chunk_mv::<M, S, C>(m, x, i).reduce_add();
+    }
+    acc
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let g = graph();
+    let n = g.num_vertices();
+    let mut group = c.benchmark_group("spmv_sweep_table5");
+    group.sample_size(10);
+
+    macro_rules! bench_sem {
+        ($sem:ty, $name:literal) => {{
+            let slim = SlimSellMatrix::<8>::build(&g, n);
+            let sell = SellCSigma::<8>::build(&g, n, <$sem>::PAD);
+            let x = vec![1.0f32; slim.structure().n_padded()];
+            group.bench_function(concat!("slimsell/", $name), |b| {
+                b.iter(|| black_box(sweep::<_, $sem, 8>(&slim, &x)))
+            });
+            group.bench_function(concat!("sellcs/", $name), |b| {
+                b.iter(|| black_box(sweep::<_, $sem, 8>(&sell, &x)))
+            });
+        }};
+    }
+    bench_sem!(TropicalSemiring, "tropical");
+    bench_sem!(BooleanSemiring, "boolean");
+    bench_sem!(RealSemiring, "real");
+    bench_sem!(SelMaxSemiring, "sel-max");
+    group.finish();
+}
+
+fn bench_lane_width(c: &mut Criterion) {
+    let g = graph();
+    let n = g.num_vertices();
+    let mut group = c.benchmark_group("spmv_lane_width");
+    group.sample_size(10);
+    macro_rules! bench_c {
+        ($c:literal) => {{
+            let slim = SlimSellMatrix::<$c>::build(&g, n);
+            let x = vec![1.0f32; slim.structure().n_padded()];
+            group.bench_function(concat!("slimsell_tropical/C=", stringify!($c)), |b| {
+                b.iter(|| black_box(sweep::<_, TropicalSemiring, $c>(&slim, &x)))
+            });
+        }};
+    }
+    bench_c!(4);
+    bench_c!(8);
+    bench_c!(16);
+    bench_c!(32);
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5, bench_lane_width);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! `repro`: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p slimsell-bench --bin repro -- <experiment> [--key value]...
+//!
+//! experiments:
+//!   table2 table3 table4 table5
+//!   fig1 fig5a fig5b fig5c fig5d fig6a fig6b fig6c fig6d fig6e
+//!   fig7 fig8 fig9 fig10
+//!   prep bounds scaling
+//!   all                        run everything
+//!
+//! common options:
+//!   --scale-log2 N    Kronecker scale (default 14; paper uses 20-28)
+//!   --rho X           edges per vertex (default 16)
+//!   --seed S          generator seed (default 42)
+//!   --runs K          repetitions per timing point (default 3)
+//!   --scale-shift N   real-world stand-in down-scaling (default 4)
+//!   --results-dir D   CSV output directory (default results/)
+//! ```
+
+use slimsell_bench::experiments;
+use slimsell_bench::harness::{Args, ExpContext};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        print_help();
+        return;
+    }
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_help();
+            std::process::exit(2);
+        }
+    };
+    let ctx = ExpContext::new(args);
+    if let Err(e) = experiments::run(&ctx) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_help() {
+    println!("repro — regenerate the SlimSell paper's tables and figures");
+    println!("usage: repro <experiment> [--key value]...");
+    println!("experiments: {}", experiments::EXPERIMENTS.join(", "));
+    println!("options: --scale-log2 N  --rho X  --seed S  --runs K  --scale-shift N  --results-dir D");
+    println!("see DESIGN.md section 4 for the experiment-to-paper mapping");
+}

@@ -1,0 +1,64 @@
+//! Eq. (1) / Eq. (2): measured work versus the analytic bounds.
+
+use slimsell_analysis::bounds::{eq1_work_bound, eq2_work_bound, estimate_powerlaw_exponent};
+use slimsell_analysis::report::TextTable;
+use slimsell_analysis::work::work_bound_general;
+use slimsell_core::BfsOptions;
+use slimsell_graph::GraphStats;
+
+use crate::dispatch::{prepare, RepKind, SemiringKind};
+use crate::harness::ExpContext;
+
+use super::{er_graph, kron_graph, roots};
+
+/// Runs the bound-vs-measured comparison on an ER and a Kronecker graph.
+pub fn run(ctx: &ExpContext) -> Result<(), String> {
+    let mut t = TextTable::new([
+        "graph",
+        "measured cells",
+        "general bound D(2m + rho^ C)",
+        "family bound",
+        "bound / measured",
+    ]);
+
+    // Erdős–Rényi → Eq. (1).
+    let g = er_graph(ctx);
+    let s = GraphStats::compute(&g, 2);
+    let root = roots(&g, 1)[0];
+    let p = prepare(&g, 8, g.num_vertices(), RepKind::SlimSell, SemiringKind::Tropical);
+    let out = p.run(root, &BfsOptions::plain());
+    let wb = work_bound_general(s.n, s.m, 8, s.max_degree, &out.stats);
+    let pr = ctx.rho() / s.n as f64;
+    let eq1 = eq1_work_bound(s.n, s.m, out.stats.num_iterations(), 8, pr);
+    t.row([
+        format!("ER n=2^{} rho~{:.0}", ctx.scale_log2(), ctx.rho()),
+        format!("{}", out.stats.total_cells()),
+        format!("{}", wb.cells_bound()),
+        format!("Eq.(1): {eq1:.0}"),
+        format!("{:.2}", eq1 / out.stats.total_cells().max(1) as f64),
+    ]);
+
+    // Kronecker → Eq. (2) with the MLE-estimated exponent.
+    let g = kron_graph(ctx);
+    let s = GraphStats::compute(&g, 2);
+    let root = roots(&g, 1)[0];
+    let p = prepare(&g, 8, g.num_vertices(), RepKind::SlimSell, SemiringKind::Tropical);
+    let out = p.run(root, &BfsOptions::plain());
+    let wb = work_bound_general(s.n, s.m, 8, s.max_degree, &out.stats);
+    let hist = GraphStats::degree_histogram(&g);
+    let degrees: Vec<usize> =
+        hist.iter().enumerate().flat_map(|(d, &c)| std::iter::repeat_n(d, c)).collect();
+    let beta = estimate_powerlaw_exponent(&degrees, 4).unwrap_or(2.2);
+    let eq2 = eq2_work_bound(s.n, s.m, out.stats.num_iterations(), 8, 1.0, beta);
+    t.row([
+        format!("Kronecker n=2^{} rho={:.0} (beta~{beta:.2})", ctx.scale_log2(), ctx.rho()),
+        format!("{}", out.stats.total_cells()),
+        format!("{}", wb.cells_bound()),
+        format!("Eq.(2): {eq2:.0}"),
+        format!("{:.2}", eq2 / out.stats.total_cells().max(1) as f64),
+    ]);
+
+    ctx.emit("bounds", "Work bounds Eq.(1)/Eq.(2) vs measured work (no SlimWork)", &t);
+    println!("(bound/measured >= 1 confirms the bound; large values are slack, expected for O(.) bounds)");
+    Ok(())
+}

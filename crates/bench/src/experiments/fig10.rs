@@ -1,0 +1,59 @@
+//! Figure 10: traditional BFS on a latency-oriented CPU vs BFS-SpMV with
+//! SlimSell on a throughput-oriented GPU (tropical, C = 32), for
+//! ρ ∈ {128, 256, 512} at n = 2^20.
+//!
+//! The CPU side runs for real (seconds); the GPU side is the SIMT
+//! simulator (cycles), converted to seconds at a configurable clock
+//! (`--gpu-ghz`, default 0.82 — K80 boost). Absolute alignment is not
+//! meaningful across a simulator boundary; the shape to verify is the
+//! paper's: the denser the graph, the better the SpMV side fares, with
+//! the SIMD-friendly middle iterations winning while the sparse first
+//! and last iterations lose.
+
+use slimsell_analysis::report::{fmt_secs, TextTable};
+use slimsell_baseline::trad_bfs;
+use slimsell_simt::{SimtConfig, SimtOptions};
+
+use crate::dispatch::{prepare_simt, RepKind, SemiringKind};
+use crate::harness::ExpContext;
+
+use super::{kron_at, roots};
+
+/// Runs the three panels (scaled ρ ∈ {16, 32, 64} by default; `--shift 0
+/// --scale-log2 20` reproduces the paper sizes given time and RAM).
+pub fn run(ctx: &ExpContext) -> Result<(), String> {
+    let scale = ctx.args.get("scale-log2", 14u32);
+    let ghz = ctx.args.get("gpu-ghz", 0.82f64);
+    let cycles_per_sec = ghz * 1e9;
+    let rhos: [f64; 3] = if ctx.args.has("paper-rhos") { [128.0, 256.0, 512.0] } else { [16.0, 32.0, 64.0] };
+    for (idx, rho) in rhos.into_iter().enumerate() {
+        let g = kron_at(scale, rho, ctx.seed());
+        let root = roots(&g, 1)[0];
+        let trad = trad_bfs(&g, root);
+        let p = prepare_simt(&g, g.num_vertices(), RepKind::SlimSell, SemiringKind::Tropical, SimtConfig::default());
+        let sim = p.run(root, &SimtOptions::default());
+        assert_eq!(sim.dist, trad.dist, "GPU-sim output diverged from Trad-BFS");
+
+        let iters = trad.level_times.len().max(sim.iters.len());
+        let mut t = TextTable::new([
+            "iteration",
+            "Trad-BFS (CPU) [s]",
+            "SlimSell SpMV (GPU-sim) [cycles]",
+            "GPU-sim [s at clock]",
+        ]);
+        for i in 0..iters {
+            t.row([
+                format!("{i}"),
+                trad.level_times.get(i).map(|d| fmt_secs(d.as_secs_f64())).unwrap_or_default(),
+                sim.iters.get(i).map(|s| s.cycles.to_string()).unwrap_or_default(),
+                sim.iters.get(i).map(|s| fmt_secs(s.cycles as f64 / cycles_per_sec)).unwrap_or_default(),
+            ]);
+        }
+        ctx.emit(
+            &format!("fig10_{}", ['a', 'b', 'c'][idx]),
+            &format!("Figure 10{}: Trad-BFS (CPU) vs SlimSell (GPU-sim), n=2^{scale}, rho={rho:.0} (C=32)", ['a', 'b', 'c'][idx]),
+            &t,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! Figure 5: CPU analysis (paper: Xeon E5-2695 v4, C = 8).
+//!
+//! * 5a — total time vs log σ, all four semirings, Kronecker, with the
+//!   DP transformation, static OpenMP scheduling;
+//! * 5b — same without DP, dynamic scheduling;
+//! * 5c — Erdős–Rényi, DP, dynamic;
+//! * 5d — per-iteration time with and without SlimWork.
+//!
+//! Shapes to verify (§IV-A): performance flat while log σ ≤ log C; large
+//! σ helps power-law graphs much more than ER; semiring differences are
+//! small except the DP overhead (absent for sel-max); SlimWork shrinks
+//! late iterations.
+
+use slimsell_analysis::report::{fmt_secs, TextTable};
+use slimsell_core::{dp_transform, BfsOptions, Schedule};
+
+use crate::dispatch::{prepare, RepKind, SemiringKind};
+use crate::harness::{mean_time, ExpContext};
+
+use super::{er_graph, kron_graph, roots, sigma_sweep};
+
+/// Which Fig. 5 panel to run.
+#[derive(Clone, Copy, Debug)]
+pub enum Variant {
+    /// 5a: Kronecker, DP, omp-static.
+    KroneckerDpStatic,
+    /// 5b: Kronecker, no DP, omp-dynamic.
+    KroneckerNoDpDynamic,
+    /// 5c: Erdős–Rényi, DP, omp-dynamic.
+    ErdosRenyiDpDynamic,
+}
+
+/// σ-sweep over the four semirings (panels a–c).
+pub fn run_sigma_sweep(ctx: &ExpContext, variant: Variant) -> Result<(), String> {
+    let (g, with_dp, schedule, name, title) = match variant {
+        Variant::KroneckerDpStatic => {
+            (kron_graph(ctx), true, Schedule::Static, "fig5a", "Figure 5a: Kronecker, DP, omp-s (C=8)")
+        }
+        Variant::KroneckerNoDpDynamic => (
+            kron_graph(ctx),
+            false,
+            Schedule::Dynamic,
+            "fig5b",
+            "Figure 5b: Kronecker, No-DP, omp-d (C=8)",
+        ),
+        Variant::ErdosRenyiDpDynamic => {
+            (er_graph(ctx), true, Schedule::Dynamic, "fig5c", "Figure 5c: Erdos-Renyi, DP, omp-d (C=8)")
+        }
+    };
+    let n = g.num_vertices();
+    let rts = roots(&g, 2);
+    let runs = ctx.runs();
+    let opts = BfsOptions { schedule, ..Default::default() };
+
+    let mut t = TextTable::new(["log2(sigma)", "boolean [s]", "real [s]", "sel-max [s]", "tropical [s]"]);
+    for sigma in sigma_sweep(n) {
+        let mut cells = vec![format!("{:.0}", (sigma as f64).log2())];
+        for sem in [SemiringKind::Boolean, SemiringKind::Real, SemiringKind::SelMax, SemiringKind::Tropical] {
+            let p = prepare(&g, 8, sigma, RepKind::SlimSell, sem);
+            let secs = mean_time(runs, || {
+                for &r in &rts {
+                    let out = p.run(r, &opts);
+                    // DP derives parents for the semirings that lack them
+                    // (sel-max already has parents: the §IV-A2 asymmetry).
+                    if with_dp && !sem.computes_parents() {
+                        std::hint::black_box(dp_transform(&g, &out.dist, r));
+                    }
+                    std::hint::black_box(out);
+                }
+            });
+            cells.push(format!("{:.4}", secs));
+        }
+        t.row(cells);
+    }
+    ctx.emit(name, title, &t);
+    Ok(())
+}
+
+/// Panel 5d: per-iteration time with and without SlimWork (tropical,
+/// σ = n).
+pub fn run_slimwork(ctx: &ExpContext) -> Result<(), String> {
+    let g = kron_graph(ctx);
+    let n = g.num_vertices();
+    let root = roots(&g, 1)[0];
+    let p = prepare(&g, 8, n, RepKind::SlimSell, SemiringKind::Tropical);
+    let with = p.run(root, &BfsOptions::default());
+    let without = p.run(root, &BfsOptions::plain());
+    assert_eq!(with.dist, without.dist, "SlimWork changed the BFS output");
+
+    let iters = with.stats.iters.len().max(without.stats.iters.len());
+    let mut t = TextTable::new([
+        "iteration",
+        "No SlimWork [s]",
+        "SlimWork [s]",
+        "chunks skipped",
+        "cells (no SW)",
+        "cells (SW)",
+    ]);
+    for i in 0..iters {
+        t.row([
+            format!("{i}"),
+            without.stats.iters.get(i).map(|s| fmt_secs(s.elapsed.as_secs_f64())).unwrap_or_default(),
+            with.stats.iters.get(i).map(|s| fmt_secs(s.elapsed.as_secs_f64())).unwrap_or_default(),
+            with.stats.iters.get(i).map(|s| s.chunks_skipped.to_string()).unwrap_or_default(),
+            without.stats.iters.get(i).map(|s| s.cells.to_string()).unwrap_or_default(),
+            with.stats.iters.get(i).map(|s| s.cells.to_string()).unwrap_or_default(),
+        ]);
+    }
+    ctx.emit("fig5d", "Figure 5d: SlimWork per-iteration effect (tropical, sigma=n, C=8)", &t);
+    println!(
+        "total cells: without SlimWork {} | with {} ({}x reduction)",
+        without.stats.total_cells(),
+        with.stats.total_cells(),
+        without.stats.total_cells() as f64 / with.stats.total_cells().max(1) as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! Figure 6: GPU analysis on the SIMT simulator (warp width C = 32).
+//!
+//! All y-axes are *simulated warp cycles* (see `slimsell-simt`): the
+//! shapes the paper reads off the K80 — the σ threshold at log σ =
+//! log C, the load-imbalance growth at large σ, and SlimChunk's ≈50 %
+//! cut of the first iterations — are reproduced by the lock-step +
+//! makespan model.
+
+use slimsell_analysis::report::TextTable;
+use slimsell_simt::{SimtConfig, SimtOptions};
+
+use crate::dispatch::{prepare_simt, RepKind, SemiringKind};
+use crate::harness::ExpContext;
+
+use super::{er_graph, kron_graph, roots, sigma_sweep};
+
+fn default_opts() -> SimtOptions {
+    SimtOptions { slimwork: true, slimchunk: None }
+}
+
+/// Panels 6a (Kronecker) and 6b (Erdős–Rényi): total simulated cycles vs
+/// log σ for all four semirings.
+pub fn run_sigma_sweep(ctx: &ExpContext, erdos: bool) -> Result<(), String> {
+    let g = if erdos { er_graph(ctx) } else { kron_graph(ctx) };
+    let n = g.num_vertices();
+    let root = roots(&g, 1)[0];
+    let (name, title) = if erdos {
+        ("fig6b", "Figure 6b: GPU-sim, Erdos-Renyi, cycles vs sigma (C=32)")
+    } else {
+        ("fig6a", "Figure 6a: GPU-sim, Kronecker, cycles vs sigma (C=32)")
+    };
+    let mut t =
+        TextTable::new(["log2(sigma)", "boolean [cyc]", "real [cyc]", "sel-max [cyc]", "tropical [cyc]"]);
+    for sigma in sigma_sweep(n) {
+        let mut cells = vec![format!("{:.0}", (sigma as f64).log2())];
+        for sem in [SemiringKind::Boolean, SemiringKind::Real, SemiringKind::SelMax, SemiringKind::Tropical] {
+            let p = prepare_simt(&g, sigma, RepKind::SlimSell, sem, SimtConfig::default());
+            let rep = p.run(root, &default_opts());
+            cells.push(format!("{}", rep.total_cycles()));
+        }
+        t.row(cells);
+    }
+    ctx.emit(name, title, &t);
+    Ok(())
+}
+
+/// Panel 6c: per-iteration cycles by semiring at σ = 2^10 (clamped to n).
+pub fn run_per_iteration(ctx: &ExpContext) -> Result<(), String> {
+    let g = kron_graph(ctx);
+    let sigma = (1usize << 10).min(g.num_vertices());
+    let root = roots(&g, 1)[0];
+    let mut series = Vec::new();
+    for sem in [SemiringKind::Boolean, SemiringKind::Real, SemiringKind::SelMax, SemiringKind::Tropical] {
+        let p = prepare_simt(&g, sigma, RepKind::SlimSell, sem, SimtConfig::default());
+        series.push(p.run(root, &default_opts()).cycle_series());
+    }
+    let iters = series.iter().map(Vec::len).max().unwrap_or(0);
+    let mut t =
+        TextTable::new(["iteration", "boolean [cyc]", "real [cyc]", "sel-max [cyc]", "tropical [cyc]"]);
+    for i in 0..iters {
+        let mut row = vec![format!("{i}")];
+        for s in &series {
+            row.push(s.get(i).map(u64::to_string).unwrap_or_default());
+        }
+        t.row(row);
+    }
+    ctx.emit("fig6c", "Figure 6c: GPU-sim per-iteration cycles by semiring (sigma=2^10)", &t);
+    Ok(())
+}
+
+/// Panel 6d: SlimChunk on/off, total cycles vs σ (tropical).
+pub fn run_slimchunk_sweep(ctx: &ExpContext) -> Result<(), String> {
+    let g = kron_graph(ctx);
+    let n = g.num_vertices();
+    let root = roots(&g, 1)[0];
+    let tile = ctx.args.get("tile", 8usize);
+    let mut t = TextTable::new([
+        "log2(sigma)",
+        "No SlimChunk [cyc]",
+        "SlimChunk [cyc]",
+        "imbalance (no SC)",
+        "imbalance (SC)",
+    ]);
+    for sigma in sigma_sweep(n) {
+        let p = prepare_simt(&g, sigma, RepKind::SlimSell, SemiringKind::Tropical, SimtConfig::default());
+        let plain = p.run(root, &SimtOptions { slimchunk: None, slimwork: true });
+        let tiled = p.run(root, &SimtOptions { slimchunk: Some(tile), slimwork: true });
+        assert_eq!(plain.dist, tiled.dist, "SlimChunk changed the BFS output");
+        let imb = |r: &slimsell_simt::SimtBfsReport| {
+            r.iters.iter().map(|i| i.imbalance).fold(0.0f64, f64::max)
+        };
+        t.row([
+            format!("{:.0}", (sigma as f64).log2()),
+            format!("{}", plain.total_cycles()),
+            format!("{}", tiled.total_cycles()),
+            format!("{:.1}", imb(&plain)),
+            format!("{:.1}", imb(&tiled)),
+        ]);
+    }
+    ctx.emit("fig6d", "Figure 6d: SlimChunk effect vs sigma (GPU-sim, tropical)", &t);
+    Ok(())
+}
+
+/// Panel 6e: SlimChunk on/off per iteration at σ = 2^10.
+pub fn run_slimchunk_per_iteration(ctx: &ExpContext) -> Result<(), String> {
+    let g = kron_graph(ctx);
+    let sigma = (1usize << 10).min(g.num_vertices());
+    let root = roots(&g, 1)[0];
+    let tile = ctx.args.get("tile", 8usize);
+    let p = prepare_simt(&g, sigma, RepKind::SlimSell, SemiringKind::Tropical, SimtConfig::default());
+    let plain = p.run(root, &SimtOptions { slimchunk: None, slimwork: true });
+    let tiled = p.run(root, &SimtOptions { slimchunk: Some(tile), slimwork: true });
+    let iters = plain.iters.len().max(tiled.iters.len());
+    let mut t = TextTable::new(["iteration", "No SlimChunk [cyc]", "SlimChunk [cyc]", "speedup"]);
+    for i in 0..iters {
+        let a = plain.iters.get(i).map(|s| s.cycles);
+        let b = tiled.iters.get(i).map(|s| s.cycles);
+        t.row([
+            format!("{i}"),
+            a.map(|v| v.to_string()).unwrap_or_default(),
+            b.map(|v| v.to_string()).unwrap_or_default(),
+            match (a, b) {
+                (Some(a), Some(b)) if b > 0 => format!("{:.2}", a as f64 / b as f64),
+                _ => String::new(),
+            },
+        ]);
+    }
+    ctx.emit("fig6e", "Figure 6e: SlimChunk per-iteration (GPU-sim, sigma=2^10)", &t);
+    Ok(())
+}

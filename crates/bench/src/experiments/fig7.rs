@@ -1,0 +1,106 @@
+//! Figure 7: storage analysis — AL vs Sell-C-σ vs SlimSell across graph
+//! families and sorting scopes.
+//!
+//! Panels a/c sweep Kronecker graphs along the paper's `[log n − ρ]`
+//! axis (constant n·ρ product); panels b/d use the Table IV stand-ins
+//! with sizes relative to AL. Each panel is produced at four sorting
+//! scopes (σ = n, √n-ish, n/4, n/8). Shape to verify (§IV-E): SlimSell ≈
+//! 0.5 × Sell-C-σ everywhere, and SlimSell ≤ AL once σ ≥ √n.
+
+use slimsell_analysis::report::TextTable;
+use slimsell_core::storage::StorageComparison;
+use slimsell_gen::standin_catalog;
+use slimsell_graph::CsrGraph;
+
+use crate::harness::ExpContext;
+
+use super::kron_at;
+
+fn sigma_points(n: usize) -> Vec<(String, usize)> {
+    vec![
+        ("n".into(), n),
+        ("sqrt(n)".into(), (n as f64).sqrt().ceil() as usize),
+        ("n/4".into(), (n / 4).max(1)),
+        ("n/8".into(), (n / 8).max(1)),
+    ]
+}
+
+fn measure_row(g: &CsrGraph, sigma: usize) -> StorageComparison {
+    StorageComparison::measure::<8>(g, sigma)
+}
+
+/// Runs the requested family (`--family kron` or `--family rw`; default
+/// both).
+pub fn run(ctx: &ExpContext) -> Result<(), String> {
+    let family = ctx.args.get_str("family", "both");
+    if family == "kron" || family == "both" {
+        kron_panel(ctx)?;
+    }
+    if family == "rw" || family == "both" {
+        rw_panel(ctx)?;
+    }
+    Ok(())
+}
+
+/// Panels a/c: Kronecker sweep at constant n·ρ (paper: log n + log ρ =
+/// 29; default here 18, override with `--budget-log2`).
+fn kron_panel(ctx: &ExpContext) -> Result<(), String> {
+    let budget = ctx.args.get("budget-log2", 18u32);
+    let mut t = TextTable::new([
+        "graph [logn-rho]",
+        "sigma",
+        "AL [MiB]",
+        "Sell-C-sigma [MiB]",
+        "SlimSell [MiB]",
+        "slim/sell",
+        "slim/AL",
+    ]);
+    let mib = |cells: usize| cells as f64 * 4.0 / (1024.0 * 1024.0);
+    for logn in (budget.saturating_sub(8))..=(budget.saturating_sub(1)) {
+        let rho = (1u64 << (budget - logn)) as f64;
+        let g = kron_at(logn, rho, ctx.seed());
+        for (label, sigma) in sigma_points(g.num_vertices()) {
+            let c = measure_row(&g, sigma);
+            t.row([
+                format!("{logn}-{rho:.0}"),
+                label,
+                format!("{:.3}", mib(c.al)),
+                format!("{:.3}", mib(c.sell_c_sigma)),
+                format!("{:.3}", mib(c.slimsell)),
+                format!("{:.3}", c.slim_vs_sell()),
+                format!("{:.3}", c.slim_vs_al()),
+            ]);
+        }
+    }
+    ctx.emit("fig7_kron", "Figure 7a/c: storage, Kronecker sweep (C=8)", &t);
+    Ok(())
+}
+
+/// Panels b/d: real-world stand-ins, sizes relative to AL.
+fn rw_panel(ctx: &ExpContext) -> Result<(), String> {
+    let shift = ctx.scale_shift();
+    let mut t = TextTable::new([
+        "graph",
+        "sigma",
+        "AL (rel)",
+        "Sell-C-sigma (rel)",
+        "SlimSell (rel)",
+        "P/n",
+    ]);
+    for spec in standin_catalog() {
+        let g = slimsell_gen::standin(spec.id, shift, ctx.seed());
+        for (label, sigma) in sigma_points(g.num_vertices()) {
+            let c = measure_row(&g, sigma);
+            t.row([
+                spec.id.to_string(),
+                label,
+                "1.000".to_string(),
+                format!("{:.3}", c.sell_c_sigma as f64 / c.al as f64),
+                format!("{:.3}", c.slim_vs_al()),
+                format!("{:.3}", c.padding as f64 / c.n as f64),
+            ]);
+        }
+    }
+    ctx.emit("fig7_rw", "Figure 7b/d: storage, real-world stand-ins (relative to AL, C=8)", &t);
+    Ok(())
+}

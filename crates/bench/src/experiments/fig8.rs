@@ -1,0 +1,47 @@
+//! Figure 8: KNL-style per-iteration analysis (tropical, C = 16) across
+//! Kronecker sizes: the paper runs `[log n − ρ]` ∈ {20-16, 20-32, 20-64}
+//! (panel a) and {21-16, 21-32, 22-16} (panel b). Defaults here shift
+//! log n down by `--shift` (default 6); the shape to verify is that
+//! per-iteration latency grows with ρ and n, and drops sharply after the
+//! frontier peak.
+
+use slimsell_analysis::report::{fmt_secs, TextTable};
+use slimsell_core::BfsOptions;
+
+use crate::dispatch::{prepare, RepKind, SemiringKind};
+use crate::harness::ExpContext;
+
+use super::{kron_at, roots};
+
+/// Runs both panels.
+pub fn run(ctx: &ExpContext) -> Result<(), String> {
+    let shift = ctx.args.get("shift", 6u32);
+    let combos: [(u32, f64); 6] =
+        [(20, 16.0), (20, 32.0), (20, 64.0), (21, 16.0), (21, 32.0), (22, 16.0)];
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for (logn, rho) in combos {
+        let scale = logn.saturating_sub(shift).max(8);
+        let g = kron_at(scale, rho, ctx.seed());
+        let root = roots(&g, 1)[0];
+        let p = prepare(&g, 16, g.num_vertices(), RepKind::SlimSell, SemiringKind::Tropical);
+        let out = p.run(root, &BfsOptions::default());
+        series.push((format!("{scale}-{rho:.0}"), out.stats.iter_seconds()));
+    }
+    let iters = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    let mut header = vec!["iteration".to_string()];
+    header.extend(series.iter().map(|(n, _)| format!("{n} [s]")));
+    let mut t = TextTable::new(header);
+    for i in 0..iters {
+        let mut row = vec![format!("{i}")];
+        for (_, s) in &series {
+            row.push(s.get(i).map(|&v| fmt_secs(v)).unwrap_or_default());
+        }
+        t.row(row);
+    }
+    ctx.emit(
+        "fig8",
+        &format!("Figure 8: per-iteration times, tropical, C=16 (scales shifted by -{shift})"),
+        &t,
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Figure 9: fine-grained comparison of Trad-BFS and BFS-SpMV with
+//! SlimSell + sel-max (C = 16) on dense Kronecker graphs.
+//!
+//! Paper pairs: (n, ρ) ∈ {(2^19, 1024), (2^20, 512), (2^21, 128)};
+//! defaults shift log n down by `--shift` (default 6) with ρ scaled by
+//! the same factor to stay laptop-sized. Shape to verify (§IV-F): the
+//! denser the graph, the better BFS-SpMV fares against the traditional
+//! BFS, whose middle iterations dominate.
+
+use slimsell_analysis::report::{fmt_secs, TextTable};
+use slimsell_baseline::trad_bfs;
+use slimsell_core::BfsOptions;
+
+use crate::dispatch::{prepare, RepKind, SemiringKind};
+use crate::harness::ExpContext;
+
+use super::{kron_at, roots};
+
+/// Runs all three panels.
+pub fn run(ctx: &ExpContext) -> Result<(), String> {
+    let shift = ctx.args.get("shift", 6u32);
+    let combos: [(u32, f64); 3] = [(19, 1024.0), (20, 512.0), (21, 128.0)];
+    for (idx, (logn, rho)) in combos.into_iter().enumerate() {
+        let scale = logn.saturating_sub(shift).max(8);
+        let rho = (rho / (1u64 << shift) as f64 * 4.0).max(4.0);
+        let g = kron_at(scale, rho, ctx.seed());
+        let root = roots(&g, 1)[0];
+        let trad = trad_bfs(&g, root);
+        let p = prepare(&g, 16, g.num_vertices(), RepKind::SlimSell, SemiringKind::SelMax);
+        let spmv = p.run(root, &BfsOptions::default());
+        assert_eq!(spmv.dist, {
+            let mut d = trad.dist.clone();
+            d.truncate(spmv.dist.len());
+            d
+        });
+
+        let iters = trad.level_times.len().max(spmv.stats.iters.len());
+        let mut t = TextTable::new(["iteration", "Trad-BFS [s]", "SlimSell sel-max [s]"]);
+        for i in 0..iters {
+            t.row([
+                format!("{i}"),
+                trad.level_times.get(i).map(|d| fmt_secs(d.as_secs_f64())).unwrap_or_default(),
+                spmv.stats.iters.get(i).map(|s| fmt_secs(s.elapsed.as_secs_f64())).unwrap_or_default(),
+            ]);
+        }
+        ctx.emit(
+            &format!("fig9_{}", ['a', 'b', 'c'][idx]),
+            &format!("Figure 9{}: Trad-BFS vs SlimSell sel-max, n=2^{scale}, rho={rho:.0} (C=16)", ['a', 'b', 'c'][idx]),
+            &t,
+        );
+        let tt: f64 = trad.level_times.iter().map(|d| d.as_secs_f64()).sum();
+        let ts = spmv.stats.total_time().as_secs_f64();
+        println!("totals: trad {} | slimsell sel-max {} | ratio {:.2}", fmt_secs(tt), fmt_secs(ts), tt / ts);
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! §IV-D: preprocessing (sorting + build) amortization.
+//!
+//! Measures the σ-sort + SlimSell build time against one BFS run on the
+//! context's Kronecker graph and prints the amortization table; the
+//! paper's datum to compare: at n = 2^24 sorting is ≈21 % of one BFS run
+//! and 10 runs push preprocessing below 2 %.
+
+use slimsell_analysis::amortize::{amortization_table, runs_to_amortize};
+use slimsell_analysis::report::{fmt_secs, TextTable};
+use slimsell_core::matrix::SlimSellMatrix;
+use slimsell_core::{BfsEngine, BfsOptions, TropicalSemiring};
+
+use crate::harness::{timed, ExpContext};
+
+use super::{kron_graph, roots};
+
+/// Runs the preprocessing analysis.
+pub fn run(ctx: &ExpContext) -> Result<(), String> {
+    let g = kron_graph(ctx);
+    let n = g.num_vertices();
+    let root = roots(&g, 1)[0];
+
+    let (slim, t_build) = timed(|| SlimSellMatrix::<8>::build(&g, n));
+    // Isolate the sorting share: building with σ = 1 skips the sort.
+    let (_, t_build_nosort) = timed(|| SlimSellMatrix::<8>::build(&g, 1));
+    let t_sort = (t_build - t_build_nosort).max(0.0);
+    let (_, t_bfs) = timed(|| {
+        std::hint::black_box(BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &BfsOptions::default()))
+    });
+
+    let mut t = TextTable::new(["quantity", "value"]);
+    t.row(["sigma-sort time (est.)".to_string(), fmt_secs(t_sort)]);
+    t.row(["full build time".to_string(), fmt_secs(t_build)]);
+    t.row(["one BFS run".to_string(), fmt_secs(t_bfs)]);
+    t.row(["sort / BFS".to_string(), format!("{:.1}%", 100.0 * t_sort / t_bfs)]);
+    t.row([
+        "runs to get sort below 2%".to_string(),
+        format!("{}", runs_to_amortize(t_sort, t_bfs, 0.02)),
+    ]);
+    t.row([
+        "runs to get full preprocessing below 5%".to_string(),
+        format!("{}", runs_to_amortize(t_build, t_bfs, 0.05)),
+    ]);
+    ctx.emit("prep", "Preprocessing amortization (S IV-D)", &t);
+
+    let mut t2 = TextTable::new(["BFS runs", "preprocessing share"]);
+    for (k, share) in amortization_table(t_build, t_bfs, &[1, 2, 5, 10, 20, 50, 100]) {
+        t2.row([format!("{k}"), format!("{:.1}%", 100.0 * share)]);
+    }
+    ctx.emit("prep_table", "Preprocessing share vs number of BFS runs", &t2);
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Strong and weak scaling over thread counts (§IV mentions both axes).
+//!
+//! Strong: fixed Kronecker graph, threads ∈ {1, 2, 4, …} up to twice the
+//! host parallelism. Weak: n doubles with the thread count.
+
+use slimsell_analysis::report::TextTable;
+use slimsell_core::BfsOptions;
+
+use crate::dispatch::{prepare, RepKind, SemiringKind};
+use crate::harness::{mean_time, ExpContext};
+
+use super::{kron_at, kron_graph, roots};
+
+fn thread_points() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
+    let mut v = vec![1usize];
+    let mut t = 2;
+    while t <= 2 * max {
+        v.push(t);
+        t *= 2;
+    }
+    v
+}
+
+/// Runs both scaling experiments.
+pub fn run(ctx: &ExpContext) -> Result<(), String> {
+    strong(ctx)?;
+    weak(ctx)
+}
+
+fn with_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool")
+        .install(f)
+}
+
+fn strong(ctx: &ExpContext) -> Result<(), String> {
+    let g = kron_graph(ctx);
+    let n = g.num_vertices();
+    let rts = roots(&g, 2);
+    let runs = ctx.runs();
+    let mut t = TextTable::new(["threads", "time [s]", "speedup vs 1T"]);
+    let mut t1 = None;
+    for threads in thread_points() {
+        let secs = with_pool(threads, || {
+            let p = prepare(&g, 8, n, RepKind::SlimSell, SemiringKind::Tropical);
+            mean_time(runs, || {
+                for &r in &rts {
+                    std::hint::black_box(p.run(r, &BfsOptions::default()));
+                }
+            })
+        });
+        let base = *t1.get_or_insert(secs);
+        t.row([format!("{threads}"), format!("{secs:.4}"), format!("{:.2}", base / secs)]);
+    }
+    ctx.emit("scaling_strong", "Strong scaling (Kronecker, tropical, C=8)", &t);
+    Ok(())
+}
+
+fn weak(ctx: &ExpContext) -> Result<(), String> {
+    let base_scale = ctx.args.get("scale-log2", 13u32);
+    let runs = ctx.runs();
+    let mut t = TextTable::new(["threads", "scale (log2 n)", "time [s]", "efficiency"]);
+    let mut t1 = None;
+    for (i, threads) in thread_points().into_iter().enumerate() {
+        let scale = base_scale + i as u32;
+        let g = kron_at(scale, ctx.rho(), ctx.seed());
+        let rts = roots(&g, 1);
+        let secs = with_pool(threads, || {
+            let p = prepare(&g, 8, g.num_vertices(), RepKind::SlimSell, SemiringKind::Tropical);
+            mean_time(runs, || {
+                for &r in &rts {
+                    std::hint::black_box(p.run(r, &BfsOptions::default()));
+                }
+            })
+        });
+        let base = *t1.get_or_insert(secs);
+        t.row([
+            format!("{threads}"),
+            format!("{scale}"),
+            format!("{secs:.4}"),
+            format!("{:.2}", base / secs),
+        ]);
+    }
+    ctx.emit("scaling_weak", "Weak scaling (n grows with threads, tropical, C=8)", &t);
+    Ok(())
+}

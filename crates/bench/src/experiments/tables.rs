@@ -1,0 +1,137 @@
+//! Tables II–V.
+
+use slimsell_analysis::report::{fmt_secs, TextTable};
+use slimsell_analysis::work::table2_rows;
+use slimsell_baseline::{spmspv_bfs, trad_bfs, Dedup};
+use slimsell_core::storage::StorageComparison;
+use slimsell_core::BfsOptions;
+use slimsell_gen::standin_catalog;
+use slimsell_graph::GraphStats;
+
+use crate::dispatch::{prepare, RepKind, SemiringKind};
+use crate::harness::{mean_time, ExpContext};
+
+use super::{kron_graph, roots};
+
+/// Table II: work complexity comparison, annotated with measured work on
+/// the context's Kronecker graph where the scheme is implemented.
+pub fn table2(ctx: &ExpContext) -> Result<(), String> {
+    let g = kron_graph(ctx);
+    let root = roots(&g, 1)[0];
+    let mut t = TextTable::new(["BFS algorithm", "W (paper)", "implemented as", "measured work units"]);
+    let trad = trad_bfs(&g, root);
+    let spmspv = spmspv_bfs(&g, root, Dedup::NoSort);
+    let spmv = prepare(&g, 8, g.num_vertices(), RepKind::SlimSell, SemiringKind::Tropical)
+        .run(root, &BfsOptions::plain());
+    let spmv_sw = prepare(&g, 8, g.num_vertices(), RepKind::SlimSell, SemiringKind::Tropical)
+        .run(root, &BfsOptions::default());
+    for row in table2_rows() {
+        let measured = match row.scheme {
+            "Traditional BFS (bag/queue-based)" => format!("{} edges scanned", trad.edges_scanned),
+            "BFS SpMSpV (no sort)" => format!("{} candidates", spmspv.candidates),
+            "BFS-SpMV (sparse)" => format!("{} cells (no SlimWork)", spmv.stats.total_cells()),
+            "This work (max degree rho^)" => format!("{} cells (SlimWork)", spmv_sw.stats.total_cells()),
+            _ => "-".to_string(),
+        };
+        t.row([row.scheme.to_string(), row.work.to_string(), row.implemented_as.to_string(), measured]);
+    }
+    ctx.emit("table2", "Table II: work complexity of BFS schemes", &t);
+    Ok(())
+}
+
+/// Table III: storage of Sell-C-σ, CSR, AL, SlimSell — formulas versus
+/// measured cells on the context's Kronecker graph (C = 8, σ = n).
+pub fn table3(ctx: &ExpContext) -> Result<(), String> {
+    let g = kron_graph(ctx);
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let cmp = StorageComparison::measure::<8>(&g, n);
+    let p = cmp.padding;
+    let nc = n.div_ceil(8);
+    let mut t = TextTable::new(["representation", "formula (cells)", "formula value", "measured cells"]);
+    t.row([
+        "Sell-C-sigma".into(),
+        "2(2m + P) + 2*ceil(n/C)".into(),
+        format!("{}", 2 * (2 * m + p) + 2 * nc),
+        format!("{}", cmp.sell_c_sigma),
+    ]);
+    t.row(["CSR (matrix)".into(), "4m + n".into(), format!("{}", 4 * m + n), format!("{}", cmp.csr)]);
+    t.row(["AL".into(), "2m + n".into(), format!("{}", 2 * m + n), format!("{}", cmp.al)]);
+    t.row([
+        "SlimSell".into(),
+        "2m + P + 2*ceil(n/C)".into(),
+        format!("{}", 2 * m + p + 2 * nc),
+        format!("{}", cmp.slimsell),
+    ]);
+    t.row(["(P, padding cells)".into(), "-".into(), format!("{p}"), format!("{p}")]);
+    t.row([
+        "SlimSell / Sell-C-sigma".into(),
+        "-> 0.5 for P << m".into(),
+        String::new(),
+        format!("{:.3}", cmp.slim_vs_sell()),
+    ]);
+    ctx.emit("table3", "Table III: storage complexity (measured on Kronecker)", &t);
+    Ok(())
+}
+
+/// Table IV: the real-world graph catalog — paper statistics next to the
+/// generated stand-ins at the configured scale shift.
+pub fn table4(ctx: &ExpContext) -> Result<(), String> {
+    let shift = ctx.scale_shift();
+    let mut t = TextTable::new([
+        "type", "ID", "paper n", "paper m", "paper rho", "paper D", "standin n", "standin m",
+        "standin rho", "standin D (lb)",
+    ]);
+    for spec in standin_catalog() {
+        let g = slimsell_gen::standin(spec.id, shift, ctx.seed());
+        let s = GraphStats::compute(&g, 3);
+        t.row([
+            spec.family.to_string(),
+            spec.id.to_string(),
+            format!("{}", spec.paper_n),
+            format!("{}", spec.paper_m),
+            format!("{:.2}", spec.paper_rho),
+            format!("{}", spec.paper_d),
+            format!("{}", s.n),
+            format!("{}", s.m),
+            format!("{:.2}", s.m as f64 / s.n as f64),
+            format!("{}", s.diameter_lb),
+        ]);
+    }
+    ctx.emit("table4", &format!("Table IV: real-world graphs (stand-ins at 1/2^{shift} scale)"), &t);
+    Ok(())
+}
+
+/// Table V: speedup of SlimSell over Sell-C-σ per semiring at small and
+/// large σ (paper: σ = 2^4 vs 2^18 on Kronecker n = 2^24, ρ = 16).
+pub fn table5(ctx: &ExpContext) -> Result<(), String> {
+    let g = kron_graph(ctx);
+    let n = g.num_vertices();
+    let sigmas = [16usize, n.min(1 << 18)];
+    let rts = roots(&g, 2);
+    let runs = ctx.runs();
+    let mut t = TextTable::new(["sigma", "boolean", "real", "tropical", "sel-max"]);
+    for sigma in sigmas {
+        let mut cells = vec![format!("2^{}", (sigma as f64).log2() as u32)];
+        for sem in [SemiringKind::Boolean, SemiringKind::Real, SemiringKind::Tropical, SemiringKind::SelMax] {
+            let slim = prepare(&g, 8, sigma, RepKind::SlimSell, sem);
+            let sell = prepare(&g, 8, sigma, RepKind::SellCSigma, sem);
+            let t_slim = mean_time(runs, || {
+                for &r in &rts {
+                    std::hint::black_box(slim.run(r, &BfsOptions::default()));
+                }
+            });
+            let t_sell = mean_time(runs, || {
+                for &r in &rts {
+                    std::hint::black_box(sell.run(r, &BfsOptions::default()));
+                }
+            });
+            cells.push(format!("{:.2}", t_sell / t_slim));
+        }
+        t.row(cells);
+    }
+    println!("(speedup = time(Sell-C-sigma) / time(SlimSell); > 1 means SlimSell wins)");
+    ctx.emit("table5", "Table V: SlimSell speedup over Sell-C-sigma (Kronecker)", &t);
+    let _ = fmt_secs(0.0);
+    Ok(())
+}

@@ -1,0 +1,357 @@
+//! The parallel BFS-SpMV driver.
+//!
+//! One generic engine serves all four semirings and both representations:
+//! each iteration expands the frontier by one hop with a chunk-parallel
+//! MV product (Listing 5/6), optionally skipping finished chunks
+//! (SlimWork, §III-C) and optionally tiling chunks in two dimensions
+//! (SlimChunk, §III-D). Chunks are distributed over threads with either
+//! static or dynamic scheduling, modeling the paper's `omp-s`/`omp-d`
+//! configurations (§IV-A1).
+//!
+//! Data-parallel safety: iteration `k` reads the previous iteration's
+//! vectors (`cur`) and writes chunk-disjoint slices of the next vectors
+//! (`nxt`) and of the persistent distance vector `d`, so the rayon loop
+//! is race-free by construction.
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+use slimsell_graph::{VertexId, UNREACHABLE};
+use slimsell_simd::{SimdF32, SimdI32};
+
+use crate::counters::{IterStats, RunStats};
+use crate::matrix::ChunkMatrix;
+use crate::semiring::{Semiring, StateVecs};
+use crate::slimchunk;
+
+/// Chunk-to-thread scheduling policy (the paper's `omp-s` / `omp-d`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Contiguous equal partitions of chunks per thread (OpenMP static).
+    Static,
+    /// Fine-grained work stealing (OpenMP dynamic).
+    #[default]
+    Dynamic,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BfsOptions {
+    /// Enable SlimWork chunk skipping (§III-C).
+    pub slimwork: bool,
+    /// Enable SlimChunk 2-D tiling with the given tile width in column
+    /// steps (§III-D). `None` disables tiling.
+    pub slimchunk: Option<usize>,
+    /// Chunk scheduling policy.
+    pub schedule: Schedule,
+    /// Safety cap on iterations (defaults to `n + 1`).
+    pub max_iterations: Option<usize>,
+}
+
+impl Default for BfsOptions {
+    fn default() -> Self {
+        Self { slimwork: true, slimchunk: None, schedule: Schedule::Dynamic, max_iterations: None }
+    }
+}
+
+impl BfsOptions {
+    /// The paper's baseline configuration: SlimWork off, dynamic
+    /// scheduling (corresponds to "No SlimWork" in Fig. 5d).
+    pub fn plain() -> Self {
+        Self { slimwork: false, ..Self::default() }
+    }
+}
+
+/// BFS output in original (un-permuted) vertex ids.
+#[derive(Clone, Debug)]
+pub struct BfsOutput {
+    /// Hop distances; [`UNREACHABLE`] for vertices not reached.
+    pub dist: Vec<u32>,
+    /// BFS-tree parents if the semiring computes them (sel-max); the root
+    /// is its own parent, unreachable vertices get [`UNREACHABLE`].
+    pub parent: Option<Vec<VertexId>>,
+    /// Per-iteration statistics.
+    pub stats: RunStats,
+}
+
+/// The BFS-SpMV engine. Stateless; methods are entry points.
+pub struct BfsEngine;
+
+impl BfsEngine {
+    /// Runs BFS from `root` (original vertex id) over `matrix` with
+    /// semiring `S`.
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range.
+    pub fn run<M, S, const C: usize>(matrix: &M, root: VertexId, opts: &BfsOptions) -> BfsOutput
+    where
+        M: ChunkMatrix<C>,
+        S: Semiring,
+    {
+        let s = matrix.structure();
+        let n = s.n();
+        assert!((root as usize) < n, "root {root} out of range (n = {n})");
+        let root_p = s.perm().to_new(root) as usize;
+        let np = s.n_padded();
+
+        let mut cur = StateVecs::new(np);
+        let mut nxt = StateVecs::new(np);
+        let mut d = vec![0.0f32; np];
+        S::init(&mut cur, &mut d, n, root_p);
+
+        let mut stats = RunStats::default();
+        let max_iters = opts.max_iterations.unwrap_or(n + 1);
+        let mut depth = 0u32;
+        loop {
+            depth += 1;
+            let t0 = Instant::now();
+            let mut it = match opts.slimchunk {
+                None => iterate::<M, S, C>(matrix, &cur, &mut nxt, &mut d, depth as f32, opts),
+                Some(tile_w) => slimchunk::iterate_tiled::<M, S, C>(
+                    matrix, &cur, &mut nxt, &mut d, depth as f32, opts, tile_w,
+                ),
+            };
+            it.elapsed = t0.elapsed();
+            let changed = it.changed;
+            stats.iters.push(it);
+            std::mem::swap(&mut cur, &mut nxt);
+            if !changed || depth as usize >= max_iters {
+                break;
+            }
+        }
+
+        let perm = s.perm();
+        let dist_f = S::distances(&cur, &d);
+        let dist: Vec<u32> = (0..n)
+            .map(|old| {
+                let v = dist_f[perm.to_new(old as VertexId) as usize];
+                if v.is_finite() { v as u32 } else { UNREACHABLE }
+            })
+            .collect();
+        let parent = S::parents(&cur).map(|p| {
+            (0..n)
+                .map(|old| {
+                    let pv = p[perm.to_new(old as VertexId) as usize];
+                    if pv == 0.0 { UNREACHABLE } else { perm.to_old(pv as VertexId - 1) }
+                })
+                .collect()
+        });
+        BfsOutput { dist, parent, stats }
+    }
+}
+
+/// The per-chunk MV kernel (Listing 5 lines 3–21 / Listing 6): starts the
+/// accumulator from the chunk's previous values, then folds `cl[i]`
+/// column steps. Public so alternative execution engines (e.g. the SIMT
+/// simulator in `slimsell-simt`) run bit-identical chunk math.
+#[inline]
+pub fn chunk_mv<M, S, const C: usize>(matrix: &M, x: &[f32], i: usize) -> SimdF32<C>
+where
+    M: ChunkMatrix<C>,
+    S: Semiring,
+{
+    let s = matrix.structure();
+    let col = s.col();
+    let mut acc = SimdF32::<C>::load(&x[i * C..]);
+    let mut index = s.cs()[i];
+    for _ in 0..s.cl()[i] {
+        let cols = SimdI32::<C>::load(&col[index..]);
+        let vals = matrix.vals(index, cols, S::PAD);
+        let rhs = SimdF32::gather_or(x, cols, 0.0);
+        acc = S::combine(acc, vals, rhs);
+        index += C;
+    }
+    acc
+}
+
+/// Computes the rayon `min_len` realizing the requested schedule.
+pub(crate) fn min_len_for(schedule: Schedule, tasks: usize) -> usize {
+    match schedule {
+        Schedule::Static => tasks.div_ceil(rayon::current_num_threads().max(1)).max(1),
+        Schedule::Dynamic => 1,
+    }
+}
+
+/// One frontier expansion over all chunks (no tiling).
+pub(crate) fn iterate<M, S, const C: usize>(
+    matrix: &M,
+    cur: &StateVecs,
+    nxt: &mut StateVecs,
+    d: &mut [f32],
+    depth: f32,
+    opts: &BfsOptions,
+) -> IterStats
+where
+    M: ChunkMatrix<C>,
+    S: Semiring,
+{
+    let s = matrix.structure();
+    let nc = s.num_chunks();
+    let min_len = min_len_for(opts.schedule, nc);
+    let slimwork = opts.slimwork;
+    let (changed, col_steps, skipped) = nxt
+        .x
+        .par_chunks_mut(C)
+        .zip(nxt.g.par_chunks_mut(C))
+        .zip(nxt.p.par_chunks_mut(C))
+        .zip(d.par_chunks_mut(C))
+        .enumerate()
+        .with_min_len(min_len)
+        .map(|(i, (((nx, ng), np), dd))| {
+            let base = i * C;
+            if slimwork && S::should_skip(cur, base..base + C) {
+                S::copy_forward(cur, base, nx, ng, np);
+                return (false, 0u64, 1usize);
+            }
+            let acc = chunk_mv::<M, S, C>(matrix, &cur.x, i);
+            let changed = S::post_chunk(acc, cur, base, nx, ng, np, dd, depth);
+            (changed, s.cl()[i] as u64, 0usize)
+        })
+        .reduce(|| (false, 0, 0), |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2));
+    IterStats {
+        elapsed: Default::default(),
+        chunks_processed: nc - skipped,
+        chunks_skipped: skipped,
+        col_steps,
+        cells: col_steps * C as u64,
+        changed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{SellCSigma, SlimSellMatrix};
+    use crate::semiring::{BooleanSemiring, RealSemiring, SelMaxSemiring, TropicalSemiring};
+    use slimsell_graph::{serial_bfs, validate_parents, CsrGraph, GraphBuilder};
+
+    fn sample() -> CsrGraph {
+        // Two components; varied degrees.
+        GraphBuilder::new(11)
+            .edges([
+                (0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (4, 5), (5, 6), (3, 6),
+                (8, 9), (9, 10),
+            ])
+            .build()
+    }
+
+    fn check_dist<S: Semiring>(g: &CsrGraph, sigma: usize, root: VertexId, opts: &BfsOptions) {
+        let reference = serial_bfs(g, root);
+        let slim = SlimSellMatrix::<4>::build(g, sigma);
+        let out = BfsEngine::run::<_, S, 4>(&slim, root, opts);
+        assert_eq!(out.dist, reference.dist, "{} sigma={sigma} slimsell", S::NAME);
+        if let Some(p) = &out.parent {
+            validate_parents(g, root, &out.dist, p).unwrap();
+        }
+        let sell = SellCSigma::<4>::build(g, sigma, S::PAD);
+        let out2 = BfsEngine::run::<_, S, 4>(&sell, root, opts);
+        assert_eq!(out2.dist, reference.dist, "{} sigma={sigma} sell-c-sigma", S::NAME);
+    }
+
+    #[test]
+    fn all_semirings_match_reference() {
+        let g = sample();
+        for sigma in [1, 4, 11] {
+            for root in [0u32, 6, 8] {
+                check_dist::<TropicalSemiring>(&g, sigma, root, &BfsOptions::default());
+                check_dist::<BooleanSemiring>(&g, sigma, root, &BfsOptions::default());
+                check_dist::<RealSemiring>(&g, sigma, root, &BfsOptions::default());
+                check_dist::<SelMaxSemiring>(&g, sigma, root, &BfsOptions::default());
+            }
+        }
+    }
+
+    #[test]
+    fn slimwork_off_matches() {
+        let g = sample();
+        check_dist::<TropicalSemiring>(&g, 11, 0, &BfsOptions::plain());
+        check_dist::<SelMaxSemiring>(&g, 11, 0, &BfsOptions::plain());
+    }
+
+    #[test]
+    fn static_schedule_matches() {
+        let g = sample();
+        let opts = BfsOptions { schedule: Schedule::Static, ..Default::default() };
+        check_dist::<BooleanSemiring>(&g, 4, 0, &opts);
+    }
+
+    #[test]
+    fn slimchunk_matches() {
+        let g = sample();
+        let opts = BfsOptions { slimchunk: Some(2), ..Default::default() };
+        check_dist::<TropicalSemiring>(&g, 11, 0, &opts);
+        check_dist::<BooleanSemiring>(&g, 11, 0, &opts);
+        check_dist::<RealSemiring>(&g, 11, 0, &opts);
+        check_dist::<SelMaxSemiring>(&g, 11, 0, &opts);
+    }
+
+    #[test]
+    fn unreachable_vertices_marked() {
+        let g = sample();
+        let slim = SlimSellMatrix::<4>::build(&g, 11);
+        let out = BfsEngine::run::<_, TropicalSemiring, 4>(&slim, 0, &BfsOptions::default());
+        assert_eq!(out.dist[8], UNREACHABLE);
+        assert_eq!(out.dist[7], UNREACHABLE); // isolated
+    }
+
+    #[test]
+    fn selmax_root_is_own_parent() {
+        let g = sample();
+        let slim = SlimSellMatrix::<4>::build(&g, 11);
+        let out = BfsEngine::run::<_, SelMaxSemiring, 4>(&slim, 3, &BfsOptions::default());
+        let p = out.parent.unwrap();
+        assert_eq!(p[3], 3);
+        assert_eq!(p[7], UNREACHABLE);
+    }
+
+    #[test]
+    fn slimwork_reduces_work() {
+        // On a path graph most chunks finish early; SlimWork must skip.
+        let n = 64u32;
+        let g = GraphBuilder::new(n as usize).edges((0..n - 1).map(|v| (v, v + 1))).build();
+        let slim = SlimSellMatrix::<4>::build(&g, 1);
+        let with = BfsEngine::run::<_, TropicalSemiring, 4>(&slim, 0, &BfsOptions::default());
+        let without = BfsEngine::run::<_, TropicalSemiring, 4>(&slim, 0, &BfsOptions::plain());
+        assert_eq!(with.dist, without.dist);
+        assert!(with.stats.total_skipped() > 0, "no chunks skipped");
+        assert!(with.stats.total_cells() < without.stats.total_cells());
+    }
+
+    #[test]
+    fn iteration_count_is_eccentricity_plus_one() {
+        let g = GraphBuilder::new(6).edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).build();
+        let slim = SlimSellMatrix::<4>::build(&g, 6);
+        let out = BfsEngine::run::<_, TropicalSemiring, 4>(&slim, 0, &BfsOptions::default());
+        // Distances reach 5; one extra iteration detects convergence.
+        assert_eq!(out.stats.num_iterations(), 6);
+    }
+
+    #[test]
+    fn wider_lanes_match() {
+        let g = sample();
+        let reference = serial_bfs(&g, 0);
+        let slim8 = SlimSellMatrix::<8>::build(&g, 11);
+        let slim16 = SlimSellMatrix::<16>::build(&g, 11);
+        let slim32 = SlimSellMatrix::<32>::build(&g, 11);
+        assert_eq!(BfsEngine::run::<_, TropicalSemiring, 8>(&slim8, 0, &BfsOptions::default()).dist, reference.dist);
+        assert_eq!(BfsEngine::run::<_, BooleanSemiring, 16>(&slim16, 0, &BfsOptions::default()).dist, reference.dist);
+        assert_eq!(BfsEngine::run::<_, SelMaxSemiring, 32>(&slim32, 0, &BfsOptions::default()).dist, reference.dist);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_root_panics() {
+        let g = sample();
+        let slim = SlimSellMatrix::<4>::build(&g, 1);
+        BfsEngine::run::<_, TropicalSemiring, 4>(&slim, 99, &BfsOptions::default());
+    }
+
+    #[test]
+    fn single_edge_graph() {
+        let g = GraphBuilder::new(2).edges([(0, 1)]).build();
+        let slim = SlimSellMatrix::<4>::build(&g, 2);
+        let out = BfsEngine::run::<_, SelMaxSemiring, 4>(&slim, 0, &BfsOptions::default());
+        assert_eq!(out.dist, vec![0, 1]);
+        assert_eq!(out.parent.unwrap(), vec![0, 0]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Connected components by algebraic label propagation — another §VI
+//! "other graph algorithms" instance on the same chunked substrate.
+//!
+//! Every vertex starts with its own (1-based) label; each sweep replaces
+//! a label by the minimum over the vertex's neighborhood and itself
+//! (`x' = MIN(x, A ⊗_min x)` with unit-free `op2 = select-rhs`, i.e. the
+//! tropical kernel with zero edge weights). The fixpoint assigns every
+//! component the minimum vertex label it contains; the sweep count is
+//! bounded by the largest component diameter.
+//!
+//! Unlike BFS there is no frontier, but the SlimWork idea still applies:
+//! a chunk whose labels and whose *neighbors'* labels are stable cannot
+//! change — detected here with the cheaper "nothing changed anywhere
+//! last sweep" global test.
+
+use rayon::prelude::*;
+use slimsell_graph::VertexId;
+use slimsell_simd::{SimdF32, SimdI32};
+
+use crate::matrix::ChunkMatrix;
+
+/// Connected-components result.
+#[derive(Clone, Debug)]
+pub struct ComponentsOutput {
+    /// `label[v]` = smallest original vertex id in `v`'s component.
+    pub label: Vec<VertexId>,
+    /// Number of distinct components.
+    pub count: usize,
+    /// Propagation sweeps executed.
+    pub iterations: usize,
+}
+
+/// Runs min-label propagation over the chunked structure.
+pub fn connected_components<M, const C: usize>(matrix: &M) -> ComponentsOutput
+where
+    M: ChunkMatrix<C>,
+{
+    let s = matrix.structure();
+    let n = s.n();
+    let np = s.n_padded();
+    assert!(n < (1 << 24), "labels exceed f32 exact-integer range (n = {n})");
+
+    // Labels are 1-based *original* ids so the final minimum is
+    // meaningful before un-permutation; padding rows get +∞ (never the
+    // minimum, never gathered).
+    let perm = s.perm();
+    let mut cur = vec![f32::INFINITY; np];
+    for r in 0..n {
+        cur[r] = (perm.to_old(r as VertexId) + 1) as f32;
+    }
+    let mut nxt = cur.clone();
+
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let cur_ref = &cur;
+        let changed = nxt
+            .par_chunks_mut(C)
+            .enumerate()
+            .map(|(i, out)| {
+                let mut acc = SimdF32::<C>::load(&cur_ref[i * C..]);
+                let before = acc;
+                let col = s.col();
+                let mut index = s.cs()[i];
+                for _ in 0..s.cl()[i] {
+                    let cols = SimdI32::<C>::load(&col[index..]);
+                    let rhs = SimdF32::gather_or(cur_ref, cols, f32::INFINITY);
+                    acc = acc.min(rhs);
+                    index += C;
+                }
+                acc.store(out);
+                acc.any_ne(before)
+            })
+            .reduce(|| false, |a, b| a | b);
+        std::mem::swap(&mut cur, &mut nxt);
+        if !changed || iterations > n {
+            break;
+        }
+    }
+
+    let label: Vec<VertexId> =
+        (0..n).map(|old| cur[perm.to_new(old as VertexId) as usize] as VertexId - 1).collect();
+    let mut distinct: Vec<VertexId> = label.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    ComponentsOutput { label, count: distinct.len(), iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::SlimSellMatrix;
+    use slimsell_graph::GraphBuilder;
+    use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+
+    #[test]
+    fn three_components() {
+        let g = GraphBuilder::new(8).edges([(0, 1), (1, 2), (4, 5), (6, 7)]).build();
+        let m = SlimSellMatrix::<4>::build(&g, 8);
+        let out = connected_components(&m);
+        assert_eq!(out.count, 4); // {0,1,2}, {3}, {4,5}, {6,7}
+        assert_eq!(out.label[0], 0);
+        assert_eq!(out.label[2], 0);
+        assert_eq!(out.label[3], 3);
+        assert_eq!(out.label[5], 4);
+        assert_eq!(out.label[7], 6);
+    }
+
+    #[test]
+    fn matches_union_find_count() {
+        for seed in [1, 2, 3] {
+            let g = kronecker(10, 2.0, KroneckerParams::GRAPH500, seed);
+            let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+            let out = connected_components(&m);
+            assert_eq!(out.count, slimsell_graph::stats::connected_components(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn labels_constant_within_component() {
+        let g = kronecker(9, 2.0, KroneckerParams::GRAPH500, 4);
+        let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        let out = connected_components(&m);
+        for (u, v) in g.edges() {
+            assert_eq!(out.label[u as usize], out.label[v as usize], "edge ({u},{v})");
+        }
+        // Each label is the minimum id of its component.
+        for (v, &l) in out.label.iter().enumerate() {
+            assert!(l as usize <= v);
+            assert_eq!(out.label[l as usize], l, "label {l} must label itself");
+        }
+    }
+
+    #[test]
+    fn sigma_invariant() {
+        let g = kronecker(9, 2.0, KroneckerParams::GRAPH500, 6);
+        let a = connected_components(&SlimSellMatrix::<4>::build(&g, 1));
+        let b = connected_components(&SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        assert_eq!(a.label, b.label);
+    }
+
+    #[test]
+    fn path_takes_length_sweeps() {
+        let n = 33;
+        let g = GraphBuilder::new(n).edges((0..n as u32 - 1).map(|v| (v, v + 1))).build();
+        let m = SlimSellMatrix::<4>::build(&g, n);
+        let out = connected_components(&m);
+        assert_eq!(out.count, 1);
+        // Label 0 must walk the whole path: n-1 productive sweeps (+1).
+        assert_eq!(out.iterations, n);
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-iteration and per-run statistics.
+//!
+//! Every experiment in §IV is either a per-iteration curve (Figs. 1, 5d,
+//! 6c/e, 8, 9, 10) or an aggregate over iterations (Figs. 5a-c, 6a/b/d,
+//! Table V), so the engine records both wall time and the work measures
+//! the complexity analysis of §III uses (processed cells = `C · cl`
+//! summed over non-skipped chunks).
+
+use std::time::Duration;
+
+/// Statistics for one BFS iteration (one frontier expansion).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IterStats {
+    /// Wall time of the iteration.
+    pub elapsed: Duration,
+    /// Chunks processed (MV executed).
+    pub chunks_processed: usize,
+    /// Chunks skipped by SlimWork.
+    pub chunks_skipped: usize,
+    /// Column steps executed (Σ `cl[i]` over processed chunks).
+    pub col_steps: u64,
+    /// Matrix cells touched (= `C ·` col_steps): the work measure `W` of
+    /// §III-A.
+    pub cells: u64,
+    /// Whether any output changed (frontier non-empty).
+    pub changed: bool,
+}
+
+/// Statistics for a whole BFS run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// One entry per iteration, in order.
+    pub iters: Vec<IterStats>,
+}
+
+impl RunStats {
+    /// Number of iterations executed (including the final no-change one).
+    pub fn num_iterations(&self) -> usize {
+        self.iters.len()
+    }
+
+    /// Total wall time across iterations.
+    pub fn total_time(&self) -> Duration {
+        self.iters.iter().map(|i| i.elapsed).sum()
+    }
+
+    /// Total cells processed — the measured work `W` compared against the
+    /// §III-A bounds.
+    pub fn total_cells(&self) -> u64 {
+        self.iters.iter().map(|i| i.cells).sum()
+    }
+
+    /// Total chunks skipped by SlimWork.
+    pub fn total_skipped(&self) -> usize {
+        self.iters.iter().map(|i| i.chunks_skipped).sum()
+    }
+
+    /// Per-iteration wall times in seconds (figure series).
+    pub fn iter_seconds(&self) -> Vec<f64> {
+        self.iters.iter().map(|i| i.elapsed.as_secs_f64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let mut s = RunStats::default();
+        s.iters.push(IterStats {
+            elapsed: Duration::from_millis(2),
+            chunks_processed: 4,
+            chunks_skipped: 1,
+            col_steps: 10,
+            cells: 80,
+            changed: true,
+        });
+        s.iters.push(IterStats {
+            elapsed: Duration::from_millis(3),
+            chunks_processed: 2,
+            chunks_skipped: 3,
+            col_steps: 4,
+            cells: 32,
+            changed: false,
+        });
+        assert_eq!(s.num_iterations(), 2);
+        assert_eq!(s.total_time(), Duration::from_millis(5));
+        assert_eq!(s.total_cells(), 112);
+        assert_eq!(s.total_skipped(), 4);
+        assert_eq!(s.iter_seconds().len(), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! The `DP` transformation: distances → parents (§II-C).
+//!
+//! "For each vertex v, the neighbor w of v with the distance
+//! d_w = d_v − 1 must be found" — `O(m + n)` work, `O(1)` depth
+//! (embarrassingly parallel over vertices). Needed by the tropical,
+//! real and boolean semirings, whose BFS produces only distances; the
+//! paper's `DP` / `No-DP` experiment axis (§IV) measures exactly this
+//! post-pass.
+
+use rayon::prelude::*;
+use slimsell_graph::{CsrGraph, VertexId, UNREACHABLE};
+
+/// Derives a valid parent array from hop distances.
+///
+/// `dist` must be BFS distances from `root` on `g` (hop metric); any
+/// neighbor one hop closer is a valid parent, and the lowest-id such
+/// neighbor is chosen for determinism.
+///
+/// # Panics
+/// Panics if `dist.len() != g.num_vertices()`.
+pub fn dp_transform(g: &CsrGraph, dist: &[u32], root: VertexId) -> Vec<VertexId> {
+    assert_eq!(dist.len(), g.num_vertices(), "distance vector length mismatch");
+    (0..g.num_vertices() as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            let dv = dist[v as usize];
+            if dv == UNREACHABLE {
+                UNREACHABLE
+            } else if dv == 0 {
+                debug_assert_eq!(v, root, "non-root vertex at distance 0");
+                v
+            } else {
+                g.neighbors(v)
+                    .iter()
+                    .copied()
+                    .find(|&w| dist[w as usize] == dv - 1)
+                    .unwrap_or_else(|| panic!("no parent for vertex {v} at distance {dv}: dist is not a BFS distance vector"))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimsell_graph::{serial_bfs, validate_parents, GraphBuilder};
+
+    #[test]
+    fn parents_valid_on_sample() {
+        let g = GraphBuilder::new(8)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (6, 7)])
+            .build();
+        let r = serial_bfs(&g, 0);
+        let p = dp_transform(&g, &r.dist, 0);
+        validate_parents(&g, 0, &r.dist, &p).unwrap();
+        assert_eq!(p[6], UNREACHABLE);
+        assert_eq!(p[0], 0);
+    }
+
+    #[test]
+    fn deterministic_lowest_id_parent() {
+        // Vertex 3 has two valid parents (1 and 2); expect 1.
+        let g = GraphBuilder::new(4).edges([(0, 1), (0, 2), (1, 3), (2, 3)]).build();
+        let r = serial_bfs(&g, 0);
+        let p = dp_transform(&g, &r.dist, 0);
+        assert_eq!(p[3], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a BFS distance vector")]
+    fn rejects_invalid_distances() {
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 2)]).build();
+        dp_transform(&g, &[0, 5, 1], 0);
+    }
+}

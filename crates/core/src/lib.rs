@@ -1,0 +1,63 @@
+//! The paper's primary contribution: SlimSell and its BFS-SpMV engine.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`structure`] — the chunked Sell layout shared by Sell-C-σ and
+//!   SlimSell: σ-scoped row sorting, chunk offsets `cs`, chunk lengths
+//!   `cl`, column array with `-1` padding markers (§II-D2, §III-B).
+//! * [`matrix`] — the two representations: [`SellCSigma`] (explicit `val`
+//!   array) and [`SlimSellMatrix`] (`val` derived from `col`, the 50 %
+//!   storage saving of §III-B).
+//! * [`semiring`] — tropical, real, boolean and sel-max BFS semirings
+//!   with their frontier-derivation post-processing and SlimWork skip
+//!   criteria (§III-A, Listings 5 & 7).
+//! * [`bfs`] — the parallel BFS-SpMV driver: per-chunk kernels, SlimWork
+//!   chunk skipping (§III-C), static/dynamic scheduling, per-iteration
+//!   statistics.
+//! * [`slimchunk`] — 2-D chunk tiling for load balance (§III-D).
+//! * [`dp`] — the `DP` distance→parent transformation (§II-C).
+//! * [`dirop`] — direction-optimized algebraic BFS (the third curve of
+//!   Figure 1): sparse top-down steps on the SlimSell structure, SpMV
+//!   bottom-up steps when the frontier is large.
+//! * [`storage`] — Table III storage accounting.
+//! * [`counters`] — per-iteration work/time statistics used by every
+//!   experiment harness.
+//!
+//! Extensions beyond the paper's evaluation (its §VI future-work list):
+//!
+//! * [`betweenness`] — Brandes betweenness centrality on the SlimSell
+//!   substrate (real-semiring forward sweeps);
+//! * [`msbfs`] — multi-source BFS vectorized over the source dimension;
+//! * [`pagerank`] — PageRank as repeated real-semiring SpMV;
+//! * [`sssp`] — weighted min-plus SSSP on Sell-C-σ (the case where the
+//!   explicit `val` array is mandatory, delimiting SlimSell's scope);
+//! * [`validation`] — Graph500-style structural output validation.
+
+pub mod betweenness;
+pub mod bfs;
+pub mod components;
+pub mod counters;
+pub mod dirop;
+pub mod dp;
+pub mod matrix;
+pub mod msbfs;
+pub mod pagerank;
+pub mod semiring;
+pub mod slimchunk;
+pub mod sssp;
+pub mod storage;
+pub mod structure;
+pub mod validation;
+
+pub use betweenness::{betweenness_exact, betweenness_from_sources};
+pub use bfs::{chunk_mv, BfsEngine, BfsOptions, BfsOutput, Schedule};
+pub use components::connected_components;
+pub use counters::{IterStats, RunStats};
+pub use dp::dp_transform;
+pub use matrix::{ChunkMatrix, SellCSigma, SlimSellMatrix};
+pub use msbfs::multi_bfs;
+pub use pagerank::{pagerank, PageRankOptions};
+pub use semiring::{BooleanSemiring, RealSemiring, SelMaxSemiring, Semiring, TropicalSemiring};
+pub use sssp::{sssp, WeightedSellCSigma};
+pub use structure::SellStructure;
+pub use validation::graph500_validate;

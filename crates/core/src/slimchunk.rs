@@ -1,0 +1,210 @@
+//! SlimChunk: two-dimensional chunk tiling (§III-D).
+//!
+//! With large sorting scopes the first chunks hold all the high-degree
+//! rows, so a handful of chunks dominate the iteration ("the first chunk
+//! contains all of the longest rows and consequently the corresponding
+//! thread performs the majority of work, causing imbalance", §IV-A1).
+//! SlimChunk splits each chunk *vertically* into tiles of at most
+//! `tile_w` column steps; tiles are independent parallel tasks whose
+//! partial accumulators are merged with the semiring's `op1` (which is
+//! associative and commutative, making the split sound).
+//!
+//! The execution is two-phase: phase 1 computes every tile's partial
+//! accumulator into a task-indexed buffer (parallel over tiles); phase 2
+//! merges each chunk's partials, starting from the chunk's previous
+//! values, and runs the semiring post-processing (parallel over chunks).
+
+use rayon::prelude::*;
+use slimsell_simd::{SimdF32, SimdI32};
+
+use crate::bfs::{min_len_for, BfsOptions};
+use crate::counters::IterStats;
+use crate::matrix::ChunkMatrix;
+use crate::semiring::{Semiring, StateVecs};
+
+/// One frontier expansion with 2-D tiling.
+pub(crate) fn iterate_tiled<M, S, const C: usize>(
+    matrix: &M,
+    cur: &StateVecs,
+    nxt: &mut StateVecs,
+    d: &mut [f32],
+    depth: f32,
+    opts: &BfsOptions,
+    tile_w: usize,
+) -> IterStats
+where
+    M: ChunkMatrix<C>,
+    S: Semiring,
+{
+    assert!(tile_w >= 1, "tile width must be at least 1");
+    let s = matrix.structure();
+    let nc = s.num_chunks();
+
+    // Task list: (chunk, first column step, last column step). SlimWork
+    // is applied here so skipped chunks generate no tiles at all.
+    let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
+    let mut chunk_task_start = vec![0usize; nc + 1];
+    let mut skip = vec![false; nc];
+    let mut skipped = 0usize;
+    for i in 0..nc {
+        chunk_task_start[i] = tasks.len();
+        if opts.slimwork && S::should_skip(cur, i * C..(i + 1) * C) {
+            skip[i] = true;
+            skipped += 1;
+            continue;
+        }
+        let cl = s.cl()[i] as usize;
+        let mut j = 0;
+        while j < cl {
+            tasks.push((i, j, (j + tile_w).min(cl)));
+            j += tile_w;
+        }
+    }
+    chunk_task_start[nc] = tasks.len();
+
+    // Phase 1: tile partials.
+    let mut partials = vec![S::OP1_IDENTITY; tasks.len() * C];
+    let min_len1 = min_len_for(opts.schedule, tasks.len().max(1));
+    partials
+        .par_chunks_mut(C)
+        .zip(tasks.par_iter())
+        .with_min_len(min_len1)
+        .for_each(|(buf, &(i, j0, j1))| {
+            tile_mv::<M, S, C>(matrix, &cur.x, i, j0, j1).store(buf);
+        });
+
+    // Phase 2: merge partials per chunk and post-process.
+    let min_len2 = min_len_for(opts.schedule, nc);
+    let partials_ref = &partials;
+    let chunk_task_start_ref = &chunk_task_start;
+    let skip_ref = &skip;
+    let (changed, col_steps) = nxt
+        .x
+        .par_chunks_mut(C)
+        .zip(nxt.g.par_chunks_mut(C))
+        .zip(nxt.p.par_chunks_mut(C))
+        .zip(d.par_chunks_mut(C))
+        .enumerate()
+        .with_min_len(min_len2)
+        .map(|(i, (((nx, ng), np), dd))| {
+            let base = i * C;
+            if skip_ref[i] {
+                S::copy_forward(cur, base, nx, ng, np);
+                return (false, 0u64);
+            }
+            let mut acc = SimdF32::<C>::load(&cur.x[base..]);
+            for t in chunk_task_start_ref[i]..chunk_task_start_ref[i + 1] {
+                acc = S::op1(acc, SimdF32::<C>::load(&partials_ref[t * C..]));
+            }
+            let changed = S::post_chunk(acc, cur, base, nx, ng, np, dd, depth);
+            (changed, s.cl()[i] as u64)
+        })
+        .reduce(|| (false, 0), |a, b| (a.0 | b.0, a.1 + b.1));
+
+    IterStats {
+        elapsed: Default::default(),
+        chunks_processed: nc - skipped,
+        chunks_skipped: skipped,
+        col_steps,
+        cells: col_steps * C as u64,
+        changed,
+    }
+}
+
+/// MV over one vertical tile of a chunk, starting from the `op1`
+/// identity (the chunk's previous values are merged in phase 2).
+#[inline]
+fn tile_mv<M, S, const C: usize>(matrix: &M, x: &[f32], i: usize, j0: usize, j1: usize) -> SimdF32<C>
+where
+    M: ChunkMatrix<C>,
+    S: Semiring,
+{
+    let s = matrix.structure();
+    let col = s.col();
+    let mut acc = SimdF32::<C>::splat(S::OP1_IDENTITY);
+    let mut index = s.cs()[i] + j0 * C;
+    for _ in j0..j1 {
+        let cols = SimdI32::<C>::load(&col[index..]);
+        let vals = matrix.vals(index, cols, S::PAD);
+        let rhs = SimdF32::gather_or(x, cols, 0.0);
+        acc = S::combine(acc, vals, rhs);
+        index += C;
+    }
+    acc
+}
+
+/// Maximum number of column steps any single task executes — the measure
+/// of load imbalance SlimChunk attacks. Exposed for the Fig. 6d/e
+/// analyses.
+pub fn max_task_height<const C: usize>(cl: &[u32], tile_w: Option<usize>) -> usize {
+    match tile_w {
+        None => cl.iter().copied().max().unwrap_or(0) as usize,
+        Some(w) => cl.iter().map(|&c| (c as usize).min(w)).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::BfsEngine;
+    use crate::matrix::SlimSellMatrix;
+    use crate::semiring::{BooleanSemiring, RealSemiring, SelMaxSemiring, TropicalSemiring};
+    use slimsell_graph::{serial_bfs, GraphBuilder};
+
+    #[test]
+    fn tiled_matches_untiled_all_semirings() {
+        // Star graph: one huge row, many tiny ones — the SlimChunk case.
+        let n = 40u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for v in 1..n {
+            b.edge(0, v);
+        }
+        for v in 1..n - 1 {
+            b.edge(v, v + 1);
+        }
+        let g = b.build();
+        let slim = SlimSellMatrix::<4>::build(&g, n as usize);
+        let reference = serial_bfs(&g, 5);
+        for tile_w in [1, 3, 8, 100] {
+            let opts = BfsOptions { slimchunk: Some(tile_w), ..Default::default() };
+            macro_rules! check {
+                ($sem:ty) => {
+                    let out = BfsEngine::run::<_, $sem, 4>(&slim, 5, &opts);
+                    assert_eq!(out.dist, reference.dist, "{} tile_w={tile_w}", <$sem>::NAME);
+                };
+            }
+            check!(TropicalSemiring);
+            check!(BooleanSemiring);
+            check!(RealSemiring);
+            check!(SelMaxSemiring);
+        }
+    }
+
+    #[test]
+    fn max_task_height_shrinks_with_tiling() {
+        let cl = [100u32, 3, 2, 1];
+        assert_eq!(max_task_height::<4>(&cl, None), 100);
+        assert_eq!(max_task_height::<4>(&cl, Some(8)), 8);
+        assert_eq!(max_task_height::<4>(&cl, Some(256)), 100);
+    }
+
+    #[test]
+    fn slimwork_composes_with_slimchunk() {
+        let n = 64u32;
+        let g = GraphBuilder::new(n as usize).edges((0..n - 1).map(|v| (v, v + 1))).build();
+        let slim = SlimSellMatrix::<4>::build(&g, 1);
+        let opts = BfsOptions { slimchunk: Some(2), slimwork: true, ..Default::default() };
+        let out = BfsEngine::run::<_, TropicalSemiring, 4>(&slim, 0, &opts);
+        assert_eq!(out.dist, serial_bfs(&g, 0).dist);
+        assert!(out.stats.total_skipped() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile width")]
+    fn zero_tile_width_rejected() {
+        let g = GraphBuilder::new(2).edges([(0, 1)]).build();
+        let slim = SlimSellMatrix::<4>::build(&g, 1);
+        let opts = BfsOptions { slimchunk: Some(0), ..Default::default() };
+        BfsEngine::run::<_, TropicalSemiring, 4>(&slim, 0, &opts);
+    }
+}

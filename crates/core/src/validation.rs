@@ -1,0 +1,117 @@
+//! Graph500-style BFS output validation.
+//!
+//! The Graph500 specification validates a BFS run with structural checks
+//! rather than a reference traversal (which would be as expensive as the
+//! run itself). This module implements those checks for any
+//! distance/parent output produced in this workspace:
+//!
+//! 1. the root has distance 0 and is its own parent;
+//! 2. every edge spans at most one level (`|d(u) − d(v)| ≤ 1` when both
+//!    ends are reached);
+//! 3. an edge never connects a reached and an unreached vertex;
+//! 4. each reached non-root vertex has a parent that is a neighbor
+//!    exactly one level closer;
+//! 5. unreached vertices have no parent and no distance.
+
+use slimsell_graph::{CsrGraph, VertexId, UNREACHABLE};
+
+/// Validates distances (and optionally parents) per the Graph500 rules.
+pub fn graph500_validate(
+    g: &CsrGraph,
+    root: VertexId,
+    dist: &[u32],
+    parent: Option<&[VertexId]>,
+) -> Result<(), String> {
+    let n = g.num_vertices();
+    if dist.len() != n {
+        return Err(format!("distance vector length {} != n {}", dist.len(), n));
+    }
+    if dist[root as usize] != 0 {
+        return Err(format!("root distance {} != 0", dist[root as usize]));
+    }
+    // Rule 2 & 3: edge level spans.
+    for u in 0..n as VertexId {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            let dv = dist[v as usize];
+            match (du == UNREACHABLE, dv == UNREACHABLE) {
+                (false, false) => {
+                    if du.abs_diff(dv) > 1 {
+                        return Err(format!("edge ({u},{v}) spans {} levels", du.abs_diff(dv)));
+                    }
+                }
+                (false, true) | (true, false) => {
+                    return Err(format!("edge ({u},{v}) connects reached and unreached vertices"));
+                }
+                (true, true) => {}
+            }
+        }
+    }
+    // Rule 1 (non-root zero distances).
+    for v in 0..n as VertexId {
+        if v != root && dist[v as usize] == 0 {
+            return Err(format!("non-root vertex {v} at distance 0"));
+        }
+    }
+    // Rules 4 & 5 via the shared parent validator.
+    if let Some(p) = parent {
+        slimsell_graph::validate_parents(g, root, dist, p)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::SlimSellMatrix;
+    use crate::{BfsEngine, BfsOptions, SelMaxSemiring};
+    use slimsell_graph::{serial_bfs, GraphBuilder};
+    use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+
+    #[test]
+    fn accepts_engine_output() {
+        let g = kronecker(9, 6.0, KroneckerParams::GRAPH500, 2);
+        let root = slimsell_graph::stats::sample_roots(&g, 1)[0];
+        let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        let out = BfsEngine::run::<_, SelMaxSemiring, 8>(&m, root, &BfsOptions::default());
+        graph500_validate(&g, root, &out.dist, out.parent.as_deref()).unwrap();
+    }
+
+    #[test]
+    fn rejects_level_skip() {
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 2)]).build();
+        let mut r = serial_bfs(&g, 0);
+        r.dist[2] = 5; // edge (1,2) now spans 4 levels
+        assert!(graph500_validate(&g, 0, &r.dist, None).is_err());
+    }
+
+    #[test]
+    fn rejects_reached_unreached_edge() {
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 2)]).build();
+        let mut r = serial_bfs(&g, 0);
+        r.dist[2] = UNREACHABLE;
+        assert!(graph500_validate(&g, 0, &r.dist, None).is_err());
+    }
+
+    #[test]
+    fn rejects_phantom_zero_distance() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (2, 3)]).build();
+        let mut r = serial_bfs(&g, 0);
+        r.dist[2] = 0;
+        r.dist[3] = 1;
+        assert!(graph500_validate(&g, 0, &r.dist, None).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_root_distance() {
+        let g = GraphBuilder::new(2).edges([(0, 1)]).build();
+        assert!(graph500_validate(&g, 0, &[1, 1], None).is_err());
+    }
+
+    #[test]
+    fn accepts_disconnected_output() {
+        let g = GraphBuilder::new(5).edges([(0, 1), (3, 4)]).build();
+        let r = serial_bfs(&g, 0);
+        graph500_validate(&g, 0, &r.dist, Some(&r.parent)).unwrap();
+    }
+}

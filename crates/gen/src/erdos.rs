@@ -1,0 +1,162 @@
+//! Erdős–Rényi random graphs (§IV's `ER` family).
+//!
+//! Two samplers:
+//! * [`erdos_renyi_gnp`] — `G(n, p)`: every pair independently with
+//!   probability `p`, using geometric skip sampling (Batagelj–Brandes) so
+//!   the cost is `O(n + m)` rather than `O(n²)`.
+//! * [`erdos_renyi_gnm`] — `G(n, m)`: exactly `m` distinct edges.
+
+use slimsell_graph::{CsrGraph, GraphBuilder, VertexId};
+
+use crate::rng::Xoshiro256pp;
+
+/// Samples `G(n, p)` with geometric jumps over the lexicographic pair
+/// ordering. Expected edges: `p · n(n−1)/2`.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p = {p} out of [0,1]");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, (p * (n as f64) * (n as f64) / 2.0) as usize);
+    if n >= 2 && p > 0.0 {
+        if p >= 1.0 {
+            for u in 0..n as VertexId {
+                for v in (u + 1)..n as VertexId {
+                    b.edge(u, v);
+                }
+            }
+        } else {
+            let log1mp = (1.0 - p).ln();
+            // Walk pair index k over the strictly-upper-triangular pairs.
+            let total: u128 = (n as u128) * (n as u128 - 1) / 2;
+            let mut k: u128 = 0;
+            loop {
+                // Geometric skip: number of failures before next success.
+                let r = rng.next_f64().max(f64::MIN_POSITIVE);
+                let skip = (r.ln() / log1mp).floor() as u128;
+                k = k.saturating_add(skip);
+                if k >= total {
+                    break;
+                }
+                let (u, v) = pair_from_index(n, k);
+                b.edge(u, v);
+                k += 1;
+                if k >= total {
+                    break;
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Samples `G(n, m)`: exactly `m` distinct edges, rejection-sampled
+/// (fine for the sparse graphs of the paper where `m ≪ n²/2`).
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let max_edges: u128 = (n as u128) * (n as u128 - 1) / 2;
+    assert!((m as u128) <= max_edges, "m = {m} exceeds n choose 2");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.bounded_usize(n) as VertexId;
+        let v = rng.bounded_usize(n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+/// Maps a linear index `k` into the strictly-upper-triangular pair
+/// `(u, v)`, `u < v`, in row-major order.
+fn pair_from_index(n: usize, k: u128) -> (VertexId, VertexId) {
+    // Row u contributes (n - 1 - u) pairs. Find u by walking rows; to stay
+    // O(1) amortized across a scan we solve the quadratic directly.
+    let nf = n as f64;
+    let kf = k as f64;
+    // Solve u from k ≈ u*n - u(u+1)/2; use the closed form then fix up.
+    let mut u = (nf - 0.5 - ((nf - 0.5) * (nf - 0.5) - 2.0 * kf).max(0.0).sqrt()).floor() as usize;
+    loop {
+        let start = row_start(n, u);
+        let end = row_start(n, u + 1);
+        if k < start {
+            u -= 1;
+        } else if k >= end {
+            u += 1;
+        } else {
+            let v = u + 1 + (k - start) as usize;
+            return (u as VertexId, v as VertexId);
+        }
+    }
+}
+
+/// First linear pair index of row `u`.
+fn row_start(n: usize, u: usize) -> u128 {
+    let u = u as u128;
+    let n = n as u128;
+    u * n - u * (u + 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimsell_graph::GraphStats;
+
+    #[test]
+    fn gnp_expected_density() {
+        let n = 2000;
+        let p = 8.0 / n as f64; // average degree ≈ 8
+        let g = erdos_renyi_gnp(n, p, 11);
+        let s = GraphStats::compute(&g, 2);
+        assert!((s.avg_degree - 8.0).abs() < 1.5, "avg degree {}", s.avg_degree);
+    }
+
+    #[test]
+    fn gnp_p_one_is_complete() {
+        let g = erdos_renyi_gnp(6, 1.0, 0);
+        assert_eq!(g.num_edges(), 15);
+    }
+
+    #[test]
+    fn gnp_p_zero_is_empty() {
+        let g = erdos_renyi_gnp(10, 0.0, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = erdos_renyi_gnm(100, 250, 5);
+        assert_eq!(g.num_edges(), 250);
+        g.validate();
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        assert_eq!(erdos_renyi_gnm(64, 100, 3), erdos_renyi_gnm(64, 100, 3));
+    }
+
+    #[test]
+    fn pair_index_bijective() {
+        let n = 9;
+        let total = n * (n - 1) / 2;
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..total as u128 {
+            let (u, v) = pair_from_index(n, k);
+            assert!(u < v && (v as usize) < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), total);
+    }
+
+    #[test]
+    fn uniform_degrees_not_skewed() {
+        // ER degrees concentrate: max degree stays within a small factor
+        // of the mean (contrast with the Kronecker test).
+        let g = erdos_renyi_gnp(4096, 16.0 / 4096.0, 2);
+        let s = GraphStats::compute(&g, 2);
+        assert!((s.max_degree as f64) < 4.0 * s.avg_degree, "max {} avg {}", s.max_degree, s.avg_degree);
+    }
+}

@@ -1,0 +1,89 @@
+//! Grid-like geometric graphs: the road-network stand-in.
+//!
+//! The paper's `rca` (California road network) has ρ̄ ≈ 1.4 and
+//! D ≈ 849 — low degree, huge diameter. Road networks are close to planar
+//! grids with perturbations, so the stand-in is a 2-D lattice with random
+//! edge deletions and occasional diagonal shortcuts, which reproduces the
+//! low-ρ̄/high-D regime where the paper finds "small or no improvement
+//! from SlimWork, regardless of σ" (§IV-A5).
+
+use slimsell_graph::{CsrGraph, GraphBuilder, VertexId};
+
+use crate::rng::Xoshiro256pp;
+
+/// Generates a perturbed `rows × cols` grid graph.
+///
+/// * `keep` — probability of keeping each lattice edge (1.0 = full grid);
+/// * `shortcut` — probability per vertex of adding one diagonal edge.
+pub fn perturbed_grid(rows: usize, cols: usize, keep: f64, shortcut: f64, seed: u64) -> CsrGraph {
+    let n = rows * cols;
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && rng.coin(keep) {
+                b.edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows && rng.coin(keep) {
+                b.edge(id(r, c), id(r + 1, c));
+            }
+            if r + 1 < rows && c + 1 < cols && rng.coin(shortcut) {
+                b.edge(id(r, c), id(r + 1, c + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Road-network style graph with `n ≈ target_n` vertices and average
+/// degree tuned toward `rho` (ρ̄ ∈ [1, 4] is meaningful for road nets).
+pub fn road_network(target_n: usize, rho: f64, seed: u64) -> CsrGraph {
+    assert!(rho > 0.0 && rho <= 4.5, "road networks have small average degree, got {rho}");
+    let side = (target_n as f64).sqrt().ceil() as usize;
+    // A full grid interior vertex has degree 4 (ρ̄→2 edges per vertex per
+    // direction: full grid ρ̄ ≈ 4 ignoring borders). Scale keep for target.
+    let keep = (rho / 4.0).min(1.0);
+    perturbed_grid(side, side, keep, 0.02 * keep, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimsell_graph::GraphStats;
+
+    #[test]
+    fn full_grid_counts() {
+        let g = perturbed_grid(4, 5, 1.0, 0.0, 0);
+        assert_eq!(g.num_vertices(), 20);
+        // 4 rows × 4 horizontal + 3 × 5 vertical = 16 + 15
+        assert_eq!(g.num_edges(), 31);
+    }
+
+    #[test]
+    fn full_grid_diameter_is_manhattan() {
+        let g = perturbed_grid(6, 6, 1.0, 0.0, 0);
+        let s = GraphStats::compute(&g, 4);
+        assert_eq!(s.diameter_lb, 10); // (6-1) + (6-1)
+    }
+
+    #[test]
+    fn road_network_low_degree_high_diameter() {
+        let g = road_network(4096, 2.8, 1);
+        let s = GraphStats::compute(&g, 3);
+        assert!(s.avg_degree < 3.5, "avg degree {}", s.avg_degree);
+        assert!(s.diameter_lb > 30, "diameter {}", s.diameter_lb);
+        assert!(s.max_degree <= 8);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(road_network(1000, 2.0, 4), road_network(1000, 2.0, 4));
+    }
+
+    #[test]
+    fn keep_zero_gives_no_lattice_edges() {
+        let g = perturbed_grid(5, 5, 0.0, 0.0, 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! Used by the web-graph stand-ins of Table IV: some web graphs in the
+//! paper (`brk` D = 514, `ndm` D = 674) combine skewed degrees with very
+//! long shortest paths. A ring lattice with low rewiring keeps the
+//! diameter large while a configuration-model overlay adds the degree
+//! skew (see `realworld.rs`).
+
+use slimsell_graph::{CsrGraph, GraphBuilder, VertexId};
+
+use crate::rng::Xoshiro256pp;
+
+/// Watts–Strogatz: ring lattice on `n` vertices, each connected to `k/2`
+/// neighbors on each side, each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+    assert!(n > k, "n must exceed k");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * k / 2);
+    let half = k / 2;
+    for u in 0..n {
+        for j in 1..=half {
+            let v = (u + j) % n;
+            if rng.coin(beta) {
+                // Rewire the far endpoint uniformly (avoiding self loop).
+                let mut w = rng.bounded_usize(n);
+                let mut guard = 0;
+                while w == u && guard < 16 {
+                    w = rng.bounded_usize(n);
+                    guard += 1;
+                }
+                if w != u {
+                    b.edge(u as VertexId, w as VertexId);
+                    continue;
+                }
+            }
+            b.edge(u as VertexId, v as VertexId);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimsell_graph::GraphStats;
+
+    #[test]
+    fn ring_lattice_no_rewire() {
+        let g = watts_strogatz(20, 4, 0.0, 0);
+        assert_eq!(g.num_edges(), 40);
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let lattice = watts_strogatz(512, 4, 0.0, 1);
+        let rewired = watts_strogatz(512, 4, 0.3, 1);
+        let d0 = GraphStats::compute(&lattice, 4).diameter_lb;
+        let d1 = GraphStats::compute(&rewired, 4).diameter_lb;
+        assert!(d1 < d0, "rewired {d1} !< lattice {d0}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(watts_strogatz(100, 6, 0.1, 2), watts_strogatz(100, 6, 0.1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_k() {
+        watts_strogatz(10, 3, 0.0, 0);
+    }
+}

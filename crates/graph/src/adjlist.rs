@@ -1,0 +1,85 @@
+//! The adjacency-list (AL) representation of §II-D3.
+//!
+//! AL is the paper's baseline graph representation: `2m + n` memory cells
+//! (a neighbor array of size `2m` plus an offset array of size `n`). It is
+//! "effectively the smallest graph representation if no compression is
+//! used" (§IV-E), which is why Figure 7 measures SlimSell against it.
+//!
+//! Structurally AL is CSR without the matrix `val` array; we keep it as a
+//! distinct type so storage accounting (`Table III`, Figure 7) talks about
+//! exactly the representation the paper does.
+
+use crate::{CsrGraph, VertexId};
+
+/// Adjacency-list representation (offsets + neighbor ids).
+#[derive(Clone, Debug)]
+pub struct AdjacencyList {
+    /// `offset[v]` is the start of `v`'s neighbors; length `n` exactly as
+    /// in §II-D3 ("an offset array with the beginning of the neighbor data
+    /// of each vertex (size n)"). The end of row `v` is `offset[v+1]` or
+    /// `neighbors.len()` for the last row.
+    offsets: Vec<u64>,
+    neighbors: Vec<VertexId>,
+}
+
+impl AdjacencyList {
+    /// Converts from CSR (drops the sentinel offset to match the paper's
+    /// `n`-cell offset array).
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        Self { offsets: g.row_ptr()[..g.num_vertices()].to_vec(), neighbors: g.col().to_vec() }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        let lo = self.offsets[v] as usize;
+        let hi = if v + 1 < self.offsets.len() { self.offsets[v + 1] as usize } else { self.neighbors.len() };
+        &self.neighbors[lo..hi]
+    }
+
+    /// Storage cells per Table III: `2m + n`.
+    pub fn storage_cells(&self) -> usize {
+        self.neighbors.len() + self.offsets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn roundtrip_from_csr() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build();
+        let al = AdjacencyList::from_csr(&g);
+        assert_eq!(al.num_vertices(), 4);
+        assert_eq!(al.num_edges(), 4);
+        for v in 0..4 {
+            assert_eq!(al.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn storage_is_2m_plus_n() {
+        let g = GraphBuilder::new(5).edges([(0, 1), (1, 2), (0, 2)]).build();
+        let al = AdjacencyList::from_csr(&g);
+        assert_eq!(al.storage_cells(), 2 * 3 + 5);
+    }
+
+    #[test]
+    fn last_row_bounds() {
+        let g = GraphBuilder::new(3).edges([(0, 2), (1, 2)]).build();
+        let al = AdjacencyList::from_csr(&g);
+        assert_eq!(al.neighbors(2), &[0, 1]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Edge-list to CSR builder with symmetrization and deduplication.
+//!
+//! Generators (Kronecker, Erdős–Rényi, …) emit raw edge lists that may
+//! contain duplicates, self loops, and one-directional arcs. The builder
+//! normalizes them into the undirected simple graph the SlimSell kernels
+//! expect — the same cleanup the Graph500 reference code performs on
+//! R-MAT output.
+
+use crate::{CsrGraph, VertexId};
+
+/// Incremental builder for [`CsrGraph`].
+///
+/// ```
+/// use slimsell_graph::GraphBuilder;
+/// let g = GraphBuilder::new(4)
+///     .edges([(0, 1), (1, 0), (1, 1), (2, 3)]) // dup + self loop removed
+///     .build();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex ids are 32-bit");
+        Self { n, edges: Vec::new() }
+    }
+
+    /// Pre-allocates capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex ids are 32-bit");
+        Self { n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Adds a single undirected edge. Self loops are silently dropped;
+    /// duplicates are removed at [`GraphBuilder::build`] time.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range n={}", self.n);
+        if u != v {
+            self.edges.push((u, v));
+        }
+        self
+    }
+
+    /// Adds many edges (chainable, consuming form).
+    pub fn edges(mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        for (u, v) in it {
+            self.edge(u, v);
+        }
+        self
+    }
+
+    /// Adds many edges through a mutable reference.
+    pub fn extend(&mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> &mut Self {
+        for (u, v) in it {
+            self.edge(u, v);
+        }
+        self
+    }
+
+    /// Number of (not yet deduplicated) edges recorded so far.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a validated [`CsrGraph`]: symmetrizes, sorts each
+    /// neighbor list, removes duplicates, and builds row offsets with a
+    /// counting pass (no per-row allocation).
+    pub fn build(&self) -> CsrGraph {
+        let n = self.n;
+        // Count arcs per vertex (each undirected edge contributes 2 arcs).
+        let mut deg = vec![0u64; n + 1];
+        for &(u, v) in &self.edges {
+            deg[u as usize + 1] += 1;
+            deg[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let mut row_ptr = deg; // prefix sums; will be the final offsets
+        let mut col = vec![0 as VertexId; *row_ptr.last().unwrap() as usize];
+        // Scatter arcs using a moving cursor per row.
+        let mut cursor: Vec<u64> = row_ptr[..n].to_vec();
+        for &(u, v) in &self.edges {
+            col[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            col[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort + dedup each row in place, then compact.
+        let mut write = 0usize;
+        let mut new_row_ptr = vec![0u64; n + 1];
+        for v in 0..n {
+            let (lo, hi) = (row_ptr[v] as usize, row_ptr[v + 1] as usize);
+            let row = &mut col[lo..hi];
+            row.sort_unstable();
+            // Dedup within the row while compacting the global array.
+            let mut prev: Option<VertexId> = None;
+            for i in lo..hi {
+                let c = col[i];
+                if prev != Some(c) {
+                    col[write] = c;
+                    write += 1;
+                    prev = Some(c);
+                }
+            }
+            new_row_ptr[v + 1] = write as u64;
+        }
+        col.truncate(write);
+        row_ptr = new_row_ptr;
+        CsrGraph::from_parts_unchecked(n, row_ptr, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_symmetrize() {
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 0), (0, 1), (1, 2)]).build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let g = GraphBuilder::new(2).edges([(0, 0), (1, 1), (0, 1)]).build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_build() {
+        let g = GraphBuilder::new(7).build();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_vertices(), 7);
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        GraphBuilder::new(2).edges([(0, 5)]);
+    }
+
+    #[test]
+    fn isolated_vertices_kept() {
+        let g = GraphBuilder::new(10).edges([(0, 9)]).build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(5), 0);
+    }
+
+    #[test]
+    fn triangle() {
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 2), (2, 0)]).build();
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        g.validate();
+    }
+}

@@ -1,0 +1,246 @@
+//! Compressed sparse row (CSR) storage for undirected, unweighted graphs.
+//!
+//! CSR is both (a) the substrate every Sell-C-σ/SlimSell structure is
+//! built from and (b) one of the comparison targets of the paper's storage
+//! analysis (Table III: CSR uses `4m + n` cells for an undirected graph
+//! once the `val` array of an adjacency *matrix* is included; see
+//! [`CsrGraph::storage_cells_matrix`]).
+
+use crate::VertexId;
+
+/// An undirected, unweighted graph in CSR form.
+///
+/// Invariants (enforced by [`crate::GraphBuilder`] and checked by
+/// [`CsrGraph::validate`]):
+/// * neighbor lists are sorted and duplicate-free,
+/// * no self loops,
+/// * the adjacency relation is symmetric (`(u,v) ∈ E ⇔ (v,u) ∈ E`),
+/// * `row_ptr` has length `n + 1`, is non-decreasing, and
+///   `row_ptr[n] == col.len()`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    n: usize,
+    /// Row offsets; `row_ptr[v]..row_ptr[v+1]` indexes `col`.
+    row_ptr: Vec<u64>,
+    /// Concatenated neighbor lists; `col.len() == 2m` for `m` undirected
+    /// edges.
+    col: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from raw parts, validating all invariants.
+    ///
+    /// # Panics
+    /// Panics if the invariants documented on [`CsrGraph`] do not hold.
+    pub fn from_parts(n: usize, row_ptr: Vec<u64>, col: Vec<VertexId>) -> Self {
+        let g = Self { n, row_ptr, col };
+        g.validate();
+        g
+    }
+
+    /// Builds a CSR graph from raw parts without validation.
+    ///
+    /// Intended for internal use by [`crate::GraphBuilder`] and for
+    /// permutation code that constructs already-valid graphs; in debug
+    /// builds the invariants are still checked.
+    pub(crate) fn from_parts_unchecked(n: usize, row_ptr: Vec<u64>, col: Vec<VertexId>) -> Self {
+        let g = Self { n, row_ptr, col };
+        debug_assert!(g.try_validate().is_ok(), "invalid CSR: {:?}", g.try_validate());
+        g
+    }
+
+    /// The empty graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self { n, row_ptr: vec![0; n + 1], col: Vec::new() }
+    }
+
+    /// Number of vertices `n = |V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges `m = |E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.col.len() / 2
+    }
+
+    /// Number of stored directed arcs (`2m` for an undirected graph).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.col.len()
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        (self.row_ptr[v + 1] - self.row_ptr[v]) as usize
+    }
+
+    /// The sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.col[self.row_ptr[v] as usize..self.row_ptr[v + 1] as usize]
+    }
+
+    /// Whether the edge `{u, v}` is present.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Row offset array (length `n + 1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[u64] {
+        &self.row_ptr
+    }
+
+    /// Concatenated adjacency array (length `2m`).
+    #[inline]
+    pub fn col(&self) -> &[VertexId] {
+        &self.col
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.n as VertexId).flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Storage cells of CSR viewed as a graph structure only
+    /// (`col` + `row`): `2m + n + 1` cells.
+    pub fn storage_cells_structure(&self) -> usize {
+        self.col.len() + self.row_ptr.len()
+    }
+
+    /// Storage cells of CSR viewed as an adjacency *matrix* as in the
+    /// paper's Table III (`val` + `col` + `row` = `4m + n` cells): general
+    /// sparse-matrix CSR keeps an explicit `val` array of the same length
+    /// as `col`, which is exactly the array SlimSell removes.
+    pub fn storage_cells_matrix(&self) -> usize {
+        2 * self.col.len() + self.n
+    }
+
+    /// Checks all structural invariants, returning a description of the
+    /// first violation found.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.row_ptr.len() != self.n + 1 {
+            return Err(format!("row_ptr len {} != n+1 {}", self.row_ptr.len(), self.n + 1));
+        }
+        if self.row_ptr[0] != 0 {
+            return Err("row_ptr[0] != 0".into());
+        }
+        if *self.row_ptr.last().unwrap() as usize != self.col.len() {
+            return Err("row_ptr[n] != col.len()".into());
+        }
+        for v in 0..self.n {
+            if self.row_ptr[v] > self.row_ptr[v + 1] {
+                return Err(format!("row_ptr decreasing at {v}"));
+            }
+            let nbrs = &self.col[self.row_ptr[v] as usize..self.row_ptr[v + 1] as usize];
+            for w in nbrs.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {v} not strictly sorted: {} >= {}", w[0], w[1]));
+                }
+            }
+            for &u in nbrs {
+                if u as usize >= self.n {
+                    return Err(format!("row {v} references out-of-range vertex {u}"));
+                }
+                if u as usize == v {
+                    return Err(format!("self loop at {v}"));
+                }
+            }
+        }
+        // Symmetry: every arc must have its reverse.
+        for v in 0..self.n as VertexId {
+            for &u in self.neighbors(v) {
+                if !self.has_edge(u, v) {
+                    return Err(format!("asymmetric arc ({v},{u})"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking variant of [`CsrGraph::try_validate`].
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("invalid CsrGraph: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path3() -> CsrGraph {
+        // 0 - 1 - 2
+        GraphBuilder::new(3).edges([(0, 1), (1, 2)]).build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = path3();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = GraphBuilder::new(4).edges([(3, 0), (1, 0), (2, 0)]).build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn has_edge_symmetric() {
+        let g = path3();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn edges_iterator_unique() {
+        let g = path3();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        g.validate();
+    }
+
+    #[test]
+    fn storage_cells_match_table3() {
+        let g = path3();
+        let (n, m) = (3, 2);
+        assert_eq!(g.storage_cells_matrix(), 4 * m + n);
+        assert_eq!(g.storage_cells_structure(), 2 * m + n + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loop")]
+    fn rejects_self_loop() {
+        CsrGraph::from_parts(2, vec![0, 1, 2], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "asymmetric")]
+    fn rejects_asymmetric() {
+        CsrGraph::from_parts(2, vec![0, 1, 1], vec![1]);
+    }
+}

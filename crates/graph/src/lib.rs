@@ -1,0 +1,37 @@
+//! Graph substrate for the SlimSell reproduction.
+//!
+//! This crate provides the basic graph machinery every other crate builds
+//! on: a compressed-sparse-row graph ([`CsrGraph`]), an explicit
+//! adjacency-list view ([`AdjacencyList`], the `AL` representation of the
+//! paper's Table III), a deduplicating/symmetrizing [`builder`], vertex
+//! [`Permutation`]s (needed by Sell-C-σ's σ-scoped sorting), degree and
+//! diameter [`stats`], and a serial reference BFS used as ground truth by
+//! every other BFS implementation in the workspace.
+//!
+//! Graphs are undirected and unweighted, exactly the class SlimSell
+//! targets (§III-B of the paper: "for undirected graphs, entries in A only
+//! indicate presence or absence of edges").
+
+pub mod adjlist;
+pub mod builder;
+pub mod csr;
+pub mod io;
+pub mod perm;
+pub mod stats;
+pub mod subgraph;
+pub mod traversal;
+pub mod weighted;
+
+pub use adjlist::AdjacencyList;
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use perm::Permutation;
+pub use stats::GraphStats;
+pub use subgraph::{induced_subgraph, largest_component};
+pub use traversal::{serial_bfs, validate_parents, BfsResult, UNREACHABLE};
+pub use weighted::WeightedCsrGraph;
+
+/// Vertex identifier. The paper fixes 32-bit identifiers ("choosing 32-bit
+/// integers to represent vertex identifiers on a CPU yields a SIMD width
+/// of 8", §IV-A), so we do the same.
+pub type VertexId = u32;

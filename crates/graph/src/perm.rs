@@ -1,0 +1,159 @@
+//! Vertex permutations.
+//!
+//! Sell-C-σ sorts rows by degree inside σ-sized windows (§II-D2), which
+//! relabels vertices. To keep the dense BFS vectors (`x`, `f`, `g`, `p`,
+//! `d`) consistent, the whole matrix is permuted *symmetrically* (rows and
+//! columns), BFS runs entirely in the permuted id space, and results are
+//! mapped back through the permutation at the end.
+
+use crate::{CsrGraph, VertexId};
+
+/// A bijection on `0..n` stored in both directions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    /// `new_to_old[new] = old`
+    new_to_old: Vec<VertexId>,
+    /// `old_to_new[old] = new`
+    old_to_new: Vec<VertexId>,
+}
+
+impl Permutation {
+    /// Identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        let v: Vec<VertexId> = (0..n as VertexId).collect();
+        Self { new_to_old: v.clone(), old_to_new: v }
+    }
+
+    /// Builds from a `new_to_old` mapping.
+    ///
+    /// # Panics
+    /// Panics if `new_to_old` is not a bijection on `0..n`.
+    pub fn from_new_to_old(new_to_old: Vec<VertexId>) -> Self {
+        let n = new_to_old.len();
+        let mut old_to_new = vec![VertexId::MAX; n];
+        for (new, &old) in new_to_old.iter().enumerate() {
+            assert!((old as usize) < n, "permutation entry {old} out of range");
+            assert_eq!(old_to_new[old as usize], VertexId::MAX, "duplicate entry {old}");
+            old_to_new[old as usize] = new as VertexId;
+        }
+        Self { new_to_old, old_to_new }
+    }
+
+    /// Size of the permuted domain.
+    pub fn len(&self) -> usize {
+        self.new_to_old.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.new_to_old.is_empty()
+    }
+
+    /// Maps a permuted id back to the original id.
+    #[inline]
+    pub fn to_old(&self, new: VertexId) -> VertexId {
+        self.new_to_old[new as usize]
+    }
+
+    /// Maps an original id to its permuted id.
+    #[inline]
+    pub fn to_new(&self, old: VertexId) -> VertexId {
+        self.old_to_new[old as usize]
+    }
+
+    /// The `new_to_old` table.
+    pub fn new_to_old(&self) -> &[VertexId] {
+        &self.new_to_old
+    }
+
+    /// The `old_to_new` table.
+    pub fn old_to_new(&self) -> &[VertexId] {
+        &self.old_to_new
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.new_to_old.iter().enumerate().all(|(i, &v)| i as VertexId == v)
+    }
+
+    /// Applies the permutation symmetrically to a graph: vertex `old`
+    /// becomes vertex `to_new(old)`, adjacency preserved.
+    pub fn apply_to_graph(&self, g: &CsrGraph) -> CsrGraph {
+        assert_eq!(self.len(), g.num_vertices());
+        let n = g.num_vertices();
+        let mut row_ptr = vec![0u64; n + 1];
+        for new in 0..n {
+            let old = self.new_to_old[new];
+            row_ptr[new + 1] = row_ptr[new] + g.degree(old) as u64;
+        }
+        let mut col = vec![0 as VertexId; g.num_arcs()];
+        for new in 0..n {
+            let old = self.new_to_old[new];
+            let lo = row_ptr[new] as usize;
+            for (i, &w) in g.neighbors(old).iter().enumerate() {
+                col[lo + i] = self.old_to_new[w as usize];
+            }
+            col[lo..lo + g.degree(old)].sort_unstable();
+        }
+        CsrGraph::from_parts_unchecked(n, row_ptr, col)
+    }
+
+    /// Un-permutes a dense per-vertex vector: output `o[old] =
+    /// data[to_new(old)]`.
+    pub fn unpermute<T: Copy>(&self, data: &[T]) -> Vec<T> {
+        assert!(data.len() >= self.len());
+        (0..self.len()).map(|old| data[self.old_to_new[old] as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(4);
+        assert!(p.is_identity());
+        assert_eq!(p.to_old(2), 2);
+        assert_eq!(p.to_new(3), 3);
+    }
+
+    #[test]
+    fn inverse_consistency() {
+        let p = Permutation::from_new_to_old(vec![2, 0, 3, 1]);
+        for new in 0..4 {
+            assert_eq!(p.to_new(p.to_old(new)), new);
+        }
+        for old in 0..4 {
+            assert_eq!(p.to_old(p.to_new(old)), old);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_non_bijection() {
+        Permutation::from_new_to_old(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn graph_permutation_preserves_adjacency() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        let p = Permutation::from_new_to_old(vec![3, 1, 0, 2]);
+        let pg = p.apply_to_graph(&g);
+        assert_eq!(pg.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(pg.has_edge(p.to_new(u), p.to_new(v)), "edge ({u},{v}) lost");
+        }
+        pg.validate();
+    }
+
+    #[test]
+    fn unpermute_maps_back() {
+        let p = Permutation::from_new_to_old(vec![2, 0, 1]);
+        // data indexed by NEW ids; vertex old=2 is new=0 etc.
+        let data = [10, 11, 12];
+        let o = p.unpermute(&data);
+        assert_eq!(o, vec![11, 12, 10]);
+    }
+}

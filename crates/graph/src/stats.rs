@@ -1,0 +1,197 @@
+//! Graph statistics: degree distribution and diameter estimation.
+//!
+//! Reproduces the columns of the paper's Table IV (n, m, average degree
+//! ρ̄, diameter D) for both generated and stand-in graphs. The diameter is
+//! estimated with the standard iterated double-sweep heuristic (exact on
+//! trees, a lower bound in general) because exact diameter computation is
+//! O(nm); the paper likewise reports effective diameters for its inputs.
+
+use rayon::prelude::*;
+
+use crate::traversal::{serial_bfs, UNREACHABLE};
+use crate::{CsrGraph, VertexId};
+
+/// Summary statistics for one graph (Table IV row).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// Average degree ρ̄ = 2m / n.
+    pub avg_degree: f64,
+    /// Maximum degree ρ̂ (the `ρ⋀` of the work bounds in §III-A).
+    pub max_degree: usize,
+    /// Estimated diameter (lower bound from iterated double sweeps,
+    /// restricted to the component of the sweep start).
+    pub diameter_lb: u32,
+    /// Number of vertices in the largest connected component found.
+    pub largest_component: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`. `sweeps` controls how many double-sweep
+    /// iterations refine the diameter estimate (2–4 is plenty).
+    pub fn compute(g: &CsrGraph, sweeps: usize) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let max_degree = (0..n as VertexId).map(|v| g.degree(v)).max().unwrap_or(0);
+        let avg_degree = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+        let (diameter_lb, largest_component) = if n == 0 { (0, 0) } else { estimate_diameter(g, sweeps) };
+        Self { n, m, avg_degree, max_degree, diameter_lb, largest_component }
+    }
+
+    /// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+    pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+        let n = g.num_vertices();
+        let maxd = (0..n as VertexId).map(|v| g.degree(v)).max().unwrap_or(0);
+        let mut hist = vec![0usize; maxd + 1];
+        for v in 0..n as VertexId {
+            hist[g.degree(v)] += 1;
+        }
+        hist
+    }
+}
+
+/// Iterated double sweep: BFS from a start vertex, then repeatedly BFS
+/// from the farthest vertex found. Returns (diameter lower bound, size of
+/// the start vertex's component).
+fn estimate_diameter(g: &CsrGraph, sweeps: usize) -> (u32, usize) {
+    // Start from the max-degree vertex of the (likely) giant component.
+    let start = (0..g.num_vertices() as VertexId).max_by_key(|&v| g.degree(v)).unwrap_or(0);
+    let mut cur = start;
+    let mut best = 0u32;
+    let mut comp = 1usize;
+    for _ in 0..sweeps.max(1) {
+        let r = serial_bfs(g, cur);
+        comp = r.num_reached();
+        let ecc = r.max_distance();
+        if ecc <= best {
+            break;
+        }
+        best = ecc;
+        cur = r
+            .dist
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != UNREACHABLE)
+            .max_by_key(|(_, &d)| d)
+            .map(|(v, _)| v as VertexId)
+            .unwrap_or(cur);
+    }
+    (best, comp)
+}
+
+/// Picks `count` BFS roots with non-zero degree, deterministically spread
+/// over the vertex range — the Graph500 convention of sampling search keys
+/// (used by every benchmark harness in this workspace).
+pub fn sample_roots(g: &CsrGraph, count: usize) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut roots = Vec::with_capacity(count);
+    let mut v = 0usize;
+    // Golden-ratio stride gives a deterministic low-discrepancy sequence.
+    let stride = ((n as f64 * 0.618_033_988_749_894_9) as usize).max(1);
+    let mut guard = 0usize;
+    while roots.len() < count && guard < 4 * n + count {
+        if g.degree(v as VertexId) > 0 && !roots.contains(&(v as VertexId)) {
+            roots.push(v as VertexId);
+        }
+        v = (v + stride) % n;
+        guard += 1;
+    }
+    if roots.is_empty() {
+        roots.push(0);
+    }
+    roots
+}
+
+/// Counts connected components in parallel-friendly label-propagation
+/// style (sequential union-find; used by tests and stand-in validation).
+pub fn connected_components(g: &CsrGraph) -> usize {
+    let n = g.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for (u, v) in g.edges() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+        }
+    }
+    (0..n as u32).into_par_iter().filter(|&v| {
+        // roots only; path-compressed parent may need one extra hop
+        let mut x = v;
+        loop {
+            let p = parent[x as usize];
+            if p == x {
+                return x == v;
+            }
+            x = p;
+        }
+    }).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn path_stats() {
+        let g = GraphBuilder::new(5).edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build();
+        let s = GraphStats::compute(&g, 4);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.m, 4);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.diameter_lb, 4);
+        assert_eq!(s.largest_component, 5);
+    }
+
+    #[test]
+    fn star_stats() {
+        let g = GraphBuilder::new(6).edges((1..6).map(|v| (0, v))).build();
+        let s = GraphStats::compute(&g, 2);
+        assert_eq!(s.max_degree, 5);
+        assert_eq!(s.diameter_lb, 2);
+        assert!((s.avg_degree - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2)]).build();
+        let h = GraphStats::degree_histogram(&g);
+        assert_eq!(h, vec![1, 2, 1]); // one deg-0, two deg-1, one deg-2
+    }
+
+    #[test]
+    fn components() {
+        let g = GraphBuilder::new(6).edges([(0, 1), (2, 3)]).build();
+        assert_eq!(connected_components(&g), 4); // {0,1},{2,3},{4},{5}
+    }
+
+    #[test]
+    fn sample_roots_nonzero_degree() {
+        let g = GraphBuilder::new(100).edges([(0, 1), (50, 51), (98, 99)]).build();
+        let roots = sample_roots(&g, 4);
+        assert!(!roots.is_empty());
+        for r in roots {
+            assert!(g.degree(r) > 0);
+        }
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new(0).build();
+        let s = GraphStats::compute(&g, 2);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.diameter_lb, 0);
+    }
+}

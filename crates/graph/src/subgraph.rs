@@ -1,0 +1,117 @@
+//! Subgraph extraction: induced subgraphs and the largest connected
+//! component.
+//!
+//! BFS benchmarks conventionally run inside the giant component
+//! (Graph500 samples search keys there); road-network stand-ins also
+//! need component extraction before diameter measurements.
+
+use crate::traversal::serial_bfs;
+use crate::{CsrGraph, GraphBuilder, VertexId, UNREACHABLE};
+
+/// The induced subgraph on `vertices` (deduplicated), plus the mapping
+/// from new ids to the original ids.
+pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> (CsrGraph, Vec<VertexId>) {
+    let mut keep: Vec<VertexId> = vertices.to_vec();
+    keep.sort_unstable();
+    keep.dedup();
+    let mut old_to_new = vec![VertexId::MAX; g.num_vertices()];
+    for (new, &old) in keep.iter().enumerate() {
+        assert!((old as usize) < g.num_vertices(), "vertex {old} out of range");
+        old_to_new[old as usize] = new as VertexId;
+    }
+    let mut b = GraphBuilder::new(keep.len());
+    for &old in &keep {
+        let u = old_to_new[old as usize];
+        for &w in g.neighbors(old) {
+            let v = old_to_new[w as usize];
+            if v != VertexId::MAX && u < v {
+                b.edge(u, v);
+            }
+        }
+    }
+    (b.build(), keep)
+}
+
+/// Extracts the largest connected component (by vertex count). Returns
+/// the component as a graph plus the new→old id mapping.
+pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<VertexId>) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (CsrGraph::empty(0), Vec::new());
+    }
+    let mut component = vec![u32::MAX; n];
+    let mut sizes: Vec<usize> = Vec::new();
+    for v in 0..n as VertexId {
+        if component[v as usize] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let r = serial_bfs(g, v);
+        let mut size = 0;
+        for (w, &d) in r.dist.iter().enumerate() {
+            if d != UNREACHABLE {
+                component[w] = id;
+                size += 1;
+            }
+        }
+        sizes.push(size);
+    }
+    let best = (0..sizes.len()).max_by_key(|&i| sizes[i]).unwrap() as u32;
+    let vertices: Vec<VertexId> =
+        (0..n as VertexId).filter(|&v| component[v as usize] == best).collect();
+    induced_subgraph(g, &vertices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn two_components() -> CsrGraph {
+        GraphBuilder::new(8).edges([(0, 1), (1, 2), (2, 3), (5, 6)]).build()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = two_components();
+        let (sub, map) = induced_subgraph(&g, &[1, 2, 5, 6]);
+        assert_eq!(sub.num_vertices(), 4);
+        assert_eq!(sub.num_edges(), 2); // (1,2) and (5,6)
+        assert_eq!(map, vec![1, 2, 5, 6]);
+        assert!(sub.has_edge(0, 1)); // 1-2 renamed
+        assert!(sub.has_edge(2, 3)); // 5-6 renamed
+    }
+
+    #[test]
+    fn induced_dedups_input() {
+        let g = two_components();
+        let (sub, map) = induced_subgraph(&g, &[2, 2, 1, 1]);
+        assert_eq!(sub.num_vertices(), 2);
+        assert_eq!(map, vec![1, 2]);
+    }
+
+    #[test]
+    fn largest_component_extracted() {
+        let g = two_components();
+        let (lc, map) = largest_component(&g);
+        assert_eq!(lc.num_vertices(), 4);
+        assert_eq!(map, vec![0, 1, 2, 3]);
+        assert_eq!(lc.num_edges(), 3);
+        lc.validate();
+    }
+
+    #[test]
+    fn singleton_components() {
+        let g = GraphBuilder::new(3).build();
+        let (lc, map) = largest_component(&g);
+        assert_eq!(lc.num_vertices(), 1);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (lc, map) = largest_component(&CsrGraph::empty(0));
+        assert_eq!(lc.num_vertices(), 0);
+        assert!(map.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Serial reference BFS and result validation.
+//!
+//! Every parallel/vectorized BFS in the workspace (all four semirings ×
+//! both representations, Trad-BFS, direction-optimized, SpMSpV, the SIMT
+//! engine) is cross-validated against [`serial_bfs`], the textbook
+//! queue-based traversal of §II-C1.
+
+use std::collections::VecDeque;
+
+use crate::{CsrGraph, VertexId};
+
+/// Distance value for vertices not reachable from the root.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Output of a BFS run: hop distances and a parent tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsResult {
+    /// `dist[v]` is the hop distance from the root, or [`UNREACHABLE`].
+    pub dist: Vec<u32>,
+    /// `parent[v]` is `v`'s parent in the BFS tree; the root is its own
+    /// parent; unreachable vertices have `parent[v] == UNREACHABLE`.
+    pub parent: Vec<VertexId>,
+}
+
+impl BfsResult {
+    /// Number of vertices reached (including the root).
+    pub fn num_reached(&self) -> usize {
+        self.dist.iter().filter(|&&d| d != UNREACHABLE).count()
+    }
+
+    /// Eccentricity of the root: the largest finite distance.
+    pub fn max_distance(&self) -> u32 {
+        self.dist.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+    }
+}
+
+/// Textbook serial BFS (§II-C1): frontier as a FIFO queue.
+pub fn serial_bfs(g: &CsrGraph, root: VertexId) -> BfsResult {
+    let n = g.num_vertices();
+    assert!((root as usize) < n, "root {root} out of range");
+    let mut dist = vec![UNREACHABLE; n];
+    let mut parent = vec![UNREACHABLE; n];
+    let mut q = VecDeque::new();
+    dist[root as usize] = 0;
+    parent[root as usize] = root;
+    q.push_back(root);
+    while let Some(v) = q.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                parent[w as usize] = v;
+                q.push_back(w);
+            }
+        }
+    }
+    BfsResult { dist, parent }
+}
+
+/// Validates a parent array against known-correct distances.
+///
+/// A parent array is valid iff for every reachable non-root vertex `v`,
+/// `parent[v]` is a neighbor of `v` with `dist[parent[v]] == dist[v] - 1`;
+/// the root is its own parent; unreachable vertices have no parent.
+/// BFS parent trees are not unique, so all implementations are checked
+/// with this predicate rather than by exact comparison.
+pub fn validate_parents(g: &CsrGraph, root: VertexId, dist: &[u32], parent: &[VertexId]) -> Result<(), String> {
+    let n = g.num_vertices();
+    if dist.len() != n || parent.len() != n {
+        return Err("length mismatch".into());
+    }
+    for v in 0..n as VertexId {
+        let (d, p) = (dist[v as usize], parent[v as usize]);
+        if v == root {
+            if d != 0 {
+                return Err(format!("root distance {d} != 0"));
+            }
+            if p != root {
+                return Err(format!("root parent {p} != root {root}"));
+            }
+            continue;
+        }
+        match d {
+            UNREACHABLE => {
+                if p != UNREACHABLE {
+                    return Err(format!("unreachable vertex {v} has parent {p}"));
+                }
+            }
+            _ => {
+                if p == UNREACHABLE || p as usize >= n {
+                    return Err(format!("reachable vertex {v} has invalid parent {p}"));
+                }
+                if !g.has_edge(p, v) {
+                    return Err(format!("parent edge ({p},{v}) not in graph"));
+                }
+                if dist[p as usize] != d - 1 {
+                    return Err(format!("parent {p} of {v} at distance {} != {}", dist[p as usize], d - 1));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> CsrGraph {
+        // 0-1-2-3 path plus 4 isolated, 5-6 separate component
+        GraphBuilder::new(7).edges([(0, 1), (1, 2), (2, 3), (5, 6)]).build()
+    }
+
+    #[test]
+    fn path_distances() {
+        let g = sample();
+        let r = serial_bfs(&g, 0);
+        assert_eq!(r.dist[..4], [0, 1, 2, 3]);
+        assert_eq!(r.dist[4], UNREACHABLE);
+        assert_eq!(r.dist[5], UNREACHABLE);
+        assert_eq!(r.max_distance(), 3);
+        assert_eq!(r.num_reached(), 4);
+    }
+
+    #[test]
+    fn parents_validate() {
+        let g = sample();
+        let r = serial_bfs(&g, 0);
+        validate_parents(&g, 0, &r.dist, &r.parent).unwrap();
+    }
+
+    #[test]
+    fn bad_parent_rejected() {
+        let g = sample();
+        let r = serial_bfs(&g, 0);
+        let mut bad = r.parent.clone();
+        bad[3] = 0; // 0 is not adjacent to 3
+        assert!(validate_parents(&g, 0, &r.dist, &bad).is_err());
+    }
+
+    #[test]
+    fn bad_distance_rejected() {
+        let g = sample();
+        let r = serial_bfs(&g, 0);
+        let mut bad = r.parent.clone();
+        bad[2] = 3; // neighbor, but dist 3 = 3 != dist 2 - 1
+        assert!(validate_parents(&g, 0, &r.dist, &bad).is_err());
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = GraphBuilder::new(1).build();
+        let r = serial_bfs(&g, 0);
+        assert_eq!(r.dist, vec![0]);
+        assert_eq!(r.parent, vec![0]);
+        validate_parents(&g, 0, &r.dist, &r.parent).unwrap();
+    }
+
+    #[test]
+    fn other_component_root() {
+        let g = sample();
+        let r = serial_bfs(&g, 5);
+        assert_eq!(r.dist[6], 1);
+        assert_eq!(r.dist[0], UNREACHABLE);
+        validate_parents(&g, 5, &r.dist, &r.parent).unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! The simulated machine: warp slots and the makespan scheduler.
+//!
+//! A GPU executes many warps concurrently (SMs × resident warps); an
+//! iteration finishes when its last warp does. We model this as greedy
+//! list scheduling: tasks are dispatched in order to the earliest-free
+//! slot, and the iteration's simulated time is the makespan. Greedy
+//! list scheduling is within 2× of optimal (Graham), and — more
+//! importantly here — it exposes exactly the pathology the paper
+//! describes for σ-sorted graphs on GPUs: one chunk with all the
+//! high-degree rows keeps one slot busy long after the others drained.
+
+use crate::cost::CostModel;
+
+/// Simulated machine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimtConfig {
+    /// Warp width (= chunk height C); 32 on all NVIDIA parts.
+    pub warp_width: usize,
+    /// Concurrently executing warp slots (SMs × warps per SM kept
+    /// modest so laptop-scale graphs still show contention).
+    pub warp_slots: usize,
+    /// Cycle cost model.
+    pub cost: CostModel,
+}
+
+impl Default for SimtConfig {
+    fn default() -> Self {
+        // 13 SMX × 4 resident warps ≈ a K80-ish occupancy picture.
+        Self { warp_width: 32, warp_slots: 52, cost: CostModel::DEFAULT }
+    }
+}
+
+/// Greedy list-scheduling makespan of `durations` over `slots` parallel
+/// slots, dispatching in order to the earliest-free slot.
+pub fn makespan(durations: &[u64], slots: usize) -> u64 {
+    assert!(slots > 0, "need at least one slot");
+    if durations.is_empty() {
+        return 0;
+    }
+    // Binary min-heap over slot free times, std collections only.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<u64>> = (0..slots.min(durations.len())).map(|_| Reverse(0u64)).collect();
+    let mut end = 0u64;
+    for &d in durations {
+        let Reverse(free) = heap.pop().expect("heap non-empty");
+        let finish = free + d;
+        end = end.max(finish);
+        heap.push(Reverse(finish));
+    }
+    end
+}
+
+/// Load-imbalance measure of a task set: max duration / mean duration
+/// (1.0 = perfectly balanced). The quantity SlimChunk improves.
+pub fn imbalance(durations: &[u64]) -> f64 {
+    if durations.is_empty() {
+        return 1.0;
+    }
+    let max = *durations.iter().max().unwrap() as f64;
+    let mean = durations.iter().sum::<u64>() as f64 / durations.len() as f64;
+    if mean == 0.0 { 1.0 } else { max / mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_slot_is_sum() {
+        assert_eq!(makespan(&[3, 5, 2], 1), 10);
+    }
+
+    #[test]
+    fn enough_slots_is_max() {
+        assert_eq!(makespan(&[3, 5, 2], 3), 5);
+    }
+
+    #[test]
+    fn greedy_two_slots() {
+        // Dispatch order: 4→s0, 3→s1, 3→s1(free@3)=6, 2→s0(free@4)=6.
+        assert_eq!(makespan(&[4, 3, 3, 2], 2), 6);
+    }
+
+    #[test]
+    fn dominant_task_dominates() {
+        // One huge task bounds the makespan regardless of slots.
+        assert_eq!(makespan(&[100, 1, 1, 1], 4), 100);
+    }
+
+    #[test]
+    fn empty_tasks() {
+        assert_eq!(makespan(&[], 8), 0);
+    }
+
+    #[test]
+    fn imbalance_measures() {
+        assert_eq!(imbalance(&[5, 5, 5]), 1.0);
+        assert!(imbalance(&[100, 1, 1]) > 2.0);
+        assert_eq!(imbalance(&[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        makespan(&[1], 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-validation: every BFS implementation in the workspace must
+//! agree with the serial textbook reference on every graph family.
+
+use slimsell::baseline::{dirop_bfs, spmspv_bfs, trad_bfs, Dedup, DirOptBfsOptions};
+use slimsell::core::dirop::{run_diropt, DirOptOptions};
+use slimsell::prelude::*;
+
+fn families() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("kronecker", kronecker(10, 8.0, KroneckerParams::GRAPH500, 1)),
+        ("erdos-renyi", erdos_renyi_gnp(800, 10.0 / 800.0, 2)),
+        ("road", standin("rca", 8, 3)),
+        ("web-chain", standin("ndm", 8, 4)),
+        ("social", standin("epi", 7, 5)),
+        ("path", GraphBuilder::new(100).edges((0..99u32).map(|v| (v, v + 1))).build()),
+        (
+            "star",
+            GraphBuilder::new(65).edges((1..65u32).map(|v| (0, v))).build(),
+        ),
+    ]
+}
+
+fn root_of(g: &CsrGraph) -> VertexId {
+    slimsell::graph::stats::sample_roots(g, 1)[0]
+}
+
+#[test]
+fn engine_matrix_all_semirings_reps_lanes() {
+    for (name, g) in families() {
+        let root = root_of(&g);
+        let reference = serial_bfs(&g, root);
+        let n = g.num_vertices();
+        macro_rules! check {
+            ($sem:ty, $c:literal, $sigma:expr) => {{
+                let slim = SlimSellMatrix::<$c>::build(&g, $sigma);
+                let out = BfsEngine::run::<_, $sem, $c>(&slim, root, &BfsOptions::default());
+                assert_eq!(out.dist, reference.dist, "{name} slimsell {} C={} sigma={}", <$sem>::NAME, $c, $sigma);
+                if let Some(p) = &out.parent {
+                    validate_parents(&g, root, &out.dist, p).unwrap();
+                }
+                let sell = SellCSigma::<$c>::build(&g, $sigma, <$sem>::PAD);
+                let out = BfsEngine::run::<_, $sem, $c>(&sell, root, &BfsOptions::default());
+                assert_eq!(out.dist, reference.dist, "{name} sellcs {} C={}", <$sem>::NAME, $c);
+            }};
+        }
+        for sigma in [1usize, 32, n] {
+            check!(TropicalSemiring, 4, sigma);
+            check!(BooleanSemiring, 8, sigma);
+            check!(RealSemiring, 16, sigma);
+            check!(SelMaxSemiring, 32, sigma);
+        }
+        // Rotate semirings over lane widths for coverage.
+        check!(TropicalSemiring, 32, n);
+        check!(SelMaxSemiring, 4, n);
+        check!(BooleanSemiring, 16, 32);
+        check!(RealSemiring, 8, 1);
+    }
+}
+
+#[test]
+fn engine_option_combinations() {
+    for (name, g) in families() {
+        let root = root_of(&g);
+        let reference = serial_bfs(&g, root);
+        let n = g.num_vertices();
+        let slim = SlimSellMatrix::<8>::build(&g, n);
+        for slimwork in [false, true] {
+            for slimchunk in [None, Some(1), Some(4)] {
+                for schedule in [Schedule::Static, Schedule::Dynamic] {
+                    let opts = BfsOptions { slimwork, slimchunk, schedule, max_iterations: None };
+                    let out = BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &opts);
+                    assert_eq!(
+                        out.dist, reference.dist,
+                        "{name} slimwork={slimwork} slimchunk={slimchunk:?} {schedule:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn baselines_agree() {
+    for (name, g) in families() {
+        let root = root_of(&g);
+        let reference = serial_bfs(&g, root);
+        let trad = trad_bfs(&g, root);
+        assert_eq!(trad.dist, reference.dist, "{name} trad");
+        validate_parents(&g, root, &trad.dist, &trad.parent).unwrap();
+        let dir = dirop_bfs(&g, root, &DirOptBfsOptions::default());
+        assert_eq!(dir.dist, reference.dist, "{name} dirop");
+        validate_parents(&g, root, &dir.dist, &dir.parent).unwrap();
+        for dedup in [Dedup::NoSort, Dedup::MergeSort, Dedup::RadixSort] {
+            assert_eq!(spmspv_bfs(&g, root, dedup).dist, reference.dist, "{name} spmspv {dedup:?}");
+        }
+    }
+}
+
+#[test]
+fn algebraic_diropt_agrees() {
+    for (name, g) in families() {
+        let root = root_of(&g);
+        let reference = serial_bfs(&g, root);
+        let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        let out = run_diropt(&slim, root, &DirOptOptions::default());
+        assert_eq!(out.bfs.dist, reference.dist, "{name} algebraic dirop");
+    }
+}
+
+#[test]
+fn dp_transform_valid_on_all_families() {
+    for (name, g) in families() {
+        let root = root_of(&g);
+        let r = serial_bfs(&g, root);
+        let p = dp_transform(&g, &r.dist, root);
+        validate_parents(&g, root, &r.dist, &p).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn multiple_roots_per_graph() {
+    let g = kronecker(11, 8.0, KroneckerParams::GRAPH500, 9);
+    let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+    for root in slimsell::graph::stats::sample_roots(&g, 8) {
+        let reference = serial_bfs(&g, root);
+        let out = BfsEngine::run::<_, BooleanSemiring, 8>(&slim, root, &BfsOptions::default());
+        assert_eq!(out.dist, reference.dist, "root {root}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-validation of the §VI extension algorithms against their
+//! serial references, across graph families.
+
+use slimsell::core::betweenness::{betweenness_exact, brandes_reference};
+use slimsell::core::components::connected_components;
+use slimsell::core::msbfs::multi_bfs;
+use slimsell::core::pagerank::{pagerank, PageRankOptions};
+use slimsell::core::sssp::{sssp, WeightedSellCSigma};
+use slimsell::graph::weighted::{dijkstra, WeightedCsrGraph};
+use slimsell::prelude::*;
+
+fn families() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("kronecker", kronecker(9, 4.0, KroneckerParams::GRAPH500, 11)),
+        ("erdos-renyi", erdos_renyi_gnp(300, 8.0 / 300.0, 12)),
+        ("road", standin("rca", 9, 13)),
+        ("two-cliques", {
+            let mut b = GraphBuilder::new(16);
+            for u in 0..8u32 {
+                for v in (u + 1)..8 {
+                    b.edge(u, v);
+                    b.edge(u + 8, v + 8);
+                }
+            }
+            b.edge(0, 8);
+            b.build()
+        }),
+    ]
+}
+
+#[test]
+fn betweenness_matches_brandes_everywhere() {
+    for (name, g) in families() {
+        if g.num_vertices() > 600 {
+            continue; // exact BC is O(nm); keep tests quick
+        }
+        let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        let ours = betweenness_exact(&m);
+        let reference = brandes_reference(&g);
+        for (v, (a, b)) in ours.iter().zip(&reference).enumerate() {
+            assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "{name} vertex {v}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn components_match_union_find_everywhere() {
+    for (name, g) in families() {
+        let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        let out = connected_components(&m);
+        assert_eq!(out.count, slimsell::graph::stats::connected_components(&g), "{name}");
+        for (u, v) in g.edges() {
+            assert_eq!(out.label[u as usize], out.label[v as usize], "{name} edge ({u},{v})");
+        }
+    }
+}
+
+#[test]
+fn multi_bfs_matches_serial_everywhere() {
+    for (name, g) in families() {
+        let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        let r = slimsell::graph::stats::sample_roots(&g, 4);
+        let roots: [u32; 4] = std::array::from_fn(|i| r[i % r.len()]);
+        let out = multi_bfs::<_, 8, 4>(&m, &roots);
+        for (b, &root) in roots.iter().enumerate() {
+            assert_eq!(out.dist[b], serial_bfs(&g, root).dist, "{name} source {b}");
+        }
+    }
+}
+
+#[test]
+fn pagerank_mass_conserved_everywhere() {
+    for (name, g) in families() {
+        let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        let out = pagerank(&m, &PageRankOptions::default());
+        let sum: f32 = out.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "{name}: mass {sum}");
+        assert!(out.scores.iter().all(|&s| s >= 0.0), "{name}: negative score");
+    }
+}
+
+#[test]
+fn sssp_unit_weights_degenerate_to_bfs() {
+    // With all weights 1, min-plus SSSP must equal BFS hop distances.
+    let g = kronecker(8, 4.0, KroneckerParams::GRAPH500, 21);
+    let wg = WeightedCsrGraph::from_edges(
+        g.num_vertices(),
+        g.edges().map(|(u, v)| (u, v, 1.0f32)),
+    );
+    let m = WeightedSellCSigma::<8>::build(&wg, g.num_vertices());
+    let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
+    let out = sssp(&m, root);
+    let bfs = serial_bfs(&g, root);
+    for v in 0..g.num_vertices() {
+        match bfs.dist[v] {
+            UNREACHABLE => assert!(out.dist[v].is_infinite(), "vertex {v}"),
+            d => assert_eq!(out.dist[v], d as f32, "vertex {v}"),
+        }
+    }
+}
+
+#[test]
+fn sssp_matches_dijkstra_on_random_weights() {
+    let g = kronecker(8, 4.0, KroneckerParams::GRAPH500, 22);
+    let mut seedgen = slimsell::gen::Xoshiro256pp::seed_from_u64(5);
+    let wg = WeightedCsrGraph::from_edges(
+        g.num_vertices(),
+        g.edges().map(|(u, v)| (u, v, (seedgen.next_f64() * 5.0 + 0.1) as f32)),
+    );
+    let m = WeightedSellCSigma::<8>::build(&wg, g.num_vertices());
+    let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
+    let out = sssp(&m, root);
+    let reference = dijkstra(&wg, root);
+    for (v, (a, b)) in out.dist.iter().zip(&reference).enumerate() {
+        if b.is_finite() {
+            assert!((a - b).abs() < 1e-3 * (1.0 + b), "vertex {v}: {a} vs {b}");
+        } else {
+            assert!(a.is_infinite(), "vertex {v}");
+        }
+    }
+}
+
+#[test]
+fn graph500_validator_accepts_every_engine() {
+    let g = kronecker(9, 6.0, KroneckerParams::GRAPH500, 30);
+    let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
+    let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+    let spmv = BfsEngine::run::<_, SelMaxSemiring, 8>(&m, root, &BfsOptions::default());
+    graph500_validate(&g, root, &spmv.dist, spmv.parent.as_deref()).unwrap();
+    let trad = slimsell::baseline::trad_bfs(&g, root);
+    graph500_validate(&g, root, &trad.dist, Some(&trad.parent)).unwrap();
+    let dense = slimsell::baseline::DenseBfs::new(&g).run(root);
+    graph500_validate(&g, root, &dense.dist, None).unwrap();
+}

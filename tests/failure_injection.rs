@@ -1,0 +1,135 @@
+//! Failure injection and edge cases: malformed inputs, degenerate
+//! graphs, extreme parameters.
+
+use slimsell::prelude::*;
+
+#[test]
+fn disconnected_components_unreachable() {
+    // Three components; BFS from each must mark the others unreachable.
+    let g = GraphBuilder::new(9)
+        .edges([(0, 1), (1, 2), (3, 4), (6, 7), (7, 8)])
+        .build();
+    let slim = SlimSellMatrix::<4>::build(&g, 9);
+    for root in [0u32, 3, 6] {
+        let out = BfsEngine::run::<_, SelMaxSemiring, 4>(&slim, root, &BfsOptions::default());
+        let reference = serial_bfs(&g, root);
+        assert_eq!(out.dist, reference.dist);
+        let p = out.parent.unwrap();
+        for v in 0..9 {
+            assert_eq!(p[v] == UNREACHABLE, out.dist[v] == UNREACHABLE, "vertex {v}");
+        }
+    }
+}
+
+#[test]
+fn isolated_root_terminates_immediately() {
+    let g = GraphBuilder::new(8).edges([(1, 2), (2, 3)]).build();
+    let slim = SlimSellMatrix::<4>::build(&g, 8);
+    let out = BfsEngine::run::<_, TropicalSemiring, 4>(&slim, 0, &BfsOptions::default());
+    assert_eq!(out.dist[0], 0);
+    assert!(out.dist[1..].iter().all(|&d| d == UNREACHABLE));
+    assert!(out.stats.num_iterations() <= 2, "took {} iterations", out.stats.num_iterations());
+}
+
+#[test]
+fn duplicate_and_reversed_edges_normalized() {
+    let a = GraphBuilder::new(4).edges([(0, 1), (1, 0), (0, 1), (2, 3), (3, 2)]).build();
+    let b = GraphBuilder::new(4).edges([(0, 1), (2, 3)]).build();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn self_loops_dropped_everywhere() {
+    let g = GraphBuilder::new(3).edges([(0, 0), (0, 1), (1, 1), (1, 2), (2, 2)]).build();
+    assert_eq!(g.num_edges(), 2);
+    let d = slimsell::bfs_distances(&g, 0);
+    assert_eq!(d, vec![0, 1, 2]);
+}
+
+#[test]
+fn sigma_edge_cases() {
+    let g = GraphBuilder::new(10).edges((0..9u32).map(|v| (v, v + 1))).build();
+    let reference = serial_bfs(&g, 0);
+    // σ = 0 clamps to 1; σ > n clamps to n; σ not a multiple of C works.
+    for sigma in [0usize, 1, 3, 7, 10, 1000] {
+        let slim = SlimSellMatrix::<4>::build(&g, sigma);
+        let out = BfsEngine::run::<_, TropicalSemiring, 4>(&slim, 0, &BfsOptions::default());
+        assert_eq!(out.dist, reference.dist, "sigma {sigma}");
+    }
+}
+
+#[test]
+fn single_vertex_graph() {
+    let g = GraphBuilder::new(1).build();
+    let slim = SlimSellMatrix::<8>::build(&g, 1);
+    for opts in [BfsOptions::default(), BfsOptions::plain()] {
+        let out = BfsEngine::run::<_, BooleanSemiring, 8>(&slim, 0, &opts);
+        assert_eq!(out.dist, vec![0]);
+    }
+}
+
+#[test]
+fn complete_graph_two_iterations() {
+    let n = 17u32;
+    let mut b = GraphBuilder::new(n as usize);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.edge(u, v);
+        }
+    }
+    let g = b.build();
+    let slim = SlimSellMatrix::<8>::build(&g, n as usize);
+    let out = BfsEngine::run::<_, TropicalSemiring, 8>(&slim, 5, &BfsOptions::default());
+    assert!(out.dist.iter().enumerate().all(|(v, &d)| d == u32::from(v != 5)));
+    // One productive iteration + one convergence check.
+    assert_eq!(out.stats.num_iterations(), 2);
+}
+
+#[test]
+fn max_iterations_cap_respected() {
+    let g = GraphBuilder::new(50).edges((0..49u32).map(|v| (v, v + 1))).build();
+    let slim = SlimSellMatrix::<4>::build(&g, 50);
+    let opts = BfsOptions { max_iterations: Some(5), ..Default::default() };
+    let out = BfsEngine::run::<_, TropicalSemiring, 4>(&slim, 0, &opts);
+    assert_eq!(out.stats.num_iterations(), 5);
+    // Distances beyond the cap remain unreached.
+    assert_eq!(out.dist[5], 5);
+    assert_eq!(out.dist[49], UNREACHABLE);
+}
+
+#[test]
+fn real_semiring_survives_path_count_blowup() {
+    // Dense Kronecker graphs make walk counts overflow f32 quickly; the
+    // real semiring must stay correct (counts saturate to +inf, which is
+    // still "non-zero").
+    let g = kronecker(9, 32.0, KroneckerParams::GRAPH500, 13);
+    let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
+    let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+    let out = BfsEngine::run::<_, RealSemiring, 8>(&slim, root, &BfsOptions::default());
+    assert_eq!(out.dist, serial_bfs(&g, root).dist);
+}
+
+#[test]
+fn zero_degree_tail_rows() {
+    // n % C != 0 plus trailing isolated vertices: the padded tail chunk
+    // must neither crash nor emit phantom distances.
+    let g = GraphBuilder::new(13).edges([(0, 1), (1, 2)]).build();
+    let slim = SlimSellMatrix::<8>::build(&g, 13);
+    let out = BfsEngine::run::<_, SelMaxSemiring, 8>(&slim, 0, &BfsOptions::default());
+    assert_eq!(&out.dist[..3], &[0, 1, 2]);
+    assert!(out.dist[3..].iter().all(|&d| d == UNREACHABLE));
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn trad_bfs_bad_root() {
+    let g = GraphBuilder::new(2).edges([(0, 1)]).build();
+    slimsell::baseline::trad_bfs(&g, 7);
+}
+
+#[test]
+fn generators_reject_bad_parameters() {
+    assert!(std::panic::catch_unwind(|| erdos_renyi_gnp(10, 1.5, 0)).is_err());
+    assert!(std::panic::catch_unwind(|| slimsell::gen::erdos_renyi_gnm(3, 100, 0)).is_err());
+    assert!(std::panic::catch_unwind(|| standin("does-not-exist", 4, 0)).is_err());
+}

@@ -1,0 +1,129 @@
+//! Property-based invariants over random graphs.
+
+use proptest::prelude::*;
+use slimsell::core::storage::StorageComparison;
+use slimsell::prelude::*;
+
+/// Strategy: a random undirected simple graph with 1..=60 vertices.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (1usize..=60).prop_flat_map(|n| {
+        let max_edges = (n * n).min(400);
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_edges)
+            .prop_map(move |edges| GraphBuilder::new(n).edges(edges).build())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every semiring × representation matches the serial reference on
+    /// arbitrary graphs from an arbitrary root.
+    #[test]
+    fn bfs_matches_reference(g in arb_graph(), root_sel in 0usize..60, sigma_sel in 0usize..3) {
+        let n = g.num_vertices();
+        let root = (root_sel % n) as VertexId;
+        let sigma = [1, 8, n][sigma_sel].max(1);
+        let reference = serial_bfs(&g, root);
+        let slim = SlimSellMatrix::<4>::build(&g, sigma);
+        macro_rules! check {
+            ($sem:ty) => {{
+                let out = BfsEngine::run::<_, $sem, 4>(&slim, root, &BfsOptions::default());
+                prop_assert_eq!(&out.dist, &reference.dist, "{}", <$sem>::NAME);
+                if let Some(p) = &out.parent {
+                    prop_assert!(validate_parents(&g, root, &out.dist, p).is_ok());
+                }
+            }};
+        }
+        check!(TropicalSemiring);
+        check!(BooleanSemiring);
+        check!(RealSemiring);
+        check!(SelMaxSemiring);
+    }
+
+    /// SlimWork and SlimChunk never change the output.
+    #[test]
+    fn slimwork_slimchunk_output_invariant(g in arb_graph(), root_sel in 0usize..60) {
+        let n = g.num_vertices();
+        let root = (root_sel % n) as VertexId;
+        let slim = SlimSellMatrix::<8>::build(&g, n);
+        let base = BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &BfsOptions::plain());
+        for opts in [
+            BfsOptions::default(),
+            BfsOptions { slimchunk: Some(2), ..BfsOptions::default() },
+            BfsOptions { slimchunk: Some(3), slimwork: false, ..BfsOptions::default() },
+        ] {
+            let out = BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &opts);
+            prop_assert_eq!(&out.dist, &base.dist);
+        }
+    }
+
+    /// The Sell structure stores exactly the graph's adjacency under any
+    /// sorting scope (representation round-trip).
+    #[test]
+    fn structure_roundtrip(g in arb_graph(), sigma in 1usize..70) {
+        let s = slimsell::core::SellStructure::<4>::build(&g, sigma);
+        prop_assert!(s.verify_against(&g).is_ok());
+    }
+
+    /// Storage formulas of Table III match measured cells, and SlimSell
+    /// is always at most half of Sell-C-σ plus the index arrays.
+    #[test]
+    fn storage_formulas(g in arb_graph(), sigma in 1usize..70) {
+        let c = StorageComparison::measure::<8>(&g, sigma);
+        let nc = g.num_vertices().div_ceil(8);
+        prop_assert_eq!(c.slimsell, 2 * c.m + c.padding + 2 * nc);
+        prop_assert_eq!(c.sell_c_sigma, 2 * (2 * c.m + c.padding) + 2 * nc);
+        prop_assert_eq!(c.al, 2 * c.m + c.n);
+        prop_assert_eq!(c.csr, 4 * c.m + c.n);
+        // SlimSell saves exactly the val array (2m + P cells).
+        prop_assert_eq!(c.sell_c_sigma - c.slimsell, 2 * c.m + c.padding);
+    }
+
+    /// Sorting (larger σ) never increases padding.
+    #[test]
+    fn sorting_monotone_padding(g in arb_graph()) {
+        let n = g.num_vertices();
+        let p1 = SlimSellMatrix::<4>::build(&g, 1).structure().padding_cells();
+        let pn = SlimSellMatrix::<4>::build(&g, n).structure().padding_cells();
+        prop_assert!(pn <= p1, "full sort increased padding: {} > {}", pn, p1);
+    }
+
+    /// DP produces a valid parent array from engine distances.
+    #[test]
+    fn dp_valid(g in arb_graph(), root_sel in 0usize..60) {
+        let n = g.num_vertices();
+        let root = (root_sel % n) as VertexId;
+        let slim = SlimSellMatrix::<4>::build(&g, n);
+        let out = BfsEngine::run::<_, BooleanSemiring, 4>(&slim, root, &BfsOptions::default());
+        let p = dp_transform(&g, &out.dist, root);
+        prop_assert!(validate_parents(&g, root, &out.dist, &p).is_ok());
+    }
+
+    /// Work accounting: measured cells equal C × column-steps, and the
+    /// no-SlimWork engine touches every cell of the structure each
+    /// iteration.
+    #[test]
+    fn work_accounting(g in arb_graph(), root_sel in 0usize..60) {
+        let n = g.num_vertices();
+        let root = (root_sel % n) as VertexId;
+        let slim = SlimSellMatrix::<4>::build(&g, n);
+        let out = BfsEngine::run::<_, TropicalSemiring, 4>(&slim, root, &BfsOptions::plain());
+        let per_iter = slim.structure().total_cells() as u64;
+        for it in &out.stats.iters {
+            prop_assert_eq!(it.cells, per_iter);
+            prop_assert_eq!(it.cells, it.col_steps * 4);
+        }
+    }
+
+    /// The SIMT engine is output-equivalent to the CPU engine.
+    #[test]
+    fn simt_equiv(g in arb_graph(), root_sel in 0usize..60) {
+        let n = g.num_vertices();
+        let root = (root_sel % n) as VertexId;
+        let slim = SlimSellMatrix::<32>::build(&g, n);
+        let cpu = BfsEngine::run::<_, SelMaxSemiring, 32>(&slim, root, &BfsOptions::default());
+        let sim = run_simt_bfs::<_, SelMaxSemiring, 32>(&slim, root, &SimtConfig::default(), &SimtOptions::default());
+        prop_assert_eq!(cpu.dist, sim.dist);
+        prop_assert_eq!(cpu.parent, sim.parent);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests of the semiring laws §III-A relies on: `op1` must be
+//! associative and commutative with the declared identity (this is what
+//! makes SlimChunk's tile-split sound), padding must annihilate `op2`,
+//! and the fused `combine` must decompose as `op1(acc, op2(vals, rhs))`.
+
+use proptest::prelude::*;
+use slimsell::prelude::*;
+use slimsell::simd::SimdF32;
+
+const C: usize = 4;
+
+/// Lane values each semiring actually encounters.
+fn tropical_vals() -> impl Strategy<Value = f32> {
+    prop_oneof![Just(f32::INFINITY), (0u32..1000).prop_map(|x| x as f32)]
+}
+
+fn boolean_vals() -> impl Strategy<Value = f32> {
+    prop_oneof![Just(0.0f32), Just(1.0f32)]
+}
+
+fn counts_vals() -> impl Strategy<Value = f32> {
+    (0u32..10_000).prop_map(|x| x as f32)
+}
+
+fn index_vals() -> impl Strategy<Value = f32> {
+    (0u32..1_000_000).prop_map(|x| x as f32)
+}
+
+macro_rules! axiom_tests {
+    ($modname:ident, $sem:ty, $vals:ident) => {
+        mod $modname {
+            use super::*;
+
+            fn v(x: [f32; C]) -> SimdF32<C> {
+                SimdF32(x)
+            }
+
+            proptest! {
+                #[test]
+                fn op1_commutative(a in prop::array::uniform4($vals()), b in prop::array::uniform4($vals())) {
+                    let ab = <$sem>::op1(v(a), v(b));
+                    let ba = <$sem>::op1(v(b), v(a));
+                    prop_assert_eq!(ab.0.map(f32::to_bits), ba.0.map(f32::to_bits));
+                }
+
+                #[test]
+                fn op1_associative(
+                    a in prop::array::uniform4($vals()),
+                    b in prop::array::uniform4($vals()),
+                    c in prop::array::uniform4($vals()),
+                ) {
+                    let l = <$sem>::op1(<$sem>::op1(v(a), v(b)), v(c));
+                    let r = <$sem>::op1(v(a), <$sem>::op1(v(b), v(c)));
+                    for i in 0..C {
+                        if !l.0[i].is_finite() || !r.0[i].is_finite() {
+                            // ∞ lanes (tropical identity) must agree exactly.
+                            prop_assert_eq!(l.0[i].to_bits(), r.0[i].to_bits(), "lane {}", i);
+                        } else {
+                            // Real-semiring op1 is float addition: allow ulp slack.
+                            prop_assert!((l.0[i] - r.0[i]).abs() <= 1e-3 * (1.0 + l.0[i].abs()),
+                                "lane {}: {} vs {}", i, l.0[i], r.0[i]);
+                        }
+                    }
+                }
+
+                #[test]
+                fn op1_identity(a in prop::array::uniform4($vals())) {
+                    let id = SimdF32::<C>::splat(<$sem>::OP1_IDENTITY);
+                    let out = <$sem>::op1(v(a), id);
+                    prop_assert_eq!(out.0.map(f32::to_bits), a.map(f32::to_bits));
+                }
+
+                #[test]
+                fn padding_annihilates(acc in prop::array::uniform4($vals()), rhs in prop::array::uniform4($vals())) {
+                    // combine(acc, PAD, rhs) must leave acc unchanged: that is
+                    // exactly what makes padded cells (and the SlimSell blend)
+                    // semantically invisible.
+                    let out = <$sem>::combine(v(acc), SimdF32::splat(<$sem>::PAD), v(rhs));
+                    prop_assert_eq!(out.0.map(f32::to_bits), acc.map(f32::to_bits));
+                }
+
+                #[test]
+                fn combine_decomposes(
+                    acc in prop::array::uniform4($vals()),
+                    vals in prop::array::uniform4($vals()),
+                    rhs in prop::array::uniform4($vals()),
+                ) {
+                    // op2 alone = combine starting from the op1 identity.
+                    let op2 = <$sem>::combine(SimdF32::<C>::splat(<$sem>::OP1_IDENTITY), v(vals), v(rhs));
+                    let fused = <$sem>::combine(v(acc), v(vals), v(rhs));
+                    let recomposed = <$sem>::op1(v(acc), op2);
+                    prop_assert_eq!(fused.0.map(f32::to_bits), recomposed.0.map(f32::to_bits));
+                }
+            }
+        }
+    };
+}
+
+axiom_tests!(tropical, TropicalSemiring, tropical_vals);
+axiom_tests!(boolean, BooleanSemiring, boolean_vals);
+axiom_tests!(real, RealSemiring, counts_vals);
+axiom_tests!(selmax, SelMaxSemiring, index_vals);

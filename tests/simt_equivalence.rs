@@ -1,0 +1,97 @@
+//! The SIMT (GPU-model) engine must be output-equivalent to the CPU
+//! engine and the serial reference in every configuration, and its cost
+//! accounting must behave monotonically.
+
+use slimsell::prelude::*;
+use slimsell::simt::CostModel;
+
+fn graphs() -> Vec<CsrGraph> {
+    vec![
+        kronecker(10, 8.0, KroneckerParams::GRAPH500, 1),
+        erdos_renyi_gnp(700, 12.0 / 700.0, 2),
+        standin("amz", 8, 3),
+        GraphBuilder::new(70).edges((0..69u32).map(|v| (v, v + 1))).build(),
+    ]
+}
+
+#[test]
+fn all_semirings_all_options_match() {
+    for g in graphs() {
+        let n = g.num_vertices();
+        let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
+        let reference = serial_bfs(&g, root);
+        let slim = SlimSellMatrix::<32>::build(&g, n);
+        let cfg = SimtConfig::default();
+        for slimwork in [false, true] {
+            for slimchunk in [None, Some(2), Some(16)] {
+                let opts = SimtOptions { slimwork, slimchunk };
+                macro_rules! check {
+                    ($sem:ty) => {{
+                        let r = run_simt_bfs::<_, $sem, 32>(&slim, root, &cfg, &opts);
+                        assert_eq!(r.dist, reference.dist, "{} sw={slimwork} sc={slimchunk:?}", <$sem>::NAME);
+                    }};
+                }
+                check!(TropicalSemiring);
+                check!(BooleanSemiring);
+                check!(RealSemiring);
+                check!(SelMaxSemiring);
+            }
+        }
+    }
+}
+
+#[test]
+fn more_slots_never_slower() {
+    let g = kronecker(10, 16.0, KroneckerParams::GRAPH500, 7);
+    let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
+    let slim = SlimSellMatrix::<32>::build(&g, g.num_vertices());
+    let mut prev = u64::MAX;
+    for slots in [1usize, 4, 16, 64, 256] {
+        let cfg = SimtConfig { warp_slots: slots, ..Default::default() };
+        let r = run_simt_bfs::<_, TropicalSemiring, 32>(&slim, root, &cfg, &SimtOptions::default());
+        let total = r.total_cycles();
+        assert!(total <= prev, "slots {slots}: {total} > {prev}");
+        prev = total;
+    }
+}
+
+#[test]
+fn busy_cycles_independent_of_slots() {
+    let g = kronecker(9, 8.0, KroneckerParams::GRAPH500, 5);
+    let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
+    let slim = SlimSellMatrix::<32>::build(&g, g.num_vertices());
+    let busy = |slots| {
+        let cfg = SimtConfig { warp_slots: slots, ..Default::default() };
+        run_simt_bfs::<_, TropicalSemiring, 32>(&slim, root, &cfg, &SimtOptions::default())
+            .iters
+            .iter()
+            .map(|i| i.busy_cycles)
+            .sum::<u64>()
+    };
+    assert_eq!(busy(1), busy(64));
+}
+
+#[test]
+fn pricier_gathers_hurt_sellcs_more() {
+    // Raising the gather price hits both reps equally, but raising the
+    // *load* price hits Sell-C-σ (which streams val) harder than
+    // SlimSell — the §IV-A3 bandwidth argument.
+    let g = kronecker(9, 16.0, KroneckerParams::GRAPH500, 11);
+    let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
+    let n = g.num_vertices();
+    let slim = SlimSellMatrix::<32>::build(&g, n);
+    let sell = SellCSigma::<32>::build(&g, n, TropicalSemiring::PAD);
+    let run = |cost: CostModel| {
+        let cfg = SimtConfig { cost, ..Default::default() };
+        let a = run_simt_bfs::<_, TropicalSemiring, 32>(&slim, root, &cfg, &SimtOptions::default());
+        let b = run_simt_bfs::<_, TropicalSemiring, 32>(&sell, root, &cfg, &SimtOptions::default());
+        (a.total_cycles(), b.total_cycles())
+    };
+    let cheap_loads = CostModel { load: 1, ..CostModel::DEFAULT };
+    let dear_loads = CostModel { load: 16, ..CostModel::DEFAULT };
+    let (slim_cheap, sell_cheap) = run(cheap_loads);
+    let (slim_dear, sell_dear) = run(dear_loads);
+    let adv_cheap = sell_cheap as f64 / slim_cheap as f64;
+    let adv_dear = sell_dear as f64 / slim_dear as f64;
+    assert!(adv_dear > adv_cheap, "SlimSell advantage {adv_dear} !> {adv_cheap} when loads get dearer");
+}
