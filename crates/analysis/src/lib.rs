@@ -18,6 +18,6 @@ pub mod report;
 pub mod work;
 
 pub use amortize::{amortization_table, runs_to_amortize};
-pub use bounds::{er_max_degree_bound, powerlaw_max_degree_bound, estimate_powerlaw_exponent};
+pub use bounds::{er_max_degree_bound, estimate_powerlaw_exponent, powerlaw_max_degree_bound};
 pub use padding::{padding_bound_full_sort, padding_full_sort, padding_unsorted};
 pub use work::{table2_rows, work_bound_general, WorkBound};

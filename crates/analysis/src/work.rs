@@ -52,7 +52,13 @@ impl WorkBound {
 }
 
 /// Evaluates the general bound from run statistics and graph numbers.
-pub fn work_bound_general(n: usize, m: usize, c: usize, max_degree: usize, stats: &RunStats) -> WorkBound {
+pub fn work_bound_general(
+    n: usize,
+    m: usize,
+    c: usize,
+    max_degree: usize,
+    stats: &RunStats,
+) -> WorkBound {
     WorkBound { n, m, d: stats.num_iterations(), c, max_degree }
 }
 
@@ -70,17 +76,61 @@ pub struct Table2Row {
 /// The rows of Table II, each mapped to its implementation here.
 pub fn table2_rows() -> &'static [Table2Row] {
     const ROWS: &[Table2Row] = &[
-        Table2Row { scheme: "Traditional BFS (textbook)", work: "O(n + m)", implemented_as: "slimsell_graph::serial_bfs" },
-        Table2Row { scheme: "Traditional BFS (bag/queue-based)", work: "O(n + m)", implemented_as: "slimsell_baseline::trad_bfs" },
-        Table2Row { scheme: "Traditional BFS (direction-inversion)", work: "O(Dn + Dm)", implemented_as: "slimsell_baseline::dirop_bfs" },
-        Table2Row { scheme: "BFS-SpMV (textbook, dense matrix)", work: "O(Dn^2)", implemented_as: "(analytic only: dense MV row)" },
-        Table2Row { scheme: "BFS-SpMV (sparse)", work: "O(Dn + Dm)", implemented_as: "slimsell_core::BfsEngine (no SlimWork)" },
-        Table2Row { scheme: "BFS SpMSpV (merge sort)", work: "O(n + m log m)", implemented_as: "slimsell_baseline::spmspv_bfs(MergeSort)" },
-        Table2Row { scheme: "BFS SpMSpV (radix sort)", work: "O(n + x m)", implemented_as: "slimsell_baseline::spmspv_bfs(RadixSort)" },
-        Table2Row { scheme: "BFS SpMSpV (no sort)", work: "O(n + m)", implemented_as: "slimsell_baseline::spmspv_bfs(NoSort)" },
-        Table2Row { scheme: "This work (max degree rho^)", work: "O(Dn + Dm + DC*rho^)", implemented_as: "slimsell_core::BfsEngine + SlimSell" },
-        Table2Row { scheme: "This work (Erdos-Renyi)", work: "Eq. (1): O(Dn + Dm + DC log n)", implemented_as: "slimsell_analysis::bounds::eq1" },
-        Table2Row { scheme: "This work (power-law)", work: "Eq. (2): O(Dn + Dm + DC(a n log n)^(1/(b-1)))", implemented_as: "slimsell_analysis::bounds::eq2" },
+        Table2Row {
+            scheme: "Traditional BFS (textbook)",
+            work: "O(n + m)",
+            implemented_as: "slimsell_graph::serial_bfs",
+        },
+        Table2Row {
+            scheme: "Traditional BFS (bag/queue-based)",
+            work: "O(n + m)",
+            implemented_as: "slimsell_baseline::trad_bfs",
+        },
+        Table2Row {
+            scheme: "Traditional BFS (direction-inversion)",
+            work: "O(Dn + Dm)",
+            implemented_as: "slimsell_baseline::dirop_bfs",
+        },
+        Table2Row {
+            scheme: "BFS-SpMV (textbook, dense matrix)",
+            work: "O(Dn^2)",
+            implemented_as: "(analytic only: dense MV row)",
+        },
+        Table2Row {
+            scheme: "BFS-SpMV (sparse)",
+            work: "O(Dn + Dm)",
+            implemented_as: "slimsell_core::BfsEngine (no SlimWork)",
+        },
+        Table2Row {
+            scheme: "BFS SpMSpV (merge sort)",
+            work: "O(n + m log m)",
+            implemented_as: "slimsell_baseline::spmspv_bfs(MergeSort)",
+        },
+        Table2Row {
+            scheme: "BFS SpMSpV (radix sort)",
+            work: "O(n + x m)",
+            implemented_as: "slimsell_baseline::spmspv_bfs(RadixSort)",
+        },
+        Table2Row {
+            scheme: "BFS SpMSpV (no sort)",
+            work: "O(n + m)",
+            implemented_as: "slimsell_baseline::spmspv_bfs(NoSort)",
+        },
+        Table2Row {
+            scheme: "This work (max degree rho^)",
+            work: "O(Dn + Dm + DC*rho^)",
+            implemented_as: "slimsell_core::BfsEngine + SlimSell",
+        },
+        Table2Row {
+            scheme: "This work (Erdos-Renyi)",
+            work: "Eq. (1): O(Dn + Dm + DC log n)",
+            implemented_as: "slimsell_analysis::bounds::eq1",
+        },
+        Table2Row {
+            scheme: "This work (power-law)",
+            work: "Eq. (2): O(Dn + Dm + DC(a n log n)^(1/(b-1)))",
+            implemented_as: "slimsell_analysis::bounds::eq2",
+        },
     ];
     ROWS
 }
@@ -107,7 +157,8 @@ mod tests {
             let root = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap();
             let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
             for opts in [BfsOptions::default(), BfsOptions::plain()] {
-                let out = BfsEngine::run::<_, slimsell_core::TropicalSemiring, 8>(&slim, root, &opts);
+                let out =
+                    BfsEngine::run::<_, slimsell_core::TropicalSemiring, 8>(&slim, root, &opts);
                 let wb = work_bound_general(s.n, s.m, 8, s.max_degree, &out.stats);
                 assert!(
                     wb.holds_for(&out.stats),

@@ -85,8 +85,8 @@ impl DenseBfs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slimsell_graph::{serial_bfs, GraphBuilder};
     use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+    use slimsell_graph::{serial_bfs, GraphBuilder};
 
     #[test]
     fn matches_serial() {
@@ -113,7 +113,12 @@ mod tests {
         let dense = DenseBfs::new(&g).run(root);
         let sparse = crate::trad::trad_bfs(&g, root);
         assert_eq!(dense.dist, sparse.dist);
-        assert!(dense.cells > 20 * sparse.edges_scanned, "dense {} vs sparse {}", dense.cells, sparse.edges_scanned);
+        assert!(
+            dense.cells > 20 * sparse.edges_scanned,
+            "dense {} vs sparse {}",
+            dense.cells,
+            sparse.edges_scanned
+        );
     }
 
     #[test]

@@ -84,10 +84,13 @@ pub fn dirop_bfs(g: &CsrGraph, root: VertexId, opts: &DirOptBfsOptions) -> TradO
                         (acc, cnt)
                     },
                 )
-                .reduce(|| (Vec::new(), 0), |(mut a, ca), (b, cb)| {
-                    a.extend_from_slice(&b);
-                    (a, ca + cb)
-                });
+                .reduce(
+                    || (Vec::new(), 0),
+                    |(mut a, ca), (b, cb)| {
+                        a.extend_from_slice(&b);
+                        (a, ca + cb)
+                    },
+                );
             next = nx;
             scanned = sc;
         } else {
@@ -101,7 +104,12 @@ pub fn dirop_bfs(g: &CsrGraph, root: VertexId, opts: &DirOptBfsOptions) -> TradO
                             cnt += 1;
                             if parent_ref[w as usize].load(Ordering::Relaxed) == UNREACHABLE
                                 && parent_ref[w as usize]
-                                    .compare_exchange(UNREACHABLE, v, Ordering::Relaxed, Ordering::Relaxed)
+                                    .compare_exchange(
+                                        UNREACHABLE,
+                                        v,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    )
                                     .is_ok()
                             {
                                 acc.push(w);
@@ -110,10 +118,13 @@ pub fn dirop_bfs(g: &CsrGraph, root: VertexId, opts: &DirOptBfsOptions) -> TradO
                         (acc, cnt)
                     },
                 )
-                .reduce(|| (Vec::new(), 0), |(mut a, ca), (b, cb)| {
-                    a.extend_from_slice(&b);
-                    (a, ca + cb)
-                });
+                .reduce(
+                    || (Vec::new(), 0),
+                    |(mut a, ca), (b, cb)| {
+                        a.extend_from_slice(&b);
+                        (a, ca + cb)
+                    },
+                );
             next = nx;
             scanned = sc;
         }
@@ -133,8 +144,8 @@ pub fn dirop_bfs(g: &CsrGraph, root: VertexId, opts: &DirOptBfsOptions) -> TradO
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slimsell_graph::{serial_bfs, validate_parents, GraphBuilder};
     use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+    use slimsell_graph::{serial_bfs, validate_parents, GraphBuilder};
 
     #[test]
     fn matches_serial_on_kronecker() {

@@ -134,8 +134,8 @@ fn radix_sort_u32(data: &mut Vec<VertexId>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slimsell_graph::{serial_bfs, GraphBuilder};
     use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+    use slimsell_graph::{serial_bfs, GraphBuilder};
 
     #[test]
     fn all_variants_match_serial() {

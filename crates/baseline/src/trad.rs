@@ -59,7 +59,12 @@ pub fn trad_bfs(g: &CsrGraph, root: VertexId) -> TradOutput {
                         // Graph500 trick: test before the atomic claim.
                         if parent[w as usize].load(Ordering::Relaxed) == UNREACHABLE
                             && parent[w as usize]
-                                .compare_exchange(UNREACHABLE, v, Ordering::Relaxed, Ordering::Relaxed)
+                                .compare_exchange(
+                                    UNREACHABLE,
+                                    v,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                )
                                 .is_ok()
                         {
                             acc.push(w);
@@ -90,8 +95,8 @@ pub fn trad_bfs(g: &CsrGraph, root: VertexId) -> TradOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slimsell_graph::{serial_bfs, validate_parents, GraphBuilder};
     use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+    use slimsell_graph::{serial_bfs, validate_parents, GraphBuilder};
 
     #[test]
     fn matches_serial_on_sample() {

@@ -25,7 +25,13 @@ fn bench_fig1(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("trad_bfs", |b| b.iter(|| black_box(trad_bfs(&g, root))));
     group.bench_function("slimsell_spmv_tropical", |b| {
-        b.iter(|| black_box(BfsEngine::run::<_, TropicalSemiring, 16>(&slim, root, &BfsOptions::default())))
+        b.iter(|| {
+            black_box(BfsEngine::run::<_, TropicalSemiring, 16>(
+                &slim,
+                root,
+                &BfsOptions::default(),
+            ))
+        })
     });
     group.bench_function("slimsell_diropt", |b| {
         b.iter(|| black_box(run_diropt(&slim, root, &DirOptOptions::default())))
@@ -42,7 +48,13 @@ fn bench_fig5_sigma(c: &mut Criterion) {
     for sigma in [1usize, 64, n] {
         let slim = SlimSellMatrix::<8>::build(&g, sigma);
         group.bench_function(format!("tropical/sigma={sigma}"), |b| {
-            b.iter(|| black_box(BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &BfsOptions::default())))
+            b.iter(|| {
+                black_box(BfsEngine::run::<_, TropicalSemiring, 8>(
+                    &slim,
+                    root,
+                    &BfsOptions::default(),
+                ))
+            })
         });
     }
     group.finish();
@@ -55,10 +67,14 @@ fn bench_fig5d_slimwork(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5d_slimwork");
     group.sample_size(10);
     group.bench_function("with_slimwork", |b| {
-        b.iter(|| black_box(BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &BfsOptions::default())))
+        b.iter(|| {
+            black_box(BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &BfsOptions::default()))
+        })
     });
     group.bench_function("without_slimwork", |b| {
-        b.iter(|| black_box(BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &BfsOptions::plain())))
+        b.iter(|| {
+            black_box(BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &BfsOptions::plain()))
+        })
     });
     group.finish();
 }
@@ -71,7 +87,9 @@ fn bench_fig9(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("trad_bfs", |b| b.iter(|| black_box(trad_bfs(&g, root))));
     group.bench_function("slimsell_selmax", |b| {
-        b.iter(|| black_box(BfsEngine::run::<_, SelMaxSemiring, 16>(&slim, root, &BfsOptions::default())))
+        b.iter(|| {
+            black_box(BfsEngine::run::<_, SelMaxSemiring, 16>(&slim, root, &BfsOptions::default()))
+        })
     });
     group.finish();
 }
@@ -81,10 +99,21 @@ fn bench_prep(c: &mut Criterion) {
     let n = g.num_vertices();
     let mut group = c.benchmark_group("prep_build");
     group.sample_size(10);
-    group.bench_function("build_sigma_1", |b| b.iter(|| black_box(SlimSellMatrix::<8>::build(&g, 1))));
-    group.bench_function("build_sigma_n", |b| b.iter(|| black_box(SlimSellMatrix::<8>::build(&g, n))));
+    group.bench_function("build_sigma_1", |b| {
+        b.iter(|| black_box(SlimSellMatrix::<8>::build(&g, 1)))
+    });
+    group.bench_function("build_sigma_n", |b| {
+        b.iter(|| black_box(SlimSellMatrix::<8>::build(&g, n)))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_fig1, bench_fig5_sigma, bench_fig5d_slimwork, bench_fig9, bench_prep);
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig5_sigma,
+    bench_fig5d_slimwork,
+    bench_fig9,
+    bench_prep
+);
 criterion_main!(benches);

@@ -12,7 +12,9 @@ use std::hint::black_box;
 use criterion::{criterion_group, criterion_main, Criterion};
 use slimsell_core::chunk_mv;
 use slimsell_core::matrix::{ChunkMatrix, SellCSigma, SlimSellMatrix};
-use slimsell_core::semiring::{BooleanSemiring, RealSemiring, SelMaxSemiring, Semiring, TropicalSemiring};
+use slimsell_core::semiring::{
+    BooleanSemiring, RealSemiring, SelMaxSemiring, Semiring, TropicalSemiring,
+};
 use slimsell_gen::kronecker::{kronecker, KroneckerParams};
 use slimsell_graph::CsrGraph;
 

@@ -47,6 +47,8 @@ fn print_help() {
     println!("repro — regenerate the SlimSell paper's tables and figures");
     println!("usage: repro <experiment> [--key value]...");
     println!("experiments: {}", experiments::EXPERIMENTS.join(", "));
-    println!("options: --scale-log2 N  --rho X  --seed S  --runs K  --scale-shift N  --results-dir D");
+    println!(
+        "options: --scale-log2 N  --rho X  --seed S  --runs K  --scale-shift N  --results-dir D"
+    );
     println!("see DESIGN.md section 4 for the experiment-to-paper mapping");
 }

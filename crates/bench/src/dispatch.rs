@@ -7,7 +7,9 @@
 //! without rebuilding.
 
 use slimsell_core::matrix::{ChunkMatrix, SellCSigma, SlimSellMatrix};
-use slimsell_core::semiring::{BooleanSemiring, RealSemiring, SelMaxSemiring, Semiring, TropicalSemiring};
+use slimsell_core::semiring::{
+    BooleanSemiring, RealSemiring, SelMaxSemiring, Semiring, TropicalSemiring,
+};
 use slimsell_core::{BfsEngine, BfsOptions, BfsOutput};
 use slimsell_graph::{CsrGraph, VertexId};
 use slimsell_simt::{run_simt_bfs, SimtBfsReport, SimtConfig, SimtOptions};
@@ -65,9 +67,15 @@ impl SemiringKind {
     }
 }
 
+/// Boxed BFS entry point captured over a prepared matrix.
+type BfsRunner = Box<dyn Fn(VertexId, &BfsOptions) -> BfsOutput + Send + Sync>;
+
+/// Boxed simulated-BFS entry point captured over a prepared matrix.
+type SimtRunner = Box<dyn Fn(VertexId, &SimtOptions) -> SimtBfsReport + Send + Sync>;
+
 /// A built matrix + engine configuration, ready to run from any root.
 pub struct Prepared {
-    runner: Box<dyn Fn(VertexId, &BfsOptions) -> BfsOutput + Send + Sync>,
+    runner: BfsRunner,
     storage_cells: usize,
     padding_cells: usize,
     num_chunks: usize,
@@ -103,7 +111,9 @@ macro_rules! prep_arm {
                 let (cells, pad, nc) =
                     (m.storage_cells(), m.structure().padding_cells(), m.structure().num_chunks());
                 Prepared {
-                    runner: Box::new(move |root, opts| BfsEngine::run::<_, $sem, $c>(&m, root, opts)),
+                    runner: Box::new(move |root, opts| {
+                        BfsEngine::run::<_, $sem, $c>(&m, root, opts)
+                    }),
                     storage_cells: cells,
                     padding_cells: pad,
                     num_chunks: nc,
@@ -114,7 +124,9 @@ macro_rules! prep_arm {
                 let (cells, pad, nc) =
                     (m.storage_cells(), m.structure().padding_cells(), m.structure().num_chunks());
                 Prepared {
-                    runner: Box::new(move |root, opts| BfsEngine::run::<_, $sem, $c>(&m, root, opts)),
+                    runner: Box::new(move |root, opts| {
+                        BfsEngine::run::<_, $sem, $c>(&m, root, opts)
+                    }),
                     storage_cells: cells,
                     padding_cells: pad,
                     num_chunks: nc,
@@ -152,7 +164,7 @@ pub fn prepare(g: &CsrGraph, c: usize, sigma: usize, rep: RepKind, sem: Semiring
 
 /// A prepared SIMT (GPU-model) configuration; warp width is fixed at 32.
 pub struct PreparedSimt {
-    runner: Box<dyn Fn(VertexId, &SimtOptions) -> SimtBfsReport + Send + Sync>,
+    runner: SimtRunner,
 }
 
 impl PreparedSimt {
@@ -176,13 +188,17 @@ pub fn prepare_simt(
                 RepKind::SlimSell => {
                     let m = SlimSellMatrix::<32>::build(g, sigma);
                     PreparedSimt {
-                        runner: Box::new(move |root, opts| run_simt_bfs::<_, $sem, 32>(&m, root, &cfg, opts)),
+                        runner: Box::new(move |root, opts| {
+                            run_simt_bfs::<_, $sem, 32>(&m, root, &cfg, opts)
+                        }),
                     }
                 }
                 RepKind::SellCSigma => {
                     let m = SellCSigma::<32>::build(g, sigma, <$sem>::PAD);
                     PreparedSimt {
-                        runner: Box::new(move |root, opts| run_simt_bfs::<_, $sem, 32>(&m, root, &cfg, opts)),
+                        runner: Box::new(move |root, opts| {
+                            run_simt_bfs::<_, $sem, 32>(&m, root, &cfg, opts)
+                        }),
                     }
                 }
             }

@@ -37,8 +37,14 @@ fn tile_width(ctx: &ExpContext) -> Result<(), String> {
     let p = prepare_simt(&g, n, RepKind::SlimSell, SemiringKind::Tropical, SimtConfig::default());
     let mut t = TextTable::new(["tile width", "total cycles", "max imbalance"]);
     let baseline = p.run(root, &SimtOptions { slimchunk: None, slimwork: true });
-    let imb = |r: &slimsell_simt::SimtBfsReport| r.iters.iter().map(|i| i.imbalance).fold(0.0f64, f64::max);
-    t.row(["none".to_string(), baseline.total_cycles().to_string(), format!("{:.1}", imb(&baseline))]);
+    let imb = |r: &slimsell_simt::SimtBfsReport| {
+        r.iters.iter().map(|i| i.imbalance).fold(0.0f64, f64::max)
+    };
+    t.row([
+        "none".to_string(),
+        baseline.total_cycles().to_string(),
+        format!("{:.1}", imb(&baseline)),
+    ]);
     for tile in [1usize, 2, 4, 8, 16, 32, 64, 256] {
         let r = p.run(root, &SimtOptions { slimchunk: Some(tile), slimwork: true });
         t.row([tile.to_string(), r.total_cycles().to_string(), format!("{:.1}", imb(&r))]);
@@ -94,7 +100,12 @@ fn gather_cost(ctx: &ExpContext) -> Result<(), String> {
     let g = kron_graph(ctx);
     let n = g.num_vertices();
     let root = roots(&g, 1)[0];
-    let mut t = TextTable::new(["load cost [cyc]", "SlimSell [cyc]", "Sell-C-sigma [cyc]", "Slim advantage"]);
+    let mut t = TextTable::new([
+        "load cost [cyc]",
+        "SlimSell [cyc]",
+        "Sell-C-sigma [cyc]",
+        "Slim advantage",
+    ]);
     for load in [1u64, 2, 4, 8, 16] {
         let cost = CostModel { load, ..CostModel::DEFAULT };
         let cfg = SimtConfig { cost, ..Default::default() };
@@ -109,7 +120,11 @@ fn gather_cost(ctx: &ExpContext) -> Result<(), String> {
             format!("{:.3}", sell.total_cycles() as f64 / slim.total_cycles() as f64),
         ]);
     }
-    ctx.emit("ablate_gather", "Ablation: memory-cost sensitivity of SlimSell vs Sell-C-sigma (GPU-sim)", &t);
+    ctx.emit(
+        "ablate_gather",
+        "Ablation: memory-cost sensitivity of SlimSell vs Sell-C-sigma (GPU-sim)",
+        &t,
+    );
     Ok(())
 }
 
@@ -119,7 +134,13 @@ fn simd_efficiency(ctx: &ExpContext) -> Result<(), String> {
     let root = roots(&g, 1)[0];
     let mut t = TextTable::new(["log2(sigma)", "SIMD efficiency (iter 0)", "padding cells"]);
     for sigma in sigma_sweep(n) {
-        let p = prepare_simt(&g, sigma, RepKind::SlimSell, SemiringKind::Tropical, SimtConfig::default());
+        let p = prepare_simt(
+            &g,
+            sigma,
+            RepKind::SlimSell,
+            SemiringKind::Tropical,
+            SimtConfig::default(),
+        );
         let r = p.run(root, &SimtOptions { slimwork: false, slimchunk: None });
         let pad = prepare(&g, 32, sigma, RepKind::SlimSell, SemiringKind::Tropical).padding_cells();
         t.row([

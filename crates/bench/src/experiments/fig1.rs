@@ -52,7 +52,12 @@ pub fn run(ctx: &ExpContext) -> Result<(), String> {
             format!("{i}"),
             trad.level_times.get(i).map(|d| fmt_secs(d.as_secs_f64())).unwrap_or_default(),
             spmv.stats.iters.get(i).map(|s| fmt_secs(s.elapsed.as_secs_f64())).unwrap_or_default(),
-            dir.bfs.stats.iters.get(i).map(|s| fmt_secs(s.elapsed.as_secs_f64())).unwrap_or_default(),
+            dir.bfs
+                .stats
+                .iters
+                .get(i)
+                .map(|s| fmt_secs(s.elapsed.as_secs_f64()))
+                .unwrap_or_default(),
             dir.modes.get(i).map(|m| format!("{m:?}")).unwrap_or_default(),
             spmv.stats.iters.get(i).map(|s| s.chunks_skipped.to_string()).unwrap_or_default(),
         ]);

@@ -25,12 +25,19 @@ pub fn run(ctx: &ExpContext) -> Result<(), String> {
     let scale = ctx.args.get("scale-log2", 14u32);
     let ghz = ctx.args.get("gpu-ghz", 0.82f64);
     let cycles_per_sec = ghz * 1e9;
-    let rhos: [f64; 3] = if ctx.args.has("paper-rhos") { [128.0, 256.0, 512.0] } else { [16.0, 32.0, 64.0] };
+    let rhos: [f64; 3] =
+        if ctx.args.has("paper-rhos") { [128.0, 256.0, 512.0] } else { [16.0, 32.0, 64.0] };
     for (idx, rho) in rhos.into_iter().enumerate() {
         let g = kron_at(scale, rho, ctx.seed());
         let root = roots(&g, 1)[0];
         let trad = trad_bfs(&g, root);
-        let p = prepare_simt(&g, g.num_vertices(), RepKind::SlimSell, SemiringKind::Tropical, SimtConfig::default());
+        let p = prepare_simt(
+            &g,
+            g.num_vertices(),
+            RepKind::SlimSell,
+            SemiringKind::Tropical,
+            SimtConfig::default(),
+        );
         let sim = p.run(root, &SimtOptions::default());
         assert_eq!(sim.dist, trad.dist, "GPU-sim output diverged from Trad-BFS");
 
@@ -46,7 +53,10 @@ pub fn run(ctx: &ExpContext) -> Result<(), String> {
                 format!("{i}"),
                 trad.level_times.get(i).map(|d| fmt_secs(d.as_secs_f64())).unwrap_or_default(),
                 sim.iters.get(i).map(|s| s.cycles.to_string()).unwrap_or_default(),
-                sim.iters.get(i).map(|s| fmt_secs(s.cycles as f64 / cycles_per_sec)).unwrap_or_default(),
+                sim.iters
+                    .get(i)
+                    .map(|s| fmt_secs(s.cycles as f64 / cycles_per_sec))
+                    .unwrap_or_default(),
             ]);
         }
         ctx.emit(

@@ -33,9 +33,13 @@ pub enum Variant {
 /// σ-sweep over the four semirings (panels a–c).
 pub fn run_sigma_sweep(ctx: &ExpContext, variant: Variant) -> Result<(), String> {
     let (g, with_dp, schedule, name, title) = match variant {
-        Variant::KroneckerDpStatic => {
-            (kron_graph(ctx), true, Schedule::Static, "fig5a", "Figure 5a: Kronecker, DP, omp-s (C=8)")
-        }
+        Variant::KroneckerDpStatic => (
+            kron_graph(ctx),
+            true,
+            Schedule::Static,
+            "fig5a",
+            "Figure 5a: Kronecker, DP, omp-s (C=8)",
+        ),
         Variant::KroneckerNoDpDynamic => (
             kron_graph(ctx),
             false,
@@ -43,19 +47,29 @@ pub fn run_sigma_sweep(ctx: &ExpContext, variant: Variant) -> Result<(), String>
             "fig5b",
             "Figure 5b: Kronecker, No-DP, omp-d (C=8)",
         ),
-        Variant::ErdosRenyiDpDynamic => {
-            (er_graph(ctx), true, Schedule::Dynamic, "fig5c", "Figure 5c: Erdos-Renyi, DP, omp-d (C=8)")
-        }
+        Variant::ErdosRenyiDpDynamic => (
+            er_graph(ctx),
+            true,
+            Schedule::Dynamic,
+            "fig5c",
+            "Figure 5c: Erdos-Renyi, DP, omp-d (C=8)",
+        ),
     };
     let n = g.num_vertices();
     let rts = roots(&g, 2);
     let runs = ctx.runs();
     let opts = BfsOptions { schedule, ..Default::default() };
 
-    let mut t = TextTable::new(["log2(sigma)", "boolean [s]", "real [s]", "sel-max [s]", "tropical [s]"]);
+    let mut t =
+        TextTable::new(["log2(sigma)", "boolean [s]", "real [s]", "sel-max [s]", "tropical [s]"]);
     for sigma in sigma_sweep(n) {
         let mut cells = vec![format!("{:.0}", (sigma as f64).log2())];
-        for sem in [SemiringKind::Boolean, SemiringKind::Real, SemiringKind::SelMax, SemiringKind::Tropical] {
+        for sem in [
+            SemiringKind::Boolean,
+            SemiringKind::Real,
+            SemiringKind::SelMax,
+            SemiringKind::Tropical,
+        ] {
             let p = prepare(&g, 8, sigma, RepKind::SlimSell, sem);
             let secs = mean_time(runs, || {
                 for &r in &rts {
@@ -99,7 +113,12 @@ pub fn run_slimwork(ctx: &ExpContext) -> Result<(), String> {
     for i in 0..iters {
         t.row([
             format!("{i}"),
-            without.stats.iters.get(i).map(|s| fmt_secs(s.elapsed.as_secs_f64())).unwrap_or_default(),
+            without
+                .stats
+                .iters
+                .get(i)
+                .map(|s| fmt_secs(s.elapsed.as_secs_f64()))
+                .unwrap_or_default(),
             with.stats.iters.get(i).map(|s| fmt_secs(s.elapsed.as_secs_f64())).unwrap_or_default(),
             with.stats.iters.get(i).map(|s| s.chunks_skipped.to_string()).unwrap_or_default(),
             without.stats.iters.get(i).map(|s| s.cells.to_string()).unwrap_or_default(),

@@ -29,11 +29,21 @@ pub fn run_sigma_sweep(ctx: &ExpContext, erdos: bool) -> Result<(), String> {
     } else {
         ("fig6a", "Figure 6a: GPU-sim, Kronecker, cycles vs sigma (C=32)")
     };
-    let mut t =
-        TextTable::new(["log2(sigma)", "boolean [cyc]", "real [cyc]", "sel-max [cyc]", "tropical [cyc]"]);
+    let mut t = TextTable::new([
+        "log2(sigma)",
+        "boolean [cyc]",
+        "real [cyc]",
+        "sel-max [cyc]",
+        "tropical [cyc]",
+    ]);
     for sigma in sigma_sweep(n) {
         let mut cells = vec![format!("{:.0}", (sigma as f64).log2())];
-        for sem in [SemiringKind::Boolean, SemiringKind::Real, SemiringKind::SelMax, SemiringKind::Tropical] {
+        for sem in [
+            SemiringKind::Boolean,
+            SemiringKind::Real,
+            SemiringKind::SelMax,
+            SemiringKind::Tropical,
+        ] {
             let p = prepare_simt(&g, sigma, RepKind::SlimSell, sem, SimtConfig::default());
             let rep = p.run(root, &default_opts());
             cells.push(format!("{}", rep.total_cycles()));
@@ -50,13 +60,20 @@ pub fn run_per_iteration(ctx: &ExpContext) -> Result<(), String> {
     let sigma = (1usize << 10).min(g.num_vertices());
     let root = roots(&g, 1)[0];
     let mut series = Vec::new();
-    for sem in [SemiringKind::Boolean, SemiringKind::Real, SemiringKind::SelMax, SemiringKind::Tropical] {
+    for sem in
+        [SemiringKind::Boolean, SemiringKind::Real, SemiringKind::SelMax, SemiringKind::Tropical]
+    {
         let p = prepare_simt(&g, sigma, RepKind::SlimSell, sem, SimtConfig::default());
         series.push(p.run(root, &default_opts()).cycle_series());
     }
     let iters = series.iter().map(Vec::len).max().unwrap_or(0);
-    let mut t =
-        TextTable::new(["iteration", "boolean [cyc]", "real [cyc]", "sel-max [cyc]", "tropical [cyc]"]);
+    let mut t = TextTable::new([
+        "iteration",
+        "boolean [cyc]",
+        "real [cyc]",
+        "sel-max [cyc]",
+        "tropical [cyc]",
+    ]);
     for i in 0..iters {
         let mut row = vec![format!("{i}")];
         for s in &series {
@@ -82,7 +99,13 @@ pub fn run_slimchunk_sweep(ctx: &ExpContext) -> Result<(), String> {
         "imbalance (SC)",
     ]);
     for sigma in sigma_sweep(n) {
-        let p = prepare_simt(&g, sigma, RepKind::SlimSell, SemiringKind::Tropical, SimtConfig::default());
+        let p = prepare_simt(
+            &g,
+            sigma,
+            RepKind::SlimSell,
+            SemiringKind::Tropical,
+            SimtConfig::default(),
+        );
         let plain = p.run(root, &SimtOptions { slimchunk: None, slimwork: true });
         let tiled = p.run(root, &SimtOptions { slimchunk: Some(tile), slimwork: true });
         assert_eq!(plain.dist, tiled.dist, "SlimChunk changed the BFS output");
@@ -107,7 +130,8 @@ pub fn run_slimchunk_per_iteration(ctx: &ExpContext) -> Result<(), String> {
     let sigma = (1usize << 10).min(g.num_vertices());
     let root = roots(&g, 1)[0];
     let tile = ctx.args.get("tile", 8usize);
-    let p = prepare_simt(&g, sigma, RepKind::SlimSell, SemiringKind::Tropical, SimtConfig::default());
+    let p =
+        prepare_simt(&g, sigma, RepKind::SlimSell, SemiringKind::Tropical, SimtConfig::default());
     let plain = p.run(root, &SimtOptions { slimchunk: None, slimwork: true });
     let tiled = p.run(root, &SimtOptions { slimchunk: Some(tile), slimwork: true });
     let iters = plain.iters.len().max(tiled.iters.len());

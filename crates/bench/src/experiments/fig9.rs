@@ -40,17 +40,29 @@ pub fn run(ctx: &ExpContext) -> Result<(), String> {
             t.row([
                 format!("{i}"),
                 trad.level_times.get(i).map(|d| fmt_secs(d.as_secs_f64())).unwrap_or_default(),
-                spmv.stats.iters.get(i).map(|s| fmt_secs(s.elapsed.as_secs_f64())).unwrap_or_default(),
+                spmv.stats
+                    .iters
+                    .get(i)
+                    .map(|s| fmt_secs(s.elapsed.as_secs_f64()))
+                    .unwrap_or_default(),
             ]);
         }
         ctx.emit(
             &format!("fig9_{}", ['a', 'b', 'c'][idx]),
-            &format!("Figure 9{}: Trad-BFS vs SlimSell sel-max, n=2^{scale}, rho={rho:.0} (C=16)", ['a', 'b', 'c'][idx]),
+            &format!(
+                "Figure 9{}: Trad-BFS vs SlimSell sel-max, n=2^{scale}, rho={rho:.0} (C=16)",
+                ['a', 'b', 'c'][idx]
+            ),
             &t,
         );
         let tt: f64 = trad.level_times.iter().map(|d| d.as_secs_f64()).sum();
         let ts = spmv.stats.total_time().as_secs_f64();
-        println!("totals: trad {} | slimsell sel-max {} | ratio {:.2}", fmt_secs(tt), fmt_secs(ts), tt / ts);
+        println!(
+            "totals: trad {} | slimsell sel-max {} | ratio {:.2}",
+            fmt_secs(tt),
+            fmt_secs(ts),
+            tt / ts
+        );
     }
     Ok(())
 }

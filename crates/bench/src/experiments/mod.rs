@@ -55,7 +55,9 @@ pub fn run(ctx: &ExpContext) -> Result<(), String> {
             }
             Ok(())
         }
-        other => Err(format!("unknown experiment {other:?}; available: {}", EXPERIMENTS.join(", "))),
+        other => {
+            Err(format!("unknown experiment {other:?}; available: {}", EXPERIMENTS.join(", ")))
+        }
     }
 }
 

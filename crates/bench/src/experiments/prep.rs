@@ -25,7 +25,11 @@ pub fn run(ctx: &ExpContext) -> Result<(), String> {
     let (_, t_build_nosort) = timed(|| SlimSellMatrix::<8>::build(&g, 1));
     let t_sort = (t_build - t_build_nosort).max(0.0);
     let (_, t_bfs) = timed(|| {
-        std::hint::black_box(BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &BfsOptions::default()))
+        std::hint::black_box(BfsEngine::run::<_, TropicalSemiring, 8>(
+            &slim,
+            root,
+            &BfsOptions::default(),
+        ))
     });
 
     let mut t = TextTable::new(["quantity", "value"]);

@@ -29,11 +29,7 @@ pub fn run(ctx: &ExpContext) -> Result<(), String> {
 }
 
 fn with_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("thread pool")
-        .install(f)
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool").install(f)
 }
 
 fn strong(ctx: &ExpContext) -> Result<(), String> {

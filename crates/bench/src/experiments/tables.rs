@@ -18,7 +18,8 @@ use super::{kron_graph, roots};
 pub fn table2(ctx: &ExpContext) -> Result<(), String> {
     let g = kron_graph(ctx);
     let root = roots(&g, 1)[0];
-    let mut t = TextTable::new(["BFS algorithm", "W (paper)", "implemented as", "measured work units"]);
+    let mut t =
+        TextTable::new(["BFS algorithm", "W (paper)", "implemented as", "measured work units"]);
     let trad = trad_bfs(&g, root);
     let spmspv = spmspv_bfs(&g, root, Dedup::NoSort);
     let spmv = prepare(&g, 8, g.num_vertices(), RepKind::SlimSell, SemiringKind::Tropical)
@@ -30,10 +31,17 @@ pub fn table2(ctx: &ExpContext) -> Result<(), String> {
             "Traditional BFS (bag/queue-based)" => format!("{} edges scanned", trad.edges_scanned),
             "BFS SpMSpV (no sort)" => format!("{} candidates", spmspv.candidates),
             "BFS-SpMV (sparse)" => format!("{} cells (no SlimWork)", spmv.stats.total_cells()),
-            "This work (max degree rho^)" => format!("{} cells (SlimWork)", spmv_sw.stats.total_cells()),
+            "This work (max degree rho^)" => {
+                format!("{} cells (SlimWork)", spmv_sw.stats.total_cells())
+            }
             _ => "-".to_string(),
         };
-        t.row([row.scheme.to_string(), row.work.to_string(), row.implemented_as.to_string(), measured]);
+        t.row([
+            row.scheme.to_string(),
+            row.work.to_string(),
+            row.implemented_as.to_string(),
+            measured,
+        ]);
     }
     ctx.emit("table2", "Table II: work complexity of BFS schemes", &t);
     Ok(())
@@ -48,14 +56,20 @@ pub fn table3(ctx: &ExpContext) -> Result<(), String> {
     let cmp = StorageComparison::measure::<8>(&g, n);
     let p = cmp.padding;
     let nc = n.div_ceil(8);
-    let mut t = TextTable::new(["representation", "formula (cells)", "formula value", "measured cells"]);
+    let mut t =
+        TextTable::new(["representation", "formula (cells)", "formula value", "measured cells"]);
     t.row([
         "Sell-C-sigma".into(),
         "2(2m + P) + 2*ceil(n/C)".into(),
         format!("{}", 2 * (2 * m + p) + 2 * nc),
         format!("{}", cmp.sell_c_sigma),
     ]);
-    t.row(["CSR (matrix)".into(), "4m + n".into(), format!("{}", 4 * m + n), format!("{}", cmp.csr)]);
+    t.row([
+        "CSR (matrix)".into(),
+        "4m + n".into(),
+        format!("{}", 4 * m + n),
+        format!("{}", cmp.csr),
+    ]);
     t.row(["AL".into(), "2m + n".into(), format!("{}", 2 * m + n), format!("{}", cmp.al)]);
     t.row([
         "SlimSell".into(),
@@ -79,8 +93,16 @@ pub fn table3(ctx: &ExpContext) -> Result<(), String> {
 pub fn table4(ctx: &ExpContext) -> Result<(), String> {
     let shift = ctx.scale_shift();
     let mut t = TextTable::new([
-        "type", "ID", "paper n", "paper m", "paper rho", "paper D", "standin n", "standin m",
-        "standin rho", "standin D (lb)",
+        "type",
+        "ID",
+        "paper n",
+        "paper m",
+        "paper rho",
+        "paper D",
+        "standin n",
+        "standin m",
+        "standin rho",
+        "standin D (lb)",
     ]);
     for spec in standin_catalog() {
         let g = slimsell_gen::standin(spec.id, shift, ctx.seed());
@@ -98,7 +120,11 @@ pub fn table4(ctx: &ExpContext) -> Result<(), String> {
             format!("{}", s.diameter_lb),
         ]);
     }
-    ctx.emit("table4", &format!("Table IV: real-world graphs (stand-ins at 1/2^{shift} scale)"), &t);
+    ctx.emit(
+        "table4",
+        &format!("Table IV: real-world graphs (stand-ins at 1/2^{shift} scale)"),
+        &t,
+    );
     Ok(())
 }
 
@@ -113,7 +139,12 @@ pub fn table5(ctx: &ExpContext) -> Result<(), String> {
     let mut t = TextTable::new(["sigma", "boolean", "real", "tropical", "sel-max"]);
     for sigma in sigmas {
         let mut cells = vec![format!("2^{}", (sigma as f64).log2() as u32)];
-        for sem in [SemiringKind::Boolean, SemiringKind::Real, SemiringKind::Tropical, SemiringKind::SelMax] {
+        for sem in [
+            SemiringKind::Boolean,
+            SemiringKind::Real,
+            SemiringKind::Tropical,
+            SemiringKind::SelMax,
+        ] {
             let slim = prepare(&g, 8, sigma, RepKind::SlimSell, sem);
             let sell = prepare(&g, 8, sigma, RepKind::SellCSigma, sem);
             let t_slim = mean_time(runs, || {

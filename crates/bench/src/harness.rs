@@ -132,7 +132,8 @@ mod tests {
 
     #[test]
     fn parse_args() {
-        let a = Args::parse(["fig5a", "--scale-log2", "16", "--name", "x"].map(String::from)).unwrap();
+        let a =
+            Args::parse(["fig5a", "--scale-log2", "16", "--name", "x"].map(String::from)).unwrap();
         assert_eq!(a.experiment, "fig5a");
         assert_eq!(a.get("scale-log2", 0u32), 16);
         assert_eq!(a.get_str("name", "y"), "x");
@@ -152,8 +153,10 @@ mod tests {
         let (v, secs) = timed(|| 41 + 1);
         assert_eq!(v, 42);
         assert!(secs >= 0.0);
-        assert!(mean_time(2, || {
-            std::hint::black_box(0);
-        }) >= 0.0);
+        assert!(
+            mean_time(2, || {
+                std::hint::black_box(0);
+            }) >= 0.0
+        );
     }
 }

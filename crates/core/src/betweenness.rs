@@ -172,10 +172,10 @@ where
         let dag = forward_sweep(matrix, src);
         let delta = backward_sweep(matrix, &dag);
         let root_p = s.perm().to_new(src) as usize;
-        for old in 0..n {
+        for (old, b) in bc.iter_mut().enumerate() {
             let v = s.perm().to_new(old as VertexId) as usize;
             if v != root_p && dag.level[v] != u32::MAX {
-                bc[old] += delta[v];
+                *b += delta[v];
             }
         }
     }
@@ -211,7 +211,8 @@ pub fn brandes_reference(g: &slimsell_graph::CsrGraph) -> Vec<f64> {
         let mut delta = vec![0.0f64; n];
         while let Some(w) = stack.pop() {
             for &v in &preds[w as usize] {
-                delta[v as usize] += sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+                delta[v as usize] +=
+                    sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
             }
             if w != s {
                 bc[w as usize] += delta[w as usize];
@@ -225,8 +226,8 @@ pub fn brandes_reference(g: &slimsell_graph::CsrGraph) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::matrix::SlimSellMatrix;
-    use slimsell_graph::{CsrGraph, GraphBuilder};
     use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+    use slimsell_graph::{CsrGraph, GraphBuilder};
 
     fn assert_close(a: &[f64], b: &[f64]) {
         assert_eq!(a.len(), b.len());

@@ -108,7 +108,13 @@ impl BfsEngine {
             let mut it = match opts.slimchunk {
                 None => iterate::<M, S, C>(matrix, &cur, &mut nxt, &mut d, depth as f32, opts),
                 Some(tile_w) => slimchunk::iterate_tiled::<M, S, C>(
-                    matrix, &cur, &mut nxt, &mut d, depth as f32, opts, tile_w,
+                    matrix,
+                    &cur,
+                    &mut nxt,
+                    &mut d,
+                    depth as f32,
+                    opts,
+                    tile_w,
                 ),
             };
             it.elapsed = t0.elapsed();
@@ -125,14 +131,22 @@ impl BfsEngine {
         let dist: Vec<u32> = (0..n)
             .map(|old| {
                 let v = dist_f[perm.to_new(old as VertexId) as usize];
-                if v.is_finite() { v as u32 } else { UNREACHABLE }
+                if v.is_finite() {
+                    v as u32
+                } else {
+                    UNREACHABLE
+                }
             })
             .collect();
         let parent = S::parents(&cur).map(|p| {
             (0..n)
                 .map(|old| {
                     let pv = p[perm.to_new(old as VertexId) as usize];
-                    if pv == 0.0 { UNREACHABLE } else { perm.to_old(pv as VertexId - 1) }
+                    if pv == 0.0 {
+                        UNREACHABLE
+                    } else {
+                        perm.to_old(pv as VertexId - 1)
+                    }
                 })
                 .collect()
         });
@@ -229,8 +243,16 @@ mod tests {
         // Two components; varied degrees.
         GraphBuilder::new(11)
             .edges([
-                (0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (4, 5), (5, 6), (3, 6),
-                (8, 9), (9, 10),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 4),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (3, 6),
+                (8, 9),
+                (9, 10),
             ])
             .build()
     }
@@ -333,9 +355,18 @@ mod tests {
         let slim8 = SlimSellMatrix::<8>::build(&g, 11);
         let slim16 = SlimSellMatrix::<16>::build(&g, 11);
         let slim32 = SlimSellMatrix::<32>::build(&g, 11);
-        assert_eq!(BfsEngine::run::<_, TropicalSemiring, 8>(&slim8, 0, &BfsOptions::default()).dist, reference.dist);
-        assert_eq!(BfsEngine::run::<_, BooleanSemiring, 16>(&slim16, 0, &BfsOptions::default()).dist, reference.dist);
-        assert_eq!(BfsEngine::run::<_, SelMaxSemiring, 32>(&slim32, 0, &BfsOptions::default()).dist, reference.dist);
+        assert_eq!(
+            BfsEngine::run::<_, TropicalSemiring, 8>(&slim8, 0, &BfsOptions::default()).dist,
+            reference.dist
+        );
+        assert_eq!(
+            BfsEngine::run::<_, BooleanSemiring, 16>(&slim16, 0, &BfsOptions::default()).dist,
+            reference.dist
+        );
+        assert_eq!(
+            BfsEngine::run::<_, SelMaxSemiring, 32>(&slim32, 0, &BfsOptions::default()).dist,
+            reference.dist
+        );
     }
 
     #[test]

@@ -45,8 +45,8 @@ where
     // minimum, never gathered).
     let perm = s.perm();
     let mut cur = vec![f32::INFINITY; np];
-    for r in 0..n {
-        cur[r] = (perm.to_old(r as VertexId) + 1) as f32;
+    for (r, c) in cur.iter_mut().enumerate().take(n) {
+        *c = (perm.to_old(r as VertexId) + 1) as f32;
     }
     let mut nxt = cur.clone();
 
@@ -90,8 +90,8 @@ where
 mod tests {
     use super::*;
     use crate::matrix::SlimSellMatrix;
-    use slimsell_graph::GraphBuilder;
     use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+    use slimsell_graph::GraphBuilder;
 
     #[test]
     fn three_components() {

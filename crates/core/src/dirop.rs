@@ -62,7 +62,11 @@ pub struct DirOptOutput {
 }
 
 /// Runs direction-optimized BFS (tropical semiring) from `root`.
-pub fn run_diropt<M, const C: usize>(matrix: &M, root: VertexId, opts: &DirOptOptions) -> DirOptOutput
+pub fn run_diropt<M, const C: usize>(
+    matrix: &M,
+    root: VertexId,
+    opts: &DirOptOptions,
+) -> DirOptOutput
 where
     M: ChunkMatrix<C>,
 {
@@ -90,8 +94,12 @@ where
         depth += 1;
         // Heuristic switch.
         mode = match mode {
-            StepMode::TopDown if frontier_edges as f64 > m2 as f64 / opts.alpha => StepMode::BottomUp,
-            StepMode::BottomUp if (frontier.len() as f64) < n as f64 / opts.beta => StepMode::TopDown,
+            StepMode::TopDown if frontier_edges as f64 > m2 as f64 / opts.alpha => {
+                StepMode::BottomUp
+            }
+            StepMode::BottomUp if (frontier.len() as f64) < n as f64 / opts.beta => {
+                StepMode::TopDown
+            }
             m => m,
         };
         modes.push(mode);
@@ -121,7 +129,8 @@ where
                 });
             }
             StepMode::BottomUp => {
-                let mut it = iterate::<M, S, C>(matrix, &cur, &mut nxt, &mut d, depth as f32, &opts.spmv);
+                let mut it =
+                    iterate::<M, S, C>(matrix, &cur, &mut nxt, &mut d, depth as f32, &opts.spmv);
                 // Recover the new frontier (changed entries) for the
                 // heuristic and a possible switch back to top-down.
                 let mut next = Vec::new();
@@ -144,7 +153,11 @@ where
     let dist: Vec<u32> = (0..n)
         .map(|old| {
             let v = cur.x[perm.to_new(old as VertexId) as usize];
-            if v.is_finite() { v as u32 } else { UNREACHABLE }
+            if v.is_finite() {
+                v as u32
+            } else {
+                UNREACHABLE
+            }
         })
         .collect();
     DirOptOutput { bfs: BfsOutput { dist, parent: None, stats }, modes }
@@ -154,8 +167,8 @@ where
 mod tests {
     use super::*;
     use crate::matrix::SlimSellMatrix;
-    use slimsell_graph::{serial_bfs, GraphBuilder};
     use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+    use slimsell_graph::{serial_bfs, GraphBuilder};
 
     #[test]
     fn matches_reference_on_path() {
@@ -192,7 +205,8 @@ mod tests {
         let opts = DirOptOptions { alpha: 0.0, beta: f64::INFINITY, ..Default::default() };
         let always_td = run_diropt(&slim, root, &opts);
         // alpha = ∞ ⇒ threshold 0 ⇒ immediate bottom-up; beta = ∞ keeps it.
-        let opts = DirOptOptions { alpha: f64::INFINITY, beta: f64::INFINITY, ..Default::default() };
+        let opts =
+            DirOptOptions { alpha: f64::INFINITY, beta: f64::INFINITY, ..Default::default() };
         let always_bu = run_diropt(&slim, root, &opts);
         assert_eq!(always_td.bfs.dist, always_bu.bfs.dist);
         assert!(always_bu.modes.iter().all(|&m| m == StepMode::BottomUp));

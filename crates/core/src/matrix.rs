@@ -85,7 +85,11 @@ impl<const C: usize> ChunkMatrix<C> for SellCSigma<C> {
 
     #[inline(always)]
     fn vals(&self, index: usize, _cols: SimdI32<C>, pad: f32) -> SimdF32<C> {
-        debug_assert_eq!(pad.to_bits(), self.pad.to_bits(), "Sell-C-σ built for a different semiring");
+        debug_assert_eq!(
+            pad.to_bits(),
+            self.pad.to_bits(),
+            "Sell-C-σ built for a different semiring"
+        );
         SimdF32::load(&self.val[index..])
     }
 
@@ -166,7 +170,11 @@ mod tests {
                     let cols = SimdI32::<4>::load(&s.col()[index..]);
                     let a = sell.vals(index, cols, pad);
                     let b = slim.vals(index, cols, pad);
-                    assert_eq!(a.0.map(f32::to_bits), b.0.map(f32::to_bits), "chunk {i} index {index}");
+                    assert_eq!(
+                        a.0.map(f32::to_bits),
+                        b.0.map(f32::to_bits),
+                        "chunk {i} index {index}"
+                    );
                     index += 4;
                 }
             }

@@ -96,7 +96,11 @@ where
             (0..n)
                 .map(|old| {
                     let v = cur[perm.to_new(old as VertexId) as usize * B + b];
-                    if v.is_finite() { v as u32 } else { UNREACHABLE }
+                    if v.is_finite() {
+                        v as u32
+                    } else {
+                        UNREACHABLE
+                    }
                 })
                 .collect()
         })
@@ -108,8 +112,8 @@ where
 mod tests {
     use super::*;
     use crate::matrix::SlimSellMatrix;
-    use slimsell_graph::{serial_bfs, GraphBuilder};
     use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+    use slimsell_graph::{serial_bfs, GraphBuilder};
 
     #[test]
     fn matches_independent_bfs() {

@@ -71,7 +71,9 @@ where
         iterations += 1;
         // Dangling vertices spread their mass uniformly.
         let dangling: f32 = (0..n).filter(|&v| deg[v] == 0.0).map(|v| x[v]).sum();
-        y.par_iter_mut().zip(x.par_iter().zip(inv_deg.par_iter())).for_each(|(y, (&x, &i))| *y = x * i);
+        y.par_iter_mut()
+            .zip(x.par_iter().zip(inv_deg.par_iter()))
+            .for_each(|(y, (&x, &i))| *y = x * i);
         let base_mass = (1.0 - d) / n as f32 + d * dangling / n as f32;
         let y_ref = &y;
         nxt.par_chunks_mut(C).enumerate().for_each(|(i, out)| {
@@ -115,15 +117,16 @@ where
 mod tests {
     use super::*;
     use crate::matrix::SlimSellMatrix;
-    use slimsell_graph::{CsrGraph, GraphBuilder};
     use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+    use slimsell_graph::{CsrGraph, GraphBuilder};
 
     fn reference_pagerank(g: &CsrGraph, opts: &PageRankOptions) -> Vec<f32> {
         let n = g.num_vertices();
         let d = opts.damping;
         let mut x = vec![1.0 / n as f32; n];
         for _ in 0..opts.max_iterations {
-            let dangling: f32 = (0..n as u32).filter(|&v| g.degree(v) == 0).map(|v| x[v as usize]).sum();
+            let dangling: f32 =
+                (0..n as u32).filter(|&v| g.degree(v) == 0).map(|v| x[v as usize]).sum();
             let mut nxt = vec![(1.0 - d) / n as f32 + d * dangling / n as f32; n];
             for v in 0..n as u32 {
                 let share = x[v as usize] / g.degree(v).max(1) as f32;
@@ -192,7 +195,10 @@ mod tests {
     fn sorting_scope_does_not_change_scores() {
         let g = kronecker(7, 4.0, KroneckerParams::GRAPH500, 8);
         let a = pagerank(&SlimSellMatrix::<4>::build(&g, 1), &PageRankOptions::default());
-        let b = pagerank(&SlimSellMatrix::<4>::build(&g, g.num_vertices()), &PageRankOptions::default());
+        let b = pagerank(
+            &SlimSellMatrix::<4>::build(&g, g.num_vertices()),
+            &PageRankOptions::default(),
+        );
         assert_close(&a.scores, &b.scores, 1e-5);
     }
 }

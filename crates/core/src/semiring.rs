@@ -93,7 +93,13 @@ pub trait Semiring: Copy + Send + Sync + 'static {
     /// the semiring actually reads need copying; the default copies
     /// everything.
     #[inline]
-    fn copy_forward(cur: &StateVecs, base: usize, nxt_x: &mut [f32], nxt_g: &mut [f32], nxt_p: &mut [f32]) {
+    fn copy_forward(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &mut [f32],
+        nxt_g: &mut [f32],
+        nxt_p: &mut [f32],
+    ) {
         let c = nxt_x.len();
         nxt_x.copy_from_slice(&cur.x[base..base + c]);
         nxt_g.copy_from_slice(&cur.g[base..base + c]);
@@ -158,7 +164,13 @@ impl Semiring for TropicalSemiring {
     }
 
     #[inline]
-    fn copy_forward(cur: &StateVecs, base: usize, nxt_x: &mut [f32], _nxt_g: &mut [f32], _nxt_p: &mut [f32]) {
+    fn copy_forward(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &mut [f32],
+        _nxt_g: &mut [f32],
+        _nxt_p: &mut [f32],
+    ) {
         let c = nxt_x.len();
         nxt_x.copy_from_slice(&cur.x[base..base + c]);
     }
@@ -235,7 +247,13 @@ impl Semiring for BooleanSemiring {
     }
 
     #[inline]
-    fn copy_forward(cur: &StateVecs, base: usize, nxt_x: &mut [f32], nxt_g: &mut [f32], _nxt_p: &mut [f32]) {
+    fn copy_forward(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &mut [f32],
+        nxt_g: &mut [f32],
+        _nxt_p: &mut [f32],
+    ) {
         let c = nxt_x.len();
         nxt_x.copy_from_slice(&cur.x[base..base + c]);
         nxt_g.copy_from_slice(&cur.g[base..base + c]);
@@ -313,7 +331,13 @@ impl Semiring for RealSemiring {
     }
 
     #[inline]
-    fn copy_forward(cur: &StateVecs, base: usize, nxt_x: &mut [f32], nxt_g: &mut [f32], _nxt_p: &mut [f32]) {
+    fn copy_forward(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &mut [f32],
+        nxt_g: &mut [f32],
+        _nxt_p: &mut [f32],
+    ) {
         let c = nxt_x.len();
         nxt_x.copy_from_slice(&cur.x[base..base + c]);
         nxt_g.copy_from_slice(&cur.g[base..base + c]);
@@ -401,7 +425,13 @@ impl Semiring for SelMaxSemiring {
     }
 
     #[inline]
-    fn copy_forward(cur: &StateVecs, base: usize, nxt_x: &mut [f32], _nxt_g: &mut [f32], nxt_p: &mut [f32]) {
+    fn copy_forward(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &mut [f32],
+        _nxt_g: &mut [f32],
+        nxt_p: &mut [f32],
+    ) {
         let c = nxt_x.len();
         nxt_x.copy_from_slice(&cur.x[base..base + c]);
         nxt_p.copy_from_slice(&cur.p[base..base + c]);
@@ -463,7 +493,11 @@ mod tests {
         // Padding must never affect the accumulator, whatever rhs is.
         let acc = SimdF32::<C>::splat(3.0);
         for rhs in [0.0f32, 1.0, 42.0] {
-            let t = TropicalSemiring::combine(acc, SimdF32::splat(TropicalSemiring::PAD), SimdF32::splat(rhs));
+            let t = TropicalSemiring::combine(
+                acc,
+                SimdF32::splat(TropicalSemiring::PAD),
+                SimdF32::splat(rhs),
+            );
             assert_eq!(t.0, acc.0, "tropical pad leaked for rhs {rhs}");
             let b = BooleanSemiring::combine(
                 SimdF32::<C>::splat(1.0),
@@ -471,9 +505,14 @@ mod tests {
                 SimdF32::splat(if rhs != 0.0 { 1.0 } else { 0.0 }),
             );
             assert_eq!(b.0, [1.0; C]);
-            let r = RealSemiring::combine(acc, SimdF32::splat(RealSemiring::PAD), SimdF32::splat(rhs));
+            let r =
+                RealSemiring::combine(acc, SimdF32::splat(RealSemiring::PAD), SimdF32::splat(rhs));
             assert_eq!(r.0, acc.0, "real pad leaked");
-            let s = SelMaxSemiring::combine(acc, SimdF32::splat(SelMaxSemiring::PAD), SimdF32::splat(rhs));
+            let s = SelMaxSemiring::combine(
+                acc,
+                SimdF32::splat(SelMaxSemiring::PAD),
+                SimdF32::splat(rhs),
+            );
             assert_eq!(s.0, acc.0, "sel-max pad leaked");
         }
     }
@@ -549,7 +588,7 @@ mod tests {
             SelMaxSemiring::post_chunk(acc, &cur, 4, &mut nx, &mut ng, &mut np, &mut d, 2.0);
         assert!(changed);
         assert_eq!(np, vec![7.0, 5.0, 0.0, 3.0]); // lane 1 keeps old parent
-        // Base 4 → lanes are vertices 4..8, 1-based indices 5..9.
+                                                  // Base 4 → lanes are vertices 4..8, 1-based indices 5..9.
         assert_eq!(nx, vec![5.0, 6.0, 0.0, 8.0]);
         assert_eq!(d, vec![2.0, f32::INFINITY, f32::INFINITY, 2.0]);
     }

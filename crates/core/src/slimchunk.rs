@@ -65,13 +65,11 @@ where
     // Phase 1: tile partials.
     let mut partials = vec![S::OP1_IDENTITY; tasks.len() * C];
     let min_len1 = min_len_for(opts.schedule, tasks.len().max(1));
-    partials
-        .par_chunks_mut(C)
-        .zip(tasks.par_iter())
-        .with_min_len(min_len1)
-        .for_each(|(buf, &(i, j0, j1))| {
+    partials.par_chunks_mut(C).zip(tasks.par_iter()).with_min_len(min_len1).for_each(
+        |(buf, &(i, j0, j1))| {
             tile_mv::<M, S, C>(matrix, &cur.x, i, j0, j1).store(buf);
-        });
+        },
+    );
 
     // Phase 2: merge partials per chunk and post-process.
     let min_len2 = min_len_for(opts.schedule, nc);
@@ -114,7 +112,13 @@ where
 /// MV over one vertical tile of a chunk, starting from the `op1`
 /// identity (the chunk's previous values are merged in phase 2).
 #[inline]
-fn tile_mv<M, S, const C: usize>(matrix: &M, x: &[f32], i: usize, j0: usize, j1: usize) -> SimdF32<C>
+fn tile_mv<M, S, const C: usize>(
+    matrix: &M,
+    x: &[f32],
+    i: usize,
+    j0: usize,
+    j1: usize,
+) -> SimdF32<C>
 where
     M: ChunkMatrix<C>,
     S: Semiring,

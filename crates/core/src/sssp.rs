@@ -48,20 +48,22 @@ impl<const C: usize> WeightedSellCSigma<C> {
         let nc = n.div_ceil(C);
         let n_padded = nc * C;
         let mut cl = vec![0u32; nc];
-        for i in 0..nc {
+        for (i, c) in cl.iter_mut().enumerate() {
             let hi = ((i + 1) * C).min(n);
-            cl[i] = (i * C..hi).map(|r| gs.degree(perm.to_old(r as VertexId)) as u32).max().unwrap_or(0);
+            *c = (i * C..hi)
+                .map(|r| gs.degree(perm.to_old(r as VertexId)) as u32)
+                .max()
+                .unwrap_or(0);
         }
         let mut cs = vec![0usize; nc];
         let mut total = 0usize;
-        for i in 0..nc {
-            cs[i] = total;
-            total += cl[i] as usize * C;
+        for (s, &l) in cs.iter_mut().zip(&cl) {
+            *s = total;
+            total += l as usize * C;
         }
         let mut col = vec![-1i32; total];
         let mut val = vec![f32::INFINITY; total];
-        for i in 0..nc {
-            let base = cs[i];
+        for (i, &base) in cs.iter().enumerate() {
             for lane in 0..C {
                 let r = i * C + lane;
                 if r >= n {
@@ -142,8 +144,8 @@ pub fn sssp<const C: usize>(m: &WeightedSellCSigma<C>, root: VertexId) -> SsspOu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slimsell_graph::weighted::{dijkstra, WeightedCsrGraph};
     use slimsell_gen::Xoshiro256pp;
+    use slimsell_graph::weighted::{dijkstra, WeightedCsrGraph};
 
     fn assert_close(a: &[f32], b: &[f32]) {
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
@@ -201,10 +203,8 @@ mod tests {
         // must pick the cheap 3-hop route (cost 3) over the 1-hop edge
         // (cost 10) — labels improve after first becoming finite, the
         // reason SlimWork is unsound for SSSP.
-        let g = WeightedCsrGraph::from_edges(
-            4,
-            [(0, 3, 10.0), (0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
-        );
+        let g =
+            WeightedCsrGraph::from_edges(4, [(0, 3, 10.0), (0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
         let m = WeightedSellCSigma::<4>::build(&g, 4);
         let out = sssp(&m, 0);
         assert_eq!(out.dist[3], 3.0);
@@ -213,7 +213,8 @@ mod tests {
 
     #[test]
     fn weighted_storage_is_double_slimsell() {
-        let g = WeightedCsrGraph::from_edges(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 2.0), (4, 5, 2.0)]);
+        let g =
+            WeightedCsrGraph::from_edges(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 2.0), (4, 5, 2.0)]);
         let m = WeightedSellCSigma::<4>::build(&g, 6);
         let slim = crate::matrix::SlimSellMatrix::<4>::build(g.structure(), 6);
         use crate::matrix::ChunkMatrix;
@@ -226,7 +227,16 @@ mod tests {
     fn sigma_does_not_change_distances() {
         let g = WeightedCsrGraph::from_edges(
             8,
-            [(0, 1, 1.5), (1, 2, 0.5), (2, 3, 2.0), (0, 4, 4.0), (4, 5, 1.0), (5, 6, 1.0), (6, 7, 1.0), (3, 7, 0.5)],
+            [
+                (0, 1, 1.5),
+                (1, 2, 0.5),
+                (2, 3, 2.0),
+                (0, 4, 4.0),
+                (4, 5, 1.0),
+                (5, 6, 1.0),
+                (6, 7, 1.0),
+                (3, 7, 0.5),
+            ],
         );
         let a = sssp(&WeightedSellCSigma::<4>::build(&g, 1), 0);
         let b = sssp(&WeightedSellCSigma::<4>::build(&g, 8), 0);

@@ -65,15 +65,15 @@ impl<const C: usize> SellStructure<C> {
         let nc = n.div_ceil(C);
         let n_padded = nc * C;
         let mut cl = vec![0u32; nc];
-        for i in 0..nc {
+        for (i, c) in cl.iter_mut().enumerate() {
             let hi = ((i + 1) * C).min(n);
-            cl[i] = (i * C..hi).map(|r| pg.degree(r as VertexId) as u32).max().unwrap_or(0);
+            *c = (i * C..hi).map(|r| pg.degree(r as VertexId) as u32).max().unwrap_or(0);
         }
         let mut cs = vec![0usize; nc];
         let mut total = 0usize;
-        for i in 0..nc {
-            cs[i] = total;
-            total += cl[i] as usize * C;
+        for (s, &l) in cs.iter_mut().zip(&cl) {
+            *s = total;
+            total += l as usize * C;
         }
         // Fill chunks in parallel: carve `col` into the per-chunk
         // (unequal-length) sub-slices so rayon can own them disjointly.
@@ -203,7 +203,10 @@ impl<const C: usize> SellStructure<C> {
                 self.row_neighbors(new).map(|w| self.perm.to_old(w)).collect();
             stored.sort_unstable();
             if stored != g.neighbors(old as VertexId) {
-                return Err(format!("row {old}: stored {stored:?} != graph {:?}", g.neighbors(old as VertexId)));
+                return Err(format!(
+                    "row {old}: stored {stored:?} != graph {:?}",
+                    g.neighbors(old as VertexId)
+                ));
             }
         }
         if self.col.len() != self.arcs + self.padding_cells {

@@ -65,8 +65,8 @@ mod tests {
     use super::*;
     use crate::matrix::SlimSellMatrix;
     use crate::{BfsEngine, BfsOptions, SelMaxSemiring};
-    use slimsell_graph::{serial_bfs, GraphBuilder};
     use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+    use slimsell_graph::{serial_bfs, GraphBuilder};
 
     #[test]
     fn accepts_engine_output() {

@@ -75,7 +75,12 @@ mod tests {
     fn heavy_tail() {
         let g = barabasi_albert(2000, 4, 2);
         let s = GraphStats::compute(&g, 2);
-        assert!(s.max_degree as f64 > 5.0 * s.avg_degree, "max {} avg {}", s.max_degree, s.avg_degree);
+        assert!(
+            s.max_degree as f64 > 5.0 * s.avg_degree,
+            "max {} avg {}",
+            s.max_degree,
+            s.avg_degree
+        );
     }
 
     #[test]

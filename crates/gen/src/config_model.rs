@@ -65,8 +65,7 @@ mod tests {
     fn degrees_close_to_requested() {
         let degrees = vec![3usize; 200];
         let g = configuration_model(&degrees, 1);
-        let realized: f64 =
-            (0..200).map(|v| g.degree(v as VertexId) as f64).sum::<f64>() / 200.0;
+        let realized: f64 = (0..200).map(|v| g.degree(v as VertexId) as f64).sum::<f64>() / 200.0;
         assert!((realized - 3.0).abs() < 0.5, "avg realized {realized}");
     }
 

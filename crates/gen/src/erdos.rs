@@ -157,6 +157,11 @@ mod tests {
         // of the mean (contrast with the Kronecker test).
         let g = erdos_renyi_gnp(4096, 16.0 / 4096.0, 2);
         let s = GraphStats::compute(&g, 2);
-        assert!((s.max_degree as f64) < 4.0 * s.avg_degree, "max {} avg {}", s.max_degree, s.avg_degree);
+        assert!(
+            (s.max_degree as f64) < 4.0 * s.avg_degree,
+            "max {} avg {}",
+            s.max_degree,
+            s.avg_degree
+        );
     }
 }

@@ -68,16 +68,96 @@ pub struct StandinSpec {
 pub fn standin_catalog() -> &'static [StandinSpec] {
     use StandinKind::*;
     const CATALOG: &[StandinSpec] = &[
-        StandinSpec { id: "orc", family: "Social network", kind: SocialRmat, paper_n: 3_070_000, paper_m: 117_000_000, paper_rho: 39.0, paper_d: 9 },
-        StandinSpec { id: "pok", family: "Social network", kind: SocialRmat, paper_n: 1_630_000, paper_m: 30_600_000, paper_rho: 18.75, paper_d: 11 },
-        StandinSpec { id: "epi", family: "Social network", kind: SocialRmat, paper_n: 75_000, paper_m: 508_000, paper_rho: 6.7, paper_d: 15 },
-        StandinSpec { id: "ljn", family: "Community network", kind: SocialRmat, paper_n: 3_990_000, paper_m: 34_600_000, paper_rho: 8.67, paper_d: 17 },
-        StandinSpec { id: "brk", family: "Web graph", kind: WebChain, paper_n: 685_000, paper_m: 7_600_000, paper_rho: 11.09, paper_d: 514 },
-        StandinSpec { id: "gog", family: "Web graph", kind: WebPowerlaw, paper_n: 875_000, paper_m: 5_100_000, paper_rho: 5.82, paper_d: 21 },
-        StandinSpec { id: "sta", family: "Web graph", kind: WebPowerlaw, paper_n: 281_000, paper_m: 2_310_000, paper_rho: 8.2, paper_d: 46 },
-        StandinSpec { id: "ndm", family: "Web graph", kind: WebChain, paper_n: 325_000, paper_m: 1_490_000, paper_rho: 4.59, paper_d: 674 },
-        StandinSpec { id: "amz", family: "Purchase network", kind: Purchase, paper_n: 262_000, paper_m: 1_230_000, paper_rho: 4.71, paper_d: 32 },
-        StandinSpec { id: "rca", family: "Road network", kind: Road, paper_n: 1_960_000, paper_m: 2_760_000, paper_rho: 1.4, paper_d: 849 },
+        StandinSpec {
+            id: "orc",
+            family: "Social network",
+            kind: SocialRmat,
+            paper_n: 3_070_000,
+            paper_m: 117_000_000,
+            paper_rho: 39.0,
+            paper_d: 9,
+        },
+        StandinSpec {
+            id: "pok",
+            family: "Social network",
+            kind: SocialRmat,
+            paper_n: 1_630_000,
+            paper_m: 30_600_000,
+            paper_rho: 18.75,
+            paper_d: 11,
+        },
+        StandinSpec {
+            id: "epi",
+            family: "Social network",
+            kind: SocialRmat,
+            paper_n: 75_000,
+            paper_m: 508_000,
+            paper_rho: 6.7,
+            paper_d: 15,
+        },
+        StandinSpec {
+            id: "ljn",
+            family: "Community network",
+            kind: SocialRmat,
+            paper_n: 3_990_000,
+            paper_m: 34_600_000,
+            paper_rho: 8.67,
+            paper_d: 17,
+        },
+        StandinSpec {
+            id: "brk",
+            family: "Web graph",
+            kind: WebChain,
+            paper_n: 685_000,
+            paper_m: 7_600_000,
+            paper_rho: 11.09,
+            paper_d: 514,
+        },
+        StandinSpec {
+            id: "gog",
+            family: "Web graph",
+            kind: WebPowerlaw,
+            paper_n: 875_000,
+            paper_m: 5_100_000,
+            paper_rho: 5.82,
+            paper_d: 21,
+        },
+        StandinSpec {
+            id: "sta",
+            family: "Web graph",
+            kind: WebPowerlaw,
+            paper_n: 281_000,
+            paper_m: 2_310_000,
+            paper_rho: 8.2,
+            paper_d: 46,
+        },
+        StandinSpec {
+            id: "ndm",
+            family: "Web graph",
+            kind: WebChain,
+            paper_n: 325_000,
+            paper_m: 1_490_000,
+            paper_rho: 4.59,
+            paper_d: 674,
+        },
+        StandinSpec {
+            id: "amz",
+            family: "Purchase network",
+            kind: Purchase,
+            paper_n: 262_000,
+            paper_m: 1_230_000,
+            paper_rho: 4.71,
+            paper_d: 32,
+        },
+        StandinSpec {
+            id: "rca",
+            family: "Road network",
+            kind: Road,
+            paper_n: 1_960_000,
+            paper_m: 2_760_000,
+            paper_rho: 1.4,
+            paper_d: 849,
+        },
     ];
     CATALOG
 }
@@ -156,7 +236,8 @@ fn web_chain(n: usize, rho: f64, paper_d: u32, seed: u64) -> CsrGraph {
         let hi = if ci == k - 1 { n } else { lo + comm };
         let size = hi - lo;
         // BA with `attach` edges per vertex realizes m/n ≈ attach = ρ̄.
-        let sub = barabasi_albert(size.max(4), (rho.round() as usize).max(1), seed ^ (ci as u64) << 1);
+        let sub =
+            barabasi_albert(size.max(4), (rho.round() as usize).max(1), seed ^ (ci as u64) << 1);
         for (u, v) in sub.edges() {
             if (u as usize) < size && (v as usize) < size {
                 b.edge((lo + u as usize) as VertexId, (lo + v as usize) as VertexId);

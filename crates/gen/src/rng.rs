@@ -27,7 +27,8 @@ impl Xoshiro256pp {
     /// the xoshiro authors' recommendation).
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Self { s }
     }
 
@@ -92,7 +93,8 @@ impl Xoshiro256pp {
     /// deterministic parallel generation).
     pub fn split(&mut self, stream: u64) -> Self {
         let mut sm = self.next_u64() ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
-        let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Self { s }
     }
 }

@@ -13,7 +13,7 @@ use crate::rng::Xoshiro256pp;
 /// Watts–Strogatz: ring lattice on `n` vertices, each connected to `k/2`
 /// neighbors on each side, each edge rewired with probability `beta`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
-    assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
     assert!(n > k, "n must exceed k");
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n, n * k / 2);

@@ -43,7 +43,11 @@ impl AdjacencyList {
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
         let v = v as usize;
         let lo = self.offsets[v] as usize;
-        let hi = if v + 1 < self.offsets.len() { self.offsets[v + 1] as usize } else { self.neighbors.len() };
+        let hi = if v + 1 < self.offsets.len() {
+            self.offsets[v + 1] as usize
+        } else {
+            self.neighbors.len()
+        };
         &self.neighbors[lo..hi]
     }
 

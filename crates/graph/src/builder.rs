@@ -42,7 +42,11 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if either endpoint is out of range.
     pub fn edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range n={}", self.n);
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range n={}",
+            self.n
+        );
         if u != v {
             self.edges.push((u, v));
         }

@@ -82,13 +82,13 @@ impl Permutation {
         assert_eq!(self.len(), g.num_vertices());
         let n = g.num_vertices();
         let mut row_ptr = vec![0u64; n + 1];
-        for new in 0..n {
-            let old = self.new_to_old[new];
-            row_ptr[new + 1] = row_ptr[new] + g.degree(old) as u64;
+        let mut acc = 0u64;
+        for (new, slot) in row_ptr[1..].iter_mut().enumerate() {
+            acc += g.degree(self.new_to_old[new]) as u64;
+            *slot = acc;
         }
         let mut col = vec![0 as VertexId; g.num_arcs()];
-        for new in 0..n {
-            let old = self.new_to_old[new];
+        for (new, &old) in self.new_to_old.iter().enumerate() {
             let lo = row_ptr[new] as usize;
             for (i, &w) in g.neighbors(old).iter().enumerate() {
                 col[lo + i] = self.old_to_new[w as usize];

@@ -37,7 +37,8 @@ impl GraphStats {
         let m = g.num_edges();
         let max_degree = (0..n as VertexId).map(|v| g.degree(v)).max().unwrap_or(0);
         let avg_degree = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
-        let (diameter_lb, largest_component) = if n == 0 { (0, 0) } else { estimate_diameter(g, sweeps) };
+        let (diameter_lb, largest_component) =
+            if n == 0 { (0, 0) } else { estimate_diameter(g, sweeps) };
         Self { n, m, avg_degree, max_degree, diameter_lb, largest_component }
     }
 
@@ -126,17 +127,20 @@ pub fn connected_components(g: &CsrGraph) -> usize {
             parent[ru as usize] = rv;
         }
     }
-    (0..n as u32).into_par_iter().filter(|&v| {
-        // roots only; path-compressed parent may need one extra hop
-        let mut x = v;
-        loop {
-            let p = parent[x as usize];
-            if p == x {
-                return x == v;
+    (0..n as u32)
+        .into_par_iter()
+        .filter(|&v| {
+            // roots only; path-compressed parent may need one extra hop
+            let mut x = v;
+            loop {
+                let p = parent[x as usize];
+                if p == x {
+                    return x == v;
+                }
+                x = p;
             }
-            x = p;
-        }
-    }).count()
+        })
+        .count()
 }
 
 #[cfg(test)]

@@ -64,7 +64,12 @@ pub fn serial_bfs(g: &CsrGraph, root: VertexId) -> BfsResult {
 /// the root is its own parent; unreachable vertices have no parent.
 /// BFS parent trees are not unique, so all implementations are checked
 /// with this predicate rather than by exact comparison.
-pub fn validate_parents(g: &CsrGraph, root: VertexId, dist: &[u32], parent: &[VertexId]) -> Result<(), String> {
+pub fn validate_parents(
+    g: &CsrGraph,
+    root: VertexId,
+    dist: &[u32],
+    parent: &[VertexId],
+) -> Result<(), String> {
     let n = g.num_vertices();
     if dist.len() != n || parent.len() != n {
         return Err("length mismatch".into());
@@ -94,7 +99,11 @@ pub fn validate_parents(g: &CsrGraph, root: VertexId, dist: &[u32], parent: &[Ve
                     return Err(format!("parent edge ({p},{v}) not in graph"));
                 }
                 if dist[p as usize] != d - 1 {
-                    return Err(format!("parent {p} of {v} at distance {} != {}", dist[p as usize], d - 1));
+                    return Err(format!(
+                        "parent {p} of {v} at distance {} != {}",
+                        dist[p as usize],
+                        d - 1
+                    ));
                 }
             }
         }

@@ -21,7 +21,10 @@ impl WeightedCsrGraph {
     /// Builds from weighted edge triples; duplicates keep the *minimum*
     /// weight, self loops are dropped, weights must be non-negative and
     /// finite.
-    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (VertexId, VertexId, f32)>) -> Self {
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (VertexId, VertexId, f32)>,
+    ) -> Self {
         let mut map: std::collections::BTreeMap<(VertexId, VertexId), f32> = Default::default();
         for (u, v, w) in edges {
             assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");

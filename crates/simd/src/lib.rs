@@ -30,6 +30,12 @@
 //! logical and/or, a property [`SimdF32::and_bits`] relies on and the
 //! unit tests pin down.
 
+// The fixed-trip `for i in 0..C` lane loops ARE the vectorization idiom this
+// crate is built around (see module docs above), and `add`/`mul`/`min`/`max`
+// deliberately mirror the paper's Listing-1 primitive names rather than the
+// `std::ops` traits.
+#![allow(clippy::needless_range_loop, clippy::should_implement_trait)]
+
 pub mod f32xc;
 pub mod i32xc;
 

@@ -7,9 +7,9 @@
 //! functional output is therefore identical to the CPU engine; only the
 //! simulated clock differs — which is all Figs. 6 and 10 need.
 
+use slimsell_core::chunk_mv;
 use slimsell_core::matrix::ChunkMatrix;
 use slimsell_core::semiring::{Semiring, StateVecs};
-use slimsell_core::chunk_mv;
 use slimsell_graph::{VertexId, UNREACHABLE};
 
 use crate::cost::CostModel;
@@ -93,7 +93,11 @@ where
     M: ChunkMatrix<C>,
     S: Semiring,
 {
-    assert_eq!(C, cfg.warp_width, "chunk height C={C} must equal the warp width {}", cfg.warp_width);
+    assert_eq!(
+        C, cfg.warp_width,
+        "chunk height C={C} must equal the warp width {}",
+        cfg.warp_width
+    );
     let s = matrix.structure();
     let n = s.n();
     assert!((root as usize) < n, "root {root} out of range (n = {n})");
@@ -134,7 +138,7 @@ where
             slimsell_core::matrix::Representation::SellCSigma => 3,
             slimsell_core::matrix::Representation::SlimSell => 2,
         };
-        for i in 0..nc {
+        for (i, &arcs) in chunk_arcs.iter().enumerate() {
             let base = i * C;
             if opts.slimwork && S::should_skip(&cur, base..base + C) {
                 let (nx, ng, np_) = three_chunks(&mut nxt, base, C);
@@ -144,7 +148,7 @@ where
                 continue;
             }
             let cl = s.cl()[i] as u64;
-            active_cells += chunk_arcs[i];
+            active_cells += arcs;
             touched_cells += cl * C as u64;
             bytes += cl * C as u64 * 4 * streams_per_step + 2 * C as u64 * 4;
             match opts.slimchunk {
@@ -197,14 +201,22 @@ where
     let dist: Vec<u32> = (0..n)
         .map(|old| {
             let v = dist_f[perm.to_new(old as VertexId) as usize];
-            if v.is_finite() { v as u32 } else { UNREACHABLE }
+            if v.is_finite() {
+                v as u32
+            } else {
+                UNREACHABLE
+            }
         })
         .collect();
     let parent = S::parents(&cur).map(|p| {
         (0..n)
             .map(|old| {
                 let pv = p[perm.to_new(old as VertexId) as usize];
-                if pv == 0.0 { UNREACHABLE } else { perm.to_old(pv as VertexId - 1) }
+                if pv == 0.0 {
+                    UNREACHABLE
+                } else {
+                    perm.to_old(pv as VertexId - 1)
+                }
             })
             .collect()
     });
@@ -237,7 +249,8 @@ mod tests {
         let root = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap();
         let slim = SlimSellMatrix::<32>::build(&g, g.num_vertices());
         let reference = serial_bfs(&g, root);
-        let simt = run_simt_bfs::<_, TropicalSemiring, 32>(&slim, root, &cfg(), &SimtOptions::default());
+        let simt =
+            run_simt_bfs::<_, TropicalSemiring, 32>(&slim, root, &cfg(), &SimtOptions::default());
         assert_eq!(simt.dist, reference.dist);
         let cpu = BfsEngine::run::<_, TropicalSemiring, 32>(&slim, root, &BfsOptions::default());
         assert_eq!(simt.dist, cpu.dist);
@@ -261,9 +274,17 @@ mod tests {
         let root = (0..g.num_vertices() as u32).max_by_key(|&v| g.degree(v)).unwrap();
         let slim = SlimSellMatrix::<32>::build(&g, g.num_vertices());
         let plain = run_simt_bfs::<_, TropicalSemiring, 32>(
-            &slim, root, &cfg(), &SimtOptions { slimchunk: None, slimwork: false });
+            &slim,
+            root,
+            &cfg(),
+            &SimtOptions { slimchunk: None, slimwork: false },
+        );
         let tiled = run_simt_bfs::<_, TropicalSemiring, 32>(
-            &slim, root, &cfg(), &SimtOptions { slimchunk: Some(8), slimwork: false });
+            &slim,
+            root,
+            &cfg(),
+            &SimtOptions { slimchunk: Some(8), slimwork: false },
+        );
         assert_eq!(plain.dist, tiled.dist);
         let p: u64 = plain.iters.iter().take(3).map(|i| i.cycles).sum();
         let t: u64 = tiled.iters.iter().take(3).map(|i| i.cycles).sum();
@@ -278,10 +299,17 @@ mod tests {
         let n = g.num_vertices();
         let slim = SlimSellMatrix::<32>::build(&g, n);
         let sell = SellCSigma::<32>::build(&g, n, TropicalSemiring::PAD);
-        let a = run_simt_bfs::<_, TropicalSemiring, 32>(&slim, root, &cfg(), &SimtOptions::default());
-        let b = run_simt_bfs::<_, TropicalSemiring, 32>(&sell, root, &cfg(), &SimtOptions::default());
+        let a =
+            run_simt_bfs::<_, TropicalSemiring, 32>(&slim, root, &cfg(), &SimtOptions::default());
+        let b =
+            run_simt_bfs::<_, TropicalSemiring, 32>(&sell, root, &cfg(), &SimtOptions::default());
         assert_eq!(a.dist, b.dist);
-        assert!(a.total_cycles() <= b.total_cycles(), "slim {} > sell {}", a.total_cycles(), b.total_cycles());
+        assert!(
+            a.total_cycles() <= b.total_cycles(),
+            "slim {} > sell {}",
+            a.total_cycles(),
+            b.total_cycles()
+        );
     }
 
     #[test]
@@ -290,9 +318,17 @@ mod tests {
         let root = (0..g.num_vertices() as u32).max_by_key(|&v| g.degree(v)).unwrap();
         let slim = SlimSellMatrix::<32>::build(&g, g.num_vertices());
         let with = run_simt_bfs::<_, BooleanSemiring, 32>(
-            &slim, root, &cfg(), &SimtOptions { slimwork: true, slimchunk: None });
+            &slim,
+            root,
+            &cfg(),
+            &SimtOptions { slimwork: true, slimchunk: None },
+        );
         let without = run_simt_bfs::<_, BooleanSemiring, 32>(
-            &slim, root, &cfg(), &SimtOptions { slimwork: false, slimchunk: None });
+            &slim,
+            root,
+            &cfg(),
+            &SimtOptions { slimwork: false, slimchunk: None },
+        );
         assert_eq!(with.dist, without.dist);
         let last_with = with.iters.last().unwrap();
         let last_without = without.iters.last().unwrap();
@@ -328,7 +364,11 @@ mod tests {
         let eff = |sigma: usize| {
             let m = SlimSellMatrix::<32>::build(&g, sigma);
             let r = run_simt_bfs::<_, TropicalSemiring, 32>(
-                &m, root, &cfg(), &SimtOptions { slimwork: false, slimchunk: None });
+                &m,
+                root,
+                &cfg(),
+                &SimtOptions { slimwork: false, slimchunk: None },
+            );
             r.iters[0].simd_efficiency
         };
         let unsorted = eff(1);

@@ -86,7 +86,9 @@ mod tests {
         // With the default ratios (2 ALU < 1 load) SlimSell's derived
         // vals beat Sell-C-σ's val load — the §IV-A3 result.
         let c = CostModel::DEFAULT;
-        assert!(c.column_step(Representation::SlimSell) <= c.column_step(Representation::SellCSigma));
+        assert!(
+            c.column_step(Representation::SlimSell) <= c.column_step(Representation::SellCSigma)
+        );
     }
 
     #[test]

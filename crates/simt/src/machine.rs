@@ -40,7 +40,8 @@ pub fn makespan(durations: &[u64], slots: usize) -> u64 {
     // Binary min-heap over slot free times, std collections only.
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut heap: BinaryHeap<Reverse<u64>> = (0..slots.min(durations.len())).map(|_| Reverse(0u64)).collect();
+    let mut heap: BinaryHeap<Reverse<u64>> =
+        (0..slots.min(durations.len())).map(|_| Reverse(0u64)).collect();
     let mut end = 0u64;
     for &d in durations {
         let Reverse(free) = heap.pop().expect("heap non-empty");
@@ -59,7 +60,11 @@ pub fn imbalance(durations: &[u64]) -> f64 {
     }
     let max = *durations.iter().max().unwrap() as f64;
     let mean = durations.iter().sum::<u64>() as f64 / durations.len() as f64;
-    if mean == 0.0 { 1.0 } else { max / mean }
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
 }
 
 #[cfg(test)]

@@ -59,7 +59,9 @@ fn main() {
     let odd = GraphBuilder::new(grid.num_vertices()).edges(edges).build();
     match is_bipartite(&odd) {
         Ok(()) => unreachable!("odd cycle missed"),
-        Err((u, v)) => println!("grid + diagonal: NOT bipartite (odd cycle through edge ({u},{v}))"),
+        Err((u, v)) => {
+            println!("grid + diagonal: NOT bipartite (odd cycle through edge ({u},{v}))")
+        }
     }
 
     // A social network is essentially never bipartite (triangles).

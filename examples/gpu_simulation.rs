@@ -24,13 +24,24 @@ fn main() {
     );
 
     let plain = run_simt_bfs::<_, TropicalSemiring, 32>(
-        &matrix, root, &cfg, &SimtOptions { slimchunk: None, slimwork: true });
+        &matrix,
+        root,
+        &cfg,
+        &SimtOptions { slimchunk: None, slimwork: true },
+    );
     let tiled = run_simt_bfs::<_, TropicalSemiring, 32>(
-        &matrix, root, &cfg, &SimtOptions { slimchunk: Some(8), slimwork: true });
+        &matrix,
+        root,
+        &cfg,
+        &SimtOptions { slimchunk: Some(8), slimwork: true },
+    );
     assert_eq!(plain.dist, tiled.dist, "SlimChunk must not change the output");
     assert_eq!(plain.dist, serial_bfs(&g, root).dist, "simulator must match the reference");
 
-    println!("\n{:<10} {:>16} {:>16} {:>10} {:>10}", "iteration", "plain [cyc]", "SlimChunk [cyc]", "imb", "imb(SC)");
+    println!(
+        "\n{:<10} {:>16} {:>16} {:>10} {:>10}",
+        "iteration", "plain [cyc]", "SlimChunk [cyc]", "imb", "imb(SC)"
+    );
     for i in 0..plain.iters.len().max(tiled.iters.len()) {
         let p = plain.iters.get(i);
         let t = tiled.iters.get(i);

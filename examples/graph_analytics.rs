@@ -32,7 +32,10 @@ fn main() {
     let pr = pagerank(&matrix, &PageRankOptions::default());
     let mut top_pr: Vec<(usize, f32)> = pr.scores.iter().copied().enumerate().collect();
     top_pr.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("\nPageRank converged in {} iterations (residual {:.2e}); top-3:", pr.iterations, pr.residual);
+    println!(
+        "\nPageRank converged in {} iterations (residual {:.2e}); top-3:",
+        pr.iterations, pr.residual
+    );
     for (v, score) in top_pr.iter().take(3) {
         println!("  vertex {v:>6}: {score:.6}");
     }
@@ -69,6 +72,9 @@ fn main() {
     let exact = betweenness_from_sources(&sm, &all);
     let reference = brandes_reference(&small);
     let max_err = exact.iter().zip(&reference).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
-    println!("\nexact BC vs serial Brandes on n={}: max |error| = {max_err:.2e}", small.num_vertices());
+    println!(
+        "\nexact BC vs serial Brandes on n={}: max |error| = {max_err:.2e}",
+        small.num_vertices()
+    );
     assert!(max_err < 1e-6);
 }

@@ -35,7 +35,8 @@ fn main() {
     }
 
     // Parents via the sel-max semiring (no DP transformation needed).
-    let out = BfsEngine::run::<_, SelMaxSemiring, 8>(&matrix_for_parents(&g), 0, &BfsOptions::default());
+    let out =
+        BfsEngine::run::<_, SelMaxSemiring, 8>(&matrix_for_parents(&g), 0, &BfsOptions::default());
     let parents = out.parent.expect("sel-max computes parents");
     validate_parents(&g, 0, &out.dist, &parents).expect("parent tree must be valid");
     println!("BFS tree parents: {parents:?}");

@@ -17,7 +17,10 @@ fn main() {
     let n = g.num_vertices();
     let matrix = SlimSellMatrix::<8>::build(&g, n);
 
-    println!("\n{:<10} {:>10} {:>12} {:>12} {:>9} {:>8}", "semiring", "iters", "cells", "time [ms]", "parents?", "DP [ms]");
+    println!(
+        "\n{:<10} {:>10} {:>12} {:>12} {:>9} {:>8}",
+        "semiring", "iters", "cells", "time [ms]", "parents?", "DP [ms]"
+    );
 
     macro_rules! tour {
         ($sem:ty) => {{

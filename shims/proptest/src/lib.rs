@@ -1,0 +1,481 @@
+//! Minimal API-compatible stand-in for the subset of `proptest` this
+//! workspace uses. The build environment has no crates.io access, so this
+//! shim supplies deterministic random-value generation behind the real
+//! proptest surface (`proptest!`, `prop_oneof!`, strategies, `prop_assert*`).
+//!
+//! Differences from real proptest, by design:
+//! * no shrinking — a failing case panics with the sampled inputs burned
+//!   into the deterministic RNG stream (re-runs reproduce it exactly);
+//! * `prop_assert*` map directly onto `assert*`.
+//!
+//! Swapping in the real `proptest` is a one-line `Cargo.toml` change and
+//! requires no source edits.
+
+pub mod test_runner {
+    /// Deterministic xorshift-style RNG (splitmix64 core) seeded from the
+    /// test's fully qualified name, so every run of a test sees the same
+    /// case stream.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test name gives a stable per-test seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            // splitmix64
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in [0, 1).
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in [0, bound); bound = 0 returns 0.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                self.next_u64() % bound
+            }
+        }
+    }
+
+    /// Run configuration. Only `cases` is honoured by the shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// The combinators mirror proptest's; `sample` replaces the
+    /// `ValueTree` machinery (no shrinking).
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f, reason }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe sampling core, so heterogeneous strategies (e.g. the
+    /// arms of `prop_oneof!`) can share a `Box`.
+    trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+        reason: &'static str,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter '{}' rejected 1000 consecutive samples", self.reason)
+        }
+    }
+
+    /// Uniform choice between boxed alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let f = rng.next_f64() as $t;
+                    self.start + f * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (S0.0)
+        (S0.0, S1.1)
+        (S0.0, S1.1, S2.2)
+        (S0.0, S1.1, S2.2, S3.3)
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident => $n:literal),* $(,)?) => {$(
+            pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy { element }
+            }
+        )*};
+    }
+
+    uniform_fns! {
+        uniform2 => 2, uniform3 => 3, uniform4 => 4, uniform8 => 8,
+        uniform16 => 16, uniform32 => 32,
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_exclusive.saturating_sub(self.size.lo).max(1);
+            let len = self.size.lo + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `prop::` paths (`prop::array::uniform4`, `prop::collection::vec`, …).
+pub mod prop {
+    pub use crate::array;
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// The shim's `proptest!`: each `fn name(pat in strategy, ...) { body }`
+/// becomes a test that samples `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = f32> {
+        prop_oneof![Just(0.0f32), (0u32..10).prop_map(|x| x as f32)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 1usize..=4, z in -5i32..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!((-5..5).contains(&z));
+        }
+
+        #[test]
+        fn arrays_and_vecs(a in prop::array::uniform4(small()), v in prop::collection::vec(0u32..9, 0..6)) {
+            prop_assert_eq!(a.len(), 4);
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 9));
+        }
+
+        #[test]
+        fn tuples_and_flat_map(p in (1usize..4).prop_flat_map(|n| (Just(n), 0..n))) {
+            let (n, i) = p;
+            prop_assert!(i < n);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let s = 0u32..1000;
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

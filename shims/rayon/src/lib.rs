@@ -1,0 +1,221 @@
+//! Sequential, API-compatible stand-in for the subset of `rayon` this
+//! workspace uses. The build environment has no crates.io access, so the
+//! workspace vendors this shim; swapping in the real `rayon` is a one-line
+//! `Cargo.toml` change and requires no source edits.
+//!
+//! Everything runs on the calling thread. `Par<I>` wraps a standard
+//! iterator and exposes rayon's method names (including the
+//! identity-closure `fold`/`reduce` pair and `with_min_len`) as inherent
+//! methods, so they shadow the `Iterator` methods of the same name.
+
+use std::iter;
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator.
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Par<I> {
+    pub fn enumerate(self) -> Par<iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<iter::Zip<I, J>> {
+        Par(self.0.zip(other.0))
+    }
+
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    pub fn flat_map_iter<J, F>(self, f: F) -> Par<iter::FlatMap<I, J, F>>
+    where
+        J: IntoIterator,
+        F: FnMut(I::Item) -> J,
+    {
+        Par(self.0.flat_map(f))
+    }
+
+    /// Scheduling hint; a no-op in the sequential shim.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Scheduling hint; a no-op in the sequential shim.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Rayon-style fold: one accumulator per "thread" (here: exactly one).
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        Par(iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Rayon-style reduce with an identity closure.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn sum<S: iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn collect<B: FromIterator<I::Item>>(self) -> B {
+        self.0.collect()
+    }
+}
+
+pub mod iter_traits {
+    use super::Par;
+
+    /// `par_iter()` / `par_chunks*` / `par_iter_mut()` over slices.
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+        fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+        fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>>;
+        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+            Par(self.iter())
+        }
+        fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+            Par(self.iter_mut())
+        }
+        fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
+            Par(self.chunks(size))
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+            Par(self.chunks_mut(size))
+        }
+    }
+
+    /// `into_par_iter()` over anything that sequentially iterates
+    /// (ranges, `Vec`, …).
+    pub trait IntoParallelIterator {
+        type Iter: Iterator;
+        fn into_par_iter(self) -> Par<Self::Iter>;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Par<Self::Iter> {
+            Par(self.into_iter())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::iter_traits::{IntoParallelIterator, ParallelSlice};
+    pub use super::Par;
+}
+
+/// Number of "worker threads". The shim executes sequentially, but task
+/// granularity heuristics still key off the machine's parallelism.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Stand-in for `rayon::ThreadPoolBuilder`; `install` simply runs the
+/// closure on the calling thread.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    _num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool)
+    }
+}
+
+pub struct ThreadPool;
+
+impl ThreadPool {
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_reduce_chain_matches_sequential() {
+        let data: Vec<u32> = (0..100).collect();
+        let (evens, count): (Vec<u32>, u64) = data
+            .par_iter()
+            .fold(
+                || (Vec::new(), 0u64),
+                |(mut acc, cnt), &v| {
+                    if v % 2 == 0 {
+                        acc.push(v);
+                    }
+                    (acc, cnt + 1)
+                },
+            )
+            .reduce(
+                || (Vec::new(), 0),
+                |(mut a, ca), (b, cb)| {
+                    a.extend_from_slice(&b);
+                    (a, ca + cb)
+                },
+            );
+        assert_eq!(count, 100);
+        assert_eq!(evens.len(), 50);
+    }
+
+    #[test]
+    fn chunks_zip_enumerate() {
+        let mut out = vec![0usize; 8];
+        let tags = [10usize, 20];
+        out.par_chunks_mut(4).zip(tags.par_iter()).enumerate().for_each(|(i, (chunk, &t))| {
+            for c in chunk.iter_mut() {
+                *c = t + i;
+            }
+        });
+        assert_eq!(out, vec![10, 10, 10, 10, 21, 21, 21, 21]);
+    }
+
+    #[test]
+    fn range_into_par_iter_collects() {
+        let v: Vec<u32> = (0u32..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+}

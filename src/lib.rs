@@ -77,14 +77,16 @@ use graph::{CsrGraph, VertexId};
 /// (§IV-D of the paper).
 pub fn bfs_distances(g: &CsrGraph, root: VertexId) -> Vec<u32> {
     let m = core::matrix::SlimSellMatrix::<8>::build(g, g.num_vertices());
-    core::BfsEngine::run::<_, core::TropicalSemiring, 8>(&m, root, &core::BfsOptions::default()).dist
+    core::BfsEngine::run::<_, core::TropicalSemiring, 8>(&m, root, &core::BfsOptions::default())
+        .dist
 }
 
 /// One-call BFS returning both distances and parents: SlimSell + sel-max
 /// (parents come from the semiring, no DP pass).
 pub fn bfs_tree(g: &CsrGraph, root: VertexId) -> (Vec<u32>, Vec<VertexId>) {
     let m = core::matrix::SlimSellMatrix::<8>::build(g, g.num_vertices());
-    let out = core::BfsEngine::run::<_, core::SelMaxSemiring, 8>(&m, root, &core::BfsOptions::default());
+    let out =
+        core::BfsEngine::run::<_, core::SelMaxSemiring, 8>(&m, root, &core::BfsOptions::default());
     let parent = out.parent.expect("sel-max computes parents");
     (out.dist, parent)
 }

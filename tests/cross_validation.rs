@@ -13,10 +13,7 @@ fn families() -> Vec<(&'static str, CsrGraph)> {
         ("web-chain", standin("ndm", 8, 4)),
         ("social", standin("epi", 7, 5)),
         ("path", GraphBuilder::new(100).edges((0..99u32).map(|v| (v, v + 1))).build()),
-        (
-            "star",
-            GraphBuilder::new(65).edges((1..65u32).map(|v| (0, v))).build(),
-        ),
+        ("star", GraphBuilder::new(65).edges((1..65u32).map(|v| (0, v))).build()),
     ]
 }
 
@@ -34,7 +31,14 @@ fn engine_matrix_all_semirings_reps_lanes() {
             ($sem:ty, $c:literal, $sigma:expr) => {{
                 let slim = SlimSellMatrix::<$c>::build(&g, $sigma);
                 let out = BfsEngine::run::<_, $sem, $c>(&slim, root, &BfsOptions::default());
-                assert_eq!(out.dist, reference.dist, "{name} slimsell {} C={} sigma={}", <$sem>::NAME, $c, $sigma);
+                assert_eq!(
+                    out.dist,
+                    reference.dist,
+                    "{name} slimsell {} C={} sigma={}",
+                    <$sem>::NAME,
+                    $c,
+                    $sigma
+                );
                 if let Some(p) = &out.parent {
                     validate_parents(&g, root, &out.dist, p).unwrap();
                 }

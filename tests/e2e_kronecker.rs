@@ -1,0 +1,54 @@
+//! Fast deterministic end-to-end regression gate for the hot path:
+//! a Kronecker (R-MAT) graph at scale 10 → SlimSell BFS under all four
+//! semirings, cross-checked against the serial reference from several
+//! roots. Runs in well under a second so hot-path regressions are caught
+//! on every `cargo test`.
+
+use slimsell::prelude::*;
+
+#[test]
+fn kronecker_scale10_all_semirings_match_serial() {
+    let g = kronecker(10, 16.0, KroneckerParams::GRAPH500, 7);
+    let n = g.num_vertices();
+    assert_eq!(n, 1 << 10);
+    let slim = SlimSellMatrix::<8>::build(&g, n);
+
+    // A high-degree root, a handful of sampled roots, and vertex 0.
+    let mut roots = slimsell::graph::stats::sample_roots(&g, 3);
+    roots.push(0);
+    let hub = (0..n as VertexId).max_by_key(|&v| g.degree(v)).unwrap();
+    roots.push(hub);
+
+    for &root in &roots {
+        let reference = serial_bfs(&g, root);
+        macro_rules! check {
+            ($sem:ty) => {{
+                let out = BfsEngine::run::<_, $sem, 8>(&slim, root, &BfsOptions::default());
+                assert_eq!(
+                    out.dist,
+                    reference.dist,
+                    "{} diverged from serial BFS at root {root}",
+                    <$sem>::NAME
+                );
+                if let Some(p) = &out.parent {
+                    validate_parents(&g, root, &out.dist, p).unwrap();
+                }
+            }};
+        }
+        check!(TropicalSemiring);
+        check!(BooleanSemiring);
+        check!(RealSemiring);
+        check!(SelMaxSemiring);
+    }
+}
+
+#[test]
+fn kronecker_scale10_generation_is_deterministic() {
+    let a = kronecker(10, 16.0, KroneckerParams::GRAPH500, 7);
+    let b = kronecker(10, 16.0, KroneckerParams::GRAPH500, 7);
+    assert_eq!(a.num_vertices(), b.num_vertices());
+    assert_eq!(a.num_edges(), b.num_edges());
+    for v in 0..a.num_vertices() as VertexId {
+        assert_eq!(a.neighbors(v), b.neighbors(v), "adjacency of {v} differs between runs");
+    }
+}

@@ -83,10 +83,7 @@ fn pagerank_mass_conserved_everywhere() {
 fn sssp_unit_weights_degenerate_to_bfs() {
     // With all weights 1, min-plus SSSP must equal BFS hop distances.
     let g = kronecker(8, 4.0, KroneckerParams::GRAPH500, 21);
-    let wg = WeightedCsrGraph::from_edges(
-        g.num_vertices(),
-        g.edges().map(|(u, v)| (u, v, 1.0f32)),
-    );
+    let wg = WeightedCsrGraph::from_edges(g.num_vertices(), g.edges().map(|(u, v)| (u, v, 1.0f32)));
     let m = WeightedSellCSigma::<8>::build(&wg, g.num_vertices());
     let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
     let out = sssp(&m, root);

@@ -6,17 +6,15 @@ use slimsell::prelude::*;
 #[test]
 fn disconnected_components_unreachable() {
     // Three components; BFS from each must mark the others unreachable.
-    let g = GraphBuilder::new(9)
-        .edges([(0, 1), (1, 2), (3, 4), (6, 7), (7, 8)])
-        .build();
+    let g = GraphBuilder::new(9).edges([(0, 1), (1, 2), (3, 4), (6, 7), (7, 8)]).build();
     let slim = SlimSellMatrix::<4>::build(&g, 9);
     for root in [0u32, 3, 6] {
         let out = BfsEngine::run::<_, SelMaxSemiring, 4>(&slim, root, &BfsOptions::default());
         let reference = serial_bfs(&g, root);
         assert_eq!(out.dist, reference.dist);
         let p = out.parent.unwrap();
-        for v in 0..9 {
-            assert_eq!(p[v] == UNREACHABLE, out.dist[v] == UNREACHABLE, "vertex {v}");
+        for (v, (&pv, &dv)) in p.iter().zip(&out.dist).enumerate() {
+            assert_eq!(pv == UNREACHABLE, dv == UNREACHABLE, "vertex {v}");
         }
     }
 }

@@ -1,6 +1,8 @@
 //! I/O round-trips and subgraph extraction on realistic stand-ins.
 
-use slimsell::graph::io::{read_edge_list, read_matrix_market, write_edge_list, write_matrix_market};
+use slimsell::graph::io::{
+    read_edge_list, read_matrix_market, write_edge_list, write_matrix_market,
+};
 use slimsell::prelude::*;
 
 #[test]

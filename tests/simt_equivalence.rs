@@ -28,7 +28,12 @@ fn all_semirings_all_options_match() {
                 macro_rules! check {
                     ($sem:ty) => {{
                         let r = run_simt_bfs::<_, $sem, 32>(&slim, root, &cfg, &opts);
-                        assert_eq!(r.dist, reference.dist, "{} sw={slimwork} sc={slimchunk:?}", <$sem>::NAME);
+                        assert_eq!(
+                            r.dist,
+                            reference.dist,
+                            "{} sw={slimwork} sc={slimchunk:?}",
+                            <$sem>::NAME
+                        );
                     }};
                 }
                 check!(TropicalSemiring);
@@ -93,5 +98,8 @@ fn pricier_gathers_hurt_sellcs_more() {
     let (slim_dear, sell_dear) = run(dear_loads);
     let adv_cheap = sell_cheap as f64 / slim_cheap as f64;
     let adv_dear = sell_dear as f64 / slim_dear as f64;
-    assert!(adv_dear > adv_cheap, "SlimSell advantage {adv_dear} !> {adv_cheap} when loads get dearer");
+    assert!(
+        adv_dear > adv_cheap,
+        "SlimSell advantage {adv_dear} !> {adv_cheap} when loads get dearer"
+    );
 }
