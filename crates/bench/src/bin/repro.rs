@@ -18,6 +18,11 @@
 //!   --scale-shift N   real-world stand-in down-scaling (default 4)
 //!   --results-dir D   CSV output directory (default results/)
 //! ```
+//!
+//! The `scaling` experiment additionally writes the machine-readable
+//! `results/BENCH_scaling.json` (threads × scale × semiring, median ns
+//! per stored arc) used to track multicore perf across PRs; sweep the
+//! thread axis on any host with `SLIMSELL_THREADS` unset.
 
 use slimsell_bench::experiments;
 use slimsell_bench::harness::{Args, ExpContext};

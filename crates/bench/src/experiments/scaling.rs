@@ -1,13 +1,18 @@
-//! Strong and weak scaling over thread counts (§IV mentions both axes).
+//! Strong and weak scaling over thread counts (§IV mentions both axes),
+//! plus the machine-readable `BENCH_scaling.json` artifact that tracks
+//! the multicore perf trajectory across PRs.
 //!
 //! Strong: fixed Kronecker graph, threads ∈ {1, 2, 4, …} up to twice the
-//! host parallelism. Weak: n doubles with the thread count.
+//! host parallelism. Weak: n doubles with the thread count. The JSON
+//! artifact records threads × scale × semiring with the *median* ns per
+//! stored arc per BFS run, and the speedup of each point against the
+//! 1-thread run of the same configuration.
 
 use slimsell_analysis::report::TextTable;
 use slimsell_core::BfsOptions;
 
 use crate::dispatch::{prepare, RepKind, SemiringKind};
-use crate::harness::{mean_time, ExpContext};
+use crate::harness::{mean_time, median_time, ExpContext};
 
 use super::{kron_at, kron_graph, roots};
 
@@ -15,17 +20,70 @@ fn thread_points() -> Vec<usize> {
     let max = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
     let mut v = vec![1usize];
     let mut t = 2;
-    while t <= 2 * max {
+    // Always sweep through 4 threads (the tracked speedup point) even
+    // on small CI hosts; oversubscription is informative, not harmful.
+    while t <= (2 * max).max(4) {
         v.push(t);
         t *= 2;
     }
     v
 }
 
-/// Runs both scaling experiments.
+/// Runs both scaling experiments and writes `BENCH_scaling.json`.
 pub fn run(ctx: &ExpContext) -> Result<(), String> {
     strong(ctx)?;
-    weak(ctx)
+    weak(ctx)?;
+    bench_json(ctx)
+}
+
+/// Measures threads × scale × semiring and emits `BENCH_scaling.json`.
+fn bench_json(ctx: &ExpContext) -> Result<(), String> {
+    let base_scale = ctx.scale_log2();
+    let scales = [base_scale.saturating_sub(2), base_scale];
+    let runs = ctx.runs();
+    let threads_list = thread_points();
+    let mut points = String::new();
+    for &scale in &scales {
+        let g = kron_at(scale, ctx.rho(), ctx.seed());
+        let root = roots(&g, 1)[0];
+        let arcs = g.num_arcs() as f64;
+        for semiring in SemiringKind::ALL {
+            let p = prepare(&g, 8, g.num_vertices(), RepKind::SlimSell, semiring);
+            let mut t1 = None;
+            for &threads in &threads_list {
+                let secs = with_pool(threads, || {
+                    median_time(runs, || {
+                        std::hint::black_box(p.run(root, &BfsOptions::default()));
+                    })
+                });
+                let base = *t1.get_or_insert(secs);
+                if !points.is_empty() {
+                    points.push_str(",\n");
+                }
+                points.push_str(&format!(
+                    "    {{\"threads\": {threads}, \"scale_log2\": {scale}, \
+                     \"semiring\": \"{}\", \"median_s\": {secs:.6}, \
+                     \"median_ns_per_edge\": {:.3}, \"speedup_vs_1t\": {:.3}}}",
+                    semiring.name(),
+                    secs * 1e9 / arcs,
+                    base / secs,
+                ));
+            }
+        }
+    }
+    let host = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"scaling\",\n  \"representation\": \"SlimSell\",\n  \
+         \"lanes\": 8,\n  \"host_parallelism\": {host},\n  \"runs\": {runs},\n  \
+         \"rho\": {},\n  \"seed\": {},\n  \"unit\": \"median ns per stored arc per BFS\",\n  \
+         \"note\": \"speedup_vs_1t is bounded by host_parallelism; on a 1-CPU host \
+         threads time-share one core and ~1.0 is the honest ceiling\",\n  \
+         \"points\": [\n{points}\n  ]\n}}\n",
+        ctx.rho(),
+        ctx.seed(),
+    );
+    ctx.emit_raw("BENCH_scaling.json", &json);
+    Ok(())
 }
 
 fn with_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {

@@ -93,6 +93,20 @@ impl ExpContext {
         self.args.get("scale-shift", 4u32)
     }
 
+    /// Writes a raw artifact (e.g. machine-readable JSON) into the
+    /// results directory.
+    pub fn emit_raw(&self, filename: &str, contents: &str) {
+        if let Err(e) = std::fs::create_dir_all(&self.results_dir) {
+            eprintln!("warning: cannot create {}: {e}", self.results_dir.display());
+            return;
+        }
+        let path = self.results_dir.join(filename);
+        match std::fs::write(&path, contents) {
+            Ok(()) => println!("[{} written]", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+
     /// Prints a rendered table and writes its CSV twin.
     pub fn emit(&self, name: &str, title: &str, table: &TextTable) {
         println!("\n== {title} ==");
@@ -124,6 +138,20 @@ pub fn mean_time(runs: usize, mut f: impl FnMut()) -> f64 {
         total += timed(&mut f).1;
     }
     total / runs as f64
+}
+
+/// Runs `f` `runs` times and returns the median seconds (the robust
+/// statistic the machine-readable bench artifacts record).
+pub fn median_time(runs: usize, mut f: impl FnMut()) -> f64 {
+    assert!(runs > 0);
+    let mut samples: Vec<f64> = (0..runs).map(|_| timed(&mut f).1).collect();
+    samples.sort_by(f64::total_cmp);
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        0.5 * (samples[mid - 1] + samples[mid])
+    }
 }
 
 #[cfg(test)]

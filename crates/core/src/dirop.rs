@@ -19,9 +19,10 @@
 
 use std::time::Instant;
 
+use rayon::prelude::*;
 use slimsell_graph::{VertexId, UNREACHABLE};
 
-use crate::bfs::{iterate, BfsOptions, BfsOutput};
+use crate::bfs::{iterate, tile_ranges, BfsOptions, BfsOutput, Schedule};
 use crate::counters::{IterStats, RunStats};
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{Semiring, StateVecs, TropicalSemiring};
@@ -133,12 +134,27 @@ where
                     iterate::<M, S, C>(matrix, &cur, &mut nxt, &mut d, depth as f32, &opts.spmv);
                 // Recover the new frontier (changed entries) for the
                 // heuristic and a possible switch back to top-down.
-                let mut next = Vec::new();
-                for v in 0..n {
-                    if nxt.x[v] != cur.x[v] {
-                        next.push(v as u32);
-                    }
-                }
+                // Parallel over contiguous vertex ranges; the ordered
+                // range merge keeps the frontier sorted exactly like
+                // the sequential scan.
+                let threads = rayon::current_num_threads();
+                let next: Vec<u32> = if threads <= 1 {
+                    (0..n).filter(|&v| nxt.x[v] != cur.x[v]).map(|v| v as u32).collect()
+                } else {
+                    let (nxt_x, cur_x) = (&nxt.x, &cur.x);
+                    tile_ranges(n, Schedule::Dynamic)
+                        .into_par_iter()
+                        .map(|(v0, v1)| {
+                            (v0..v1)
+                                .filter(|&v| nxt_x[v] != cur_x[v])
+                                .map(|v| v as u32)
+                                .collect::<Vec<_>>()
+                        })
+                        .reduce(Vec::new, |mut a, mut b| {
+                            a.append(&mut b);
+                            a
+                        })
+                };
                 std::mem::swap(&mut cur, &mut nxt);
                 frontier_edges = next.iter().map(|&w| s.row_len(w as usize) as u64).sum();
                 frontier = next;

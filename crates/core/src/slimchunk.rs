@@ -13,11 +13,16 @@
 //! accumulator into a task-indexed buffer (parallel over tiles); phase 2
 //! merges each chunk's partials, starting from the chunk's previous
 //! values, and runs the semiring post-processing (parallel over chunks).
+//!
+//! Both phases follow the engine's tiled execution model (`bfs.rs`):
+//! the task/chunk ranges are partitioned into contiguous per-worker
+//! tiles whose output slabs are disjoint `&mut [f32]` carved out with
+//! `split_at_mut`, with a sequential fallback at one effective thread.
 
 use rayon::prelude::*;
 use slimsell_simd::{SimdF32, SimdI32};
 
-use crate::bfs::{min_len_for, BfsOptions};
+use crate::bfs::{split_spans, tile_ranges, BfsOptions, ChunkSpan};
 use crate::counters::IterStats;
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{Semiring, StateVecs};
@@ -62,42 +67,70 @@ where
     }
     chunk_task_start[nc] = tasks.len();
 
-    // Phase 1: tile partials.
-    let mut partials = vec![S::OP1_IDENTITY; tasks.len() * C];
-    let min_len1 = min_len_for(opts.schedule, tasks.len().max(1));
-    partials.par_chunks_mut(C).zip(tasks.par_iter()).with_min_len(min_len1).for_each(
-        |(buf, &(i, j0, j1))| {
-            tile_mv::<M, S, C>(matrix, &cur.x, i, j0, j1).store(buf);
-        },
-    );
+    let threads = rayon::current_num_threads();
 
-    // Phase 2: merge partials per chunk and post-process.
-    let min_len2 = min_len_for(opts.schedule, nc);
-    let partials_ref = &partials;
-    let chunk_task_start_ref = &chunk_task_start;
-    let skip_ref = &skip;
-    let (changed, col_steps) = nxt
-        .x
-        .par_chunks_mut(C)
-        .zip(nxt.g.par_chunks_mut(C))
-        .zip(nxt.p.par_chunks_mut(C))
-        .zip(d.par_chunks_mut(C))
-        .enumerate()
-        .with_min_len(min_len2)
-        .map(|(i, (((nx, ng), np), dd))| {
+    // Phase 1: tile partials, parallel over contiguous task ranges with
+    // disjoint slabs of the partials buffer.
+    let mut partials = vec![S::OP1_IDENTITY; tasks.len() * C];
+    if threads <= 1 || tasks.len() <= 1 {
+        for (buf, &(i, j0, j1)) in partials.chunks_mut(C).zip(&tasks) {
+            tile_mv::<M, S, C>(matrix, &cur.x, i, j0, j1).store(buf);
+        }
+    } else {
+        let ranges = tile_ranges(tasks.len(), opts.schedule);
+        let mut slabs: Vec<(usize, &mut [f32])> = Vec::with_capacity(ranges.len());
+        let mut rest: &mut [f32] = &mut partials;
+        for &(t0, t1) in &ranges {
+            let (head, tail) = rest.split_at_mut((t1 - t0) * C);
+            slabs.push((t0, head));
+            rest = tail;
+        }
+        let tasks_ref = &tasks;
+        slabs.into_par_iter().with_min_len(1).for_each(|(t0, slab)| {
+            for (off, buf) in slab.chunks_mut(C).enumerate() {
+                let (i, j0, j1) = tasks_ref[t0 + off];
+                tile_mv::<M, S, C>(matrix, &cur.x, i, j0, j1).store(buf);
+            }
+        });
+    }
+
+    // Phase 2: merge partials per chunk and post-process, parallel over
+    // chunk-range tiles like the untiled engine.
+    let merge_span = |span: ChunkSpan<'_>| -> (bool, u64) {
+        let mut acc2 = (false, 0u64);
+        let per_chunk = span
+            .x
+            .chunks_mut(C)
+            .zip(span.g.chunks_mut(C))
+            .zip(span.p.chunks_mut(C))
+            .zip(span.d.chunks_mut(C));
+        for (k, (((nx, ng), np), dd)) in per_chunk.enumerate() {
+            let i = span.c0 + k;
             let base = i * C;
-            if skip_ref[i] {
+            if skip[i] {
                 S::copy_forward(cur, base, nx, ng, np);
-                return (false, 0u64);
+                continue;
             }
             let mut acc = SimdF32::<C>::load(&cur.x[base..]);
-            for t in chunk_task_start_ref[i]..chunk_task_start_ref[i + 1] {
-                acc = S::op1(acc, SimdF32::<C>::load(&partials_ref[t * C..]));
+            for t in chunk_task_start[i]..chunk_task_start[i + 1] {
+                acc = S::op1(acc, SimdF32::<C>::load(&partials[t * C..]));
             }
-            let changed = S::post_chunk(acc, cur, base, nx, ng, np, dd, depth);
-            (changed, s.cl()[i] as u64)
-        })
-        .reduce(|| (false, 0), |a, b| (a.0 | b.0, a.1 + b.1));
+            acc2.0 |= S::post_chunk(acc, cur, base, nx, ng, np, dd, depth);
+            acc2.1 += s.cl()[i] as u64;
+        }
+        acc2
+    };
+    let (changed, col_steps) = if threads <= 1 || nc <= 1 {
+        merge_span(ChunkSpan { c0: 0, x: &mut nxt.x, g: &mut nxt.g, p: &mut nxt.p, d })
+    } else {
+        let ranges = tile_ranges(nc, opts.schedule);
+        let spans = split_spans::<C>(&ranges, &mut nxt.x, &mut nxt.g, &mut nxt.p, d);
+        spans
+            .into_par_iter()
+            .with_min_len(1)
+            .map(&merge_span)
+            .reduce(|| (false, 0), |a, b| (a.0 | b.0, a.1 + b.1))
+    };
 
     IterStats {
         elapsed: Default::default(),

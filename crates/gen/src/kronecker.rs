@@ -7,8 +7,13 @@
 //! `[[A, B], [C, D]]` with the Graph500 parameters A = 0.57, B = C = 0.19,
 //! D = 0.05 as the default.
 //!
-//! Edge generation is parallel (rayon) and deterministic: each worker
-//! derives an independent child PRNG from `(seed, block index)`.
+//! Edge generation is parallel (rayon) and deterministic: placements are
+//! split into a *fixed* number of blocks ([`EDGE_BLOCKS`]), each with an
+//! independent child PRNG derived from `(seed, block index)`, and the
+//! blocks are concatenated in block order. The block count is a
+//! constant — not a function of the thread count — so a given
+//! `(scale, rho, params, seed)` yields the identical graph on any
+//! machine and under any `SLIMSELL_THREADS` setting.
 
 use rayon::prelude::*;
 use slimsell_graph::{CsrGraph, GraphBuilder, VertexId};
@@ -53,6 +58,12 @@ pub fn kronecker(scale: u32, rho: f64, params: KroneckerParams, seed: u64) -> Cs
     GraphBuilder::with_capacity(n, m_target).edges(edges).build()
 }
 
+/// Fixed number of independently-seeded edge blocks. 64 gives good
+/// stealing granularity up to ~16 threads while keeping per-block RNG
+/// setup negligible; it must never be derived from the thread count or
+/// generated graphs would differ across machines.
+pub const EDGE_BLOCKS: usize = 64;
+
 /// Raw edge-placement pass (before dedup/symmetrization); exposed for
 /// preprocessing benchmarks that need the un-cleaned edge list.
 pub fn kronecker_edges(
@@ -61,7 +72,7 @@ pub fn kronecker_edges(
     params: KroneckerParams,
     seed: u64,
 ) -> Vec<(VertexId, VertexId)> {
-    let blocks = rayon::current_num_threads().max(1) * 4;
+    let blocks = EDGE_BLOCKS;
     let per_block = m_target.div_ceil(blocks.max(1));
     let mut base = Xoshiro256pp::seed_from_u64(seed);
     let block_rngs: Vec<Xoshiro256pp> = (0..blocks).map(|i| base.split(i as u64)).collect();

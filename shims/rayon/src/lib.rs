@@ -1,118 +1,504 @@
-//! Sequential, API-compatible stand-in for the subset of `rayon` this
+//! Multithreaded, API-compatible stand-in for the subset of `rayon` this
 //! workspace uses. The build environment has no crates.io access, so the
-//! workspace vendors this shim; swapping in the real `rayon` is a one-line
-//! `Cargo.toml` change and requires no source edits.
+//! workspace vendors this shim; swapping in the real `rayon` is a
+//! one-line `Cargo.toml` change and requires no source edits.
 //!
-//! Everything runs on the calling thread. `Par<I>` wraps a standard
-//! iterator and exposes rayon's method names (including the
-//! identity-closure `fold`/`reduce` pair and `with_min_len`) as inherent
-//! methods, so they shadow the `Iterator` methods of the same name.
+//! # Threading model
+//!
+//! Unlike the original sequential shim, parallel iterators here execute
+//! on a real global thread pool ([`pool`]): a lazily-initialized set of
+//! detached worker threads sized from
+//! [`std::thread::available_parallelism`], overridable with the
+//! `SLIMSELL_THREADS` environment variable (a positive integer;
+//! `SLIMSELL_THREADS=1` forces fully sequential execution with zero pool
+//! interaction, which is the reference oracle used by the determinism
+//! tests). [`ThreadPoolBuilder`]`::num_threads(n).build()?.install(f)`
+//! scopes an override to `f` on the calling thread, exactly how the
+//! `scaling` experiment sweeps thread counts in one process.
+//!
+//! A terminal operation (`for_each`, `fold`, `reduce`, `sum`, `collect`,
+//! …) first drains the *base* iterator (slices, chunks, zips, ranges —
+//! always cheap) into an item buffer, splits the index space into
+//! contiguous ranges, and lets the calling thread plus the pool workers
+//! claim ranges with an atomic counter (dynamic self-scheduling /
+//! work stealing). The *mapped* work — every closure added with [`map`],
+//! [`flat_map_iter`], or passed to a terminal — runs on the claiming
+//! thread, so the expensive per-item work is what actually parallelizes.
+//!
+//! [`map`]: Par::map
+//! [`flat_map_iter`]: Par::flat_map_iter
+//!
+//! # Honest semantics
+//!
+//! * `fold(identity, op)` produces **one accumulator per claimed range**
+//!   (rayon's "one per split"), and the follow-up `reduce` merges them
+//!   in range order — so `fold`-into-`Vec` pipelines preserve item
+//!   order, like rayon's ordered reductions.
+//! * `reduce(identity, op)` computes per-range partials in parallel and
+//!   merges them left-to-right on the calling thread; with associative
+//!   `op` the result is independent of the thread count.
+//! * [`with_min_len`]/[`with_max_len`] are real scheduling hints: range
+//!   sizes are clamped to `[min_len, max_len]` around a default of
+//!   `ceil(n / (threads · OVERSPLIT))`.
+//! * Closures must be `Fn + Sync` and items `Send` — the same bounds
+//!   real rayon imposes.
+//!
+//! [`with_min_len`]: Par::with_min_len
+//! [`with_max_len`]: Par::with_max_len
+
+pub mod pool;
 
 use std::iter;
 
-/// A "parallel" iterator: a thin wrapper over a sequential iterator.
-pub struct Par<I>(pub I);
+/// Number of worker threads the *next* parallel region on this thread
+/// would use (respects `SLIMSELL_THREADS` and `ThreadPool::install`).
+pub fn current_num_threads() -> usize {
+    pool::current_threads()
+}
 
-impl<I: Iterator> Par<I> {
-    pub fn enumerate(self) -> Par<iter::Enumerate<I>> {
-        Par(self.0.enumerate())
+// ---------------------------------------------------------------------
+// Per-item operation pipeline (the part that runs on workers).
+// ---------------------------------------------------------------------
+
+/// A composed per-item operation, applied on the claiming thread.
+pub trait ItemOp<In>: Sync {
+    /// Output item type.
+    type Out;
+    /// Applies the pipeline to one item.
+    fn apply(&self, x: In) -> Self::Out;
+}
+
+/// The identity pipeline (base iterators start here).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Id;
+
+impl<T> ItemOp<T> for Id {
+    type Out = T;
+    #[inline(always)]
+    fn apply(&self, x: T) -> T {
+        x
+    }
+}
+
+/// Pipeline composition: `inner` then `g`.
+pub struct OpThen<F, G> {
+    inner: F,
+    g: G,
+}
+
+impl<In, O, F, G> ItemOp<In> for OpThen<F, G>
+where
+    F: ItemOp<In>,
+    G: Fn(F::Out) -> O + Sync,
+{
+    type Out = O;
+    #[inline(always)]
+    fn apply(&self, x: In) -> O {
+        (self.g)(self.inner.apply(x))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Range execution engine.
+// ---------------------------------------------------------------------
+
+/// Raw pointer wrapper for disjoint-by-construction parallel writes.
+/// Access goes through [`SendPtr::at`] so closures capture the (Sync)
+/// wrapper rather than the raw pointer field itself.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Pointer to element `i`; caller guarantees disjoint use.
+    fn at(&self, i: usize) -> *mut T {
+        unsafe { self.0.add(i) }
+    }
+}
+
+/// Picks the range (chunk) size and count for `n` items under the
+/// current effective parallelism and the user's min/max hints.
+fn plan(n: usize, min_len: usize, max_len: usize) -> (usize, usize) {
+    let threads = pool::current_threads().max(1);
+    let target = n.div_ceil(threads * pool::OVERSPLIT).max(1);
+    let lo = min_len.max(1);
+    let hi = max_len.max(lo);
+    let chunk = target.clamp(lo, hi).min(n.max(1));
+    (chunk, n.div_ceil(chunk))
+}
+
+/// Runs `per_range` over contiguous index ranges of `slots`, in
+/// parallel, returning the per-range results **in range order**. Each
+/// item is consumed exactly once by exactly one range.
+fn run_ranges<Item, P, R>(
+    mut slots: Vec<Option<Item>>,
+    min_len: usize,
+    max_len: usize,
+    per_range: R,
+) -> Vec<P>
+where
+    Item: Send,
+    P: Send,
+    R: Fn(&mut dyn Iterator<Item = Item>) -> P + Sync,
+{
+    let n = slots.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (chunk, n_chunks) = plan(n, min_len, max_len);
+    if pool::current_threads() <= 1 || n_chunks <= 1 {
+        let mut out = Vec::with_capacity(n_chunks);
+        let mut it = slots.into_iter().map(|s| s.expect("slot already taken"));
+        for k in 0..n_chunks {
+            let len = chunk.min(n - k * chunk);
+            let mut sub = (&mut it).take(len);
+            out.push(per_range(&mut sub));
+        }
+        return out;
+    }
+    let mut out: Vec<Option<P>> = (0..n_chunks).map(|_| None).collect();
+    let slots_ptr = SendPtr(slots.as_mut_ptr());
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    pool::run(n_chunks, &|k| {
+        let start = k * chunk;
+        let end = (start + chunk).min(n);
+        // SAFETY: task indices are claimed exactly once, so the ranges
+        // [start, end) are disjoint across invocations; each slot is
+        // taken once and out[k] is written only by task k. The borrows
+        // end before `run` returns (pool quiescence guarantee).
+        let mut items =
+            (start..end).map(|i| unsafe { (*slots_ptr.at(i)).take().expect("slot taken twice") });
+        let p = per_range(&mut items);
+        unsafe { *out_ptr.at(k) = Some(p) };
+    });
+    out.into_iter().map(|p| p.expect("range not executed")).collect()
+}
+
+// ---------------------------------------------------------------------
+// The parallel iterator type.
+// ---------------------------------------------------------------------
+
+/// A parallel iterator: a cheap *base* iterator (driven on the calling
+/// thread) plus a composed per-item pipeline (run on the claiming
+/// worker). See the module docs for the execution model.
+pub struct Par<I, F = Id> {
+    base: I,
+    op: F,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<I: Iterator> Par<I, Id> {
+    /// Wraps a base iterator.
+    pub fn new(base: I) -> Self {
+        Par { base, op: Id, min_len: 1, max_len: usize::MAX }
     }
 
-    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<iter::Zip<I, J>> {
-        Par(self.0.zip(other.0))
+    /// Indexes base items (before any mapping).
+    pub fn enumerate(self) -> Par<iter::Enumerate<I>, Id> {
+        Par { base: self.base.enumerate(), op: Id, min_len: self.min_len, max_len: self.max_len }
     }
 
-    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<iter::Map<I, F>> {
-        Par(self.0.map(f))
+    /// Zips two base iterators.
+    pub fn zip<J: Iterator>(self, other: Par<J, Id>) -> Par<iter::Zip<I, J>, Id> {
+        Par {
+            base: self.base.zip(other.base),
+            op: Id,
+            min_len: self.min_len,
+            max_len: self.max_len,
+        }
     }
 
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<iter::Filter<I, F>> {
-        Par(self.0.filter(f))
+    /// Filters base items; the predicate runs on the claiming thread.
+    pub fn filter<P: Fn(&I::Item) -> bool + Sync>(self, pred: P) -> ParFilter<I, P> {
+        ParFilter { base: self.base, pred, min_len: self.min_len, max_len: self.max_len }
+    }
+}
+
+impl<I, F> Par<I, F>
+where
+    I: Iterator,
+    F: ItemOp<I::Item>,
+{
+    /// Minimum items per claimed range (scheduling hint, honored).
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
     }
 
-    pub fn flat_map_iter<J, F>(self, f: F) -> Par<iter::FlatMap<I, J, F>>
+    /// Maximum items per claimed range (scheduling hint, honored).
+    pub fn with_max_len(mut self, max: usize) -> Self {
+        self.max_len = max.max(1);
+        self
+    }
+
+    /// Appends `g` to the per-item pipeline (runs on workers).
+    pub fn map<G, O>(self, g: G) -> Par<I, OpThen<F, G>>
     where
+        G: Fn(F::Out) -> O + Sync,
+    {
+        Par {
+            base: self.base,
+            op: OpThen { inner: self.op, g },
+            min_len: self.min_len,
+            max_len: self.max_len,
+        }
+    }
+
+    /// Maps each item to an iterator and flattens, preserving order.
+    pub fn flat_map_iter<G, J>(self, g: G) -> ParFlatMap<I, F, G>
+    where
+        G: Fn(F::Out) -> J + Sync,
         J: IntoIterator,
-        F: FnMut(I::Item) -> J,
     {
-        Par(self.0.flat_map(f))
+        ParFlatMap { base: self.base, op: self.op, g, min_len: self.min_len, max_len: self.max_len }
     }
 
-    /// Scheduling hint; a no-op in the sequential shim.
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-
-    /// Scheduling hint; a no-op in the sequential shim.
-    pub fn with_max_len(self, _max: usize) -> Self {
-        self
-    }
-
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// Rayon-style fold: one accumulator per "thread" (here: exactly one).
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<iter::Once<T>>
+    /// Consumes every item in parallel.
+    pub fn for_each<G>(self, g: G)
     where
-        ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
+        I::Item: Send,
+        G: Fn(F::Out) + Sync,
     {
-        Par(iter::once(self.0.fold(identity(), fold_op)))
+        let op = self.op;
+        if pool::current_threads() <= 1 {
+            self.base.for_each(|x| g(op.apply(x)));
+            return;
+        }
+        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
+        run_ranges(slots, self.min_len, self.max_len, |it| {
+            for x in it {
+                g(op.apply(x));
+            }
+        });
     }
 
-    /// Rayon-style reduce with an identity closure.
-    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    /// Rayon-style fold: one accumulator **per claimed range**, returned
+    /// as a new parallel iterator in range order.
+    pub fn fold<A, ID, FO>(self, identity: ID, fold_op: FO) -> Par<std::vec::IntoIter<A>, Id>
     where
-        ID: Fn() -> I::Item,
-        F: FnMut(I::Item, I::Item) -> I::Item,
+        I::Item: Send,
+        A: Send,
+        ID: Fn() -> A + Sync,
+        FO: Fn(A, F::Out) -> A + Sync,
     {
-        self.0.fold(identity(), op)
+        let op = self.op;
+        let accs: Vec<A> = if pool::current_threads() <= 1 {
+            vec![self.base.fold(identity(), |a, x| fold_op(a, op.apply(x)))]
+        } else {
+            let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
+            run_ranges(slots, self.min_len, self.max_len, |it| {
+                let mut a = identity();
+                for x in it {
+                    a = fold_op(a, op.apply(x));
+                }
+                a
+            })
+        };
+        Par::new(accs.into_iter())
     }
 
-    pub fn sum<S: iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    pub fn count(self) -> usize {
-        self.0.count()
-    }
-
-    pub fn max(self) -> Option<I::Item>
+    /// Rayon-style reduce with an identity closure: per-range partials
+    /// merged left-to-right (deterministic for associative `op`).
+    pub fn reduce<ID, RO>(self, identity: ID, rop: RO) -> F::Out
     where
-        I::Item: Ord,
+        I::Item: Send,
+        F::Out: Send,
+        ID: Fn() -> F::Out + Sync,
+        RO: Fn(F::Out, F::Out) -> F::Out + Sync,
     {
-        self.0.max()
+        let op = self.op;
+        if pool::current_threads() <= 1 {
+            return self.base.fold(identity(), |a, x| rop(a, op.apply(x)));
+        }
+        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
+        let parts = run_ranges(slots, self.min_len, self.max_len, |it| {
+            let mut a = identity();
+            for x in it {
+                a = rop(a, op.apply(x));
+            }
+            a
+        });
+        parts.into_iter().fold(identity(), rop)
     }
 
-    pub fn collect<B: FromIterator<I::Item>>(self) -> B {
-        self.0.collect()
+    /// Parallel sum.
+    pub fn sum<S>(self) -> S
+    where
+        I::Item: Send,
+        S: iter::Sum<F::Out> + iter::Sum<S> + Send,
+    {
+        let op = self.op;
+        if pool::current_threads() <= 1 {
+            return self.base.map(|x| op.apply(x)).sum();
+        }
+        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
+        let parts: Vec<S> =
+            run_ranges(slots, self.min_len, self.max_len, |it| it.map(|x| op.apply(x)).sum());
+        parts.into_iter().sum()
+    }
+
+    /// Item count. The pipeline is still applied (rayon's `count`
+    /// executes mapped closures, so side effects must not be skipped).
+    pub fn count(self) -> usize
+    where
+        I::Item: Send,
+    {
+        let op = self.op;
+        if pool::current_threads() <= 1 {
+            return self.base.fold(0usize, |c, x| {
+                op.apply(x);
+                c + 1
+            });
+        }
+        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
+        let parts: Vec<usize> = run_ranges(slots, self.min_len, self.max_len, |it| {
+            it.fold(0usize, |c, x| {
+                op.apply(x);
+                c + 1
+            })
+        });
+        parts.into_iter().sum()
+    }
+
+    /// Parallel max.
+    pub fn max(self) -> Option<F::Out>
+    where
+        I::Item: Send,
+        F::Out: Ord + Send,
+    {
+        let op = self.op;
+        if pool::current_threads() <= 1 {
+            return self.base.map(|x| op.apply(x)).max();
+        }
+        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
+        let parts =
+            run_ranges(slots, self.min_len, self.max_len, |it| it.map(|x| op.apply(x)).max());
+        parts.into_iter().flatten().max()
+    }
+
+    /// Parallel ordered collect.
+    pub fn collect<B>(self) -> B
+    where
+        I::Item: Send,
+        F::Out: Send,
+        B: FromIterator<F::Out>,
+    {
+        let op = self.op;
+        if pool::current_threads() <= 1 {
+            return self.base.map(|x| op.apply(x)).collect();
+        }
+        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
+        let parts: Vec<Vec<F::Out>> =
+            run_ranges(slots, self.min_len, self.max_len, |it| it.map(|x| op.apply(x)).collect());
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// A filtered parallel iterator (predicate runs on workers).
+pub struct ParFilter<I, P> {
+    base: I,
+    pred: P,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<I, P> ParFilter<I, P>
+where
+    I: Iterator,
+    P: Fn(&I::Item) -> bool + Sync,
+{
+    /// Counts items passing the predicate, in parallel.
+    pub fn count(self) -> usize
+    where
+        I::Item: Send,
+    {
+        let pred = self.pred;
+        if pool::current_threads() <= 1 {
+            return self.base.filter(|x| pred(x)).count();
+        }
+        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
+        let parts: Vec<usize> =
+            run_ranges(slots, self.min_len, self.max_len, |it| it.filter(|x| pred(x)).count());
+        parts.into_iter().sum()
+    }
+
+    /// Ordered parallel collect of items passing the predicate.
+    pub fn collect<B>(self) -> B
+    where
+        I::Item: Send,
+        B: FromIterator<I::Item>,
+    {
+        let pred = self.pred;
+        if pool::current_threads() <= 1 {
+            return self.base.filter(|x| pred(x)).collect();
+        }
+        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
+        let parts: Vec<Vec<I::Item>> =
+            run_ranges(slots, self.min_len, self.max_len, |it| it.filter(|x| pred(x)).collect());
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// A flat-mapped parallel iterator; `g` runs on workers, and the
+/// per-item sequences are concatenated in item order.
+pub struct ParFlatMap<I, F, G> {
+    base: I,
+    op: F,
+    g: G,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<I, F, G, J> ParFlatMap<I, F, G>
+where
+    I: Iterator,
+    F: ItemOp<I::Item>,
+    G: Fn(F::Out) -> J + Sync,
+    J: IntoIterator,
+{
+    /// Ordered parallel collect of the flattened sequences.
+    pub fn collect<B>(self) -> B
+    where
+        I::Item: Send,
+        J::Item: Send,
+        B: FromIterator<J::Item>,
+    {
+        let (op, g) = (self.op, self.g);
+        if pool::current_threads() <= 1 {
+            return self.base.flat_map(|x| g(op.apply(x))).collect();
+        }
+        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
+        let parts: Vec<Vec<J::Item>> = run_ranges(slots, self.min_len, self.max_len, |it| {
+            it.flat_map(|x| g(op.apply(x))).collect()
+        });
+        parts.into_iter().flatten().collect()
     }
 }
 
 pub mod iter_traits {
-    use super::Par;
+    use super::{Id, Par};
 
     /// `par_iter()` / `par_chunks*` / `par_iter_mut()` over slices.
     pub trait ParallelSlice<T> {
-        fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
-        fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
-        fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>>;
-        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+        fn par_iter(&self) -> Par<std::slice::Iter<'_, T>, Id>;
+        fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>, Id>;
+        fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>, Id>;
+        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>, Id>;
     }
 
     impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
-            Par(self.iter())
+        fn par_iter(&self) -> Par<std::slice::Iter<'_, T>, Id> {
+            Par::new(self.iter())
         }
-        fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
-            Par(self.iter_mut())
+        fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>, Id> {
+            Par::new(self.iter_mut())
         }
-        fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
-            Par(self.chunks(size))
+        fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>, Id> {
+            Par::new(self.chunks(size))
         }
-        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-            Par(self.chunks_mut(size))
+        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>, Id> {
+            Par::new(self.chunks_mut(size))
         }
     }
 
@@ -120,13 +506,13 @@ pub mod iter_traits {
     /// (ranges, `Vec`, …).
     pub trait IntoParallelIterator {
         type Iter: Iterator;
-        fn into_par_iter(self) -> Par<Self::Iter>;
+        fn into_par_iter(self) -> Par<Self::Iter, Id>;
     }
 
     impl<I: IntoIterator> IntoParallelIterator for I {
         type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Par<Self::Iter> {
-            Par(self.into_iter())
+        fn into_par_iter(self) -> Par<Self::Iter, Id> {
+            Par::new(self.into_iter())
         }
     }
 }
@@ -136,17 +522,11 @@ pub mod prelude {
     pub use super::Par;
 }
 
-/// Number of "worker threads". The shim executes sequentially, but task
-/// granularity heuristics still key off the machine's parallelism.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-/// Stand-in for `rayon::ThreadPoolBuilder`; `install` simply runs the
-/// closure on the calling thread.
+/// Builder mirroring `rayon::ThreadPoolBuilder`: selects the thread
+/// count that [`ThreadPool::install`] pins for its closure.
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
-    _num_threads: usize,
+    num_threads: usize,
 }
 
 impl ThreadPoolBuilder {
@@ -154,27 +534,45 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
+    /// Requests `n` threads (0 = the default budget).
     pub fn num_threads(mut self, n: usize) -> Self {
-        self._num_threads = n;
+        self.num_threads = n;
         self
     }
 
     pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
-        Ok(ThreadPool)
+        let threads = if self.num_threads == 0 {
+            pool::default_threads()
+        } else {
+            self.num_threads.min(pool::MAX_WORKERS)
+        };
+        Ok(ThreadPool { threads })
     }
 }
 
-pub struct ThreadPool;
+/// A handle pinning an effective thread count (the shim shares one
+/// global worker set; `install` scopes the parallelism override).
+pub struct ThreadPool {
+    threads: usize,
+}
 
 impl ThreadPool {
+    /// Runs `f` with this pool's thread count as the effective
+    /// parallelism on the calling thread.
     pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
-        f()
+        pool::with_threads(self.threads, f)
+    }
+
+    /// The thread count `install` pins.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{pool, ThreadPoolBuilder};
 
     #[test]
     fn fold_reduce_chain_matches_sequential() {
@@ -199,6 +597,8 @@ mod tests {
             );
         assert_eq!(count, 100);
         assert_eq!(evens.len(), 50);
+        // Ordered merge: the evens come out sorted like the input.
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
@@ -217,5 +617,105 @@ mod tests {
     fn range_into_par_iter_collects() {
         let v: Vec<u32> = (0u32..5).into_par_iter().map(|x| x * 2).collect();
         assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_results() {
+        let n = 10_000u64;
+        let seq: u64 = (0..n).map(|x| x * x % 1007).sum();
+        for threads in [1, 2, 4, 8] {
+            let par: u64 =
+                pool::with_threads(threads, || (0..n).into_par_iter().map(|x| x * x % 1007).sum());
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn with_max_len_bounds_range_sizes() {
+        pool::with_threads(4, || {
+            let counts: Vec<usize> =
+                (0..100u32).into_par_iter().with_max_len(5).fold(|| 0usize, |a, _| a + 1).collect();
+            assert!(counts.iter().all(|&c| c <= 5), "oversized range: {counts:?}");
+            assert_eq!(counts.iter().sum::<usize>(), 100);
+            assert!(counts.len() >= 20);
+        });
+    }
+
+    #[test]
+    fn with_min_len_coalesces_ranges() {
+        pool::with_threads(4, || {
+            let counts: Vec<usize> = (0..100u32)
+                .into_par_iter()
+                .with_min_len(40)
+                .fold(|| 0usize, |a, _| a + 1)
+                .collect();
+            // ceil(100 / 40) = 3 ranges: 40, 40, 20.
+            assert_eq!(counts, vec![40, 40, 20]);
+        });
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool4 = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let inside = pool4.install(super::current_num_threads);
+        assert_eq!(inside, 4);
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(pool1.install(super::current_num_threads), 1);
+    }
+
+    #[test]
+    fn disjoint_mut_chunks_write_in_parallel() {
+        pool::with_threads(4, || {
+            let mut data = vec![0u32; 4096];
+            data.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+                for (j, c) in chunk.iter_mut().enumerate() {
+                    *c = (i * 64 + j) as u32;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &v)| v as usize == i));
+        });
+    }
+
+    #[test]
+    fn filter_count_and_flat_map_collect() {
+        pool::with_threads(4, || {
+            let evens = (0..1000u32).into_par_iter().filter(|&v| v % 2 == 0).count();
+            assert_eq!(evens, 500);
+            let expanded: Vec<u32> =
+                (0..10u32).into_par_iter().flat_map_iter(|v| vec![v; v as usize]).collect();
+            assert_eq!(expanded.len(), 45);
+            // Order preserved: non-decreasing.
+            assert!(expanded.windows(2).all(|w| w[0] <= w[1]));
+        });
+    }
+
+    #[test]
+    fn reduce_is_deterministic_across_thread_counts() {
+        let data: Vec<f32> = (0..5000).map(|i| (i as f32) * 0.25).collect();
+        let reference: Vec<f32> = pool::with_threads(1, || {
+            data.par_iter()
+                .fold(Vec::new, |mut a, &x| {
+                    a.push(x);
+                    a
+                })
+                .reduce(Vec::new, |mut a, b| {
+                    a.extend_from_slice(&b);
+                    a
+                })
+        });
+        for threads in [2, 4, 8] {
+            let got: Vec<f32> = pool::with_threads(threads, || {
+                data.par_iter()
+                    .fold(Vec::new, |mut a, &x| {
+                        a.push(x);
+                        a
+                    })
+                    .reduce(Vec::new, |mut a, b| {
+                        a.extend_from_slice(&b);
+                        a
+                    })
+            });
+            assert_eq!(got, reference, "threads={threads}");
+        }
     }
 }

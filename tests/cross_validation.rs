@@ -5,13 +5,19 @@ use slimsell::baseline::{dirop_bfs, spmspv_bfs, trad_bfs, Dedup, DirOptBfsOption
 use slimsell::core::dirop::{run_diropt, DirOptOptions};
 use slimsell::prelude::*;
 
+/// Debug builds run the identical configuration matrix on smaller
+/// graphs (unoptimized matrix builds dominate the suite's runtime);
+/// release builds keep the full sizes.
+const DEBUG_SCALE: bool = cfg!(debug_assertions);
+
 fn families() -> Vec<(&'static str, CsrGraph)> {
+    let (kron_scale, shift, er_n) = if DEBUG_SCALE { (9, 10, 400) } else { (10, 8, 800) };
     vec![
-        ("kronecker", kronecker(10, 8.0, KroneckerParams::GRAPH500, 1)),
-        ("erdos-renyi", erdos_renyi_gnp(800, 10.0 / 800.0, 2)),
-        ("road", standin("rca", 8, 3)),
-        ("web-chain", standin("ndm", 8, 4)),
-        ("social", standin("epi", 7, 5)),
+        ("kronecker", kronecker(kron_scale, 8.0, KroneckerParams::GRAPH500, 1)),
+        ("erdos-renyi", erdos_renyi_gnp(er_n, 10.0 / er_n as f64, 2)),
+        ("road", standin("rca", shift, 3)),
+        ("web-chain", standin("ndm", shift, 4)),
+        ("social", standin("epi", shift - 1, 5)),
         ("path", GraphBuilder::new(100).edges((0..99u32).map(|v| (v, v + 1))).build()),
         ("star", GraphBuilder::new(65).edges((1..65u32).map(|v| (0, v))).build()),
     ]
@@ -123,7 +129,7 @@ fn dp_transform_valid_on_all_families() {
 
 #[test]
 fn multiple_roots_per_graph() {
-    let g = kronecker(11, 8.0, KroneckerParams::GRAPH500, 9);
+    let g = kronecker(if DEBUG_SCALE { 10 } else { 11 }, 8.0, KroneckerParams::GRAPH500, 9);
     let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
     for root in slimsell::graph::stats::sample_roots(&g, 8) {
         let reference = serial_bfs(&g, root);

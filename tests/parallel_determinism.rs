@@ -1,0 +1,103 @@
+//! Parallel determinism: the BFS engine's outputs must be *byte-equal*
+//! — not merely "same reachable set" — across thread counts, for every
+//! semiring, with and without SlimChunk tiling, under both schedules.
+//!
+//! This holds by construction: every chunk's math is independent, tiles
+//! write disjoint positional slabs, and the iteration-level reduce uses
+//! commutative-associative merges — so scheduling can never reorder a
+//! result. The 1-thread run takes the engine's sequential oracle path
+//! (no pool interaction at all), which makes it the reference.
+//!
+//! Thread counts are pinned with `ThreadPoolBuilder::install`, the
+//! in-process equivalent of running under `SLIMSELL_THREADS=1/2/8`
+//! (which CI also exercises across the whole suite).
+
+use slimsell::core::dirop::{run_diropt, DirOptOptions};
+use slimsell::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new().num_threads(n).build().unwrap().install(f)
+}
+
+fn graph() -> (CsrGraph, VertexId) {
+    let g = kronecker(10, 16.0, KroneckerParams::GRAPH500, 7);
+    let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
+    (g, root)
+}
+
+/// Runs one configuration at every thread count and asserts the full
+/// output (distances, parents, and per-iteration work counters) is
+/// identical to the 1-thread sequential oracle.
+fn check_engine<S: Semiring>(g: &CsrGraph, root: VertexId, opts: &BfsOptions, label: &str) {
+    let slim = SlimSellMatrix::<8>::build(g, g.num_vertices());
+    let reference = with_threads(1, || BfsEngine::run::<_, S, 8>(&slim, root, opts));
+    // Sanity: the oracle itself is correct.
+    assert_eq!(reference.dist, serial_bfs(g, root).dist, "{label}: oracle wrong");
+    for threads in THREAD_COUNTS {
+        let out = with_threads(threads, || BfsEngine::run::<_, S, 8>(&slim, root, opts));
+        assert_eq!(out.dist, reference.dist, "{label}: dist diverged at {threads} threads");
+        assert_eq!(out.parent, reference.parent, "{label}: parents diverged at {threads} threads");
+        assert_eq!(
+            out.stats.total_cells(),
+            reference.stats.total_cells(),
+            "{label}: work counters diverged at {threads} threads"
+        );
+        assert_eq!(
+            out.stats.total_skipped(),
+            reference.stats.total_skipped(),
+            "{label}: skip counters diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn all_semirings_bit_identical_across_thread_counts() {
+    let (g, root) = graph();
+    let opts = BfsOptions::default();
+    check_engine::<TropicalSemiring>(&g, root, &opts, "tropical");
+    check_engine::<BooleanSemiring>(&g, root, &opts, "boolean");
+    check_engine::<RealSemiring>(&g, root, &opts, "real");
+    check_engine::<SelMaxSemiring>(&g, root, &opts, "sel-max");
+}
+
+#[test]
+fn schedules_and_slimchunk_bit_identical() {
+    let (g, root) = graph();
+    for schedule in [Schedule::Static, Schedule::Dynamic] {
+        for slimchunk in [None, Some(4)] {
+            let opts = BfsOptions { schedule, slimchunk, ..Default::default() };
+            check_engine::<TropicalSemiring>(
+                &g,
+                root,
+                &opts,
+                &format!("{schedule:?}/{slimchunk:?}"),
+            );
+            check_engine::<SelMaxSemiring>(&g, root, &opts, &format!("{schedule:?}/{slimchunk:?}"));
+        }
+    }
+}
+
+#[test]
+fn direction_optimized_bit_identical() {
+    let (g, root) = graph();
+    let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+    let reference = with_threads(1, || run_diropt(&slim, root, &DirOptOptions::default()));
+    for threads in THREAD_COUNTS {
+        let out = with_threads(threads, || run_diropt(&slim, root, &DirOptOptions::default()));
+        assert_eq!(out.bfs.dist, reference.bfs.dist, "diropt dist at {threads} threads");
+        assert_eq!(out.modes, reference.modes, "diropt mode sequence at {threads} threads");
+    }
+}
+
+#[test]
+fn generated_graphs_identical_across_thread_counts() {
+    // Kronecker generation itself must not depend on the thread count
+    // (fixed block seeding), or no cross-thread comparison makes sense.
+    let reference = with_threads(1, || kronecker(9, 8.0, KroneckerParams::GRAPH500, 3));
+    for threads in [2, 8] {
+        let g = with_threads(threads, || kronecker(9, 8.0, KroneckerParams::GRAPH500, 3));
+        assert_eq!(g, reference, "kronecker generation diverged at {threads} threads");
+    }
+}
