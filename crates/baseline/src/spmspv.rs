@@ -1,6 +1,6 @@
 //! BFS as sparse-matrix × sparse-vector products (SpMSpV).
 //!
-//! Table II lists three SpMSpV BFS variants from Yang et al. [39],
+//! Table II lists three SpMSpV BFS variants from Yang et al. \[39\],
 //! distinguished by how duplicate candidates (several frontier vertices
 //! reaching the same neighbor) are eliminated:
 //!

@@ -17,12 +17,17 @@
 //!   --runs K          repetitions per timing point (default 3)
 //!   --scale-shift N   real-world stand-in down-scaling (default 4)
 //!   --results-dir D   CSV output directory (default results/)
+//!
+//! scaling options:
+//!   --kernel K        kernel(s) for BENCH_scaling.json: bfs (default),
+//!                     pagerank, sssp, msbfs, betweenness, or all
 //! ```
 //!
 //! The `scaling` experiment additionally writes the machine-readable
-//! `results/BENCH_scaling.json` (threads × scale × semiring, median ns
-//! per stored arc) used to track multicore perf across PRs; sweep the
-//! thread axis on any host with `SLIMSELL_THREADS` unset.
+//! `results/BENCH_scaling.json` (threads × scale × kernel, plus the
+//! semiring axis for BFS; median ns per stored arc) used to track
+//! multicore perf across PRs; sweep the thread axis on any host with
+//! `SLIMSELL_THREADS` unset.
 
 use slimsell_bench::experiments;
 use slimsell_bench::harness::{Args, ExpContext};
@@ -55,5 +60,6 @@ fn print_help() {
     println!(
         "options: --scale-log2 N  --rho X  --seed S  --runs K  --scale-shift N  --results-dir D"
     );
+    println!("scaling only: --kernel {{bfs|pagerank|sssp|msbfs|betweenness|all}}");
     println!("see DESIGN.md section 4 for the experiment-to-paper mapping");
 }

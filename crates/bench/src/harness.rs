@@ -19,7 +19,7 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses from an iterator of arguments (excluding argv[0]).
+    /// Parses from an iterator of arguments (excluding `argv[0]`).
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut it = args.into_iter();
         let experiment = it.next().ok_or("missing experiment name")?;

@@ -11,13 +11,37 @@
 //! 2. a *backward* sweep accumulating dependencies
 //!    `δ_s(v) = Σ_{w: succ} σ(v)/σ(w) · (1 + δ(w))`.
 //!
-//! The forward sweep reuses the chunked SpMV kernel verbatim; the
-//! backward sweep is a level-parallel pull over the same Sell structure
-//! (strided row access). Path counts run in `f32` inside the vector
-//! kernel (the engine's native type) and are widened to `f64` for the
-//! dependency accumulation; exact centralities therefore require
+//! The forward sweep reuses the chunked SpMV kernel verbatim and runs
+//! tile-parallel over [`crate::tiling`] chunk tiles (disjoint slabs of
+//! the next state vectors plus a per-chunk changed-flag slab). The
+//! backward sweep stays **sequential by design**: dependency
+//! accumulation scatters `δ` contributions to predecessors, so
+//! different vertices of one level may write the same `δ[v]` — there is
+//! no chunk-disjoint write pattern to tile over without atomics or
+//! per-thread accumulator arrays, and levels shrink too fast for either
+//! to pay off at this scale. The per-level coefficient pass *is*
+//! parallel (ordered collect), and the serial scatter keeps the `f64`
+//! accumulation order — and therefore the centralities — bit-identical
+//! at any thread count.
+//!
+//! Path counts run in `f32` inside the vector kernel (the engine's
+//! native type) and are widened to `f64` for the dependency
+//! accumulation; exact centralities therefore require
 //! `σ_s(v) < 2^24`, which holds for the laptop-scale graphs used here —
 //! the limitation is documented and asserted.
+//!
+//! # Example
+//!
+//! ```
+//! use slimsell_core::{betweenness_exact, SlimSellMatrix};
+//! use slimsell_graph::GraphBuilder;
+//!
+//! // On a 3-vertex path every 1↔3 shortest path crosses the middle.
+//! let g = GraphBuilder::new(3).edges([(0, 1), (1, 2)]).build();
+//! let m = SlimSellMatrix::<4>::build(&g, 3);
+//! let bc = betweenness_exact(&m);
+//! assert_eq!(bc, vec![0.0, 2.0, 0.0]); // both directions counted
+//! ```
 
 use rayon::prelude::*;
 use slimsell_graph::VertexId;
@@ -25,6 +49,7 @@ use slimsell_graph::VertexId;
 use crate::bfs::chunk_mv;
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{RealSemiring, Semiring, StateVecs};
+use crate::tiling::{ChunkTiling, Schedule};
 
 /// Per-source forward-sweep result.
 #[derive(Clone, Debug)]
@@ -62,33 +87,46 @@ where
     level[root_p] = 0;
     sigma[root_p] = 1.0;
 
+    let nc = np / C;
+    // Per-chunk changed flags, written tile-disjointly and harvested
+    // sequentially in chunk order (deterministic frontier recording).
+    let mut changed = vec![false; nc];
     let mut depth = 0u32;
     loop {
         depth += 1;
-        let changed: Vec<(usize, bool)> = nxt
-            .x
-            .par_chunks_mut(C)
-            .zip(nxt.g.par_chunks_mut(C))
-            .zip(nxt.p.par_chunks_mut(C))
-            .zip(d.par_chunks_mut(C))
-            .enumerate()
-            .map(|(i, (((nx, ng), np_), dd))| {
-                let base = i * C;
-                if S::should_skip(&cur, base..base + C) {
-                    S::copy_forward(&cur, base, nx, ng, np_);
-                    return (i, false);
+        {
+            let cur_ref = &cur;
+            let tiling = ChunkTiling::new(nc, Schedule::Dynamic);
+            let tiles: Vec<_> = tiling
+                .split_spans::<C>(&mut nxt, &mut d)
+                .into_iter()
+                .zip(tiling.split(1, &mut changed))
+                .collect();
+            tiling.for_each(tiles, |(span, flags)| {
+                let per_chunk = span
+                    .x
+                    .chunks_mut(C)
+                    .zip(span.g.chunks_mut(C))
+                    .zip(span.p.chunks_mut(C))
+                    .zip(span.d.chunks_mut(C))
+                    .zip(flags.data.iter_mut());
+                for (k, ((((nx, ng), np_), dd), flag)) in per_chunk.enumerate() {
+                    let i = span.c0 + k;
+                    let base = i * C;
+                    if S::should_skip(cur_ref, base..base + C) {
+                        S::copy_forward(cur_ref, base, nx, ng, np_);
+                        *flag = false;
+                        continue;
+                    }
+                    let acc = chunk_mv::<M, S, C>(matrix, &cur_ref.x, i);
+                    *flag = S::post_chunk(acc, cur_ref, base, nx, ng, np_, dd, depth as f32);
                 }
-                let acc = chunk_mv::<M, S, C>(matrix, &cur.x, i);
-                (i, S::post_chunk(acc, &cur, base, nx, ng, np_, dd, depth as f32))
-            })
-            .collect();
-        let any = changed.iter().any(|&(_, c)| c);
+            });
+        }
+        let any = changed.iter().any(|&c| c);
         // Record σ and level for the newly discovered frontier.
         let mut this_level = Vec::new();
-        for &(i, c) in &changed {
-            if !c {
-                continue;
-            }
+        for (i, _) in changed.iter().enumerate().filter(|&(_, &c)| c) {
             for lane in 0..C {
                 let v = i * C + lane;
                 let count = nxt.x[v];
@@ -116,6 +154,10 @@ where
 
 /// Backward dependency accumulation over the Sell structure: returns
 /// `δ_s(v)` in permuted space.
+///
+/// The per-level coefficient pass is parallel (ordered collect); the
+/// scatter to predecessors is deliberately sequential — see the module
+/// docs for why this sweep is not tiled.
 pub fn backward_sweep<M, const C: usize>(matrix: &M, dag: &ShortestPathDag) -> Vec<f64>
 where
     M: ChunkMatrix<C>,

@@ -13,21 +13,23 @@
 //! (`nxt`) and of the persistent distance vector `d`, so the rayon loop
 //! is race-free by construction.
 //!
-//! Parallel execution model: each iteration partitions the chunk range
-//! into contiguous per-worker tiles ([`ChunkSpan`]) whose output slabs
-//! are carved out of the state vectors with `split_at_mut` — disjoint
-//! `&mut [f32]` ownership, no locks, no atomics on the frontier. Static
-//! scheduling makes exactly one tile per thread (OpenMP static);
-//! dynamic scheduling over-partitions so fast threads steal leftover
-//! tiles (OpenMP dynamic). When the effective thread count is 1 the
-//! engine takes a plain sequential loop over chunks — the reference
-//! oracle the determinism tests compare parallel runs against. Outputs
-//! are bit-identical across thread counts and schedules because every
-//! chunk's math is independent and writes are positional.
+//! Parallel execution model: each iteration builds a [`ChunkTiling`]
+//! that partitions the chunk range into contiguous per-worker tiles
+//! ([`ChunkSpan`]) whose output slabs are carved out of the state
+//! vectors with `split_at_mut` — disjoint `&mut [f32]` ownership, no
+//! locks, no atomics on the frontier. Static scheduling makes exactly
+//! one tile per thread (OpenMP static); dynamic scheduling
+//! over-partitions so fast threads steal leftover tiles (OpenMP
+//! dynamic). When the effective thread count is 1 the engine takes a
+//! plain sequential loop over chunks — the reference oracle the
+//! determinism tests compare parallel runs against. Outputs are
+//! bit-identical across thread counts and schedules because every
+//! chunk's math is independent and writes are positional. The same
+//! machinery (shared via [`crate::tiling`]) drives SlimChunk, PageRank,
+//! SSSP, multi-source BFS and the betweenness forward sweep.
 
 use std::time::Instant;
 
-use rayon::prelude::*;
 use slimsell_graph::{VertexId, UNREACHABLE};
 use slimsell_simd::{SimdF32, SimdI32};
 
@@ -35,16 +37,9 @@ use crate::counters::{IterStats, RunStats};
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{Semiring, StateVecs};
 use crate::slimchunk;
+use crate::tiling::{ChunkSpan, ChunkTiling};
 
-/// Chunk-to-thread scheduling policy (the paper's `omp-s` / `omp-d`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum Schedule {
-    /// Contiguous equal partitions of chunks per thread (OpenMP static).
-    Static,
-    /// Fine-grained work stealing (OpenMP dynamic).
-    #[default]
-    Dynamic,
-}
+pub use crate::tiling::Schedule;
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -190,76 +185,6 @@ where
     acc
 }
 
-/// How many tiles each thread gets under dynamic scheduling; the
-/// over-partitioning that makes work stealing effective on skewed
-/// chunk-length distributions.
-const DYNAMIC_TILES_PER_THREAD: usize = 8;
-
-/// Splits `0..n` into `parts` contiguous near-equal ranges (first
-/// `n % parts` ranges get the extra element). Deterministic in `n` and
-/// `parts`; never returns an empty range (`n == 0` yields no ranges).
-pub(crate) fn even_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
-    if n == 0 {
-        return Vec::new();
-    }
-    let parts = parts.clamp(1, n);
-    let base = n / parts;
-    let rem = n % parts;
-    let mut out = Vec::with_capacity(parts);
-    let mut start = 0;
-    for t in 0..parts {
-        let len = base + usize::from(t < rem);
-        out.push((start, start + len));
-        start += len;
-    }
-    out
-}
-
-/// Chunk-range tiles realizing the requested schedule at the current
-/// effective thread count: one tile per thread for static, an
-/// over-partitioned set for dynamic stealing.
-pub(crate) fn tile_ranges(nc: usize, schedule: Schedule) -> Vec<(usize, usize)> {
-    let threads = rayon::current_num_threads().max(1);
-    let parts = match schedule {
-        Schedule::Static => threads,
-        Schedule::Dynamic => threads * DYNAMIC_TILES_PER_THREAD,
-    };
-    even_ranges(nc, parts)
-}
-
-/// A tile's disjoint view of the iteration outputs: chunks
-/// `c0 .. c0 + x.len() / C`, with per-chunk slabs of the next state
-/// vectors and the distance vector.
-pub(crate) struct ChunkSpan<'a> {
-    pub c0: usize,
-    pub x: &'a mut [f32],
-    pub g: &'a mut [f32],
-    pub p: &'a mut [f32],
-    pub d: &'a mut [f32],
-}
-
-/// Carves the state vectors into per-tile [`ChunkSpan`]s matching
-/// `ranges` (which must partition `0..nc` in order).
-pub(crate) fn split_spans<'a, const C: usize>(
-    ranges: &[(usize, usize)],
-    mut x: &'a mut [f32],
-    mut g: &'a mut [f32],
-    mut p: &'a mut [f32],
-    mut d: &'a mut [f32],
-) -> Vec<ChunkSpan<'a>> {
-    let mut out = Vec::with_capacity(ranges.len());
-    for &(c0, c1) in ranges {
-        let len = (c1 - c0) * C;
-        let (xs, xt) = x.split_at_mut(len);
-        let (gs, gt) = g.split_at_mut(len);
-        let (ps, pt) = p.split_at_mut(len);
-        let (ds, dt) = d.split_at_mut(len);
-        (x, g, p, d) = (xt, gt, pt, dt);
-        out.push(ChunkSpan { c0, x: xs, g: gs, p: ps, d: ds });
-    }
-    out
-}
-
 /// One chunk of one iteration: SlimWork skip test, MV kernel, semiring
 /// post-processing. Returns (changed, column steps, skipped).
 #[inline]
@@ -333,19 +258,16 @@ where
     let s = matrix.structure();
     let nc = s.num_chunks();
     let slimwork = opts.slimwork;
-    let (changed, col_steps, skipped) = if rayon::current_num_threads() <= 1 || nc <= 1 {
-        // Sequential oracle path: one span over everything.
-        let span = ChunkSpan { c0: 0, x: &mut nxt.x, g: &mut nxt.g, p: &mut nxt.p, d };
-        mv_span::<M, S, C>(matrix, cur, span, depth, slimwork)
-    } else {
-        let ranges = tile_ranges(nc, opts.schedule);
-        let spans = split_spans::<C>(&ranges, &mut nxt.x, &mut nxt.g, &mut nxt.p, d);
-        spans
-            .into_par_iter()
-            .with_min_len(1)
-            .map(|span| mv_span::<M, S, C>(matrix, cur, span, depth, slimwork))
-            .reduce(|| (false, 0, 0), |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2))
-    };
+    // At 1 effective thread the tiling is one span over everything, run
+    // inline — the sequential oracle path.
+    let tiling = ChunkTiling::new(nc, opts.schedule);
+    let spans = tiling.split_spans::<C>(nxt, d);
+    let (changed, col_steps, skipped) = tiling.map_reduce(
+        spans,
+        |span| mv_span::<M, S, C>(matrix, cur, span, depth, slimwork),
+        || (false, 0, 0),
+        |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2),
+    );
     IterStats {
         elapsed: Default::default(),
         chunks_processed: nc - skipped,

@@ -1,6 +1,6 @@
 //! Direction-optimized algebraic BFS — Figure 1's third curve.
 //!
-//! The paper notes that "the well-known direction-optimization [3] and
+//! The paper notes that "the well-known direction-optimization \[3\] and
 //! other work-avoidance schemes are orthogonal to our work and can be
 //! implemented on top of SlimSell; see Figure 1" (§V). This module is
 //! that composition: Beamer-style switching between
@@ -19,13 +19,13 @@
 
 use std::time::Instant;
 
-use rayon::prelude::*;
 use slimsell_graph::{VertexId, UNREACHABLE};
 
-use crate::bfs::{iterate, tile_ranges, BfsOptions, BfsOutput, Schedule};
+use crate::bfs::{iterate, BfsOptions, BfsOutput, Schedule};
 use crate::counters::{IterStats, RunStats};
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{Semiring, StateVecs, TropicalSemiring};
+use crate::tiling::ChunkTiling;
 
 /// Which direction an iteration executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -137,23 +137,23 @@ where
                 // Parallel over contiguous vertex ranges; the ordered
                 // range merge keeps the frontier sorted exactly like
                 // the sequential scan.
-                let threads = rayon::current_num_threads();
-                let next: Vec<u32> = if threads <= 1 {
-                    (0..n).filter(|&v| nxt.x[v] != cur.x[v]).map(|v| v as u32).collect()
-                } else {
+                let next: Vec<u32> = {
                     let (nxt_x, cur_x) = (&nxt.x, &cur.x);
-                    tile_ranges(n, Schedule::Dynamic)
-                        .into_par_iter()
-                        .map(|(v0, v1)| {
+                    let tiling = ChunkTiling::new(n, Schedule::Dynamic);
+                    tiling.map_reduce(
+                        tiling.ranges().to_vec(),
+                        |(v0, v1)| {
                             (v0..v1)
                                 .filter(|&v| nxt_x[v] != cur_x[v])
                                 .map(|v| v as u32)
                                 .collect::<Vec<_>>()
-                        })
-                        .reduce(Vec::new, |mut a, mut b| {
+                        },
+                        Vec::new,
+                        |mut a, mut b| {
                             a.append(&mut b);
                             a
-                        })
+                        },
+                    )
                 };
                 std::mem::swap(&mut cur, &mut nxt);
                 frontier_edges = next.iter().map(|&w| s.row_len(w as usize) as u64).sum();

@@ -25,13 +25,21 @@
 //!
 //! Extensions beyond the paper's evaluation (its §VI future-work list):
 //!
-//! * [`betweenness`] — Brandes betweenness centrality on the SlimSell
+//! * [`mod@betweenness`] — Brandes betweenness centrality on the SlimSell
 //!   substrate (real-semiring forward sweeps);
-//! * [`msbfs`] — multi-source BFS vectorized over the source dimension;
-//! * [`pagerank`] — PageRank as repeated real-semiring SpMV;
-//! * [`sssp`] — weighted min-plus SSSP on Sell-C-σ (the case where the
+//! * [`mod@msbfs`] — multi-source BFS vectorized over the source dimension;
+//! * [`mod@pagerank`] — PageRank as repeated real-semiring SpMV;
+//! * [`mod@sssp`] — weighted min-plus SSSP on Sell-C-σ (the case where the
 //!   explicit `val` array is mandatory, delimiting SlimSell's scope);
 //! * [`validation`] — Graph500-style structural output validation.
+//!
+//! Every kernel above the engine layer ([`mod@pagerank`], [`mod@sssp`],
+//! [`mod@msbfs`], [`mod@betweenness`], and the BFS driver itself) runs on the
+//! shared chunk-tiling substrate in [`tiling`]; see ARCHITECTURE.md at
+//! the repository root for the cross-crate picture and the
+//! tiling/determinism contract.
+
+#![deny(missing_docs)]
 
 pub mod betweenness;
 pub mod bfs;
@@ -47,6 +55,7 @@ pub mod slimchunk;
 pub mod sssp;
 pub mod storage;
 pub mod structure;
+pub mod tiling;
 pub mod validation;
 
 pub use betweenness::{betweenness_exact, betweenness_from_sources};

@@ -12,12 +12,30 @@
 //!
 //! Work per iteration is `O(2m + P)` *regardless of B*, so batching
 //! amortizes the structure traversal across sources.
+//!
+//! Each sweep runs tile-parallel over [`crate::tiling`] chunk tiles
+//! (`C·B` values per chunk) writing disjoint slabs; outputs are
+//! bit-identical at any thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use slimsell_core::{multi_bfs, SlimSellMatrix};
+//! use slimsell_graph::GraphBuilder;
+//!
+//! // Two simultaneous traversals of a path, one from each end.
+//! let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+//! let m = SlimSellMatrix::<4>::build(&g, 4);
+//! let out = multi_bfs::<_, 4, 2>(&m, &[0, 3]);
+//! assert_eq!(out.dist[0], vec![0, 1, 2, 3]);
+//! assert_eq!(out.dist[1], vec![3, 2, 1, 0]);
+//! ```
 
-use rayon::prelude::*;
 use slimsell_graph::{VertexId, UNREACHABLE};
 use slimsell_simd::SimdF32;
 
 use crate::matrix::ChunkMatrix;
+use crate::tiling::{ChunkTiling, Schedule};
 
 /// Output of a multi-source run: one distance vector per source, in
 /// original vertex ids.
@@ -56,34 +74,43 @@ where
     }
     let mut nxt = cur.clone();
 
+    let nc = np / C;
     let mut iterations = 0usize;
     loop {
         iterations += 1;
-        let changed = nxt
-            .par_chunks_mut(C * B)
-            .enumerate()
-            .map(|(i, out)| {
-                let base = i * C;
-                // SlimWork analogue: all lanes of all rows finite.
-                if cur[base * B..(base + C) * B].iter().all(|&x| x != f32::INFINITY) {
-                    out.copy_from_slice(&cur[base * B..(base + C) * B]);
-                    return false;
-                }
-                let mut any = false;
-                for lane in 0..C {
-                    let r = base + lane;
-                    let mut acc = SimdF32::<B>::load(&cur[r * B..]);
-                    let before = acc;
-                    for c in s.row_neighbors(r) {
-                        let rhs = SimdF32::<B>::load(&cur[c as usize * B..]);
-                        acc = acc.min(rhs.add(SimdF32::one()));
+        let cur_ref = &cur;
+        let tiling = ChunkTiling::new(nc, Schedule::Dynamic);
+        let tiles = tiling.split(C * B, &mut nxt);
+        let changed = tiling.map_reduce(
+            tiles,
+            |t| {
+                let mut tile_any = false;
+                for (k, out) in t.data.chunks_mut(C * B).enumerate() {
+                    let base = (t.c0 + k) * C;
+                    // SlimWork analogue: all lanes of all rows finite.
+                    if cur_ref[base * B..(base + C) * B].iter().all(|&x| x != f32::INFINITY) {
+                        out.copy_from_slice(&cur_ref[base * B..(base + C) * B]);
+                        continue;
                     }
-                    any |= acc.any_ne(before);
-                    acc.store(&mut out[lane * B..]);
+                    let mut any = false;
+                    for lane in 0..C {
+                        let r = base + lane;
+                        let mut acc = SimdF32::<B>::load(&cur_ref[r * B..]);
+                        let before = acc;
+                        for c in s.row_neighbors(r) {
+                            let rhs = SimdF32::<B>::load(&cur_ref[c as usize * B..]);
+                            acc = acc.min(rhs.add(SimdF32::one()));
+                        }
+                        any |= acc.any_ne(before);
+                        acc.store(&mut out[lane * B..]);
+                    }
+                    tile_any |= any;
                 }
-                any
-            })
-            .reduce(|| false, |a, b| a | b);
+                tile_any
+            },
+            || false,
+            |a, b| a | b,
+        );
         std::mem::swap(&mut cur, &mut nxt);
         if !changed || iterations > n {
             break;

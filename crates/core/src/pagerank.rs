@@ -9,13 +9,33 @@
 //! symmetric, `Aᵀ D⁻¹ x` is computed by pre-scaling (`y = x/deg`) and
 //! one SpMV over the chunked structure — the same gather/accumulate
 //! kernel as BFS with the real semiring's (+, ·) and implicit 1 values.
+//!
+//! Both the pre-scale and the SpMV run tile-parallel over
+//! [`crate::tiling`] chunk tiles writing disjoint slabs. The L1
+//! residual is made thread-count-independent by accumulating one
+//! partial per chunk (fixed lane order) into a side slab and summing
+//! that slab sequentially in chunk order — scores and residuals are
+//! bit-identical at any thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use slimsell_core::{pagerank, PageRankOptions, SlimSellMatrix};
+//! use slimsell_graph::GraphBuilder;
+//!
+//! // On a ring every vertex is symmetric: scores are uniform.
+//! let g = GraphBuilder::new(8).edges((0..8u32).map(|v| (v, (v + 1) % 8))).build();
+//! let m = SlimSellMatrix::<4>::build(&g, 8);
+//! let out = pagerank(&m, &PageRankOptions::default());
+//! assert!(out.scores.iter().all(|&s| (s - 0.125).abs() < 1e-5));
+//! ```
 
-use rayon::prelude::*;
 use slimsell_graph::VertexId;
 use slimsell_simd::{SimdF32, SimdI32};
 
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{RealSemiring, Semiring};
+use crate::tiling::{ChunkTiling, Schedule};
 
 /// PageRank options.
 #[derive(Clone, Copy, Debug)]
@@ -64,26 +84,55 @@ where
     x[..n].fill(1.0 / n as f32);
     let mut y = vec![0.0f32; np]; // pre-scaled x/deg
     let mut nxt = vec![0.0f32; np];
+    let nc = np / C;
+    // Per-chunk residual partials; summed in chunk order so the L1
+    // residual does not depend on tile boundaries (thread count).
+    let mut chunk_res = vec![0.0f32; nc];
 
     let mut iterations = 0;
     let mut residual = f32::INFINITY;
     while iterations < opts.max_iterations && residual > opts.tolerance {
         iterations += 1;
-        // Dangling vertices spread their mass uniformly.
+        // Dangling vertices spread their mass uniformly (sequential
+        // fixed-order sum: deterministic).
         let dangling: f32 = (0..n).filter(|&v| deg[v] == 0.0).map(|v| x[v]).sum();
-        y.par_iter_mut()
-            .zip(x.par_iter().zip(inv_deg.par_iter()))
-            .for_each(|(y, (&x, &i))| *y = x * i);
         let base_mass = (1.0 - d) / n as f32 + d * dangling / n as f32;
-        let y_ref = &y;
-        nxt.par_chunks_mut(C).enumerate().for_each(|(i, out)| {
-            let acc = spmv_chunk::<M, C>(matrix, y_ref, i);
-            for (lane, o) in out.iter_mut().enumerate() {
-                let v = i * C + lane;
-                *o = if v < n { base_mass + d * acc.0[lane] } else { 0.0 };
-            }
-        });
-        residual = nxt.par_iter().zip(x.par_iter()).map(|(a, b)| (a - b).abs()).sum();
+        let tiling = ChunkTiling::new(nc, Schedule::Dynamic);
+        // Pre-scale pass: y = x / deg, disjoint chunk tiles of y.
+        {
+            let (x_ref, inv_ref) = (&x, &inv_deg);
+            let tiles = tiling.split(C, &mut y);
+            tiling.for_each(tiles, |t| {
+                let base = t.c0 * C;
+                for (k, yv) in t.data.iter_mut().enumerate() {
+                    *yv = x_ref[base + k] * inv_ref[base + k];
+                }
+            });
+        }
+        // SpMV + residual pass: each tile owns its slab of `nxt` and the
+        // matching slab of per-chunk residual partials.
+        {
+            let (x_ref, y_ref) = (&x, &y);
+            let tiles: Vec<_> = tiling
+                .split(C, &mut nxt)
+                .into_iter()
+                .zip(tiling.split(1, &mut chunk_res))
+                .collect();
+            tiling.for_each(tiles, |(out, res)| {
+                for (k, (slot, r)) in out.data.chunks_mut(C).zip(res.data.iter_mut()).enumerate() {
+                    let i = out.c0 + k;
+                    let acc = spmv_chunk::<M, C>(matrix, y_ref, i);
+                    let mut partial = 0.0f32;
+                    for (lane, o) in slot.iter_mut().enumerate() {
+                        let v = i * C + lane;
+                        *o = if v < n { base_mass + d * acc.0[lane] } else { 0.0 };
+                        partial += (*o - x_ref[v]).abs();
+                    }
+                    *r = partial;
+                }
+            });
+        }
+        residual = chunk_res.iter().sum();
         std::mem::swap(&mut x, &mut nxt);
     }
 

@@ -14,18 +14,34 @@
 //! merges each chunk's partials, starting from the chunk's previous
 //! values, and runs the semiring post-processing (parallel over chunks).
 //!
-//! Both phases follow the engine's tiled execution model (`bfs.rs`):
-//! the task/chunk ranges are partitioned into contiguous per-worker
-//! tiles whose output slabs are disjoint `&mut [f32]` carved out with
-//! `split_at_mut`, with a sequential fallback at one effective thread.
+//! Both phases follow the engine's tiled execution model
+//! ([`crate::tiling`]): the task/chunk ranges are partitioned into
+//! contiguous per-worker tiles whose output slabs are disjoint
+//! `&mut [f32]` carved out with `split_at_mut`, with a sequential
+//! fallback at one effective thread.
+//!
+//! # Example
+//!
+//! ```
+//! use slimsell_core::{BfsEngine, BfsOptions, SlimSellMatrix, TropicalSemiring};
+//! use slimsell_graph::GraphBuilder;
+//!
+//! // A star graph: one long row — the load-imbalance case SlimChunk
+//! // attacks. Tile width 2 splits the hub row into parallel tasks.
+//! let g = GraphBuilder::new(9).edges((1..9u32).map(|v| (0, v))).build();
+//! let m = SlimSellMatrix::<4>::build(&g, 9);
+//! let opts = BfsOptions { slimchunk: Some(2), ..Default::default() };
+//! let out = BfsEngine::run::<_, TropicalSemiring, 4>(&m, 1, &opts);
+//! assert_eq!(out.dist, vec![1, 0, 2, 2, 2, 2, 2, 2, 2]);
+//! ```
 
-use rayon::prelude::*;
 use slimsell_simd::{SimdF32, SimdI32};
 
-use crate::bfs::{split_spans, tile_ranges, BfsOptions, ChunkSpan};
+use crate::bfs::BfsOptions;
 use crate::counters::IterStats;
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{Semiring, StateVecs};
+use crate::tiling::{ChunkSpan, ChunkTiling};
 
 /// One frontier expansion with 2-D tiling.
 pub(crate) fn iterate_tiled<M, S, const C: usize>(
@@ -67,28 +83,17 @@ where
     }
     chunk_task_start[nc] = tasks.len();
 
-    let threads = rayon::current_num_threads();
-
     // Phase 1: tile partials, parallel over contiguous task ranges with
-    // disjoint slabs of the partials buffer.
+    // disjoint slabs of the partials buffer (the "chunks" of this
+    // tiling are the vertical tile tasks).
     let mut partials = vec![S::OP1_IDENTITY; tasks.len() * C];
-    if threads <= 1 || tasks.len() <= 1 {
-        for (buf, &(i, j0, j1)) in partials.chunks_mut(C).zip(&tasks) {
-            tile_mv::<M, S, C>(matrix, &cur.x, i, j0, j1).store(buf);
-        }
-    } else {
-        let ranges = tile_ranges(tasks.len(), opts.schedule);
-        let mut slabs: Vec<(usize, &mut [f32])> = Vec::with_capacity(ranges.len());
-        let mut rest: &mut [f32] = &mut partials;
-        for &(t0, t1) in &ranges {
-            let (head, tail) = rest.split_at_mut((t1 - t0) * C);
-            slabs.push((t0, head));
-            rest = tail;
-        }
+    {
+        let task_tiling = ChunkTiling::new(tasks.len(), opts.schedule);
+        let slabs = task_tiling.split(C, &mut partials);
         let tasks_ref = &tasks;
-        slabs.into_par_iter().with_min_len(1).for_each(|(t0, slab)| {
-            for (off, buf) in slab.chunks_mut(C).enumerate() {
-                let (i, j0, j1) = tasks_ref[t0 + off];
+        task_tiling.for_each(slabs, |slab| {
+            for (off, buf) in slab.data.chunks_mut(C).enumerate() {
+                let (i, j0, j1) = tasks_ref[slab.c0 + off];
                 tile_mv::<M, S, C>(matrix, &cur.x, i, j0, j1).store(buf);
             }
         });
@@ -120,17 +125,10 @@ where
         }
         acc2
     };
-    let (changed, col_steps) = if threads <= 1 || nc <= 1 {
-        merge_span(ChunkSpan { c0: 0, x: &mut nxt.x, g: &mut nxt.g, p: &mut nxt.p, d })
-    } else {
-        let ranges = tile_ranges(nc, opts.schedule);
-        let spans = split_spans::<C>(&ranges, &mut nxt.x, &mut nxt.g, &mut nxt.p, d);
-        spans
-            .into_par_iter()
-            .with_min_len(1)
-            .map(&merge_span)
-            .reduce(|| (false, 0), |a, b| (a.0 | b.0, a.1 + b.1))
-    };
+    let tiling = ChunkTiling::new(nc, opts.schedule);
+    let spans = tiling.split_spans::<C>(nxt, d);
+    let (changed, col_steps) =
+        tiling.map_reduce(spans, merge_span, || (false, 0), |a, b| (a.0 | b.0, a.1 + b.1));
 
     IterStats {
         elapsed: Default::default(),

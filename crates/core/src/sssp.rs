@@ -11,11 +11,30 @@
 //! a later iteration, so the SlimWork skip criterion ("all labels
 //! finite") is unsound here and deliberately absent — an instructive
 //! ablation of where each optimization applies.
+//!
+//! Each relaxation sweep runs tile-parallel over [`crate::tiling`]
+//! chunk tiles writing disjoint slabs of the next label vector; the
+//! per-chunk min-plus math is independent of tile boundaries, so
+//! distances are bit-identical at any thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use slimsell_core::{sssp, WeightedSellCSigma};
+//! use slimsell_graph::weighted::WeightedCsrGraph;
+//!
+//! // The cheap 2-hop route (0→1→2, cost 3) beats the direct edge (10).
+//! let g = WeightedCsrGraph::from_edges(3, [(0, 2, 10.0), (0, 1, 1.0), (1, 2, 2.0)]);
+//! let m = WeightedSellCSigma::<4>::build(&g, 3);
+//! let out = sssp(&m, 0);
+//! assert_eq!(out.dist, vec![0.0, 1.0, 3.0]);
+//! ```
 
-use rayon::prelude::*;
 use slimsell_graph::weighted::WeightedCsrGraph;
 use slimsell_graph::{Permutation, VertexId};
 use slimsell_simd::{SimdF32, SimdI32};
+
+use crate::tiling::{ChunkTiling, Schedule};
 
 /// Sell-C-σ with real-valued weights: structure arrays plus a weight
 /// `val` array (padding cells hold `+∞`, the min-plus annihilator).
@@ -104,6 +123,7 @@ pub fn sssp<const C: usize>(m: &WeightedSellCSigma<C>, root: VertexId) -> SsspOu
     cur[root_p] = 0.0;
     let mut nxt = cur.clone();
 
+    let nc = m.n_padded / C;
     let mut iterations = 0usize;
     loop {
         iterations += 1;
@@ -112,25 +132,33 @@ pub fn sssp<const C: usize>(m: &WeightedSellCSigma<C>, root: VertexId) -> SsspOu
         let col = &m.col;
         let val = &m.val;
         let cur_ref = &cur;
-        let changed = nxt
-            .par_chunks_mut(C)
-            .enumerate()
-            .map(|(i, out)| {
-                let mut acc = SimdF32::<C>::load(&cur_ref[i * C..]);
-                let before = acc;
-                let mut index = cs[i];
-                for _ in 0..cl[i] {
-                    let cols = SimdI32::<C>::load(&col[index..]);
-                    let vals = SimdF32::<C>::load(&val[index..]);
-                    let rhs = SimdF32::gather_or(cur_ref, cols, f32::INFINITY);
-                    // ∞ + w = ∞ keeps unreached neighbors neutral.
-                    acc = rhs.add(vals).min(acc);
-                    index += C;
+        let tiling = ChunkTiling::new(nc, Schedule::Dynamic);
+        let tiles = tiling.split(C, &mut nxt);
+        let changed = tiling.map_reduce(
+            tiles,
+            |t| {
+                let mut any = false;
+                for (k, out) in t.data.chunks_mut(C).enumerate() {
+                    let i = t.c0 + k;
+                    let mut acc = SimdF32::<C>::load(&cur_ref[i * C..]);
+                    let before = acc;
+                    let mut index = cs[i];
+                    for _ in 0..cl[i] {
+                        let cols = SimdI32::<C>::load(&col[index..]);
+                        let vals = SimdF32::<C>::load(&val[index..]);
+                        let rhs = SimdF32::gather_or(cur_ref, cols, f32::INFINITY);
+                        // ∞ + w = ∞ keeps unreached neighbors neutral.
+                        acc = rhs.add(vals).min(acc);
+                        index += C;
+                    }
+                    acc.store(out);
+                    any |= acc.any_ne(before);
                 }
-                acc.store(out);
-                acc.any_ne(before)
-            })
-            .reduce(|| false, |a, b| a | b);
+                any
+            },
+            || false,
+            |a, b| a | b,
+        );
         std::mem::swap(&mut cur, &mut nxt);
         if !changed || iterations > n {
             break;

@@ -1,0 +1,397 @@
+//! Chunk-range tiling: the shared parallel execution substrate of every
+//! sweep kernel in this crate.
+//!
+//! All SlimSell kernels — BFS ([`crate::bfs`]), SlimChunk
+//! ([`crate::slimchunk`]), PageRank ([`mod@crate::pagerank`]), SSSP
+//! ([`mod@crate::sssp`]), multi-source BFS ([`mod@crate::msbfs`]) and the
+//! betweenness forward sweep ([`mod@crate::betweenness`]) — share one
+//! iteration shape: a sweep over the chunk range `0..nc` where chunk `i`
+//! reads the *previous* iteration's vectors anywhere but writes only its
+//! own `width`-sized slot of the *next* vectors. That positional-write
+//! discipline is what this module turns into lock-free parallelism:
+//!
+//! 1. [`ChunkTiling::new`] partitions `0..nc` into contiguous per-worker
+//!    tiles (one per thread under [`Schedule::Static`], an
+//!    over-partitioned set under [`Schedule::Dynamic`] so fast threads
+//!    steal leftovers);
+//! 2. [`ChunkTiling::split`] carves each output slab into disjoint
+//!    `&mut` tile views with `split_at_mut` — exclusive ownership, no
+//!    locks, no atomics;
+//! 3. [`ChunkTiling::map_reduce`] / [`ChunkTiling::for_each`] run the
+//!    per-tile work, merging tile results **in tile order**.
+//!
+//! # Determinism contract
+//!
+//! When the effective thread count is 1 (or there is at most one chunk)
+//! the tiling is a single tile covering every chunk and the drivers run
+//! it inline — a plain sequential loop with zero thread-pool
+//! interaction. This is the reference oracle the determinism suite
+//! (`tests/parallel_determinism.rs`) compares parallel runs against.
+//! Because every chunk's math is independent, writes are positional, and
+//! tile results merge in tile order, kernel outputs are **bit-identical
+//! at any thread count** provided the merge operator is associative and
+//! per-chunk work does not depend on tile boundaries. Kernels that need
+//! an ordered floating-point reduction (e.g. the PageRank residual)
+//! write per-chunk partials into a `width == 1` slab and sum it
+//! sequentially in chunk order afterwards.
+//!
+//! # Example
+//!
+//! ```
+//! use slimsell_core::tiling::{ChunkTiling, Schedule};
+//!
+//! // Double 4 chunks of width 2, tile-parallel, then reduce a count.
+//! let mut data = vec![1.0f32; 8];
+//! let tiling = ChunkTiling::new(4, Schedule::Dynamic);
+//! let tiles = tiling.split(2, &mut data);
+//! let chunks_touched = tiling.map_reduce(
+//!     tiles,
+//!     |tile| {
+//!         for v in tile.data.iter_mut() {
+//!             *v *= 2.0;
+//!         }
+//!         tile.data.len() / 2
+//!     },
+//!     || 0,
+//!     |a, b| a + b,
+//! );
+//! assert_eq!(chunks_touched, 4);
+//! assert!(data.iter().all(|&v| v == 2.0));
+//! ```
+
+use rayon::prelude::*;
+
+use crate::semiring::StateVecs;
+
+/// Chunk-to-thread scheduling policy (the paper's `omp-s` / `omp-d`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Contiguous equal partitions of chunks per thread (OpenMP static).
+    Static,
+    /// Fine-grained work stealing (OpenMP dynamic).
+    #[default]
+    Dynamic,
+}
+
+/// How many tiles each thread gets under dynamic scheduling; the
+/// over-partitioning that makes work stealing effective on skewed
+/// chunk-length distributions.
+pub const DYNAMIC_TILES_PER_THREAD: usize = 8;
+
+/// Splits `0..n` into `parts` contiguous near-equal ranges (first
+/// `n % parts` ranges get the extra element). Deterministic in `n` and
+/// `parts`; never returns an empty range (`n == 0` yields no ranges).
+pub fn even_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for t in 0..parts {
+        let len = base + usize::from(t < rem);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// A tile's exclusive view of one output slab: chunks
+/// `c0 .. c0 + data.len() / width` with their `width`-sized slots.
+pub struct Tile<'a, T> {
+    /// First chunk index covered by this tile.
+    pub c0: usize,
+    /// The tile's slots, `width` elements per chunk, chunk-major.
+    pub data: &'a mut [T],
+}
+
+/// A tile's disjoint view of the BFS-family iteration outputs: chunks
+/// `c0 .. c0 + x.len() / C`, with per-chunk slabs of the next state
+/// vectors (`x`/`g`/`p`) and the persistent distance vector `d`.
+pub struct ChunkSpan<'a> {
+    /// First chunk index covered by this span.
+    pub c0: usize,
+    /// Next frontier values.
+    pub x: &'a mut [f32],
+    /// Next auxiliary values (semiring-specific).
+    pub g: &'a mut [f32],
+    /// Next parent values (sel-max).
+    pub p: &'a mut [f32],
+    /// Distance vector slots.
+    pub d: &'a mut [f32],
+}
+
+/// A partition of a chunk range into contiguous per-worker tiles, fixed
+/// for one parallel region. See the module docs for the execution model
+/// and determinism contract.
+#[derive(Clone, Debug)]
+pub struct ChunkTiling {
+    ranges: Vec<(usize, usize)>,
+    sequential: bool,
+}
+
+impl ChunkTiling {
+    /// Tiles `0..nc` for the *current* effective thread count
+    /// (`rayon::current_num_threads`): one tile per thread under
+    /// [`Schedule::Static`], [`DYNAMIC_TILES_PER_THREAD`] per thread
+    /// under [`Schedule::Dynamic`]. At one effective thread (or `nc <=
+    /// 1`) the tiling collapses to the sequential fallback: a single
+    /// tile the drivers run inline, with no pool interaction.
+    pub fn new(nc: usize, schedule: Schedule) -> Self {
+        let threads = rayon::current_num_threads().max(1);
+        if threads <= 1 || nc <= 1 {
+            return Self::sequential(nc);
+        }
+        let parts = match schedule {
+            Schedule::Static => threads,
+            Schedule::Dynamic => threads * DYNAMIC_TILES_PER_THREAD,
+        };
+        Self { ranges: even_ranges(nc, parts), sequential: false }
+    }
+
+    /// The explicit sequential tiling: one tile covering every chunk
+    /// (none for `nc == 0`), run inline by the drivers.
+    pub fn sequential(nc: usize) -> Self {
+        Self { ranges: even_ranges(nc, 1), sequential: true }
+    }
+
+    /// Whether the drivers will run tiles inline on the calling thread.
+    pub fn is_sequential(&self) -> bool {
+        self.sequential
+    }
+
+    /// The tiled chunk ranges, in chunk order.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// The chunk count this tiling partitions.
+    pub fn num_chunks(&self) -> usize {
+        self.ranges.last().map_or(0, |r| r.1)
+    }
+
+    /// Carves `slab` (`width` elements per chunk, chunk-major) into
+    /// disjoint per-tile views via `split_at_mut`.
+    ///
+    /// # Panics
+    /// Panics if `slab.len() != num_chunks() * width`.
+    pub fn split<'a, T>(&self, width: usize, slab: &'a mut [T]) -> Vec<Tile<'a, T>> {
+        assert_eq!(
+            slab.len(),
+            self.num_chunks() * width,
+            "slab length {} != {} chunks x width {width}",
+            slab.len(),
+            self.num_chunks(),
+        );
+        let mut out = Vec::with_capacity(self.ranges.len());
+        let mut rest = slab;
+        for &(c0, c1) in &self.ranges {
+            let (head, tail) = rest.split_at_mut((c1 - c0) * width);
+            rest = tail;
+            out.push(Tile { c0, data: head });
+        }
+        out
+    }
+
+    /// Carves the BFS-family state vectors and the distance vector into
+    /// per-tile [`ChunkSpan`]s (lane width `C` per chunk each).
+    ///
+    /// # Panics
+    /// Panics if any vector's length is not `num_chunks() * C`.
+    pub fn split_spans<'a, const C: usize>(
+        &self,
+        nxt: &'a mut StateVecs,
+        d: &'a mut [f32],
+    ) -> Vec<ChunkSpan<'a>> {
+        let xs = self.split(C, &mut nxt.x);
+        let gs = self.split(C, &mut nxt.g);
+        let ps = self.split(C, &mut nxt.p);
+        let ds = self.split(C, d);
+        xs.into_iter()
+            .zip(gs)
+            .zip(ps)
+            .zip(ds)
+            .map(|(((x, g), p), d)| ChunkSpan {
+                c0: x.c0,
+                x: x.data,
+                g: g.data,
+                p: p.data,
+                d: d.data,
+            })
+            .collect()
+    }
+
+    /// Runs `map` over every tile and merges the results **in tile
+    /// order** with `merge` starting from `identity`. Parallel over the
+    /// pool unless the tiling is sequential, in which case the tiles run
+    /// inline on the calling thread (same merge order — bit-identical
+    /// results for associative, identity-lawful `merge`).
+    pub fn map_reduce<T, R, M, ID, MG>(&self, tiles: Vec<T>, map: M, identity: ID, merge: MG) -> R
+    where
+        T: Send,
+        R: Send,
+        M: Fn(T) -> R + Sync,
+        ID: Fn() -> R + Sync,
+        MG: Fn(R, R) -> R + Sync,
+    {
+        debug_assert_eq!(tiles.len(), self.ranges.len(), "tile list does not match tiling");
+        if self.sequential || tiles.len() <= 1 {
+            // A lone tile's result is returned as-is: merging it into
+            // identity() would only copy (e.g. Vec-accumulating merges).
+            let mut it = tiles.into_iter();
+            return match it.next() {
+                None => identity(),
+                Some(t) => it.map(&map).fold(map(t), merge),
+            };
+        }
+        tiles.into_par_iter().with_min_len(1).map(map).reduce(identity, merge)
+    }
+
+    /// Runs `work` over every tile for its side effects (disjoint-slab
+    /// writes). Sequential tilings run inline on the calling thread.
+    pub fn for_each<T, W>(&self, tiles: Vec<T>, work: W)
+    where
+        T: Send,
+        W: Fn(T) + Sync,
+    {
+        debug_assert_eq!(tiles.len(), self.ranges.len(), "tile list does not match tiling");
+        if self.sequential || tiles.len() <= 1 {
+            tiles.into_iter().for_each(work);
+            return;
+        }
+        tiles.into_par_iter().with_min_len(1).for_each(work);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_ranges_partition_exactly() {
+        for n in [0usize, 1, 5, 64, 65, 1000] {
+            for parts in [1usize, 2, 3, 7, 64, 2000] {
+                let r = even_ranges(n, parts);
+                if n == 0 {
+                    assert!(r.is_empty());
+                    continue;
+                }
+                assert_eq!(r.len(), parts.clamp(1, n));
+                assert_eq!(r[0].0, 0);
+                assert_eq!(r.last().unwrap().1, n);
+                assert!(r.windows(2).all(|w| w[0].1 == w[1].0), "gapless");
+                assert!(r.iter().all(|&(a, b)| b > a), "no empty range");
+                let max = r.iter().map(|&(a, b)| b - a).max().unwrap();
+                let min = r.iter().map(|&(a, b)| b - a).min().unwrap();
+                assert!(max - min <= 1, "near-equal: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_chunk_range_yields_no_tiles() {
+        let tiling = ChunkTiling::new(0, Schedule::Dynamic);
+        assert_eq!(tiling.num_chunks(), 0);
+        assert!(tiling.ranges().is_empty());
+        let mut slab: Vec<f32> = Vec::new();
+        assert!(tiling.split(4, &mut slab).is_empty());
+        // map_reduce over no tiles returns the identity.
+        let r = tiling.map_reduce(Vec::<Tile<f32>>::new(), |_| 1usize, || 0usize, |a, b| a + b);
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn more_tiles_than_chunks_clamps() {
+        // 3 chunks cannot make more than 3 tiles however many threads
+        // the schedule would like to feed.
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        pool.install(|| {
+            let tiling = ChunkTiling::new(3, Schedule::Dynamic);
+            assert!(tiling.ranges().len() <= 3, "ranges: {:?}", tiling.ranges());
+            assert_eq!(tiling.num_chunks(), 3);
+            let mut slab = vec![0u8; 3 * 2];
+            let tiles = tiling.split(2, &mut slab);
+            let total: usize = tiles.iter().map(|t| t.data.len()).sum();
+            assert_eq!(total, 6);
+        });
+    }
+
+    #[test]
+    fn one_thread_fallback_is_sequential_and_equivalent() {
+        let run_at = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                let tiling = ChunkTiling::new(16, Schedule::Dynamic);
+                if threads == 1 {
+                    assert!(tiling.is_sequential());
+                    assert_eq!(tiling.ranges(), &[(0, 16)]);
+                }
+                let mut slab = vec![0u32; 16 * 4];
+                let tiles = tiling.split(4, &mut slab);
+                tiling.for_each(tiles, |t| {
+                    for (k, v) in t.data.iter_mut().enumerate() {
+                        *v = (t.c0 * 4 + k) as u32;
+                    }
+                });
+                slab
+            })
+        };
+        let seq = run_at(1);
+        assert!(seq.iter().enumerate().all(|(i, &v)| v as usize == i));
+        for threads in [2, 4, 8] {
+            assert_eq!(run_at(threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn split_covers_slab_disjointly() {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let tiling = ChunkTiling::new(100, Schedule::Static);
+            let mut slab = vec![0u32; 800];
+            let tiles = tiling.split(8, &mut slab);
+            // Tiles are contiguous, ordered, and cover everything once.
+            let mut expect_c0 = 0;
+            let mut total = 0;
+            for t in &tiles {
+                assert_eq!(t.c0, expect_c0);
+                assert_eq!(t.data.len() % 8, 0);
+                expect_c0 += t.data.len() / 8;
+                total += t.data.len();
+            }
+            assert_eq!(total, 800);
+            tiling.for_each(tiles, |t| t.data.fill(1));
+            assert!(slab.iter().all(|&v| v == 1));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "slab length")]
+    fn wrong_slab_length_panics() {
+        let tiling = ChunkTiling::new(4, Schedule::Static);
+        let mut slab = vec![0f32; 7]; // not 4 * 2
+        let _ = tiling.split(2, &mut slab);
+    }
+
+    #[test]
+    fn map_reduce_merges_in_tile_order() {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let tiling = ChunkTiling::new(64, Schedule::Dynamic);
+            let mut slab = vec![0u8; 64];
+            let tiles = tiling.split(1, &mut slab);
+            let order: Vec<usize> = tiling.map_reduce(
+                tiles,
+                |t| vec![t.c0],
+                Vec::new,
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            );
+            assert!(order.windows(2).all(|w| w[0] < w[1]), "order: {order:?}");
+        });
+    }
+}

@@ -1,7 +1,7 @@
 //! Kronecker (R-MAT) power-law graph generator.
 //!
 //! The paper's primary synthetic workload: "synthetic power-law Kronecker
-//! [22] … graphs such that n ∈ {2^20,…,2^28} and ρ ∈ {2^1,…,2^10}" (§IV).
+//! \[22\] … graphs such that n ∈ {2^20,…,2^28} and ρ ∈ {2^1,…,2^10}" (§IV).
 //! We implement the Graph500 stochastic-Kronecker recursion: each edge is
 //! placed by descending `log2 n` levels of a 2×2 probability matrix
 //! `[[A, B], [C, D]]` with the Graph500 parameters A = 0.57, B = C = 0.19,

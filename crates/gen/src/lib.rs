@@ -5,7 +5,7 @@
 //!
 //! * **Kronecker power-law graphs** [Leskovec et al.] with
 //!   `n ∈ {2^20 … 2^28}` and `ρ ∈ {2^1 … 2^10}` — generated here with the
-//!   Graph500 R-MAT recursion ([`kronecker`]).
+//!   Graph500 R-MAT recursion ([`mod@kronecker`]).
 //! * **Erdős–Rényi graphs** — uniform degree distribution ([`erdos`]).
 //! * **Real-world graphs** (Table IV: social networks, web graphs, a
 //!   purchase network, a road network) — the original SNAP datasets are

@@ -80,6 +80,17 @@ impl WeightedCsrGraph {
     }
 }
 
+/// Deterministic weighted twin of an unweighted graph: same edges, with
+/// a positive weight in `[0.1, 4.06]` derived purely from the edge's
+/// endpoints. Any caller (benches, tests) building a weighted workload
+/// from the same unweighted graph gets the *same* weighted graph, on
+/// any machine at any thread count.
+pub fn synthetic_weighted_twin(g: &CsrGraph) -> WeightedCsrGraph {
+    let edges =
+        g.edges().map(|(u, v)| (u, v, 0.1 + ((u as u64 * 31 + v as u64 * 17) % 100) as f32 / 25.0));
+    WeightedCsrGraph::from_edges(g.num_vertices(), edges)
+}
+
 /// Dijkstra's algorithm — the serial reference for weighted SSSP.
 pub fn dijkstra(g: &WeightedCsrGraph, root: VertexId) -> Vec<f32> {
     use std::cmp::Ordering;

@@ -46,7 +46,7 @@ pub struct SimtIter {
     /// SIMD (lane) efficiency of the processed chunks: fraction of
     /// touched cells that are real edges rather than padding. This is
     /// the utilization measure σ-sorting improves (cf. Cheng et al.
-    /// [11], "Understanding the SIMD Efficiency of Graph Traversal on
+    /// \[11\], "Understanding the SIMD Efficiency of Graph Traversal on
     /// GPU", cited in §I/§V); 1.0 when nothing was processed.
     pub simd_efficiency: f64,
     /// Bytes moved through the simulated memory system this iteration

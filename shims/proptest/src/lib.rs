@@ -321,7 +321,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`]: a fixed size or a range.
+    /// Length specification for [`fn@vec`]: a fixed size or a range.
     pub struct SizeRange {
         lo: usize,
         hi_exclusive: usize,

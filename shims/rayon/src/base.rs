@@ -1,0 +1,291 @@
+//! Base iterators for the parallel-iterator layer.
+//!
+//! A *base* is what a parallel pipeline starts from: a slice view, a
+//! chunked slice view, an integer range, or a `zip`/`enumerate` stack of
+//! those. Every base implements [`BaseIter`], which extends `Iterator`
+//! with an optional O(1) index-split capability:
+//!
+//! * [`BaseIter::SPLITTABLE`]` == true` bases support
+//!   [`split_at`](BaseIter::split_at), so a terminal operation carves
+//!   the base into per-region sub-bases without buffering a single item
+//!   — the index-split fast path. Items (including `&mut` slice
+//!   references) are produced lazily on the worker that claims the
+//!   region, which keeps steady-state kernels allocation-free.
+//! * `SPLITTABLE == false` bases (e.g. `Vec`'s draining iterator) are
+//!   drained into a slot buffer by the calling thread first — correct
+//!   for any iterator, at the cost of one buffer per region run.
+//!
+//! The custom slice types exist because the standard library's
+//! `slice::IterMut`/`ChunksMut` cannot give back their underlying slice
+//! on stable Rust; holding the slice directly makes `split_at_mut`-based
+//! splitting trivial and safe (no `unsafe` in this module).
+
+/// An exact-length base iterator that may support O(1) index splitting.
+///
+/// `split_len`/`split_at` are only called when [`SPLITTABLE`] is `true`;
+/// the defaults panic so non-splittable implementations are one line.
+///
+/// [`SPLITTABLE`]: BaseIter::SPLITTABLE
+pub trait BaseIter: Iterator + Sized {
+    /// Whether [`split_at`](BaseIter::split_at) is available in O(1).
+    const SPLITTABLE: bool = false;
+
+    /// Remaining items (exact). Only called when `SPLITTABLE`.
+    fn split_len(&self) -> usize {
+        unreachable!("split_len on a non-splittable base")
+    }
+
+    /// Splits into (first `n` items, rest) without iterating; `n` must
+    /// not exceed [`split_len`](BaseIter::split_len). Only called when
+    /// `SPLITTABLE`.
+    fn split_at(self, _n: usize) -> (Self, Self) {
+        unreachable!("split_at on a non-splittable base")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slice bases.
+// ---------------------------------------------------------------------
+
+/// Shared-slice base (`par_iter`).
+pub struct SliceIter<'a, T> {
+    s: &'a [T],
+}
+
+impl<'a, T> SliceIter<'a, T> {
+    pub(crate) fn new(s: &'a [T]) -> Self {
+        Self { s }
+    }
+}
+
+impl<'a, T> Iterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        let (first, rest) = self.s.split_first()?;
+        self.s = rest;
+        Some(first)
+    }
+}
+
+impl<T> BaseIter for SliceIter<'_, T> {
+    const SPLITTABLE: bool = true;
+    fn split_len(&self) -> usize {
+        self.s.len()
+    }
+    fn split_at(self, n: usize) -> (Self, Self) {
+        let (a, b) = self.s.split_at(n);
+        (Self { s: a }, Self { s: b })
+    }
+}
+
+/// Mutable-slice base (`par_iter_mut`).
+pub struct SliceIterMut<'a, T> {
+    s: &'a mut [T],
+}
+
+impl<'a, T> SliceIterMut<'a, T> {
+    pub(crate) fn new(s: &'a mut [T]) -> Self {
+        Self { s }
+    }
+}
+
+impl<'a, T> Iterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn next(&mut self) -> Option<&'a mut T> {
+        let (first, rest) = std::mem::take(&mut self.s).split_first_mut()?;
+        self.s = rest;
+        Some(first)
+    }
+}
+
+impl<T> BaseIter for SliceIterMut<'_, T> {
+    const SPLITTABLE: bool = true;
+    fn split_len(&self) -> usize {
+        self.s.len()
+    }
+    fn split_at(self, n: usize) -> (Self, Self) {
+        let (a, b) = self.s.split_at_mut(n);
+        (Self { s: a }, Self { s: b })
+    }
+}
+
+/// Shared-chunks base (`par_chunks`); the last chunk may be short.
+pub struct SliceChunks<'a, T> {
+    s: &'a [T],
+    size: usize,
+}
+
+impl<'a, T> SliceChunks<'a, T> {
+    pub(crate) fn new(s: &'a [T], size: usize) -> Self {
+        assert!(size > 0, "chunk size must be positive");
+        Self { s, size }
+    }
+}
+
+impl<'a, T> Iterator for SliceChunks<'a, T> {
+    type Item = &'a [T];
+    fn next(&mut self) -> Option<&'a [T]> {
+        if self.s.is_empty() {
+            return None;
+        }
+        let (head, rest) = self.s.split_at(self.size.min(self.s.len()));
+        self.s = rest;
+        Some(head)
+    }
+}
+
+impl<T> BaseIter for SliceChunks<'_, T> {
+    const SPLITTABLE: bool = true;
+    fn split_len(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+    fn split_at(self, n: usize) -> (Self, Self) {
+        let at = (n * self.size).min(self.s.len());
+        let (a, b) = self.s.split_at(at);
+        (Self { s: a, size: self.size }, Self { s: b, size: self.size })
+    }
+}
+
+/// Mutable-chunks base (`par_chunks_mut`); the last chunk may be short.
+pub struct SliceChunksMut<'a, T> {
+    s: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T> SliceChunksMut<'a, T> {
+    pub(crate) fn new(s: &'a mut [T], size: usize) -> Self {
+        assert!(size > 0, "chunk size must be positive");
+        Self { s, size }
+    }
+}
+
+impl<'a, T> Iterator for SliceChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn next(&mut self) -> Option<&'a mut [T]> {
+        if self.s.is_empty() {
+            return None;
+        }
+        let s = std::mem::take(&mut self.s);
+        let at = self.size.min(s.len());
+        let (head, rest) = s.split_at_mut(at);
+        self.s = rest;
+        Some(head)
+    }
+}
+
+impl<T> BaseIter for SliceChunksMut<'_, T> {
+    const SPLITTABLE: bool = true;
+    fn split_len(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+    fn split_at(self, n: usize) -> (Self, Self) {
+        let at = (n * self.size).min(self.s.len());
+        let (a, b) = self.s.split_at_mut(at);
+        (Self { s: a, size: self.size }, Self { s: b, size: self.size })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Integer-range bases.
+// ---------------------------------------------------------------------
+
+macro_rules! range_base {
+    ($($t:ty),*) => {$(
+        impl BaseIter for std::ops::Range<$t> {
+            const SPLITTABLE: bool = true;
+            fn split_len(&self) -> usize {
+                if self.end > self.start { (self.end - self.start) as usize } else { 0 }
+            }
+            fn split_at(self, n: usize) -> (Self, Self) {
+                let mid = self.start + n as $t;
+                (self.start..mid, mid..self.end)
+            }
+        }
+    )*};
+}
+
+range_base!(u32, u64, usize);
+
+// ---------------------------------------------------------------------
+// Combinator bases.
+// ---------------------------------------------------------------------
+
+/// Enumerating base (`Par::enumerate`); splitting preserves indices.
+pub struct Enumerate<B> {
+    base: B,
+    idx: usize,
+}
+
+impl<B> Enumerate<B> {
+    pub(crate) fn new(base: B) -> Self {
+        Self { base, idx: 0 }
+    }
+}
+
+impl<B: Iterator> Iterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let x = self.base.next()?;
+        let i = self.idx;
+        self.idx += 1;
+        Some((i, x))
+    }
+}
+
+impl<B: BaseIter> BaseIter for Enumerate<B> {
+    const SPLITTABLE: bool = B::SPLITTABLE;
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+    fn split_at(self, n: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(n);
+        (Self { base: a, idx: self.idx }, Self { base: b, idx: self.idx + n })
+    }
+}
+
+/// Zipping base (`Par::zip`); stops at the shorter side, like `std`.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> Zip<A, B> {
+    pub(crate) fn new(a: A, b: B) -> Self {
+        Self { a, b }
+    }
+}
+
+impl<A: Iterator, B: Iterator> Iterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        Some((self.a.next()?, self.b.next()?))
+    }
+}
+
+impl<A: BaseIter, B: BaseIter> BaseIter for Zip<A, B> {
+    const SPLITTABLE: bool = A::SPLITTABLE && B::SPLITTABLE;
+    fn split_len(&self) -> usize {
+        self.a.split_len().min(self.b.split_len())
+    }
+    fn split_at(self, n: usize) -> (Self, Self) {
+        // Both sides split at min(n, len): n never exceeds split_len,
+        // but the longer side keeps its surplus in the tail (dropped
+        // unread, exactly like the sequential zip).
+        let (a0, a1) = self.a.split_at(n);
+        let (b0, b1) = self.b.split_at(n);
+        (Self { a: a0, b: b0 }, Self { a: a1, b: b1 })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fallback (materializing) bases.
+// ---------------------------------------------------------------------
+
+/// `Vec`'s draining iterator: exact-size but not O(1)-splittable
+/// (ownership of the buffer cannot be divided without allocating), so it
+/// takes the materializing path. Used for short task lists (tile spans,
+/// per-range fold accumulators), where buffering is trivial.
+impl<T> BaseIter for std::vec::IntoIter<T> {}
+
+/// Array draining iterator: same story as `Vec`'s.
+impl<T, const N: usize> BaseIter for std::array::IntoIter<T, N> {}

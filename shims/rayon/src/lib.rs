@@ -5,9 +5,8 @@
 //!
 //! # Threading model
 //!
-//! Unlike the original sequential shim, parallel iterators here execute
-//! on a real global thread pool ([`pool`]): a lazily-initialized set of
-//! detached worker threads sized from
+//! Parallel iterators execute on a real global thread pool ([`pool`]): a
+//! lazily-initialized set of detached worker threads sized from
 //! [`std::thread::available_parallelism`], overridable with the
 //! `SLIMSELL_THREADS` environment variable (a positive integer;
 //! `SLIMSELL_THREADS=1` forces fully sequential execution with zero pool
@@ -16,14 +15,31 @@
 //! scopes an override to `f` on the calling thread, exactly how the
 //! `scaling` experiment sweeps thread counts in one process.
 //!
+//! # Execution of a terminal operation
+//!
 //! A terminal operation (`for_each`, `fold`, `reduce`, `sum`, `collect`,
-//! …) first drains the *base* iterator (slices, chunks, zips, ranges —
-//! always cheap) into an item buffer, splits the index space into
-//! contiguous ranges, and lets the calling thread plus the pool workers
-//! claim ranges with an atomic counter (dynamic self-scheduling /
-//! work stealing). The *mapped* work — every closure added with [`map`],
-//! [`flat_map_iter`], or passed to a terminal — runs on the claiming
-//! thread, so the expensive per-item work is what actually parallelizes.
+//! …) partitions the *base* into contiguous index ranges and lets the
+//! calling thread plus the pool workers claim ranges with an atomic
+//! counter (dynamic self-scheduling / work stealing). The *mapped* work —
+//! every closure added with [`map`], [`flat_map_iter`], or passed to a
+//! terminal — runs on the claiming thread, so the expensive per-item
+//! work is what actually parallelizes.
+//!
+//! How the base is partitioned depends on its [`BaseIter::SPLITTABLE`]
+//! capability:
+//!
+//! * **Index-split fast path** — slice, chunk, mutable-chunk, and
+//!   integer-range bases (and `zip`/`enumerate` stacks of them) are
+//!   random-access, so the base is split into per-range sub-bases with
+//!   `split_at` in O(ranges) time and **no per-item buffering**: items
+//!   are produced lazily on the claiming worker. This keeps the
+//!   slice/range-driven kernels (the baseline queue-BFS folds,
+//!   connected components' chunk sweeps, `dp_transform`'s range map)
+//!   allocation-free in the steady state.
+//! * **Materializing slow path** — bases without O(1) splitting (e.g. a
+//!   `Vec`'s draining iterator) are drained into an item buffer first,
+//!   and workers claim ranges of that buffer. Cheap for the short
+//!   task-list iterators it is actually used for.
 //!
 //! [`map`]: Par::map
 //! [`flat_map_iter`]: Par::flat_map_iter
@@ -46,9 +62,11 @@
 //! [`with_min_len`]: Par::with_min_len
 //! [`with_max_len`]: Par::with_max_len
 
+pub mod base;
 pub mod pool;
 
-use std::iter;
+pub use base::BaseIter;
+use base::{Enumerate, Zip};
 
 /// Number of worker threads the *next* parallel region on this thread
 /// would use (respects `SLIMSELL_THREADS` and `ThreadPool::install`).
@@ -127,9 +145,11 @@ fn plan(n: usize, min_len: usize, max_len: usize) -> (usize, usize) {
     (chunk, n.div_ceil(chunk))
 }
 
-/// Runs `per_range` over contiguous index ranges of `slots`, in
-/// parallel, returning the per-range results **in range order**. Each
-/// item is consumed exactly once by exactly one range.
+/// Materializing slow path: runs `per_range` over contiguous index
+/// ranges of `slots`, in parallel, returning the per-range results **in
+/// range order**. Each item is consumed exactly once by exactly one
+/// range. Only used for bases without O(1) splitting — see
+/// [`run_regions`] for the dispatch.
 fn run_ranges<Item, P, R>(
     mut slots: Vec<Option<Item>>,
     min_len: usize,
@@ -153,6 +173,8 @@ where
             let len = chunk.min(n - k * chunk);
             let mut sub = (&mut it).take(len);
             out.push(per_range(&mut sub));
+            // Drain whatever per_range left so the next window aligns.
+            for _ in &mut sub {}
         }
         return out;
     }
@@ -174,13 +196,72 @@ where
     out.into_iter().map(|p| p.expect("range not executed")).collect()
 }
 
+/// Runs `per_range` over contiguous regions of `base`, in parallel,
+/// returning the per-region results **in region order**.
+///
+/// Dispatches on [`BaseIter::SPLITTABLE`]: splittable bases take the
+/// index-split fast path (per-region sub-bases carved with `split_at`,
+/// zero per-item buffering); everything else is drained into a slot
+/// buffer first ([`run_ranges`]).
+fn run_regions<B, P, R>(base: B, min_len: usize, max_len: usize, per_range: R) -> Vec<P>
+where
+    B: BaseIter + Send,
+    B::Item: Send,
+    P: Send,
+    R: Fn(&mut dyn Iterator<Item = B::Item>) -> P + Sync,
+{
+    if !B::SPLITTABLE {
+        let slots: Vec<Option<B::Item>> = base.map(Some).collect();
+        return run_ranges(slots, min_len, max_len, per_range);
+    }
+    let n = base.split_len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (chunk, n_chunks) = plan(n, min_len, max_len);
+    if pool::current_threads() <= 1 || n_chunks <= 1 {
+        let mut out = Vec::with_capacity(n_chunks);
+        let mut it = base;
+        for k in 0..n_chunks {
+            let len = chunk.min(n - k * chunk);
+            let mut sub = (&mut it).take(len);
+            out.push(per_range(&mut sub));
+            for _ in &mut sub {}
+        }
+        return out;
+    }
+    // Index-split fast path: carve the base into per-region sub-bases up
+    // front (O(n_chunks), no per-item work), then let workers claim them.
+    let mut parts: Vec<Option<B>> = Vec::with_capacity(n_chunks);
+    let mut rest = base;
+    for _ in 0..n_chunks - 1 {
+        let at = chunk.min(rest.split_len());
+        let (head, tail) = rest.split_at(at);
+        parts.push(Some(head));
+        rest = tail;
+    }
+    parts.push(Some(rest));
+    let mut out: Vec<Option<P>> = (0..n_chunks).map(|_| None).collect();
+    let parts_ptr = SendPtr(parts.as_mut_ptr());
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    pool::run(n_chunks, &|k| {
+        // SAFETY: task k is claimed exactly once, so part k is taken
+        // once and out[k] written once; the borrows end before `run`
+        // returns (pool quiescence guarantee).
+        let mut part = unsafe { (*parts_ptr.at(k)).take().expect("part taken twice") };
+        let p = per_range(&mut part);
+        unsafe { *out_ptr.at(k) = Some(p) };
+    });
+    out.into_iter().map(|p| p.expect("region not executed")).collect()
+}
+
 // ---------------------------------------------------------------------
 // The parallel iterator type.
 // ---------------------------------------------------------------------
 
-/// A parallel iterator: a cheap *base* iterator (driven on the calling
-/// thread) plus a composed per-item pipeline (run on the claiming
-/// worker). See the module docs for the execution model.
+/// A parallel iterator: a cheap *base* iterator (split or driven on the
+/// calling thread) plus a composed per-item pipeline (run on the
+/// claiming worker). See the module docs for the execution model.
 pub struct Par<I, F = Id> {
     base: I,
     op: F,
@@ -188,21 +269,26 @@ pub struct Par<I, F = Id> {
     max_len: usize,
 }
 
-impl<I: Iterator> Par<I, Id> {
+impl<I: BaseIter> Par<I, Id> {
     /// Wraps a base iterator.
     pub fn new(base: I) -> Self {
         Par { base, op: Id, min_len: 1, max_len: usize::MAX }
     }
 
     /// Indexes base items (before any mapping).
-    pub fn enumerate(self) -> Par<iter::Enumerate<I>, Id> {
-        Par { base: self.base.enumerate(), op: Id, min_len: self.min_len, max_len: self.max_len }
+    pub fn enumerate(self) -> Par<Enumerate<I>, Id> {
+        Par {
+            base: Enumerate::new(self.base),
+            op: Id,
+            min_len: self.min_len,
+            max_len: self.max_len,
+        }
     }
 
     /// Zips two base iterators.
-    pub fn zip<J: Iterator>(self, other: Par<J, Id>) -> Par<iter::Zip<I, J>, Id> {
+    pub fn zip<J: BaseIter>(self, other: Par<J, Id>) -> Par<Zip<I, J>, Id> {
         Par {
-            base: self.base.zip(other.base),
+            base: Zip::new(self.base, other.base),
             op: Id,
             min_len: self.min_len,
             max_len: self.max_len,
@@ -217,7 +303,7 @@ impl<I: Iterator> Par<I, Id> {
 
 impl<I, F> Par<I, F>
 where
-    I: Iterator,
+    I: BaseIter + Send,
     F: ItemOp<I::Item>,
 {
     /// Minimum items per claimed range (scheduling hint, honored).
@@ -265,8 +351,7 @@ where
             self.base.for_each(|x| g(op.apply(x)));
             return;
         }
-        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
-        run_ranges(slots, self.min_len, self.max_len, |it| {
+        run_regions(self.base, self.min_len, self.max_len, |it| {
             for x in it {
                 g(op.apply(x));
             }
@@ -286,8 +371,7 @@ where
         let accs: Vec<A> = if pool::current_threads() <= 1 {
             vec![self.base.fold(identity(), |a, x| fold_op(a, op.apply(x)))]
         } else {
-            let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
-            run_ranges(slots, self.min_len, self.max_len, |it| {
+            run_regions(self.base, self.min_len, self.max_len, |it| {
                 let mut a = identity();
                 for x in it {
                     a = fold_op(a, op.apply(x));
@@ -311,8 +395,7 @@ where
         if pool::current_threads() <= 1 {
             return self.base.fold(identity(), |a, x| rop(a, op.apply(x)));
         }
-        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
-        let parts = run_ranges(slots, self.min_len, self.max_len, |it| {
+        let parts = run_regions(self.base, self.min_len, self.max_len, |it| {
             let mut a = identity();
             for x in it {
                 a = rop(a, op.apply(x));
@@ -326,15 +409,14 @@ where
     pub fn sum<S>(self) -> S
     where
         I::Item: Send,
-        S: iter::Sum<F::Out> + iter::Sum<S> + Send,
+        S: std::iter::Sum<F::Out> + std::iter::Sum<S> + Send,
     {
         let op = self.op;
         if pool::current_threads() <= 1 {
             return self.base.map(|x| op.apply(x)).sum();
         }
-        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
         let parts: Vec<S> =
-            run_ranges(slots, self.min_len, self.max_len, |it| it.map(|x| op.apply(x)).sum());
+            run_regions(self.base, self.min_len, self.max_len, |it| it.map(|x| op.apply(x)).sum());
         parts.into_iter().sum()
     }
 
@@ -351,8 +433,7 @@ where
                 c + 1
             });
         }
-        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
-        let parts: Vec<usize> = run_ranges(slots, self.min_len, self.max_len, |it| {
+        let parts: Vec<usize> = run_regions(self.base, self.min_len, self.max_len, |it| {
             it.fold(0usize, |c, x| {
                 op.apply(x);
                 c + 1
@@ -371,9 +452,8 @@ where
         if pool::current_threads() <= 1 {
             return self.base.map(|x| op.apply(x)).max();
         }
-        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
         let parts =
-            run_ranges(slots, self.min_len, self.max_len, |it| it.map(|x| op.apply(x)).max());
+            run_regions(self.base, self.min_len, self.max_len, |it| it.map(|x| op.apply(x)).max());
         parts.into_iter().flatten().max()
     }
 
@@ -388,9 +468,9 @@ where
         if pool::current_threads() <= 1 {
             return self.base.map(|x| op.apply(x)).collect();
         }
-        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
-        let parts: Vec<Vec<F::Out>> =
-            run_ranges(slots, self.min_len, self.max_len, |it| it.map(|x| op.apply(x)).collect());
+        let parts: Vec<Vec<F::Out>> = run_regions(self.base, self.min_len, self.max_len, |it| {
+            it.map(|x| op.apply(x)).collect()
+        });
         parts.into_iter().flatten().collect()
     }
 }
@@ -405,7 +485,7 @@ pub struct ParFilter<I, P> {
 
 impl<I, P> ParFilter<I, P>
 where
-    I: Iterator,
+    I: BaseIter + Send,
     P: Fn(&I::Item) -> bool + Sync,
 {
     /// Counts items passing the predicate, in parallel.
@@ -417,9 +497,8 @@ where
         if pool::current_threads() <= 1 {
             return self.base.filter(|x| pred(x)).count();
         }
-        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
         let parts: Vec<usize> =
-            run_ranges(slots, self.min_len, self.max_len, |it| it.filter(|x| pred(x)).count());
+            run_regions(self.base, self.min_len, self.max_len, |it| it.filter(|x| pred(x)).count());
         parts.into_iter().sum()
     }
 
@@ -433,9 +512,9 @@ where
         if pool::current_threads() <= 1 {
             return self.base.filter(|x| pred(x)).collect();
         }
-        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
-        let parts: Vec<Vec<I::Item>> =
-            run_ranges(slots, self.min_len, self.max_len, |it| it.filter(|x| pred(x)).collect());
+        let parts: Vec<Vec<I::Item>> = run_regions(self.base, self.min_len, self.max_len, |it| {
+            it.filter(|x| pred(x)).collect()
+        });
         parts.into_iter().flatten().collect()
     }
 }
@@ -452,7 +531,7 @@ pub struct ParFlatMap<I, F, G> {
 
 impl<I, F, G, J> ParFlatMap<I, F, G>
 where
-    I: Iterator,
+    I: BaseIter + Send,
     F: ItemOp<I::Item>,
     G: Fn(F::Out) -> J + Sync,
     J: IntoIterator,
@@ -468,8 +547,7 @@ where
         if pool::current_threads() <= 1 {
             return self.base.flat_map(|x| g(op.apply(x))).collect();
         }
-        let slots: Vec<Option<I::Item>> = self.base.map(Some).collect();
-        let parts: Vec<Vec<J::Item>> = run_ranges(slots, self.min_len, self.max_len, |it| {
+        let parts: Vec<Vec<J::Item>> = run_regions(self.base, self.min_len, self.max_len, |it| {
             it.flat_map(|x| g(op.apply(x))).collect()
         });
         parts.into_iter().flatten().collect()
@@ -477,39 +555,47 @@ where
 }
 
 pub mod iter_traits {
+    use super::base::{BaseIter, SliceChunks, SliceChunksMut, SliceIter, SliceIterMut};
     use super::{Id, Par};
 
-    /// `par_iter()` / `par_chunks*` / `par_iter_mut()` over slices.
+    /// `par_iter()` / `par_chunks*` / `par_iter_mut()` over slices. All
+    /// four return index-splittable bases (the fast path — no item
+    /// buffering in terminal operations).
     pub trait ParallelSlice<T> {
-        fn par_iter(&self) -> Par<std::slice::Iter<'_, T>, Id>;
-        fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>, Id>;
-        fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>, Id>;
-        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>, Id>;
+        fn par_iter(&self) -> Par<SliceIter<'_, T>, Id>;
+        fn par_iter_mut(&mut self) -> Par<SliceIterMut<'_, T>, Id>;
+        fn par_chunks(&self, size: usize) -> Par<SliceChunks<'_, T>, Id>;
+        fn par_chunks_mut(&mut self, size: usize) -> Par<SliceChunksMut<'_, T>, Id>;
     }
 
     impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> Par<std::slice::Iter<'_, T>, Id> {
-            Par::new(self.iter())
+        fn par_iter(&self) -> Par<SliceIter<'_, T>, Id> {
+            Par::new(SliceIter::new(self))
         }
-        fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>, Id> {
-            Par::new(self.iter_mut())
+        fn par_iter_mut(&mut self) -> Par<SliceIterMut<'_, T>, Id> {
+            Par::new(SliceIterMut::new(self))
         }
-        fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>, Id> {
-            Par::new(self.chunks(size))
+        fn par_chunks(&self, size: usize) -> Par<SliceChunks<'_, T>, Id> {
+            Par::new(SliceChunks::new(self, size))
         }
-        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>, Id> {
-            Par::new(self.chunks_mut(size))
+        fn par_chunks_mut(&mut self, size: usize) -> Par<SliceChunksMut<'_, T>, Id> {
+            Par::new(SliceChunksMut::new(self, size))
         }
     }
 
-    /// `into_par_iter()` over anything that sequentially iterates
-    /// (ranges, `Vec`, …).
+    /// `into_par_iter()` over anything that sequentially iterates and
+    /// whose iterator the shim knows how to drive (integer ranges split
+    /// in O(1); `Vec` and other exact-size draining iterators take the
+    /// materializing path).
     pub trait IntoParallelIterator {
-        type Iter: Iterator;
+        type Iter: BaseIter;
         fn into_par_iter(self) -> Par<Self::Iter, Id>;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
+    impl<I: IntoIterator> IntoParallelIterator for I
+    where
+        I::IntoIter: BaseIter,
+    {
         type Iter = I::IntoIter;
         fn into_par_iter(self) -> Par<Self::Iter, Id> {
             Par::new(self.into_iter())
@@ -686,6 +772,29 @@ mod tests {
             assert_eq!(expanded.len(), 45);
             // Order preserved: non-decreasing.
             assert!(expanded.windows(2).all(|w| w[0] <= w[1]));
+        });
+    }
+
+    #[test]
+    fn uneven_chunks_split_correctly() {
+        // 10 elements in chunks of 3 -> 4 chunks, last short; the
+        // index-split fast path must hand every chunk to exactly one
+        // region regardless of where region boundaries fall.
+        pool::with_threads(4, || {
+            let data: Vec<u32> = (0..10).collect();
+            let sums: Vec<u32> =
+                data.par_chunks(3).with_max_len(1).map(|c| c.iter().sum()).collect();
+            assert_eq!(sums, vec![3, 12, 21, 9]);
+        });
+    }
+
+    #[test]
+    fn mut_iter_zip_writes_every_element() {
+        pool::with_threads(4, || {
+            let src: Vec<u64> = (0..4096).collect();
+            let mut dst = vec![0u64; 4096];
+            dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, &s)| *d = s * 2);
+            assert!(dst.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
         });
     }
 

@@ -1,12 +1,18 @@
-//! Parallel determinism: the BFS engine's outputs must be *byte-equal*
-//! — not merely "same reachable set" — across thread counts, for every
-//! semiring, with and without SlimChunk tiling, under both schedules.
+//! Parallel determinism: every kernel's outputs must be *byte-equal* —
+//! not merely "same reachable set" — across thread counts. Covered: the
+//! BFS engine (every semiring, with and without SlimChunk tiling, under
+//! both schedules), direction-optimized BFS, and the four secondary
+//! kernels riding the shared tiling module — PageRank, SSSP,
+//! multi-source BFS and betweenness centrality.
 //!
 //! This holds by construction: every chunk's math is independent, tiles
 //! write disjoint positional slabs, and the iteration-level reduce uses
 //! commutative-associative merges — so scheduling can never reorder a
-//! result. The 1-thread run takes the engine's sequential oracle path
-//! (no pool interaction at all), which makes it the reference.
+//! result. Ordered floating-point reductions (the PageRank residual,
+//! the betweenness dependency accumulation) are computed per chunk and
+//! merged in chunk order, never across tile boundaries. The 1-thread
+//! run takes each kernel's sequential fallback path (no pool
+//! interaction at all), which makes it the reference.
 //!
 //! Thread counts are pinned with `ThreadPoolBuilder::install`, the
 //! in-process equivalent of running under `SLIMSELL_THREADS=1/2/8`
@@ -88,6 +94,100 @@ fn direction_optimized_bit_identical() {
         let out = with_threads(threads, || run_diropt(&slim, root, &DirOptOptions::default()));
         assert_eq!(out.bfs.dist, reference.bfs.dist, "diropt dist at {threads} threads");
         assert_eq!(out.modes, reference.modes, "diropt mode sequence at {threads} threads");
+    }
+}
+
+/// f32 slice -> bit patterns, so `-0.0 != 0.0` and comparisons are
+/// byte-exact rather than merely numerically equal.
+fn bits32(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// f64 slice -> bit patterns.
+fn bits64(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn pagerank_bit_identical_across_thread_counts() {
+    let (g, _) = graph();
+    let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+    let opts = PageRankOptions::default();
+    let reference = with_threads(1, || slimsell::core::pagerank::pagerank(&m, &opts));
+    assert!(reference.iterations > 1, "graph converged trivially; test is vacuous");
+    for threads in THREAD_COUNTS {
+        let out = with_threads(threads, || slimsell::core::pagerank::pagerank(&m, &opts));
+        assert_eq!(
+            bits32(&out.scores),
+            bits32(&reference.scores),
+            "pagerank scores diverged at {threads} threads"
+        );
+        assert_eq!(
+            out.residual.to_bits(),
+            reference.residual.to_bits(),
+            "pagerank residual diverged at {threads} threads"
+        );
+        assert_eq!(
+            out.iterations, reference.iterations,
+            "pagerank iteration count diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn sssp_bit_identical_across_thread_counts() {
+    // Deterministic weights derived from the endpoints of a Kronecker
+    // graph's edges; every thread count sees the same weighted graph
+    // (the same twin the scaling bench measures).
+    let g = kronecker(9, 8.0, KroneckerParams::GRAPH500, 11);
+    let wg = slimsell::graph::weighted::synthetic_weighted_twin(&g);
+    let m = WeightedSellCSigma::<8>::build(&wg, wg.num_vertices());
+    let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
+    let reference = with_threads(1, || sssp(&m, root));
+    for threads in THREAD_COUNTS {
+        let out = with_threads(threads, || sssp(&m, root));
+        assert_eq!(
+            bits32(&out.dist),
+            bits32(&reference.dist),
+            "sssp distances diverged at {threads} threads"
+        );
+        assert_eq!(
+            out.iterations, reference.iterations,
+            "sssp sweep count diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn msbfs_bit_identical_across_thread_counts() {
+    let (g, _) = graph();
+    let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+    let r = slimsell::graph::stats::sample_roots(&g, 4);
+    let roots: [VertexId; 4] = [r[0], r[1 % r.len()], r[2 % r.len()], r[3 % r.len()]];
+    let reference = with_threads(1, || multi_bfs::<_, 8, 4>(&m, &roots));
+    for threads in THREAD_COUNTS {
+        let out = with_threads(threads, || multi_bfs::<_, 8, 4>(&m, &roots));
+        assert_eq!(out.dist, reference.dist, "msbfs distances diverged at {threads} threads");
+        assert_eq!(
+            out.iterations, reference.iterations,
+            "msbfs iteration count diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn betweenness_bit_identical_across_thread_counts() {
+    // Sampled betweenness: forward sweeps are tiled, the backward
+    // accumulation is sequential by design — f64 outputs must still be
+    // byte-equal at every thread count.
+    let g = kronecker(9, 8.0, KroneckerParams::GRAPH500, 5);
+    let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+    let r = slimsell::graph::stats::sample_roots(&g, 4);
+    let reference = with_threads(1, || betweenness_from_sources(&m, &r));
+    assert!(reference.iter().any(|&b| b > 0.0), "all-zero centralities; test is vacuous");
+    for threads in THREAD_COUNTS {
+        let out = with_threads(threads, || betweenness_from_sources(&m, &r));
+        assert_eq!(bits64(&out), bits64(&reference), "betweenness diverged at {threads} threads");
     }
 }
 

@@ -126,4 +126,27 @@ proptest! {
         prop_assert_eq!(cpu.dist, sim.dist);
         prop_assert_eq!(cpu.parent, sim.parent);
     }
+
+    /// The tiled (multithreaded) PageRank is bit-identical to the
+    /// sequential fallback on arbitrary graphs: scores, the L1
+    /// residual trajectory's final value, and the iteration count.
+    /// The residual guards convergence, so any tile-boundary
+    /// dependence would change `iterations` first.
+    #[test]
+    fn pagerank_tiled_matches_sequential(g in arb_graph()) {
+        let m = SlimSellMatrix::<4>::build(&g, g.num_vertices());
+        let opts = PageRankOptions::default();
+        let pin = |n: usize| rayon::ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+        let seq = pin(1).install(|| pagerank(&m, &opts));
+        for threads in [2usize, 4, 8] {
+            let par = pin(threads).install(|| pagerank(&m, &opts));
+            let seq_bits: Vec<u32> = seq.scores.iter().map(|x| x.to_bits()).collect();
+            let par_bits: Vec<u32> = par.scores.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(seq_bits, par_bits, "scores diverged at {} threads", threads);
+            prop_assert_eq!(seq.residual.to_bits(), par.residual.to_bits(),
+                "residual diverged at {} threads", threads);
+            prop_assert_eq!(seq.iterations, par.iterations,
+                "iteration count diverged at {} threads", threads);
+        }
+    }
 }
