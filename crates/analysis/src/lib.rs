@@ -8,16 +8,21 @@
 //! * [`amortize`] — the §IV-D preprocessing amortization model ("10 BFS
 //!   runs are enough to reduce the sorting time to <2 % of the total
 //!   runtime");
+//! * [`frontier`] — full-sweep vs worklist sweep accounting: column
+//!   steps, chunk visits and activation overhead of the
+//!   frontier-proportional engine;
 //! * [`report`] — plain-text table rendering shared by the reproduction
 //!   harness.
 
 pub mod amortize;
 pub mod bounds;
+pub mod frontier;
 pub mod padding;
 pub mod report;
 pub mod work;
 
 pub use amortize::{amortization_table, runs_to_amortize};
 pub use bounds::{er_max_degree_bound, estimate_powerlaw_exponent, powerlaw_max_degree_bound};
+pub use frontier::WorklistComparison;
 pub use padding::{padding_bound_full_sort, padding_full_sort, padding_unsorted};
 pub use work::{table2_rows, work_bound_general, WorkBound};

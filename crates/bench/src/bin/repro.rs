@@ -7,7 +7,7 @@
 //!   table2 table3 table4 table5
 //!   fig1 fig5a fig5b fig5c fig5d fig6a fig6b fig6c fig6d fig6e
 //!   fig7 fig8 fig9 fig10
-//!   prep bounds scaling
+//!   prep bounds scaling frontier
 //!   all                        run everything
 //!
 //! common options:
@@ -27,7 +27,10 @@
 //! `results/BENCH_scaling.json` (threads × scale × kernel, plus the
 //! semiring axis for BFS; median ns per stored arc) used to track
 //! multicore perf across PRs; sweep the thread axis on any host with
-//! `SLIMSELL_THREADS` unset.
+//! `SLIMSELL_THREADS` unset. The `frontier` experiment writes
+//! `results/BENCH_frontier.json`: full-sweep vs worklist BFS over
+//! `{kronecker, geometric, smallworld} × scales 10..=--scale-log2`,
+//! with exact column-step/visit/activation counters.
 
 use slimsell_bench::experiments;
 use slimsell_bench::harness::{Args, ExpContext};
@@ -61,5 +64,6 @@ fn print_help() {
         "options: --scale-log2 N  --rho X  --seed S  --runs K  --scale-shift N  --results-dir D"
     );
     println!("scaling only: --kernel {{bfs|pagerank|sssp|msbfs|betweenness|all}}");
+    println!("frontier: sweeps scales 10..=--scale-log2 (worklist vs full sweep)");
     println!("see DESIGN.md section 4 for the experiment-to-paper mapping");
 }

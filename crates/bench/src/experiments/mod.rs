@@ -10,6 +10,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod frontier;
 pub mod prep;
 pub mod scaling;
 pub mod tables;
@@ -43,6 +44,7 @@ pub fn run(ctx: &ExpContext) -> Result<(), String> {
         "prep" => prep::run(ctx),
         "bounds" => bounds::run(ctx),
         "scaling" => scaling::run(ctx),
+        "frontier" => frontier::run(ctx),
         "ablate" => ablate::run(ctx),
         "all" => {
             for name in EXPERIMENTS {
@@ -65,7 +67,7 @@ pub fn run(ctx: &ExpContext) -> Result<(), String> {
 pub const EXPERIMENTS: &[&str] = &[
     "table2", "table3", "table4", "table5", "fig1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6a",
     "fig6b", "fig6c", "fig6d", "fig6e", "fig7", "fig8", "fig9", "fig10", "prep", "bounds",
-    "scaling", "ablate", "all",
+    "scaling", "frontier", "ablate", "all",
 ];
 
 /// Generates the context's default Kronecker graph.

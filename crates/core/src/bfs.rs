@@ -27,7 +27,24 @@
 //! chunk's math is independent and writes are positional. The same
 //! machinery (shared via [`crate::tiling`]) drives SlimChunk, PageRank,
 //! SSSP, multi-source BFS and the betweenness forward sweep.
+//!
+//! Worklist mode ([`BfsOptions::worklist`]) replaces the full sweep
+//! with frontier-proportional sweeps over an active-chunk worklist: the
+//! once-per-graph chunk dependency graph ([`crate::worklist`]) says
+//! which chunks can possibly produce a different output after a set of
+//! chunks changed, and an epoch-stamped activation array turns each
+//! iteration's exactly-detected changed chunks into the next sorted
+//! worklist. The invariant making this sound with double buffering:
+//! outside the worklist, `nxt` already equals `cur` bit-for-bit (a
+//! chunk leaves the list only after an iteration in which its output
+//! did not change), so untouched chunks need no copy-forward and the
+//! buffer swap is safe. Distances, parents, iteration count and the
+//! work each *processed* chunk does are bit-identical to the full
+//! sweep; only the visit/skip accounting differs (see
+//! [`IterStats::chunks_not_on_worklist`]). The full sweep remains the
+//! default and the oracle the equivalence suite compares against.
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use slimsell_graph::{VertexId, UNREACHABLE};
@@ -37,9 +54,21 @@ use crate::counters::{IterStats, RunStats};
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{Semiring, StateVecs};
 use crate::slimchunk;
-use crate::tiling::{ChunkSpan, ChunkTiling};
+use crate::tiling::{ChunkSpan, ChunkTiling, WorklistSpan, WorklistTiling};
+use crate::worklist::ActivationState;
 
 pub use crate::tiling::Schedule;
+
+/// Whether [`BfsOptions::default`] enables worklist sweeps: set the
+/// `SLIMSELL_WORKLIST` env var to any value but `0` (read once per
+/// process). CI runs the whole suite under both settings; explicit
+/// `worklist:` fields in options override this everywhere it matters.
+fn worklist_env_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("SLIMSELL_WORKLIST").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    })
+}
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -53,19 +82,32 @@ pub struct BfsOptions {
     pub schedule: Schedule,
     /// Safety cap on iterations (defaults to `n + 1`).
     pub max_iterations: Option<usize>,
+    /// Frontier-proportional sweeps over an active-chunk worklist
+    /// instead of a full sweep with per-chunk skip tests: per-iteration
+    /// cost becomes `O(|worklist|)` rather than `O(n_chunks)`, the big
+    /// win on high-diameter graphs (road networks, lattices). Outputs
+    /// are bit-identical to the full sweep. Defaults to the
+    /// `SLIMSELL_WORKLIST` env var (off when unset).
+    pub worklist: bool,
 }
 
 impl Default for BfsOptions {
     fn default() -> Self {
-        Self { slimwork: true, slimchunk: None, schedule: Schedule::Dynamic, max_iterations: None }
+        Self {
+            slimwork: true,
+            slimchunk: None,
+            schedule: Schedule::Dynamic,
+            max_iterations: None,
+            worklist: worklist_env_default(),
+        }
     }
 }
 
 impl BfsOptions {
-    /// The paper's baseline configuration: SlimWork off, dynamic
-    /// scheduling (corresponds to "No SlimWork" in Fig. 5d).
+    /// The paper's baseline configuration: SlimWork off, full sweeps,
+    /// dynamic scheduling (corresponds to "No SlimWork" in Fig. 5d).
     pub fn plain() -> Self {
-        Self { slimwork: false, ..Self::default() }
+        Self { slimwork: false, worklist: false, ..Self::default() }
     }
 }
 
@@ -79,6 +121,61 @@ pub struct BfsOutput {
     pub parent: Option<Vec<VertexId>>,
     /// Per-iteration statistics.
     pub stats: RunStats,
+}
+
+/// Per-run reusable buffers, owned by [`BfsEngine::run`] (and the
+/// direction-optimized driver) and threaded through every iteration so
+/// the hot loop allocates nothing proportional to the graph: the cached
+/// chunk tiling, the worklist activation machinery, and SlimChunk's
+/// per-phase task/partial buffers all persist across hops.
+#[derive(Default)]
+pub(crate) struct EngineScratch {
+    /// Cached full-range tiling, keyed by (chunk count, schedule).
+    pub(crate) tiling: Option<(usize, Schedule, ChunkTiling)>,
+    /// Worklist activation machinery (stamps, worklist, changed flags).
+    pub(crate) act: ActivationState,
+    /// Seeds for the next worklist: chunks whose state changed this
+    /// iteration (the direction-optimized driver also pushes chunks its
+    /// top-down steps touched).
+    pub(crate) pending: Vec<u32>,
+    /// SlimChunk task list: (chunk id, first column step, last).
+    pub(crate) tasks: Vec<(usize, usize, usize)>,
+    /// SlimChunk per-chunk task-range offsets (one past each chunk).
+    pub(crate) task_start: Vec<usize>,
+    /// SlimChunk per-chunk SlimWork skip flags.
+    pub(crate) skip: Vec<bool>,
+    /// SlimChunk tile partial accumulators (`tasks.len() * C`).
+    pub(crate) partials: Vec<f32>,
+}
+
+impl EngineScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached full-range tiling, rebuilt only when the chunk count
+    /// or schedule changes (never within one run).
+    pub(crate) fn full_tiling(&mut self, nc: usize, schedule: Schedule) -> &ChunkTiling {
+        cached_full_tiling(&mut self.tiling, nc, schedule)
+    }
+}
+
+/// Field-splittable form of [`EngineScratch::full_tiling`], so callers
+/// holding `&mut` borrows of other scratch fields can still reach the
+/// cache.
+pub(crate) fn cached_full_tiling(
+    slot: &mut Option<(usize, Schedule, ChunkTiling)>,
+    nc: usize,
+    schedule: Schedule,
+) -> &ChunkTiling {
+    let rebuild = match slot {
+        Some((c, s, _)) => *c != nc || *s != schedule,
+        None => true,
+    };
+    if rebuild {
+        *slot = Some((nc, schedule, ChunkTiling::new(nc, schedule)));
+    }
+    &slot.as_ref().expect("just built").2
 }
 
 /// The BFS-SpMV engine. Stateless; methods are entry points.
@@ -106,24 +203,23 @@ impl BfsEngine {
         let mut d = vec![0.0f32; np];
         S::init(&mut cur, &mut d, n, root_p);
 
+        let mut scratch = EngineScratch::new();
+        if opts.worklist {
+            // Establish the worklist invariant once: outside the
+            // worklist the next-state buffer must already equal the
+            // current state, so only listed chunks are ever written.
+            nxt.clone_from(&cur);
+            scratch.pending.push((root_p / C) as u32);
+        }
+
         let mut stats = RunStats::default();
         let max_iters = opts.max_iterations.unwrap_or(n + 1);
         let mut depth = 0u32;
         loop {
             depth += 1;
             let t0 = Instant::now();
-            let mut it = match opts.slimchunk {
-                None => iterate::<M, S, C>(matrix, &cur, &mut nxt, &mut d, depth as f32, opts),
-                Some(tile_w) => slimchunk::iterate_tiled::<M, S, C>(
-                    matrix,
-                    &cur,
-                    &mut nxt,
-                    &mut d,
-                    depth as f32,
-                    opts,
-                    tile_w,
-                ),
-            };
+            let mut it =
+                step::<M, S, C>(matrix, &cur, &mut nxt, &mut d, depth as f32, opts, &mut scratch);
             it.elapsed = t0.elapsed();
             let changed = it.changed;
             stats.iters.push(it);
@@ -242,7 +338,32 @@ where
     acc
 }
 
-/// One frontier expansion over all chunks (no tiling).
+/// One frontier expansion, dispatched over the four execution modes
+/// (full sweep / worklist × untiled / SlimChunk). The shared entry
+/// point of the engine loop and the direction-optimized driver.
+pub(crate) fn step<M, S, const C: usize>(
+    matrix: &M,
+    cur: &StateVecs,
+    nxt: &mut StateVecs,
+    d: &mut [f32],
+    depth: f32,
+    opts: &BfsOptions,
+    scratch: &mut EngineScratch,
+) -> IterStats
+where
+    M: ChunkMatrix<C>,
+    S: Semiring,
+{
+    match (opts.slimchunk, opts.worklist) {
+        (Some(tile_w), _) => {
+            slimchunk::iterate_tiled::<M, S, C>(matrix, cur, nxt, d, depth, opts, tile_w, scratch)
+        }
+        (None, false) => iterate::<M, S, C>(matrix, cur, nxt, d, depth, opts, scratch),
+        (None, true) => iterate_worklist::<M, S, C>(matrix, cur, nxt, d, depth, opts, scratch),
+    }
+}
+
+/// One frontier expansion over all chunks (full sweep, no tiling).
 pub(crate) fn iterate<M, S, const C: usize>(
     matrix: &M,
     cur: &StateVecs,
@@ -250,6 +371,7 @@ pub(crate) fn iterate<M, S, const C: usize>(
     d: &mut [f32],
     depth: f32,
     opts: &BfsOptions,
+    scratch: &mut EngineScratch,
 ) -> IterStats
 where
     M: ChunkMatrix<C>,
@@ -260,7 +382,7 @@ where
     let slimwork = opts.slimwork;
     // At 1 effective thread the tiling is one span over everything, run
     // inline — the sequential oracle path.
-    let tiling = ChunkTiling::new(nc, opts.schedule);
+    let tiling = scratch.full_tiling(nc, opts.schedule);
     let spans = tiling.split_spans::<C>(nxt, d);
     let (changed, col_steps, skipped) = tiling.map_reduce(
         spans,
@@ -272,6 +394,115 @@ where
         elapsed: Default::default(),
         chunks_processed: nc - skipped,
         chunks_skipped: skipped,
+        chunks_not_on_worklist: 0,
+        worklist_len: nc,
+        activations: 0,
+        changed_chunks: 0,
+        col_steps,
+        cells: col_steps * C as u64,
+        changed,
+    }
+}
+
+/// Runs the MV + post-processing over one worklist tile, sequentially
+/// within the tile, recording the exact per-chunk changed flags the
+/// next worklist is seeded from. Returns (changed, column steps,
+/// skipped).
+fn wl_span<M, S, const C: usize>(
+    matrix: &M,
+    cur: &StateVecs,
+    span: WorklistSpan<'_>,
+    depth: f32,
+    slimwork: bool,
+) -> (bool, u64, usize)
+where
+    M: ChunkMatrix<C>,
+    S: Semiring,
+{
+    let WorklistSpan { first_pos: _, ids, x, g, p, d, changed } = span;
+    let base0 = ids[0] as usize * C;
+    let mut acc = (false, 0u64, 0usize);
+    for (k, &id) in ids.iter().enumerate() {
+        let i = id as usize;
+        let off = i * C - base0;
+        // Same per-chunk body as the full sweep (do_chunk: SlimWork
+        // test + copy_forward, or MV + post-processing) so the two
+        // modes cannot drift apart.
+        let (c, steps, skip) = do_chunk::<M, S, C>(
+            matrix,
+            cur,
+            i,
+            (
+                &mut x[off..off + C],
+                &mut g[off..off + C],
+                &mut p[off..off + C],
+                &mut d[off..off + C],
+            ),
+            depth,
+            slimwork,
+        );
+        // A skipped chunk forwarded its state verbatim — its flag
+        // stays 0; otherwise record the exact change for seeding the
+        // next worklist.
+        if skip == 0 {
+            changed[k] = u8::from(S::state_changed(
+                cur,
+                i * C,
+                &x[off..off + C],
+                &g[off..off + C],
+                &p[off..off + C],
+            ));
+        }
+        acc.0 |= c;
+        acc.1 += steps;
+        acc.2 += skip;
+    }
+    acc
+}
+
+/// One frontier expansion over the active worklist only: seeds the
+/// worklist from the pending changed chunks (dependent expansion via
+/// the epoch-stamped activation array), sweeps it in disjoint tiles,
+/// and harvests the exactly-changed chunks as the next iteration's
+/// seeds. Cost is proportional to the worklist, not the chunk range.
+pub(crate) fn iterate_worklist<M, S, const C: usize>(
+    matrix: &M,
+    cur: &StateVecs,
+    nxt: &mut StateVecs,
+    d: &mut [f32],
+    depth: f32,
+    opts: &BfsOptions,
+    scratch: &mut EngineScratch,
+) -> IterStats
+where
+    M: ChunkMatrix<C>,
+    S: Semiring,
+{
+    let s = matrix.structure();
+    let nc = s.num_chunks();
+    let slimwork = opts.slimwork;
+    let EngineScratch { act, pending, .. } = scratch;
+    let activations = act.seed(s.dep_graph(), pending);
+    pending.clear();
+    let (ids, flags) = act.split();
+    let wl_len = ids.len();
+    let tiling = WorklistTiling::new(ids, opts.schedule);
+    let spans = tiling.split_spans::<C>(nxt, d, flags);
+    let (changed, col_steps, skipped) = tiling.map_reduce(
+        spans,
+        |span| wl_span::<M, S, C>(matrix, cur, span, depth, slimwork),
+        || (false, 0, 0),
+        |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2),
+    );
+    let changed_chunks = act.collect_changed_into(pending);
+    IterStats {
+        elapsed: Default::default(),
+        chunks_processed: wl_len - skipped,
+        chunks_skipped: skipped,
+        chunks_not_on_worklist: nc - wl_len,
+        worklist_len: wl_len,
+        activations,
+        changed_chunks,
         col_steps,
         cells: col_steps * C as u64,
         changed,
@@ -383,6 +614,106 @@ mod tests {
         assert_eq!(with.dist, without.dist);
         assert!(with.stats.total_skipped() > 0, "no chunks skipped");
         assert!(with.stats.total_cells() < without.stats.total_cells());
+    }
+
+    #[test]
+    fn worklist_matches_reference_all_semirings() {
+        let g = sample();
+        let opts = BfsOptions { worklist: true, ..Default::default() };
+        for sigma in [1, 4, 11] {
+            for root in [0u32, 6, 8] {
+                check_dist::<TropicalSemiring>(&g, sigma, root, &opts);
+                check_dist::<BooleanSemiring>(&g, sigma, root, &opts);
+                check_dist::<RealSemiring>(&g, sigma, root, &opts);
+                check_dist::<SelMaxSemiring>(&g, sigma, root, &opts);
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_composes_with_slimwork_off_slimchunk_and_static() {
+        let g = sample();
+        for slimwork in [false, true] {
+            for slimchunk in [None, Some(2)] {
+                for schedule in [Schedule::Static, Schedule::Dynamic] {
+                    let opts = BfsOptions {
+                        worklist: true,
+                        slimwork,
+                        slimchunk,
+                        schedule,
+                        ..Default::default()
+                    };
+                    check_dist::<TropicalSemiring>(&g, 11, 0, &opts);
+                    check_dist::<BooleanSemiring>(&g, 11, 0, &opts);
+                    check_dist::<SelMaxSemiring>(&g, 11, 0, &opts);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_reduces_column_steps_on_path() {
+        // The wavefront case: a long path where a full sweep visits all
+        // chunks every hop (unreached chunks fail the SlimWork test and
+        // run their MV), but the worklist keeps only the chunks around
+        // the frontier.
+        let n = 256u32;
+        let g = GraphBuilder::new(n as usize).edges((0..n - 1).map(|v| (v, v + 1))).build();
+        let slim = SlimSellMatrix::<4>::build(&g, 1);
+        let full = BfsEngine::run::<_, TropicalSemiring, 4>(
+            &slim,
+            0,
+            &BfsOptions { worklist: false, ..Default::default() },
+        );
+        let wl = BfsEngine::run::<_, TropicalSemiring, 4>(
+            &slim,
+            0,
+            &BfsOptions { worklist: true, ..Default::default() },
+        );
+        assert_eq!(wl.dist, full.dist);
+        assert_eq!(wl.stats.num_iterations(), full.stats.num_iterations());
+        assert!(
+            wl.stats.total_col_steps() < full.stats.total_col_steps(),
+            "worklist {} !< full {}",
+            wl.stats.total_col_steps(),
+            full.stats.total_col_steps()
+        );
+        assert!(wl.stats.total_not_on_worklist() > 0);
+        assert!(wl.stats.total_activations() > 0);
+        let nc = slim.structure().num_chunks();
+        for it in &wl.stats.iters {
+            assert_eq!(it.chunks_processed + it.chunks_skipped, it.worklist_len);
+            assert_eq!(it.chunks_not_on_worklist, nc - it.worklist_len);
+        }
+        for it in &full.stats.iters {
+            assert_eq!(it.worklist_len, nc);
+            assert_eq!(it.chunks_not_on_worklist, 0);
+        }
+    }
+
+    #[test]
+    fn worklist_iteration_counters_match_full_sweep_work_done() {
+        // Processed chunks do identical math in both modes: per
+        // iteration, the worklist's column steps can never exceed the
+        // full sweep's, and the totals agree with the cells accounting.
+        let g = sample();
+        let slim = SlimSellMatrix::<4>::build(&g, 11);
+        let full = BfsEngine::run::<_, BooleanSemiring, 4>(
+            &slim,
+            0,
+            &BfsOptions { worklist: false, ..Default::default() },
+        );
+        let wl = BfsEngine::run::<_, BooleanSemiring, 4>(
+            &slim,
+            0,
+            &BfsOptions { worklist: true, ..Default::default() },
+        );
+        assert_eq!(wl.stats.num_iterations(), full.stats.num_iterations());
+        for (a, b) in wl.stats.iters.iter().zip(&full.stats.iters) {
+            assert!(a.col_steps <= b.col_steps);
+            assert_eq!(a.cells, a.col_steps * 4);
+            assert_eq!(a.changed, b.changed);
+        }
     }
 
     #[test]

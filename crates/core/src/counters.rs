@@ -9,14 +9,35 @@
 use std::time::Duration;
 
 /// Statistics for one BFS iteration (one frontier expansion).
+///
+/// Chunk accounting distinguishes three disjoint fates so the analysis
+/// layer can attribute savings correctly: `chunks_processed` (MV
+/// executed) + `chunks_skipped` (visited, then skipped by the SlimWork
+/// test) = `worklist_len` (chunks visited at all), and
+/// `chunks_not_on_worklist` counts the rest — excluded by the worklist
+/// engine without even a skip test (always 0 in full-sweep mode, where
+/// `worklist_len` is the whole chunk range).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct IterStats {
     /// Wall time of the iteration.
     pub elapsed: Duration,
     /// Chunks processed (MV executed).
     pub chunks_processed: usize,
-    /// Chunks skipped by SlimWork.
+    /// Chunks visited but skipped by the SlimWork test (§III-C).
     pub chunks_skipped: usize,
+    /// Chunks excluded without any visit because they were not on the
+    /// active worklist (0 in full-sweep mode).
+    pub chunks_not_on_worklist: usize,
+    /// Chunks visited this iteration — the worklist size, or the whole
+    /// chunk range in full-sweep mode.
+    pub worklist_len: usize,
+    /// Dependent-expansion probes performed while building the *next*
+    /// worklist (`Σ |dependents(j)|` over this iteration's seeds — the
+    /// dependency fan-out actually paid); 0 in full-sweep mode.
+    pub activations: u64,
+    /// Chunks whose output state changed this iteration under the exact
+    /// bit-wise test (tracked in worklist mode only).
+    pub changed_chunks: usize,
     /// Column steps executed (Σ `cl[i]` over processed chunks).
     pub col_steps: u64,
     /// Matrix cells touched (= `C ·` col_steps): the work measure `W` of
@@ -55,6 +76,27 @@ impl RunStats {
         self.iters.iter().map(|i| i.chunks_skipped).sum()
     }
 
+    /// Total column steps executed (`total_cells / C`).
+    pub fn total_col_steps(&self) -> u64 {
+        self.iters.iter().map(|i| i.col_steps).sum()
+    }
+
+    /// Total chunks visited across iterations (worklist sizes summed;
+    /// `iterations × n_chunks` in full-sweep mode).
+    pub fn total_visited(&self) -> u64 {
+        self.iters.iter().map(|i| i.worklist_len as u64).sum()
+    }
+
+    /// Total chunks excluded by the worklist engine without a visit.
+    pub fn total_not_on_worklist(&self) -> u64 {
+        self.iters.iter().map(|i| i.chunks_not_on_worklist as u64).sum()
+    }
+
+    /// Total activation probes paid building worklists.
+    pub fn total_activations(&self) -> u64 {
+        self.iters.iter().map(|i| i.activations).sum()
+    }
+
     /// Per-iteration wall times in seconds (figure series).
     pub fn iter_seconds(&self) -> Vec<f64> {
         self.iters.iter().map(|i| i.elapsed.as_secs_f64()).collect()
@@ -72,6 +114,10 @@ mod tests {
             elapsed: Duration::from_millis(2),
             chunks_processed: 4,
             chunks_skipped: 1,
+            chunks_not_on_worklist: 3,
+            worklist_len: 5,
+            activations: 12,
+            changed_chunks: 2,
             col_steps: 10,
             cells: 80,
             changed: true,
@@ -80,6 +126,10 @@ mod tests {
             elapsed: Duration::from_millis(3),
             chunks_processed: 2,
             chunks_skipped: 3,
+            chunks_not_on_worklist: 3,
+            worklist_len: 5,
+            activations: 4,
+            changed_chunks: 0,
             col_steps: 4,
             cells: 32,
             changed: false,
@@ -88,6 +138,10 @@ mod tests {
         assert_eq!(s.total_time(), Duration::from_millis(5));
         assert_eq!(s.total_cells(), 112);
         assert_eq!(s.total_skipped(), 4);
+        assert_eq!(s.total_col_steps(), 14);
+        assert_eq!(s.total_visited(), 10);
+        assert_eq!(s.total_not_on_worklist(), 6);
+        assert_eq!(s.total_activations(), 16);
         assert_eq!(s.iter_seconds().len(), 2);
     }
 }

@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use slimsell_graph::{VertexId, UNREACHABLE};
 
-use crate::bfs::{iterate, BfsOptions, BfsOutput, Schedule};
+use crate::bfs::{step, BfsOptions, BfsOutput, EngineScratch, Schedule};
 use crate::counters::{IterStats, RunStats};
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{Semiring, StateVecs, TropicalSemiring};
@@ -84,6 +84,17 @@ where
     let mut d = vec![0.0f32; np];
     S::init(&mut cur, &mut d, n, root_p);
 
+    let mut scratch = EngineScratch::new();
+    let use_wl = opts.spmv.worklist;
+    if use_wl {
+        // Worklist invariant for the bottom-up steps (see crate::bfs):
+        // outside the worklist, nxt already equals cur. Top-down steps
+        // write cur in place, so every chunk they touch goes on the
+        // pending list and the next bottom-up sweep rewrites it.
+        nxt.clone_from(&cur);
+        scratch.pending.push((root_p / C) as u32);
+    }
+
     let mut frontier: Vec<u32> = vec![root_p as u32];
     let mut frontier_edges: u64 = s.row_len(root_p) as u64;
     let mut stats = RunStats::default();
@@ -114,6 +125,9 @@ where
                         scanned += 1;
                         if cur.x[w as usize] == f32::INFINITY {
                             cur.x[w as usize] = depth as f32;
+                            if use_wl {
+                                scratch.pending.push(w / C as u32);
+                            }
                             next.push(w);
                         }
                     }
@@ -122,22 +136,40 @@ where
                 frontier = next;
                 stats.iters.push(IterStats {
                     elapsed: t0.elapsed(),
-                    chunks_processed: 0,
-                    chunks_skipped: 0,
                     col_steps: scanned,
                     cells: scanned,
                     changed: !frontier.is_empty(),
+                    ..Default::default()
                 });
             }
             StepMode::BottomUp => {
-                let mut it =
-                    iterate::<M, S, C>(matrix, &cur, &mut nxt, &mut d, depth as f32, &opts.spmv);
+                let mut it = step::<M, S, C>(
+                    matrix,
+                    &cur,
+                    &mut nxt,
+                    &mut d,
+                    depth as f32,
+                    &opts.spmv,
+                    &mut scratch,
+                );
                 // Recover the new frontier (changed entries) for the
                 // heuristic and a possible switch back to top-down.
-                // Parallel over contiguous vertex ranges; the ordered
-                // range merge keeps the frontier sorted exactly like
-                // the sequential scan.
-                let next: Vec<u32> = {
+                let next: Vec<u32> = if use_wl {
+                    // Only worklist chunks can hold changes (outside the
+                    // worklist nxt equals cur bit-for-bit), so the scan
+                    // is frontier-proportional too; worklist order is
+                    // ascending, matching the sequential full scan.
+                    let mut out = Vec::new();
+                    for &id in scratch.act.worklist() {
+                        let lo = id as usize * C;
+                        let hi = ((id as usize + 1) * C).min(n);
+                        out.extend((lo..hi).filter(|&v| nxt.x[v] != cur.x[v]).map(|v| v as u32));
+                    }
+                    out
+                } else {
+                    // Parallel over contiguous vertex ranges; the
+                    // ordered range merge keeps the frontier sorted
+                    // exactly like the sequential scan.
                     let (nxt_x, cur_x) = (&nxt.x, &cur.x);
                     let tiling = ChunkTiling::new(n, Schedule::Dynamic);
                     tiling.map_reduce(

@@ -15,6 +15,10 @@
 //!   chunk skipping (§III-C), static/dynamic scheduling, per-iteration
 //!   statistics.
 //! * [`slimchunk`] — 2-D chunk tiling for load balance (§III-D).
+//! * [`worklist`] — the chunk dependency graph (computed once per
+//!   structure) and epoch-stamped activation worklists behind
+//!   [`BfsOptions::worklist`]: frontier-proportional sweeps instead of
+//!   full sweeps with per-chunk skip tests.
 //! * [`dp`] — the `DP` distance→parent transformation (§II-C).
 //! * [`dirop`] — direction-optimized algebraic BFS (the third curve of
 //!   Figure 1): sparse top-down steps on the SlimSell structure, SpMV
@@ -57,6 +61,7 @@ pub mod storage;
 pub mod structure;
 pub mod tiling;
 pub mod validation;
+pub mod worklist;
 
 pub use betweenness::{betweenness_exact, betweenness_from_sources};
 pub use bfs::{chunk_mv, BfsEngine, BfsOptions, BfsOutput, Schedule};
@@ -70,3 +75,4 @@ pub use semiring::{BooleanSemiring, RealSemiring, SelMaxSemiring, Semiring, Trop
 pub use sssp::{sssp, WeightedSellCSigma};
 pub use structure::SellStructure;
 pub use validation::graph500_validate;
+pub use worklist::{ActivationState, ChunkDepGraph};

@@ -45,6 +45,14 @@ impl StateVecs {
     }
 }
 
+/// Bit-exact slice inequality (`-0.0 != 0.0`, NaN-safe): the comparison
+/// the worklist engine's change detection is built on, matching the
+/// byte-equality contract of the determinism suite.
+#[inline]
+fn bits_differ(a: &[f32], b: &[f32]) -> bool {
+    a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())
+}
+
 /// A BFS semiring: the pluggable part of the BFS-SpMV engine.
 pub trait Semiring: Copy + Send + Sync + 'static {
     /// Display name (matches the paper's legends).
@@ -104,6 +112,31 @@ pub trait Semiring: Copy + Send + Sync + 'static {
         nxt_x.copy_from_slice(&cur.x[base..base + c]);
         nxt_g.copy_from_slice(&cur.g[base..base + c]);
         nxt_p.copy_from_slice(&cur.p[base..base + c]);
+    }
+
+    /// Exact output-change test for the worklist engine: whether the
+    /// freshly written next-state of a chunk differs **bit-wise** from
+    /// the previous state over the vectors this semiring maintains.
+    ///
+    /// This is deliberately stricter than the `post_chunk` return value
+    /// (which reports "the frontier advanced here" and may be `false`
+    /// while e.g. a boolean frontier bit clears): a chunk may safely
+    /// drop off the worklist only when *nothing* another chunk could
+    /// gather — or its own post-processing could read — has changed.
+    /// Semirings override this to compare only the vectors they
+    /// actually use.
+    #[inline]
+    fn state_changed(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &[f32],
+        nxt_g: &[f32],
+        nxt_p: &[f32],
+    ) -> bool {
+        let c = nxt_x.len();
+        bits_differ(&cur.x[base..base + c], nxt_x)
+            || bits_differ(&cur.g[base..base + c], nxt_g)
+            || bits_differ(&cur.p[base..base + c], nxt_p)
     }
 
     /// Final distances in permuted space (`∞` = unreachable).
@@ -173,6 +206,17 @@ impl Semiring for TropicalSemiring {
     ) {
         let c = nxt_x.len();
         nxt_x.copy_from_slice(&cur.x[base..base + c]);
+    }
+
+    #[inline]
+    fn state_changed(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &[f32],
+        _nxt_g: &[f32],
+        _nxt_p: &[f32],
+    ) -> bool {
+        bits_differ(&cur.x[base..base + nxt_x.len()], nxt_x)
     }
 
     fn distances<'a>(state: &'a StateVecs, _d: &'a [f32]) -> &'a [f32] {
@@ -259,6 +303,18 @@ impl Semiring for BooleanSemiring {
         nxt_g.copy_from_slice(&cur.g[base..base + c]);
     }
 
+    #[inline]
+    fn state_changed(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &[f32],
+        nxt_g: &[f32],
+        _nxt_p: &[f32],
+    ) -> bool {
+        let c = nxt_x.len();
+        bits_differ(&cur.x[base..base + c], nxt_x) || bits_differ(&cur.g[base..base + c], nxt_g)
+    }
+
     fn distances<'a>(_state: &'a StateVecs, d: &'a [f32]) -> &'a [f32] {
         d
     }
@@ -341,6 +397,18 @@ impl Semiring for RealSemiring {
         let c = nxt_x.len();
         nxt_x.copy_from_slice(&cur.x[base..base + c]);
         nxt_g.copy_from_slice(&cur.g[base..base + c]);
+    }
+
+    #[inline]
+    fn state_changed(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &[f32],
+        nxt_g: &[f32],
+        _nxt_p: &[f32],
+    ) -> bool {
+        let c = nxt_x.len();
+        bits_differ(&cur.x[base..base + c], nxt_x) || bits_differ(&cur.g[base..base + c], nxt_g)
     }
 
     fn distances<'a>(_state: &'a StateVecs, d: &'a [f32]) -> &'a [f32] {
@@ -435,6 +503,18 @@ impl Semiring for SelMaxSemiring {
         let c = nxt_x.len();
         nxt_x.copy_from_slice(&cur.x[base..base + c]);
         nxt_p.copy_from_slice(&cur.p[base..base + c]);
+    }
+
+    #[inline]
+    fn state_changed(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &[f32],
+        _nxt_g: &[f32],
+        nxt_p: &[f32],
+    ) -> bool {
+        let c = nxt_x.len();
+        bits_differ(&cur.x[base..base + c], nxt_x) || bits_differ(&cur.p[base..base + c], nxt_p)
     }
 
     fn distances<'a>(_state: &'a StateVecs, d: &'a [f32]) -> &'a [f32] {
@@ -591,6 +671,36 @@ mod tests {
                                                   // Base 4 → lanes are vertices 4..8, 1-based indices 5..9.
         assert_eq!(nx, vec![5.0, 6.0, 0.0, 8.0]);
         assert_eq!(d, vec![2.0, f32::INFINITY, f32::INFINITY, 2.0]);
+    }
+
+    #[test]
+    fn state_changed_is_exact_where_post_chunk_flag_is_not() {
+        // Boolean: an old frontier bit clearing is a real state change
+        // (other chunks gather x) even though post_chunk reports no
+        // newly discovered vertices. The worklist engine relies on
+        // state_changed catching exactly this case.
+        let mut cur = StateVecs::new(C);
+        cur.x = vec![1.0, 0.0, 0.0, 0.0]; // old frontier
+        cur.g = vec![0.0; C]; // everything visited
+        let acc = SimdF32::<C>::splat(0.0);
+        let (mut nx, mut ng, mut np) = (vec![0.0; C], vec![0.0; C], vec![0.0; C]);
+        let mut d = vec![f32::INFINITY; C];
+        let advanced =
+            BooleanSemiring::post_chunk(acc, &cur, 0, &mut nx, &mut ng, &mut np, &mut d, 2.0);
+        assert!(!advanced, "no new frontier");
+        assert!(BooleanSemiring::state_changed(&cur, 0, &nx, &ng, &np), "x cleared 1 -> 0");
+        // Once settled (all-zero frontier in, all-zero out), no change.
+        cur.x.fill(0.0);
+        let advanced =
+            BooleanSemiring::post_chunk(acc, &cur, 0, &mut nx, &mut ng, &mut np, &mut d, 3.0);
+        assert!(!advanced);
+        assert!(!BooleanSemiring::state_changed(&cur, 0, &nx, &ng, &np));
+        // Tropical ignores g/p garbage: only x counts.
+        let mut tcur = StateVecs::new(C);
+        tcur.x = vec![1.0, 2.0, 3.0, 4.0];
+        tcur.g = vec![9.0; C];
+        assert!(!TropicalSemiring::state_changed(&tcur, 0, &tcur.x.clone(), &nx, &np));
+        assert!(TropicalSemiring::state_changed(&tcur, 0, &[1.0, 2.0, 3.0, 5.0], &nx, &np));
     }
 
     #[test]

@@ -37,13 +37,18 @@
 
 use slimsell_simd::{SimdF32, SimdI32};
 
-use crate::bfs::BfsOptions;
+use crate::bfs::{cached_full_tiling, BfsOptions, EngineScratch};
 use crate::counters::IterStats;
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{Semiring, StateVecs};
-use crate::tiling::{ChunkSpan, ChunkTiling};
+use crate::tiling::{ChunkSpan, ChunkTiling, WorklistSpan, WorklistTiling};
 
-/// One frontier expansion with 2-D tiling.
+/// One frontier expansion with 2-D tiling, over the full chunk range or
+/// (with [`BfsOptions::worklist`]) the active worklist only. All
+/// per-phase buffers (task list, per-chunk task offsets, skip flags,
+/// tile partials) live in the run-owned [`EngineScratch`] and are
+/// reused across iterations.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn iterate_tiled<M, S, const C: usize>(
     matrix: &M,
     cur: &StateVecs,
@@ -52,55 +57,133 @@ pub(crate) fn iterate_tiled<M, S, const C: usize>(
     depth: f32,
     opts: &BfsOptions,
     tile_w: usize,
+    scratch: &mut EngineScratch,
 ) -> IterStats
 where
     M: ChunkMatrix<C>,
     S: Semiring,
 {
     assert!(tile_w >= 1, "tile width must be at least 1");
+    if opts.worklist {
+        iterate_tiled_worklist::<M, S, C>(matrix, cur, nxt, d, depth, opts, tile_w, scratch)
+    } else {
+        iterate_tiled_full::<M, S, C>(matrix, cur, nxt, d, depth, opts, tile_w, scratch)
+    }
+}
+
+/// Builds the vertical tile tasks for one chunk into `tasks`.
+#[inline]
+fn push_tasks(tasks: &mut Vec<(usize, usize, usize)>, i: usize, cl: usize, tile_w: usize) {
+    let mut j = 0;
+    while j < cl {
+        tasks.push((i, j, (j + tile_w).min(cl)));
+        j += tile_w;
+    }
+}
+
+/// Phase 1: tile partials, parallel over contiguous task ranges with
+/// disjoint slabs of the (reused) partials buffer — the "chunks" of
+/// this tiling are the vertical tile tasks.
+fn phase1<M, S, const C: usize>(
+    matrix: &M,
+    cur: &StateVecs,
+    tasks: &[(usize, usize, usize)],
+    partials: &mut Vec<f32>,
+    opts: &BfsOptions,
+) where
+    M: ChunkMatrix<C>,
+    S: Semiring,
+{
+    partials.clear();
+    partials.resize(tasks.len() * C, S::OP1_IDENTITY);
+    let task_tiling = ChunkTiling::new(tasks.len(), opts.schedule);
+    let slabs = task_tiling.split(C, partials);
+    task_tiling.for_each(slabs, |slab| {
+        for (off, buf) in slab.data.chunks_mut(C).enumerate() {
+            let (i, j0, j1) = tasks[slab.c0 + off];
+            tile_mv::<M, S, C>(matrix, &cur.x, i, j0, j1).store(buf);
+        }
+    });
+}
+
+/// Phase 2 for one chunk: SlimWork carry-forward if the chunk was
+/// skipped, otherwise fold its tile partials (starting from the
+/// chunk's previous values) with `op1` and run the semiring
+/// post-processing. Returns (advanced, column steps). The shared body
+/// of the full-sweep and worklist merge passes, so the two modes
+/// cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn merge_chunk<S, const C: usize>(
+    cur: &StateVecs,
+    i: usize,
+    cl_i: u64,
+    skipped: bool,
+    tasks: std::ops::Range<usize>,
+    partials: &[f32],
+    out: (&mut [f32], &mut [f32], &mut [f32], &mut [f32]),
+    depth: f32,
+) -> (bool, u64)
+where
+    S: Semiring,
+{
+    let (nx, ng, np, dd) = out;
+    let base = i * C;
+    if skipped {
+        S::copy_forward(cur, base, nx, ng, np);
+        return (false, 0);
+    }
+    let mut acc = SimdF32::<C>::load(&cur.x[base..]);
+    for t in tasks {
+        acc = S::op1(acc, SimdF32::<C>::load(&partials[t * C..]));
+    }
+    (S::post_chunk(acc, cur, base, nx, ng, np, dd, depth), cl_i)
+}
+
+/// The full-sweep 2-D tiled iteration.
+#[allow(clippy::too_many_arguments)]
+fn iterate_tiled_full<M, S, const C: usize>(
+    matrix: &M,
+    cur: &StateVecs,
+    nxt: &mut StateVecs,
+    d: &mut [f32],
+    depth: f32,
+    opts: &BfsOptions,
+    tile_w: usize,
+    scratch: &mut EngineScratch,
+) -> IterStats
+where
+    M: ChunkMatrix<C>,
+    S: Semiring,
+{
     let s = matrix.structure();
     let nc = s.num_chunks();
+    let EngineScratch { tiling, tasks, task_start, skip, partials, .. } = scratch;
 
     // Task list: (chunk, first column step, last column step). SlimWork
     // is applied here so skipped chunks generate no tiles at all.
-    let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
-    let mut chunk_task_start = vec![0usize; nc + 1];
-    let mut skip = vec![false; nc];
+    tasks.clear();
+    task_start.clear();
+    task_start.resize(nc + 1, 0);
+    skip.clear();
+    skip.resize(nc, false);
     let mut skipped = 0usize;
     for i in 0..nc {
-        chunk_task_start[i] = tasks.len();
+        task_start[i] = tasks.len();
         if opts.slimwork && S::should_skip(cur, i * C..(i + 1) * C) {
             skip[i] = true;
             skipped += 1;
             continue;
         }
-        let cl = s.cl()[i] as usize;
-        let mut j = 0;
-        while j < cl {
-            tasks.push((i, j, (j + tile_w).min(cl)));
-            j += tile_w;
-        }
+        push_tasks(tasks, i, s.cl()[i] as usize, tile_w);
     }
-    chunk_task_start[nc] = tasks.len();
+    task_start[nc] = tasks.len();
 
-    // Phase 1: tile partials, parallel over contiguous task ranges with
-    // disjoint slabs of the partials buffer (the "chunks" of this
-    // tiling are the vertical tile tasks).
-    let mut partials = vec![S::OP1_IDENTITY; tasks.len() * C];
-    {
-        let task_tiling = ChunkTiling::new(tasks.len(), opts.schedule);
-        let slabs = task_tiling.split(C, &mut partials);
-        let tasks_ref = &tasks;
-        task_tiling.for_each(slabs, |slab| {
-            for (off, buf) in slab.data.chunks_mut(C).enumerate() {
-                let (i, j0, j1) = tasks_ref[slab.c0 + off];
-                tile_mv::<M, S, C>(matrix, &cur.x, i, j0, j1).store(buf);
-            }
-        });
-    }
+    phase1::<M, S, C>(matrix, cur, tasks, partials, opts);
 
     // Phase 2: merge partials per chunk and post-process, parallel over
     // chunk-range tiles like the untiled engine.
+    let (task_start, skip, partials) = (&*task_start, &*skip, &*partials);
     let merge_span = |span: ChunkSpan<'_>| -> (bool, u64) {
         let mut acc2 = (false, 0u64);
         let per_chunk = span
@@ -111,21 +194,22 @@ where
             .zip(span.d.chunks_mut(C));
         for (k, (((nx, ng), np), dd)) in per_chunk.enumerate() {
             let i = span.c0 + k;
-            let base = i * C;
-            if skip[i] {
-                S::copy_forward(cur, base, nx, ng, np);
-                continue;
-            }
-            let mut acc = SimdF32::<C>::load(&cur.x[base..]);
-            for t in chunk_task_start[i]..chunk_task_start[i + 1] {
-                acc = S::op1(acc, SimdF32::<C>::load(&partials[t * C..]));
-            }
-            acc2.0 |= S::post_chunk(acc, cur, base, nx, ng, np, dd, depth);
-            acc2.1 += s.cl()[i] as u64;
+            let (adv, steps) = merge_chunk::<S, C>(
+                cur,
+                i,
+                s.cl()[i] as u64,
+                skip[i],
+                task_start[i]..task_start[i + 1],
+                partials,
+                (nx, ng, np, dd),
+                depth,
+            );
+            acc2.0 |= adv;
+            acc2.1 += steps;
         }
         acc2
     };
-    let tiling = ChunkTiling::new(nc, opts.schedule);
+    let tiling = cached_full_tiling(tiling, nc, opts.schedule);
     let spans = tiling.split_spans::<C>(nxt, d);
     let (changed, col_steps) =
         tiling.map_reduce(spans, merge_span, || (false, 0), |a, b| (a.0 | b.0, a.1 + b.1));
@@ -134,6 +218,120 @@ where
         elapsed: Default::default(),
         chunks_processed: nc - skipped,
         chunks_skipped: skipped,
+        chunks_not_on_worklist: 0,
+        worklist_len: nc,
+        activations: 0,
+        changed_chunks: 0,
+        col_steps,
+        cells: col_steps * C as u64,
+        changed,
+    }
+}
+
+/// The worklist 2-D tiled iteration: tasks are generated for worklist
+/// chunks only, phase 2 runs over worklist tiles and records the exact
+/// per-chunk changed flags, and the next worklist is seeded from them.
+#[allow(clippy::too_many_arguments)]
+fn iterate_tiled_worklist<M, S, const C: usize>(
+    matrix: &M,
+    cur: &StateVecs,
+    nxt: &mut StateVecs,
+    d: &mut [f32],
+    depth: f32,
+    opts: &BfsOptions,
+    tile_w: usize,
+    scratch: &mut EngineScratch,
+) -> IterStats
+where
+    M: ChunkMatrix<C>,
+    S: Semiring,
+{
+    let s = matrix.structure();
+    let nc = s.num_chunks();
+    let EngineScratch { act, pending, tasks, task_start, skip, partials, .. } = scratch;
+
+    let activations = act.seed(s.dep_graph(), pending);
+    pending.clear();
+    let (ids, flags) = act.split();
+    let wl_len = ids.len();
+
+    // Task list over worklist positions (side tables are
+    // position-indexed, parallel to the worklist).
+    tasks.clear();
+    task_start.clear();
+    task_start.resize(wl_len + 1, 0);
+    skip.clear();
+    skip.resize(wl_len, false);
+    let mut skipped = 0usize;
+    for (k, &id) in ids.iter().enumerate() {
+        let i = id as usize;
+        task_start[k] = tasks.len();
+        if opts.slimwork && S::should_skip(cur, i * C..(i + 1) * C) {
+            skip[k] = true;
+            skipped += 1;
+            continue;
+        }
+        push_tasks(tasks, i, s.cl()[i] as usize, tile_w);
+    }
+    task_start[wl_len] = tasks.len();
+
+    phase1::<M, S, C>(matrix, cur, tasks, partials, opts);
+
+    // Phase 2 over worklist tiles.
+    let (task_start, skip, partials) = (&*task_start, &*skip, &*partials);
+    let merge_span = |span: WorklistSpan<'_>| -> (bool, u64) {
+        let WorklistSpan { first_pos, ids, x, g, p, d, changed } = span;
+        let base0 = ids[0] as usize * C;
+        let mut acc2 = (false, 0u64);
+        for (k, &id) in ids.iter().enumerate() {
+            let pos = first_pos + k;
+            let i = id as usize;
+            let off = i * C - base0;
+            let (adv, steps) = merge_chunk::<S, C>(
+                cur,
+                i,
+                s.cl()[i] as u64,
+                skip[pos],
+                task_start[pos]..task_start[pos + 1],
+                partials,
+                (
+                    &mut x[off..off + C],
+                    &mut g[off..off + C],
+                    &mut p[off..off + C],
+                    &mut d[off..off + C],
+                ),
+                depth,
+            );
+            // A skipped chunk's flag stays 0 (state forwarded
+            // verbatim); otherwise record the exact change.
+            if !skip[pos] {
+                changed[k] = u8::from(S::state_changed(
+                    cur,
+                    i * C,
+                    &x[off..off + C],
+                    &g[off..off + C],
+                    &p[off..off + C],
+                ));
+            }
+            acc2.0 |= adv;
+            acc2.1 += steps;
+        }
+        acc2
+    };
+    let tiling = WorklistTiling::new(ids, opts.schedule);
+    let spans = tiling.split_spans::<C>(nxt, d, flags);
+    let (changed, col_steps) =
+        tiling.map_reduce(spans, merge_span, || (false, 0), |a, b| (a.0 | b.0, a.1 + b.1));
+
+    let changed_chunks = act.collect_changed_into(pending);
+    IterStats {
+        elapsed: Default::default(),
+        chunks_processed: wl_len - skipped,
+        chunks_skipped: skipped,
+        chunks_not_on_worklist: nc - wl_len,
+        worklist_len: wl_len,
+        activations,
+        changed_chunks,
         col_steps,
         cells: col_steps * C as u64,
         changed,

@@ -16,6 +16,8 @@
 use rayon::prelude::*;
 use slimsell_graph::{CsrGraph, Permutation, VertexId};
 
+use crate::worklist::ChunkDepGraph;
+
 /// Chunked storage structure: everything except the `val` array.
 #[derive(Clone, Debug)]
 pub struct SellStructure<const C: usize> {
@@ -35,6 +37,12 @@ pub struct SellStructure<const C: usize> {
     padding_cells: usize,
     /// Number of stored arcs (`2m`).
     arcs: usize,
+    /// Chunk-granularity dependency graph (who must re-run when a
+    /// chunk's vertices change), computed once per structure on first
+    /// use by the worklist engine. Lazy so that non-worklist paths —
+    /// including the §IV-D preprocessing-amortization measurements —
+    /// pay nothing for it.
+    dep: std::sync::OnceLock<ChunkDepGraph>,
 }
 
 impl<const C: usize> SellStructure<C> {
@@ -100,7 +108,8 @@ impl<const C: usize> SellStructure<C> {
         });
         let arcs = pg.num_arcs();
         let padding_cells = total - arcs;
-        Self { n, n_padded, nc, cs, cl, col, perm, sigma, padding_cells, arcs }
+        let dep = std::sync::OnceLock::new();
+        Self { n, n_padded, nc, cs, cl, col, perm, sigma, padding_cells, arcs, dep }
     }
 
     /// Number of (real) rows = vertices.
@@ -161,6 +170,17 @@ impl<const C: usize> SellStructure<C> {
     #[inline]
     pub fn arcs(&self) -> usize {
         self.arcs
+    }
+
+    /// The chunk dependency graph: for each chunk `j`, the chunks that
+    /// gather from `j`'s row range (plus `j` itself) — the set that
+    /// must re-run when `j`'s vertices change. Computed once per
+    /// structure on first call (a pure function of the structure, so
+    /// laziness is observation-free); drives the worklist engine (see
+    /// [`crate::worklist`]).
+    #[inline]
+    pub fn dep_graph(&self) -> &ChunkDepGraph {
+        self.dep.get_or_init(|| ChunkDepGraph::build(self.nc, &self.cs, &self.cl, &self.col, C))
     }
 
     /// Total `col` cells (`2m + P`) — also the per-SpMV work in cells

@@ -237,16 +237,7 @@ impl ChunkTiling {
         MG: Fn(R, R) -> R + Sync,
     {
         debug_assert_eq!(tiles.len(), self.ranges.len(), "tile list does not match tiling");
-        if self.sequential || tiles.len() <= 1 {
-            // A lone tile's result is returned as-is: merging it into
-            // identity() would only copy (e.g. Vec-accumulating merges).
-            let mut it = tiles.into_iter();
-            return match it.next() {
-                None => identity(),
-                Some(t) => it.map(&map).fold(map(t), merge),
-            };
-        }
-        tiles.into_par_iter().with_min_len(1).map(map).reduce(identity, merge)
+        map_reduce_tiles(self.sequential, tiles, map, identity, merge)
     }
 
     /// Runs `work` over every tile for its side effects (disjoint-slab
@@ -257,11 +248,192 @@ impl ChunkTiling {
         W: Fn(T) + Sync,
     {
         debug_assert_eq!(tiles.len(), self.ranges.len(), "tile list does not match tiling");
-        if self.sequential || tiles.len() <= 1 {
-            tiles.into_iter().for_each(work);
-            return;
+        for_each_tiles(self.sequential, tiles, work);
+    }
+}
+
+/// Shared map-reduce runner: inline fold in tile order when sequential
+/// (or a lone tile — merging it into `identity()` would only copy),
+/// otherwise a pool reduction that still merges in tile order.
+fn map_reduce_tiles<T, R, M, ID, MG>(
+    sequential: bool,
+    tiles: Vec<T>,
+    map: M,
+    identity: ID,
+    merge: MG,
+) -> R
+where
+    T: Send,
+    R: Send,
+    M: Fn(T) -> R + Sync,
+    ID: Fn() -> R + Sync,
+    MG: Fn(R, R) -> R + Sync,
+{
+    if sequential || tiles.len() <= 1 {
+        let mut it = tiles.into_iter();
+        return match it.next() {
+            None => identity(),
+            Some(t) => it.map(&map).fold(map(t), merge),
+        };
+    }
+    tiles.into_par_iter().with_min_len(1).map(map).reduce(identity, merge)
+}
+
+/// Shared side-effect runner (see [`map_reduce_tiles`]).
+fn for_each_tiles<T, W>(sequential: bool, tiles: Vec<T>, work: W)
+where
+    T: Send,
+    W: Fn(T) + Sync,
+{
+    if sequential || tiles.len() <= 1 {
+        tiles.into_iter().for_each(work);
+        return;
+    }
+    tiles.into_par_iter().with_min_len(1).for_each(work);
+}
+
+/// A tile's exclusive view of one worklist slice: the sorted chunk ids
+/// `ids`, slabs of the state/distance vectors covering the *contiguous
+/// chunk range* `ids[0] ..= ids[last]` (interleaved non-worklist chunks
+/// are carried inside the slab but never written), and the per-position
+/// changed flags for exactly these ids.
+pub struct WorklistSpan<'a> {
+    /// Worklist position of `ids[0]` (for indexing per-position
+    /// side tables built over the whole worklist).
+    pub first_pos: usize,
+    /// The worklist chunk ids this tile owns (sorted, non-empty).
+    pub ids: &'a [u32],
+    /// Next frontier values for chunks `ids[0] ..= ids[last]`.
+    pub x: &'a mut [f32],
+    /// Next auxiliary values (semiring-specific), same coverage.
+    pub g: &'a mut [f32],
+    /// Next parent values (sel-max), same coverage.
+    pub p: &'a mut [f32],
+    /// Distance vector slots, same coverage.
+    pub d: &'a mut [f32],
+    /// One changed flag per entry of `ids`, in order.
+    pub changed: &'a mut [u8],
+}
+
+/// A partition of a **sorted chunk-id worklist** into contiguous
+/// per-worker position ranges — the worklist twin of [`ChunkTiling`],
+/// with the same determinism contract: tiles own disjoint `&mut` slabs
+/// carved with `split_at_mut` (each tile's slab spans the contiguous
+/// chunk range between its first and last worklist id, so sorted ids ⇒
+/// disjoint slabs), results merge in tile order, and one effective
+/// thread (or ≤ 1 entry) collapses to an inline sequential tile.
+#[derive(Debug)]
+pub struct WorklistTiling<'w> {
+    ids: &'w [u32],
+    ranges: Vec<(usize, usize)>,
+    sequential: bool,
+}
+
+impl<'w> WorklistTiling<'w> {
+    /// Tiles the worklist positions `0..ids.len()` for the current
+    /// effective thread count, with the same static/dynamic policy as
+    /// [`ChunkTiling::new`]. `ids` must be strictly increasing.
+    pub fn new(ids: &'w [u32], schedule: Schedule) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "worklist not sorted/deduped");
+        let threads = rayon::current_num_threads().max(1);
+        if threads <= 1 || ids.len() <= 1 {
+            return Self { ids, ranges: even_ranges(ids.len(), 1), sequential: true };
         }
-        tiles.into_par_iter().with_min_len(1).for_each(work);
+        let parts = match schedule {
+            Schedule::Static => threads,
+            Schedule::Dynamic => threads * DYNAMIC_TILES_PER_THREAD,
+        };
+        Self { ids, ranges: even_ranges(ids.len(), parts), sequential: false }
+    }
+
+    /// Whether the drivers will run tiles inline on the calling thread.
+    pub fn is_sequential(&self) -> bool {
+        self.sequential
+    }
+
+    /// The tiled worklist-position ranges, in order.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Carves the state vectors, the distance vector and the changed
+    /// flag slab into per-tile [`WorklistSpan`]s.
+    ///
+    /// # Panics
+    /// Panics if the vectors are shorter than the largest worklist id
+    /// requires, if their lengths disagree, or if `changed` does not
+    /// have one flag per worklist entry.
+    pub fn split_spans<'a, const C: usize>(
+        &self,
+        nxt: &'a mut StateVecs,
+        d: &'a mut [f32],
+        changed: &'a mut [u8],
+    ) -> Vec<WorklistSpan<'a>>
+    where
+        'w: 'a,
+    {
+        assert_eq!(changed.len(), self.ids.len(), "one changed flag per worklist entry");
+        assert_eq!(nxt.x.len(), d.len(), "state and distance vectors disagree");
+        if let Some(&last) = self.ids.last() {
+            assert!(
+                (last as usize + 1) * C <= nxt.x.len(),
+                "worklist id {last} out of range for {} lanes",
+                nxt.x.len()
+            );
+        }
+        let mut out = Vec::with_capacity(self.ranges.len());
+        let (mut rx, mut rg, mut rp, mut rd, mut rc) =
+            (&mut nxt.x[..], &mut nxt.g[..], &mut nxt.p[..], d, changed);
+        let mut cursor = 0usize; // lanes consumed so far
+        for &(p0, p1) in &self.ranges {
+            let start = self.ids[p0] as usize * C;
+            let end = (self.ids[p1 - 1] as usize + 1) * C;
+            let carve = |rest: &'a mut [f32]| -> (&'a mut [f32], &'a mut [f32]) {
+                let (_, r) = rest.split_at_mut(start - cursor);
+                r.split_at_mut(end - start)
+            };
+            let (x, tx) = carve(std::mem::take(&mut rx));
+            let (g, tg) = carve(std::mem::take(&mut rg));
+            let (p, tp) = carve(std::mem::take(&mut rp));
+            let (dd, td) = carve(std::mem::take(&mut rd));
+            let (flags, tc) = std::mem::take(&mut rc).split_at_mut(p1 - p0);
+            (rx, rg, rp, rd, rc) = (tx, tg, tp, td, tc);
+            cursor = end;
+            out.push(WorklistSpan {
+                first_pos: p0,
+                ids: &self.ids[p0..p1],
+                x,
+                g,
+                p,
+                d: dd,
+                changed: flags,
+            });
+        }
+        out
+    }
+
+    /// Runs `map` over every tile, merging **in tile order** — see
+    /// [`ChunkTiling::map_reduce`] for the determinism contract.
+    pub fn map_reduce<T, R, M, ID, MG>(&self, tiles: Vec<T>, map: M, identity: ID, merge: MG) -> R
+    where
+        T: Send,
+        R: Send,
+        M: Fn(T) -> R + Sync,
+        ID: Fn() -> R + Sync,
+        MG: Fn(R, R) -> R + Sync,
+    {
+        debug_assert_eq!(tiles.len(), self.ranges.len(), "tile list does not match tiling");
+        map_reduce_tiles(self.sequential, tiles, map, identity, merge)
+    }
+
+    /// Runs `work` over every tile for its side effects.
+    pub fn for_each<T, W>(&self, tiles: Vec<T>, work: W)
+    where
+        T: Send,
+        W: Fn(T) + Sync,
+    {
+        debug_assert_eq!(tiles.len(), self.ranges.len(), "tile list does not match tiling");
+        for_each_tiles(self.sequential, tiles, work);
     }
 }
 

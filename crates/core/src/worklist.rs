@@ -1,0 +1,390 @@
+//! Chunk dependency graph and epoch-stamped activation worklists — the
+//! substrate of frontier-proportional BFS sweeps.
+//!
+//! SlimWork (§III-C) skips *finished* chunks, but a full sweep still
+//! visits every chunk every iteration just to run the skip test, so a
+//! high-diameter graph pays `O(n_chunks × D)` even when the frontier is
+//! a thin wavefront. The worklist engine makes the per-iteration cost
+//! proportional to the active frontier instead:
+//!
+//! 1. [`ChunkDepGraph`] is computed **once per graph** at structure
+//!    build time: a CSR at chunk granularity where `dependents(j)` lists
+//!    every chunk whose column indices fall in chunk `j`'s row range —
+//!    i.e. the chunks that must re-run when `j`'s vertices change —
+//!    plus `j` itself (a chunk whose own state changed must re-run its
+//!    post-processing, and its double-buffered slots are stale).
+//! 2. [`ActivationState`] turns "which chunks changed last iteration"
+//!    into the next iteration's sorted, duplicate-free worklist with an
+//!    epoch-stamped activation array: no hashing, no atomics, `O(Σ
+//!    |dependents(changed)|)` per iteration, deterministic at any
+//!    thread count.
+//!
+//! Correctness rests on one invariant the engine maintains: outside the
+//! worklist, the next-state buffer already equals the current state
+//! bit-for-bit (a chunk leaves the worklist only after an iteration in
+//! which its output did not change), so untouched chunks need no
+//! copy-forward and the swap at the end of the iteration is sound.
+//!
+//! # Example
+//!
+//! ```
+//! use slimsell_core::worklist::ActivationState;
+//! use slimsell_core::SellStructure;
+//! use slimsell_graph::GraphBuilder;
+//!
+//! // A path 0-1-…-7 with C = 4: chunk 0 holds rows 0..4, chunk 1 rows
+//! // 4..8. Each chunk reads one row of the other, so each depends on
+//! // both (self edges included).
+//! let g = GraphBuilder::new(8).edges((0..7u32).map(|v| (v, v + 1))).build();
+//! let s = SellStructure::<4>::build(&g, 1);
+//! let dep = s.dep_graph();
+//! assert_eq!(dep.dependents(0), &[0, 1]);
+//! assert_eq!(dep.dependents(1), &[0, 1]);
+//!
+//! // Seeding with chunk 0 activates both; duplicate seeds are
+//! // deduplicated up front, duplicate dependents by the epoch stamps.
+//! let mut act = ActivationState::new();
+//! act.seed(dep, &mut vec![0, 0]);
+//! assert_eq!(act.worklist(), &[0, 1]);
+//! ```
+
+/// Chunk-granularity dependency graph in CSR form: for each chunk `j`,
+/// the sorted list of chunks that gather from `j`'s row range (its
+/// *dependents*, the chunks that must re-run when `j`'s vertices
+/// change), always including `j` itself.
+///
+/// Built once per [`crate::SellStructure`]; see the module docs for the
+/// role it plays in the worklist engine.
+#[derive(Clone, Debug)]
+pub struct ChunkDepGraph {
+    /// CSR offsets, length `nc + 1`.
+    offsets: Vec<usize>,
+    /// Dependent chunk ids, ascending within each chunk's slice.
+    targets: Vec<u32>,
+}
+
+impl ChunkDepGraph {
+    /// Builds the dependency graph from the raw chunk-structure arrays
+    /// (`cs`/`cl` chunk offsets and lengths, `col` column indices with
+    /// `-1` padding markers, `lanes` = the chunk height `C`).
+    ///
+    /// Work is `O(2m + P + nc)`: every cell is visited once per pass
+    /// (two passes) and per-reader duplicate targets are folded with a
+    /// marker array, so the CSR holds each (reader, target) pair once.
+    pub fn build(nc: usize, cs: &[usize], cl: &[u32], col: &[i32], lanes: usize) -> Self {
+        assert!(nc < (u32::MAX / 2) as usize, "chunk count {nc} exceeds dependency-graph range");
+        // Pass 1: count dependents per target chunk. `stamp[j] == marker
+        // of reader i` means "already counted for i"; markers are unique
+        // per reader and per pass, so the array never needs clearing.
+        let mut stamp = vec![u32::MAX; nc];
+        let mut counts = vec![1usize; nc]; // the self edge
+        for i in 0..nc {
+            let marker = i as u32;
+            stamp[i] = marker;
+            for &c in &col[cs[i]..cs[i] + cl[i] as usize * lanes] {
+                if c < 0 {
+                    continue;
+                }
+                let j = c as usize / lanes;
+                if stamp[j] != marker {
+                    stamp[j] = marker;
+                    counts[j] += 1;
+                }
+            }
+        }
+        let mut offsets = vec![0usize; nc + 1];
+        for j in 0..nc {
+            offsets[j + 1] = offsets[j] + counts[j];
+        }
+        // Pass 2: fill. Readers are visited in ascending order and each
+        // appends itself to its targets' slices, so every slice comes
+        // out sorted. Markers are offset by `nc` to stay distinct from
+        // pass 1's leftovers.
+        let mut cursor: Vec<usize> = offsets[..nc].to_vec();
+        let mut targets = vec![0u32; offsets[nc]];
+        for i in 0..nc {
+            let marker = (nc + i) as u32;
+            stamp[i] = marker;
+            targets[cursor[i]] = i as u32;
+            cursor[i] += 1;
+            for &c in &col[cs[i]..cs[i] + cl[i] as usize * lanes] {
+                if c < 0 {
+                    continue;
+                }
+                let j = c as usize / lanes;
+                if stamp[j] != marker {
+                    stamp[j] = marker;
+                    targets[cursor[j]] = i as u32;
+                    cursor[j] += 1;
+                }
+            }
+        }
+        Self { offsets, targets }
+    }
+
+    /// Number of chunks the graph covers.
+    #[inline]
+    pub fn num_chunks(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The sorted dependents of chunk `j` (always contains `j`).
+    #[inline]
+    pub fn dependents(&self, j: usize) -> &[u32] {
+        &self.targets[self.offsets[j]..self.offsets[j + 1]]
+    }
+
+    /// Total number of dependency edges (including the `nc` self edges).
+    #[inline]
+    pub fn num_deps(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Largest dependent list (worst-case activation fan-out of a
+    /// single changed chunk).
+    pub fn max_fanout(&self) -> usize {
+        (0..self.num_chunks()).map(|j| self.dependents(j).len()).max().unwrap_or(0)
+    }
+
+    /// Mean dependents per chunk — the expected activation cost of one
+    /// changed chunk.
+    pub fn avg_fanout(&self) -> f64 {
+        if self.num_chunks() == 0 {
+            return 0.0;
+        }
+        self.num_deps() as f64 / self.num_chunks() as f64
+    }
+}
+
+/// Epoch-stamped worklist builder: turns a set of changed chunks into
+/// the next iteration's sorted, deduplicated active-chunk list.
+///
+/// [`seed`](Self::seed) expands the dependents of every seed chunk
+/// through a stamp array (`stamp[t] == epoch` means "already on the
+/// next list"), so the union is built without hashing or atomics; the
+/// result is sorted once, keeping tile partitions and merges
+/// deterministic at any thread count. The per-position
+/// [`changed flags`](Self::split) are written by the sweep workers into
+/// disjoint tile slices and harvested in worklist order by
+/// [`collect_changed_into`](Self::collect_changed_into).
+#[derive(Clone, Debug, Default)]
+pub struct ActivationState {
+    stamp: Vec<u32>,
+    epoch: u32,
+    worklist: Vec<u32>,
+    changed: Vec<u8>,
+    activations: u64,
+}
+
+impl ActivationState {
+    /// Creates an empty state; storage is sized lazily on first
+    /// [`seed`](Self::seed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the worklist as the sorted, deduplicated union of
+    /// `dependents(j)` over the seed chunks `j`. The seed list is
+    /// sorted and deduplicated in place first, so callers may push
+    /// duplicates freely (the direction-optimized driver pushes one
+    /// entry per discovered *vertex*) without multiplying the
+    /// dependent walks. Returns the number of activation probes
+    /// performed (`Σ |dependents(j)|` over the distinct seeds) — the
+    /// work measure reported as
+    /// [`IterStats::activations`](crate::counters::IterStats::activations).
+    pub fn seed(&mut self, dep: &ChunkDepGraph, seeds: &mut Vec<u32>) -> u64 {
+        seeds.sort_unstable();
+        seeds.dedup();
+        let nc = dep.num_chunks();
+        if self.stamp.len() < nc {
+            self.stamp.resize(nc, 0);
+        }
+        // Advance the epoch; on wrap, clear the stamps so stale epochs
+        // can never collide (once every 2^32 - 2 iterations).
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        self.worklist.clear();
+        let mut activations = 0u64;
+        for &j in seeds.iter() {
+            for &t in dep.dependents(j as usize) {
+                activations += 1;
+                let slot = &mut self.stamp[t as usize];
+                if *slot != epoch {
+                    *slot = epoch;
+                    self.worklist.push(t);
+                }
+            }
+        }
+        self.worklist.sort_unstable();
+        self.activations = activations;
+        activations
+    }
+
+    /// The current worklist (sorted, duplicate-free chunk ids).
+    #[inline]
+    pub fn worklist(&self) -> &[u32] {
+        &self.worklist
+    }
+
+    /// Activation probes performed by the last [`seed`](Self::seed).
+    #[inline]
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Borrows the worklist together with a zeroed per-position changed
+    /// flag slab (one byte per worklist entry) for the sweep workers to
+    /// fill; the two borrows are disjoint so the flags can be carved
+    /// into `&mut` tile slices alongside the state vectors.
+    pub fn split(&mut self) -> (&[u32], &mut [u8]) {
+        self.changed.clear();
+        self.changed.resize(self.worklist.len(), 0);
+        (&self.worklist, &mut self.changed)
+    }
+
+    /// Appends the chunk ids whose changed flag was set to `out` (in
+    /// worklist order, i.e. ascending) and returns how many there were.
+    pub fn collect_changed_into(&self, out: &mut Vec<u32>) -> usize {
+        let before = out.len();
+        for (&id, &flag) in self.worklist.iter().zip(&self.changed) {
+            if flag != 0 {
+                out.push(id);
+            }
+        }
+        out.len() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::SellStructure;
+    use slimsell_graph::GraphBuilder;
+
+    fn dep_of(n: usize, edges: &[(u32, u32)]) -> ChunkDepGraph {
+        let g = GraphBuilder::new(n).edges(edges.iter().copied()).build();
+        let s = SellStructure::<4>::build(&g, 1);
+        s.dep_graph().clone()
+    }
+
+    #[test]
+    fn isolated_chunks_have_only_self_edges() {
+        let dep = dep_of(8, &[]);
+        assert_eq!(dep.num_chunks(), 2);
+        assert_eq!(dep.dependents(0), &[0]);
+        assert_eq!(dep.dependents(1), &[1]);
+        assert_eq!(dep.num_deps(), 2);
+    }
+
+    #[test]
+    fn cross_chunk_edge_creates_mutual_dependency() {
+        // 0-7 edge: chunk 1 gathers row 0 (chunk 0) and vice versa.
+        let dep = dep_of(8, &[(0, 7)]);
+        assert_eq!(dep.dependents(0), &[0, 1]);
+        assert_eq!(dep.dependents(1), &[0, 1]);
+    }
+
+    #[test]
+    fn intra_chunk_edges_stay_self_only() {
+        let dep = dep_of(8, &[(0, 1), (2, 3), (4, 5)]);
+        assert_eq!(dep.dependents(0), &[0]);
+        assert_eq!(dep.dependents(1), &[1]);
+    }
+
+    #[test]
+    fn duplicate_cells_deduplicated() {
+        // A hub in chunk 0 with many neighbors in chunk 1: chunk 0 reads
+        // chunk 1 through several cells but appears once.
+        let dep = dep_of(12, &[(0, 4), (0, 5), (0, 6), (0, 7), (0, 8)]);
+        assert_eq!(dep.dependents(1), &[0, 1]);
+        assert_eq!(dep.dependents(2), &[0, 2]);
+        assert!(dep.max_fanout() >= 3); // chunk 0: itself + chunks 1, 2
+        assert!(dep.avg_fanout() >= 1.0);
+    }
+
+    #[test]
+    fn dependents_are_sorted_and_contain_self() {
+        let g = GraphBuilder::new(40)
+            .edges((0..39u32).map(|v| (v, v + 1)).chain([(0, 39), (3, 21), (10, 30)]))
+            .build();
+        let s = SellStructure::<4>::build(&g, 40);
+        let dep = s.dep_graph();
+        for j in 0..dep.num_chunks() {
+            let d = dep.dependents(j);
+            assert!(d.windows(2).all(|w| w[0] < w[1]), "unsorted/dup deps of {j}: {d:?}");
+            assert!(d.contains(&(j as u32)), "missing self edge of {j}");
+        }
+    }
+
+    #[test]
+    fn dep_graph_matches_brute_force() {
+        let g = GraphBuilder::new(30)
+            .edges([(0, 29), (1, 15), (2, 14), (7, 8), (12, 13), (20, 25), (3, 27), (9, 22)])
+            .build();
+        for sigma in [1, 8, 30] {
+            let s = SellStructure::<4>::build(&g, sigma);
+            let dep = s.dep_graph();
+            let nc = s.num_chunks();
+            // Brute force: chunk i reads chunk j iff any of i's cells
+            // names a column in j's row range.
+            for j in 0..nc {
+                let mut expect: Vec<u32> = (0..nc)
+                    .filter(|&i| {
+                        i == j
+                            || s.col()[s.cs()[i]..s.cs()[i] + s.cl()[i] as usize * 4]
+                                .iter()
+                                .any(|&c| c >= 0 && c as usize / 4 == j)
+                    })
+                    .map(|i| i as u32)
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(dep.dependents(j), expect.as_slice(), "sigma={sigma} chunk {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_dedups_and_sorts() {
+        let dep = dep_of(16, &[(0, 15), (4, 8)]);
+        let mut act = ActivationState::new();
+        // Duplicate seeds are folded before expansion: chunk 3's
+        // dependents are walked once, not twice.
+        let probes = act.seed(&dep, &mut vec![3, 0, 3]);
+        assert_eq!(probes as usize, dep.dependents(3).len() + dep.dependents(0).len());
+        let wl = act.worklist().to_vec();
+        assert!(wl.windows(2).all(|w| w[0] < w[1]), "worklist not sorted/dedup: {wl:?}");
+        assert!(wl.contains(&0) && wl.contains(&3));
+    }
+
+    #[test]
+    fn changed_flags_round_trip() {
+        let dep = dep_of(16, &[(0, 15)]);
+        let mut act = ActivationState::new();
+        act.seed(&dep, &mut vec![0, 1, 2, 3]);
+        let (ids, flags) = act.split();
+        assert_eq!(ids, &[0, 1, 2, 3]);
+        assert!(flags.iter().all(|&f| f == 0));
+        flags[1] = 1;
+        flags[3] = 1;
+        let mut changed = Vec::new();
+        assert_eq!(act.collect_changed_into(&mut changed), 2);
+        assert_eq!(changed, vec![1, 3]);
+    }
+
+    #[test]
+    fn reseeding_clears_previous_worklist() {
+        let dep = dep_of(16, &[]);
+        let mut act = ActivationState::new();
+        act.seed(&dep, &mut vec![0, 1, 2]);
+        assert_eq!(act.worklist(), &[0, 1, 2]);
+        act.seed(&dep, &mut vec![3]);
+        assert_eq!(act.worklist(), &[3]);
+        act.seed(&dep, &mut Vec::new());
+        assert!(act.worklist().is_empty());
+        assert_eq!(act.activations(), 0);
+    }
+}

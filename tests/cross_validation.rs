@@ -77,12 +77,21 @@ fn engine_option_combinations() {
         for slimwork in [false, true] {
             for slimchunk in [None, Some(1), Some(4)] {
                 for schedule in [Schedule::Static, Schedule::Dynamic] {
-                    let opts = BfsOptions { slimwork, slimchunk, schedule, max_iterations: None };
-                    let out = BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &opts);
-                    assert_eq!(
-                        out.dist, reference.dist,
-                        "{name} slimwork={slimwork} slimchunk={slimchunk:?} {schedule:?}"
-                    );
+                    for worklist in [false, true] {
+                        let opts = BfsOptions {
+                            slimwork,
+                            slimchunk,
+                            schedule,
+                            max_iterations: None,
+                            worklist,
+                        };
+                        let out = BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &opts);
+                        assert_eq!(
+                            out.dist, reference.dist,
+                            "{name} slimwork={slimwork} slimchunk={slimchunk:?} {schedule:?} \
+                             worklist={worklist}"
+                        );
+                    }
                 }
             }
         }

@@ -55,6 +55,21 @@ fn check_engine<S: Semiring>(g: &CsrGraph, root: VertexId, opts: &BfsOptions, la
             reference.stats.total_skipped(),
             "{label}: skip counters diverged at {threads} threads"
         );
+        assert_eq!(
+            out.stats.total_col_steps(),
+            reference.stats.total_col_steps(),
+            "{label}: column-step counters diverged at {threads} threads"
+        );
+        assert_eq!(
+            out.stats.total_not_on_worklist(),
+            reference.stats.total_not_on_worklist(),
+            "{label}: worklist exclusion counters diverged at {threads} threads"
+        );
+        assert_eq!(
+            out.stats.total_activations(),
+            reference.stats.total_activations(),
+            "{label}: activation counters diverged at {threads} threads"
+        );
     }
 }
 
@@ -82,6 +97,60 @@ fn schedules_and_slimchunk_bit_identical() {
             );
             check_engine::<SelMaxSemiring>(&g, root, &opts, &format!("{schedule:?}/{slimchunk:?}"));
         }
+    }
+}
+
+#[test]
+fn worklist_all_semirings_bit_identical_across_thread_counts() {
+    // The worklist engine's seeding, tile partition and changed-chunk
+    // harvest are position-deterministic; outputs and every work
+    // counter (worklist sizes, activations, exclusions) must be
+    // byte-equal at any thread count.
+    let (g, root) = graph();
+    let opts = BfsOptions { worklist: true, ..Default::default() };
+    check_engine::<TropicalSemiring>(&g, root, &opts, "tropical+worklist");
+    check_engine::<BooleanSemiring>(&g, root, &opts, "boolean+worklist");
+    check_engine::<RealSemiring>(&g, root, &opts, "real+worklist");
+    check_engine::<SelMaxSemiring>(&g, root, &opts, "sel-max+worklist");
+}
+
+#[test]
+fn worklist_schedules_and_slimchunk_bit_identical() {
+    let (g, root) = graph();
+    for schedule in [Schedule::Static, Schedule::Dynamic] {
+        for slimchunk in [None, Some(4)] {
+            let opts = BfsOptions { schedule, slimchunk, worklist: true, ..Default::default() };
+            let label = format!("worklist/{schedule:?}/{slimchunk:?}");
+            check_engine::<TropicalSemiring>(&g, root, &opts, &label);
+            check_engine::<SelMaxSemiring>(&g, root, &opts, &label);
+        }
+    }
+}
+
+#[test]
+fn worklist_direction_optimized_bit_identical() {
+    let (g, root) = graph();
+    let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+    let opts = DirOptOptions {
+        spmv: BfsOptions { worklist: true, ..Default::default() },
+        ..Default::default()
+    };
+    let reference = with_threads(1, || run_diropt(&slim, root, &opts));
+    // The worklist must not perturb the heuristic: same distances and
+    // mode sequence as the full-sweep diropt. Pin worklist off
+    // explicitly — under the SLIMSELL_WORKLIST=1 CI leg the default
+    // would silently be worklist mode and the comparison vacuous.
+    let full_opts = DirOptOptions {
+        spmv: BfsOptions { worklist: false, ..Default::default() },
+        ..Default::default()
+    };
+    let full = with_threads(1, || run_diropt(&slim, root, &full_opts));
+    assert_eq!(reference.bfs.dist, full.bfs.dist, "worklist diropt distances diverged");
+    assert_eq!(reference.modes, full.modes, "worklist diropt mode sequence diverged");
+    for threads in THREAD_COUNTS {
+        let out = with_threads(threads, || run_diropt(&slim, root, &opts));
+        assert_eq!(out.bfs.dist, reference.bfs.dist, "wl diropt dist at {threads} threads");
+        assert_eq!(out.modes, reference.modes, "wl diropt modes at {threads} threads");
     }
 }
 

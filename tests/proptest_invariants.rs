@@ -57,6 +57,45 @@ proptest! {
         }
     }
 
+    /// Worklist BFS equals full-sweep BFS exactly on arbitrary graphs:
+    /// same distances, parents, and iteration count for every semiring,
+    /// with never more column steps, and the same again under
+    /// SlimChunk. The worklist engine must be a pure work-avoidance
+    /// transformation.
+    #[test]
+    fn worklist_equals_full_sweep(g in arb_graph(), root_sel in 0usize..60, sigma_sel in 0usize..3) {
+        let n = g.num_vertices();
+        let root = (root_sel % n) as VertexId;
+        let sigma = [1, 8, n][sigma_sel].max(1);
+        let slim = SlimSellMatrix::<4>::build(&g, sigma);
+        let full_opts = BfsOptions { worklist: false, ..Default::default() };
+        let wl_opts = BfsOptions { worklist: true, ..Default::default() };
+        macro_rules! check {
+            ($sem:ty) => {{
+                let full = BfsEngine::run::<_, $sem, 4>(&slim, root, &full_opts);
+                let wl = BfsEngine::run::<_, $sem, 4>(&slim, root, &wl_opts);
+                prop_assert_eq!(&wl.dist, &full.dist, "{} dist", <$sem>::NAME);
+                prop_assert_eq!(&wl.parent, &full.parent, "{} parents", <$sem>::NAME);
+                prop_assert_eq!(wl.stats.num_iterations(), full.stats.num_iterations(),
+                    "{} iterations", <$sem>::NAME);
+                prop_assert!(wl.stats.total_col_steps() <= full.stats.total_col_steps(),
+                    "{} did more work on the worklist", <$sem>::NAME);
+            }};
+        }
+        check!(TropicalSemiring);
+        check!(BooleanSemiring);
+        check!(RealSemiring);
+        check!(SelMaxSemiring);
+        // SlimChunk + worklist composes the same way.
+        let sc_full = BfsEngine::run::<_, TropicalSemiring, 4>(
+            &slim, root, &BfsOptions { slimchunk: Some(2), ..full_opts });
+        let sc_wl = BfsEngine::run::<_, TropicalSemiring, 4>(
+            &slim, root, &BfsOptions { slimchunk: Some(2), ..wl_opts });
+        prop_assert_eq!(&sc_wl.dist, &sc_full.dist, "slimchunk+worklist dist");
+        prop_assert_eq!(sc_wl.stats.num_iterations(), sc_full.stats.num_iterations());
+        prop_assert!(sc_wl.stats.total_col_steps() <= sc_full.stats.total_col_steps());
+    }
+
     /// The Sell structure stores exactly the graph's adjacency under any
     /// sorting scope (representation round-trip).
     #[test]
