@@ -11,7 +11,10 @@
 //! and [`chunks_not_on_worklist`](slimsell_core::IterStats::chunks_not_on_worklist)
 //! is what lets the savings be attributed correctly: SlimWork skips are
 //! visits that ran a skip test; not-on-worklist chunks were never
-//! touched at all.
+//! touched at all. [`AdaptiveComparison`] extends the picture to the
+//! adaptive sweep mode, distilling its decision trace (`mode_switches`,
+//! worklist-iteration share) and checking it tracks the better pure
+//! mode.
 
 use slimsell_core::RunStats;
 
@@ -117,6 +120,108 @@ impl WorklistComparison {
     }
 }
 
+/// Aggregated three-way comparison: the adaptive run against both pure
+/// sweep modes of the same BFS. The acceptance shape: adaptive's column
+/// steps must never exceed the worse pure mode (per iteration it runs
+/// one of the two pure dispatchers) and should track the better one
+/// closely; `mode_switches`/`worklist_iters` expose the controller's
+/// decision trace.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveComparison {
+    /// Iterations executed (equal in all three modes by construction).
+    pub iterations: usize,
+    /// Total column steps of the pure full-sweep run.
+    pub full_col_steps: u64,
+    /// Total column steps of the pure worklist run.
+    pub worklist_col_steps: u64,
+    /// Total column steps of the adaptive run.
+    pub adaptive_col_steps: u64,
+    /// Sweep-mode switches the adaptive controller performed.
+    pub mode_switches: usize,
+    /// Adaptive iterations executed as worklist sweeps.
+    pub worklist_iters: usize,
+    /// Activation probes the adaptive run paid.
+    pub activations: u64,
+}
+
+impl AdaptiveComparison {
+    /// Builds the comparison from the three runs' statistics.
+    ///
+    /// # Panics
+    /// Panics if the iteration counts differ — the sweep policy must
+    /// never change the fixpoint (not the same BFS otherwise).
+    pub fn measure(full: &RunStats, worklist: &RunStats, adaptive: &RunStats) -> Self {
+        assert_eq!(
+            full.num_iterations(),
+            adaptive.num_iterations(),
+            "full-sweep and adaptive runs disagree on iterations — not the same BFS"
+        );
+        assert_eq!(
+            worklist.num_iterations(),
+            adaptive.num_iterations(),
+            "worklist and adaptive runs disagree on iterations — not the same BFS"
+        );
+        Self {
+            iterations: adaptive.num_iterations(),
+            full_col_steps: full.total_col_steps(),
+            worklist_col_steps: worklist.total_col_steps(),
+            adaptive_col_steps: adaptive.total_col_steps(),
+            mode_switches: adaptive.mode_switches(),
+            worklist_iters: adaptive.worklist_sweep_iterations(),
+            activations: adaptive.total_activations(),
+        }
+    }
+
+    /// Adaptive column steps as a fraction of the full sweep's.
+    pub fn ratio_vs_full(&self) -> f64 {
+        ratio(self.adaptive_col_steps, self.full_col_steps)
+    }
+
+    /// Adaptive column steps as a fraction of the *better* pure mode's
+    /// (1.0 = matched it exactly; the acceptance criterion asks for
+    /// ≤ 1.05 on every generator).
+    pub fn ratio_vs_best(&self) -> f64 {
+        ratio(self.adaptive_col_steps, self.full_col_steps.min(self.worklist_col_steps))
+    }
+
+    /// Whether adaptive stayed within the worse pure mode — the hard
+    /// bound (it runs one of the two dispatchers every iteration).
+    pub fn bounded_by_worse_mode(&self) -> bool {
+        self.adaptive_col_steps <= self.full_col_steps.max(self.worklist_col_steps)
+    }
+
+    /// Header of the comparison table [`row`](Self::row)s feed.
+    pub const HEADER: [&'static str; 8] = [
+        "graph",
+        "iters",
+        "col steps (full)",
+        "col steps (worklist)",
+        "col steps (adaptive)",
+        "vs best",
+        "switches",
+        "wl iters",
+    ];
+
+    /// One table row labeled with the graph/configuration name.
+    pub fn row(&self, label: &str) -> [String; 8] {
+        [
+            label.to_string(),
+            self.iterations.to_string(),
+            self.full_col_steps.to_string(),
+            self.worklist_col_steps.to_string(),
+            self.adaptive_col_steps.to_string(),
+            format!("{:.3}", self.ratio_vs_best()),
+            self.mode_switches.to_string(),
+            format!("{}/{}", self.worklist_iters, self.iterations),
+        ]
+    }
+
+    /// A ready table with this comparison's header.
+    pub fn table() -> TextTable {
+        TextTable::new(Self::HEADER)
+    }
+}
+
 fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         if num == 0 {
@@ -132,7 +237,7 @@ fn ratio(num: u64, den: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slimsell_core::{BfsEngine, BfsOptions, SlimSellMatrix, TropicalSemiring};
+    use slimsell_core::{BfsEngine, BfsOptions, SlimSellMatrix, SweepMode, TropicalSemiring};
     use slimsell_graph::GraphBuilder;
 
     fn runs() -> (RunStats, RunStats) {
@@ -142,12 +247,12 @@ mod tests {
         let full = BfsEngine::run::<_, TropicalSemiring, 4>(
             &m,
             0,
-            &BfsOptions { worklist: false, ..Default::default() },
+            &BfsOptions { sweep: SweepMode::Full, ..Default::default() },
         );
         let wl = BfsEngine::run::<_, TropicalSemiring, 4>(
             &m,
             0,
-            &BfsOptions { worklist: true, ..Default::default() },
+            &BfsOptions { sweep: SweepMode::Worklist, ..Default::default() },
         );
         (full.stats, wl.stats)
     }
@@ -186,5 +291,41 @@ mod tests {
         assert_eq!(ratio(0, 0), 1.0);
         assert!(ratio(1, 0).is_infinite());
         assert_eq!(ratio(1, 2), 0.5);
+    }
+
+    fn adaptive_runs() -> (RunStats, RunStats, RunStats) {
+        let n = 128u32;
+        let g = GraphBuilder::new(n as usize).edges((0..n - 1).map(|v| (v, v + 1))).build();
+        let m = SlimSellMatrix::<4>::build(&g, 1);
+        let run = |sweep| {
+            BfsEngine::run::<_, TropicalSemiring, 4>(
+                &m,
+                0,
+                &BfsOptions { sweep, ..Default::default() },
+            )
+            .stats
+        };
+        (run(SweepMode::Full), run(SweepMode::Worklist), run(SweepMode::Adaptive))
+    }
+
+    #[test]
+    fn adaptive_comparison_measures_a_real_bfs() {
+        let (full, wl, ad) = adaptive_runs();
+        let c = AdaptiveComparison::measure(&full, &wl, &ad);
+        assert_eq!(c.iterations, full.num_iterations());
+        assert!(c.bounded_by_worse_mode());
+        // On a path the worklist wins and adaptive should match it.
+        assert!(c.ratio_vs_best() <= 1.05, "vs best {}", c.ratio_vs_best());
+        assert!(c.ratio_vs_full() < 1.0);
+        let mut t = AdaptiveComparison::table();
+        t.row(c.row("path-128"));
+        assert!(t.render().contains("path-128"));
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on iterations")]
+    fn adaptive_mismatched_runs_rejected() {
+        let (full, wl, _) = adaptive_runs();
+        AdaptiveComparison::measure(&full, &wl, &RunStats::default());
     }
 }

@@ -21,6 +21,9 @@
 //! scaling options:
 //!   --kernel K        kernel(s) for BENCH_scaling.json: bfs (default),
 //!                     pagerank, sssp, msbfs, betweenness, or all
+//!
+//! frontier options:
+//!   --adaptive {0,1}  include the adaptive sweep axis (default 1)
 //! ```
 //!
 //! The `scaling` experiment additionally writes the machine-readable
@@ -28,9 +31,10 @@
 //! semiring axis for BFS; median ns per stored arc) used to track
 //! multicore perf across PRs; sweep the thread axis on any host with
 //! `SLIMSELL_THREADS` unset. The `frontier` experiment writes
-//! `results/BENCH_frontier.json`: full-sweep vs worklist BFS over
-//! `{kronecker, geometric, smallworld} × scales 10..=--scale-log2`,
-//! with exact column-step/visit/activation counters.
+//! `results/BENCH_frontier.json`: full-sweep vs worklist vs adaptive
+//! BFS over `{kronecker, geometric, smallworld} × scales
+//! 10..=--scale-log2`, with exact column-step/visit/activation/
+//! mode-switch counters.
 
 use slimsell_bench::experiments;
 use slimsell_bench::harness::{Args, ExpContext};
@@ -64,6 +68,7 @@ fn print_help() {
         "options: --scale-log2 N  --rho X  --seed S  --runs K  --scale-shift N  --results-dir D"
     );
     println!("scaling only: --kernel {{bfs|pagerank|sssp|msbfs|betweenness|all}}");
-    println!("frontier: sweeps scales 10..=--scale-log2 (worklist vs full sweep)");
+    println!("frontier: sweeps scales 10..=--scale-log2 (full vs worklist vs adaptive;");
+    println!("          --adaptive 0 drops the adaptive axis)");
     println!("see DESIGN.md section 4 for the experiment-to-paper mapping");
 }

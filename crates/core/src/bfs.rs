@@ -28,7 +28,7 @@
 //! machinery (shared via [`crate::tiling`]) drives SlimChunk, PageRank,
 //! SSSP, multi-source BFS and the betweenness forward sweep.
 //!
-//! Worklist mode ([`BfsOptions::worklist`]) replaces the full sweep
+//! Worklist sweeps ([`SweepMode::Worklist`]) replace the full sweep
 //! with frontier-proportional sweeps over an active-chunk worklist: the
 //! once-per-graph chunk dependency graph ([`crate::worklist`]) says
 //! which chunks can possibly produce a different output after a set of
@@ -41,10 +41,18 @@
 //! buffer swap is safe. Distances, parents, iteration count and the
 //! work each *processed* chunk does are bit-identical to the full
 //! sweep; only the visit/skip accounting differs (see
-//! [`IterStats::chunks_not_on_worklist`]). The full sweep remains the
-//! default and the oracle the equivalence suite compares against.
+//! [`IterStats::chunks_not_on_worklist`]).
+//!
+//! Which sweep runs is decided by the [`SweepMode`] policy layer
+//! ([`crate::sweep`]): [`BfsOptions::sweep`] selects pure full sweeps,
+//! pure worklist sweeps, or — the default — the adaptive controller
+//! that picks per iteration at the calibrated `~nc/2` crossover with
+//! hysteresis. Adaptive full sweeps are *tracked* (per-chunk bit-exact
+//! change flags) so the worklist can be re-seeded correctly on every
+//! full→worklist transition; see the `sweep` module docs for the
+//! re-seeding invariant. The 1-thread full-sweep run remains the
+//! oracle the equivalence suite compares every mode against.
 
-use std::sync::OnceLock;
 use std::time::Instant;
 
 use slimsell_graph::{VertexId, UNREACHABLE};
@@ -54,21 +62,11 @@ use crate::counters::{IterStats, RunStats};
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{Semiring, StateVecs};
 use crate::slimchunk;
+use crate::sweep::{resolve_sweep, AdaptiveController, ExecutedSweep, SweepMode};
 use crate::tiling::{ChunkSpan, ChunkTiling, WorklistSpan, WorklistTiling};
 use crate::worklist::ActivationState;
 
 pub use crate::tiling::Schedule;
-
-/// Whether [`BfsOptions::default`] enables worklist sweeps: set the
-/// `SLIMSELL_WORKLIST` env var to any value but `0` (read once per
-/// process). CI runs the whole suite under both settings; explicit
-/// `worklist:` fields in options override this everywhere it matters.
-fn worklist_env_default() -> bool {
-    static DEFAULT: OnceLock<bool> = OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        std::env::var("SLIMSELL_WORKLIST").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
-    })
-}
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -82,13 +80,13 @@ pub struct BfsOptions {
     pub schedule: Schedule,
     /// Safety cap on iterations (defaults to `n + 1`).
     pub max_iterations: Option<usize>,
-    /// Frontier-proportional sweeps over an active-chunk worklist
-    /// instead of a full sweep with per-chunk skip tests: per-iteration
-    /// cost becomes `O(|worklist|)` rather than `O(n_chunks)`, the big
-    /// win on high-diameter graphs (road networks, lattices). Outputs
-    /// are bit-identical to the full sweep. Defaults to the
-    /// `SLIMSELL_WORKLIST` env var (off when unset).
-    pub worklist: bool,
+    /// Sweep strategy: full-range sweeps, frontier-proportional
+    /// worklist sweeps (per-iteration cost `O(|worklist|)` instead of
+    /// `O(n_chunks)`, the big win on high-diameter graphs), or the
+    /// default adaptive controller that switches between them per
+    /// iteration. Outputs are bit-identical in every mode. Defaults to
+    /// the `SLIMSELL_SWEEP` env var (adaptive when unset).
+    pub sweep: SweepMode,
 }
 
 impl Default for BfsOptions {
@@ -98,7 +96,7 @@ impl Default for BfsOptions {
             slimchunk: None,
             schedule: Schedule::Dynamic,
             max_iterations: None,
-            worklist: worklist_env_default(),
+            sweep: SweepMode::env_default(),
         }
     }
 }
@@ -107,7 +105,7 @@ impl BfsOptions {
     /// The paper's baseline configuration: SlimWork off, full sweeps,
     /// dynamic scheduling (corresponds to "No SlimWork" in Fig. 5d).
     pub fn plain() -> Self {
-        Self { slimwork: false, worklist: false, ..Self::default() }
+        Self { slimwork: false, sweep: SweepMode::Full, ..Self::default() }
     }
 }
 
@@ -138,6 +136,11 @@ pub(crate) struct EngineScratch {
     /// iteration (the direction-optimized driver also pushes chunks its
     /// top-down steps touched).
     pub(crate) pending: Vec<u32>,
+    /// Adaptive sweep controller (latched mode + hysteresis).
+    pub(crate) ctl: AdaptiveController,
+    /// Per-chunk changed flags of adaptive mode's *tracked* full
+    /// sweeps (one byte per chunk over the whole range).
+    pub(crate) full_changed: Vec<u8>,
     /// SlimChunk task list: (chunk id, first column step, last).
     pub(crate) tasks: Vec<(usize, usize, usize)>,
     /// SlimChunk per-chunk task-range offsets (one past each chunk).
@@ -151,12 +154,6 @@ pub(crate) struct EngineScratch {
 impl EngineScratch {
     pub(crate) fn new() -> Self {
         Self::default()
-    }
-
-    /// The cached full-range tiling, rebuilt only when the chunk count
-    /// or schedule changes (never within one run).
-    pub(crate) fn full_tiling(&mut self, nc: usize, schedule: Schedule) -> &ChunkTiling {
-        cached_full_tiling(&mut self.tiling, nc, schedule)
     }
 }
 
@@ -204,11 +201,12 @@ impl BfsEngine {
         S::init(&mut cur, &mut d, n, root_p);
 
         let mut scratch = EngineScratch::new();
-        if opts.worklist {
+        if opts.sweep.uses_worklist() {
             // Establish the worklist invariant once: outside the
             // worklist the next-state buffer must already equal the
-            // current state, so only listed chunks are ever written.
-            nxt.clone_from(&cur);
+            // current state, so only listed chunks are ever written
+            // (only the semiring-maintained vectors need copying).
+            S::clone_state(&cur, &mut nxt);
             scratch.pending.push((root_p / C) as u32);
         }
 
@@ -338,33 +336,19 @@ where
     acc
 }
 
-/// One frontier expansion, dispatched over the four execution modes
-/// (full sweep / worklist × untiled / SlimChunk). The shared entry
-/// point of the engine loop and the direction-optimized driver.
+/// One frontier expansion: the sweep-policy decision (which dispatcher
+/// runs, whether the worklist is seeded first) followed by the chosen
+/// execution mode (full sweep / worklist × untiled / SlimChunk). The
+/// shared entry point of the engine loop and the direction-optimized
+/// driver.
+///
+/// In [`SweepMode::Adaptive`] the controller applies its hysteresis
+/// rule to the pending seed count — the changed chunks of the previous
+/// iteration — *before* any dependency expansion, so full-sweep
+/// iterations never pay an activation probe. Adaptive full sweeps run
+/// *tracked* so the pending list stays current for the next
+/// full→worklist transition.
 pub(crate) fn step<M, S, const C: usize>(
-    matrix: &M,
-    cur: &StateVecs,
-    nxt: &mut StateVecs,
-    d: &mut [f32],
-    depth: f32,
-    opts: &BfsOptions,
-    scratch: &mut EngineScratch,
-) -> IterStats
-where
-    M: ChunkMatrix<C>,
-    S: Semiring,
-{
-    match (opts.slimchunk, opts.worklist) {
-        (Some(tile_w), _) => {
-            slimchunk::iterate_tiled::<M, S, C>(matrix, cur, nxt, d, depth, opts, tile_w, scratch)
-        }
-        (None, false) => iterate::<M, S, C>(matrix, cur, nxt, d, depth, opts, scratch),
-        (None, true) => iterate_worklist::<M, S, C>(matrix, cur, nxt, d, depth, opts, scratch),
-    }
-}
-
-/// One frontier expansion over all chunks (full sweep, no tiling).
-pub(crate) fn iterate<M, S, const C: usize>(
     matrix: &M,
     cur: &StateVecs,
     nxt: &mut StateVecs,
@@ -379,25 +363,153 @@ where
 {
     let s = matrix.structure();
     let nc = s.num_chunks();
+    let EngineScratch { act, pending, ctl, .. } = &mut *scratch;
+    let (exec, seeded) = match opts.sweep {
+        // Short-circuit before touching `dep_graph()`: pure full-sweep
+        // runs must not force the lazy dependency-graph build.
+        SweepMode::Full => (ExecutedSweep::Full, None),
+        _ => resolve_sweep(opts.sweep, ctl, act, s.dep_graph(), pending, nc),
+    };
+    // Only adaptive full sweeps pay for change tracking: pure full
+    // sweeps never transition, pure worklist sweeps track via the
+    // worklist flags.
+    let track = opts.sweep == SweepMode::Adaptive;
+    let mut it = match (exec, opts.slimchunk) {
+        (ExecutedSweep::Full, None) => {
+            iterate::<M, S, C>(matrix, cur, nxt, d, depth, opts, scratch, track)
+        }
+        (ExecutedSweep::Full, Some(w)) => slimchunk::iterate_tiled_full::<M, S, C>(
+            matrix, cur, nxt, d, depth, opts, w, scratch, track,
+        ),
+        (ExecutedSweep::Worklist, None) => {
+            iterate_worklist::<M, S, C>(matrix, cur, nxt, d, depth, opts, scratch)
+        }
+        (ExecutedSweep::Worklist, Some(w)) => slimchunk::iterate_tiled_worklist::<M, S, C>(
+            matrix, cur, nxt, d, depth, opts, w, scratch,
+        ),
+    };
+    it.sweep_mode = exec;
+    if let Some(probes) = seeded {
+        // Activation probes paid this iteration, whichever dispatcher
+        // then ran (a seeded-but-full iteration still did the work).
+        it.activations = probes;
+    }
+    it
+}
+
+/// Like [`mv_span`], but additionally records each chunk's exact
+/// bit-wise changed flag into the parallel `flags` slab (one byte per
+/// chunk of the span) — the tracked full sweep of adaptive mode. A
+/// SlimWork-skipped chunk forwarded its state verbatim, so its flag is
+/// cleared.
+fn mv_span_tracked<M, S, const C: usize>(
+    matrix: &M,
+    cur: &StateVecs,
+    span: ChunkSpan<'_>,
+    flags: &mut [u8],
+    depth: f32,
+    slimwork: bool,
+) -> (bool, u64, usize)
+where
+    M: ChunkMatrix<C>,
+    S: Semiring,
+{
+    let ChunkSpan { c0, x, g, p, d } = span;
+    let mut acc = (false, 0u64, 0usize);
+    let per_chunk = x
+        .chunks_mut(C)
+        .zip(g.chunks_mut(C))
+        .zip(p.chunks_mut(C))
+        .zip(d.chunks_mut(C))
+        .zip(flags.iter_mut());
+    for (k, ((((nx, ng), np), dd), flag)) in per_chunk.enumerate() {
+        let i = c0 + k;
+        let (c, steps, skip) = do_chunk::<M, S, C>(
+            matrix,
+            cur,
+            i,
+            (&mut *nx, &mut *ng, &mut *np, &mut *dd),
+            depth,
+            slimwork,
+        );
+        // `c` (frontier advanced) implies a bit-wise change, so the
+        // exact compare is only needed to catch silent *clears*.
+        *flag = if skip == 0 { u8::from(c || S::state_changed(cur, i * C, nx, ng, np)) } else { 0 };
+        acc.0 |= c;
+        acc.1 += steps;
+        acc.2 += skip;
+    }
+    acc
+}
+
+/// One frontier expansion over all chunks (full sweep, no tiling).
+/// With `track`, each chunk's exact changed flag is recorded and the
+/// pending seed list rebuilt from the flags (in chunk order —
+/// deterministic at any thread count), maintaining the worklist
+/// re-seeding invariant through adaptive mode's full iterations.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn iterate<M, S, const C: usize>(
+    matrix: &M,
+    cur: &StateVecs,
+    nxt: &mut StateVecs,
+    d: &mut [f32],
+    depth: f32,
+    opts: &BfsOptions,
+    scratch: &mut EngineScratch,
+    track: bool,
+) -> IterStats
+where
+    M: ChunkMatrix<C>,
+    S: Semiring,
+{
+    let s = matrix.structure();
+    let nc = s.num_chunks();
     let slimwork = opts.slimwork;
     // At 1 effective thread the tiling is one span over everything, run
     // inline — the sequential oracle path.
-    let tiling = scratch.full_tiling(nc, opts.schedule);
-    let spans = tiling.split_spans::<C>(nxt, d);
-    let (changed, col_steps, skipped) = tiling.map_reduce(
-        spans,
-        |span| mv_span::<M, S, C>(matrix, cur, span, depth, slimwork),
-        || (false, 0, 0),
-        |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2),
-    );
+    let EngineScratch { tiling: tiling_slot, full_changed, pending, .. } = scratch;
+    let tiling = cached_full_tiling(tiling_slot, nc, opts.schedule);
+    let (changed, col_steps, skipped);
+    let mut changed_chunks = 0;
+    if track {
+        full_changed.clear();
+        full_changed.resize(nc, 0);
+        let spans: Vec<_> = tiling
+            .split_spans::<C>(nxt, d)
+            .into_iter()
+            .zip(tiling.split(1, full_changed))
+            .collect();
+        (changed, col_steps, skipped) = tiling.map_reduce(
+            spans,
+            |(span, flags)| {
+                mv_span_tracked::<M, S, C>(matrix, cur, span, flags.data, depth, slimwork)
+            },
+            || (false, 0, 0),
+            |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2),
+        );
+        pending.clear();
+        pending.extend(
+            full_changed.iter().enumerate().filter(|(_, &f)| f != 0).map(|(i, _)| i as u32),
+        );
+        changed_chunks = pending.len();
+    } else {
+        let spans = tiling.split_spans::<C>(nxt, d);
+        (changed, col_steps, skipped) = tiling.map_reduce(
+            spans,
+            |span| mv_span::<M, S, C>(matrix, cur, span, depth, slimwork),
+            || (false, 0, 0),
+            |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2),
+        );
+    }
     IterStats {
         elapsed: Default::default(),
+        sweep_mode: ExecutedSweep::Full,
         chunks_processed: nc - skipped,
         chunks_skipped: skipped,
         chunks_not_on_worklist: 0,
         worklist_len: nc,
         activations: 0,
-        changed_chunks: 0,
+        changed_chunks,
         col_steps,
         cells: col_steps * C as u64,
         changed,
@@ -443,15 +555,18 @@ where
         );
         // A skipped chunk forwarded its state verbatim — its flag
         // stays 0; otherwise record the exact change for seeding the
-        // next worklist.
+        // next worklist (an advanced chunk changed by implication; the
+        // compare only catches silent clears).
         if skip == 0 {
-            changed[k] = u8::from(S::state_changed(
-                cur,
-                i * C,
-                &x[off..off + C],
-                &g[off..off + C],
-                &p[off..off + C],
-            ));
+            changed[k] = u8::from(
+                c || S::state_changed(
+                    cur,
+                    i * C,
+                    &x[off..off + C],
+                    &g[off..off + C],
+                    &p[off..off + C],
+                ),
+            );
         }
         acc.0 |= c;
         acc.1 += steps;
@@ -460,11 +575,12 @@ where
     acc
 }
 
-/// One frontier expansion over the active worklist only: seeds the
-/// worklist from the pending changed chunks (dependent expansion via
-/// the epoch-stamped activation array), sweeps it in disjoint tiles,
-/// and harvests the exactly-changed chunks as the next iteration's
-/// seeds. Cost is proportional to the worklist, not the chunk range.
+/// One frontier expansion over the active worklist only: sweeps the
+/// already-seeded worklist (seeding is the policy layer's job in
+/// [`step`], so adaptive mode can inspect the worklist length before
+/// committing) in disjoint tiles and harvests the exactly-changed
+/// chunks as the next iteration's seeds. Cost is proportional to the
+/// worklist, not the chunk range.
 pub(crate) fn iterate_worklist<M, S, const C: usize>(
     matrix: &M,
     cur: &StateVecs,
@@ -482,8 +598,6 @@ where
     let nc = s.num_chunks();
     let slimwork = opts.slimwork;
     let EngineScratch { act, pending, .. } = scratch;
-    let activations = act.seed(s.dep_graph(), pending);
-    pending.clear();
     let (ids, flags) = act.split();
     let wl_len = ids.len();
     let tiling = WorklistTiling::new(ids, opts.schedule);
@@ -497,11 +611,12 @@ where
     let changed_chunks = act.collect_changed_into(pending);
     IterStats {
         elapsed: Default::default(),
+        sweep_mode: ExecutedSweep::Worklist,
         chunks_processed: wl_len - skipped,
         chunks_skipped: skipped,
         chunks_not_on_worklist: nc - wl_len,
         worklist_len: wl_len,
-        activations,
+        activations: 0, // recorded by the policy layer that seeded
         changed_chunks,
         col_steps,
         cells: col_steps * C as u64,
@@ -619,7 +734,7 @@ mod tests {
     #[test]
     fn worklist_matches_reference_all_semirings() {
         let g = sample();
-        let opts = BfsOptions { worklist: true, ..Default::default() };
+        let opts = BfsOptions { sweep: SweepMode::Worklist, ..Default::default() };
         for sigma in [1, 4, 11] {
             for root in [0u32, 6, 8] {
                 check_dist::<TropicalSemiring>(&g, sigma, root, &opts);
@@ -637,7 +752,7 @@ mod tests {
             for slimchunk in [None, Some(2)] {
                 for schedule in [Schedule::Static, Schedule::Dynamic] {
                     let opts = BfsOptions {
-                        worklist: true,
+                        sweep: SweepMode::Worklist,
                         slimwork,
                         slimchunk,
                         schedule,
@@ -663,12 +778,12 @@ mod tests {
         let full = BfsEngine::run::<_, TropicalSemiring, 4>(
             &slim,
             0,
-            &BfsOptions { worklist: false, ..Default::default() },
+            &BfsOptions { sweep: SweepMode::Full, ..Default::default() },
         );
         let wl = BfsEngine::run::<_, TropicalSemiring, 4>(
             &slim,
             0,
-            &BfsOptions { worklist: true, ..Default::default() },
+            &BfsOptions { sweep: SweepMode::Worklist, ..Default::default() },
         );
         assert_eq!(wl.dist, full.dist);
         assert_eq!(wl.stats.num_iterations(), full.stats.num_iterations());
@@ -701,18 +816,145 @@ mod tests {
         let full = BfsEngine::run::<_, BooleanSemiring, 4>(
             &slim,
             0,
-            &BfsOptions { worklist: false, ..Default::default() },
+            &BfsOptions { sweep: SweepMode::Full, ..Default::default() },
         );
         let wl = BfsEngine::run::<_, BooleanSemiring, 4>(
             &slim,
             0,
-            &BfsOptions { worklist: true, ..Default::default() },
+            &BfsOptions { sweep: SweepMode::Worklist, ..Default::default() },
         );
         assert_eq!(wl.stats.num_iterations(), full.stats.num_iterations());
         for (a, b) in wl.stats.iters.iter().zip(&full.stats.iters) {
             assert!(a.col_steps <= b.col_steps);
             assert_eq!(a.cells, a.col_steps * 4);
             assert_eq!(a.changed, b.changed);
+        }
+    }
+
+    #[test]
+    fn adaptive_matches_reference_all_semirings() {
+        let g = sample();
+        let opts = BfsOptions { sweep: SweepMode::Adaptive, ..Default::default() };
+        for sigma in [1, 4, 11] {
+            for root in [0u32, 6, 8] {
+                check_dist::<TropicalSemiring>(&g, sigma, root, &opts);
+                check_dist::<BooleanSemiring>(&g, sigma, root, &opts);
+                check_dist::<RealSemiring>(&g, sigma, root, &opts);
+                check_dist::<SelMaxSemiring>(&g, sigma, root, &opts);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_composes_with_slimwork_slimchunk_and_schedules() {
+        let g = sample();
+        for slimwork in [false, true] {
+            for slimchunk in [None, Some(2)] {
+                for schedule in [Schedule::Static, Schedule::Dynamic] {
+                    let opts = BfsOptions {
+                        sweep: SweepMode::Adaptive,
+                        slimwork,
+                        slimchunk,
+                        schedule,
+                        ..Default::default()
+                    };
+                    check_dist::<TropicalSemiring>(&g, 11, 0, &opts);
+                    check_dist::<BooleanSemiring>(&g, 11, 0, &opts);
+                    check_dist::<SelMaxSemiring>(&g, 11, 0, &opts);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_switches_to_full_in_a_flood_and_tags_iterations() {
+        // A broom: a path feeding a dense blow-up. The wavefront stays
+        // on small worklists down the handle, then vertex 32's star
+        // floods the dependent set past the exit threshold and the
+        // controller must leave worklist mode; the per-iteration
+        // sweep_mode tags record the trace and mode_switches counts it.
+        let n = 256u32;
+        let g = GraphBuilder::new(n as usize)
+            .edges((0..32u32).map(|v| (v, v + 1)).chain((33..n).map(|w| (32, w))))
+            .build();
+        let slim = SlimSellMatrix::<4>::build(&g, 1);
+        let opts = BfsOptions { sweep: SweepMode::Adaptive, ..Default::default() };
+        let out = BfsEngine::run::<_, TropicalSemiring, 4>(&slim, 0, &opts);
+        let full = BfsEngine::run::<_, TropicalSemiring, 4>(
+            &slim,
+            0,
+            &BfsOptions { sweep: SweepMode::Full, ..Default::default() },
+        );
+        assert_eq!(out.dist, full.dist);
+        assert_eq!(out.stats.num_iterations(), full.stats.num_iterations());
+        assert_eq!(
+            out.stats.iters[0].sweep_mode,
+            ExecutedSweep::Worklist,
+            "adaptive must start in the worklist regime"
+        );
+        assert!(
+            out.stats.full_sweep_iterations() > 0,
+            "flood never drove the controller to full sweeps: {:?}",
+            out.stats.iters.iter().map(|i| i.sweep_mode).collect::<Vec<_>>()
+        );
+        assert!(out.stats.mode_switches() >= 1);
+        // Pure modes carry a constant tag and no switches.
+        assert_eq!(full.stats.mode_switches(), 0);
+        assert!(full.stats.iters.iter().all(|i| i.sweep_mode == ExecutedSweep::Full));
+        let wl = BfsEngine::run::<_, TropicalSemiring, 4>(
+            &slim,
+            0,
+            &BfsOptions { sweep: SweepMode::Worklist, ..Default::default() },
+        );
+        assert_eq!(wl.stats.mode_switches(), 0);
+        assert!(wl.stats.iters.iter().all(|i| i.sweep_mode == ExecutedSweep::Worklist));
+    }
+
+    #[test]
+    fn adaptive_stays_on_worklist_for_a_wavefront() {
+        // The path graph never floods: every adaptive iteration should
+        // run the worklist dispatcher and match the worklist engine's
+        // column steps exactly.
+        let n = 256u32;
+        let g = GraphBuilder::new(n as usize).edges((0..n - 1).map(|v| (v, v + 1))).build();
+        let slim = SlimSellMatrix::<4>::build(&g, 1);
+        let ad = BfsEngine::run::<_, TropicalSemiring, 4>(
+            &slim,
+            0,
+            &BfsOptions { sweep: SweepMode::Adaptive, ..Default::default() },
+        );
+        let wl = BfsEngine::run::<_, TropicalSemiring, 4>(
+            &slim,
+            0,
+            &BfsOptions { sweep: SweepMode::Worklist, ..Default::default() },
+        );
+        assert_eq!(ad.dist, wl.dist);
+        assert_eq!(ad.stats.mode_switches(), 0);
+        assert_eq!(ad.stats.full_sweep_iterations(), 0);
+        assert_eq!(ad.stats.total_col_steps(), wl.stats.total_col_steps());
+        assert_eq!(ad.stats.total_activations(), wl.stats.total_activations());
+    }
+
+    #[test]
+    fn adaptive_column_steps_never_exceed_the_better_pure_mode() {
+        // Per iteration the adaptive engine runs one of the two pure
+        // dispatchers, so its total column steps are bounded by the
+        // worse pure mode and should track the better one closely.
+        let g = sample();
+        let slim = SlimSellMatrix::<4>::build(&g, 11);
+        for root in [0u32, 6, 8] {
+            let run = |sweep| {
+                BfsEngine::run::<_, BooleanSemiring, 4>(
+                    &slim,
+                    root,
+                    &BfsOptions { sweep, ..Default::default() },
+                )
+                .stats
+                .total_col_steps()
+            };
+            let (full, wl, ad) =
+                (run(SweepMode::Full), run(SweepMode::Worklist), run(SweepMode::Adaptive));
+            assert!(ad <= full.max(wl), "root {root}: adaptive {ad} > max(full {full}, wl {wl})");
         }
     }
 

@@ -8,6 +8,8 @@
 
 use std::time::Duration;
 
+use crate::sweep::ExecutedSweep;
+
 /// Statistics for one BFS iteration (one frontier expansion).
 ///
 /// Chunk accounting distinguishes three disjoint fates so the analysis
@@ -15,12 +17,32 @@ use std::time::Duration;
 /// executed) + `chunks_skipped` (visited, then skipped by the SlimWork
 /// test) = `worklist_len` (chunks visited at all), and
 /// `chunks_not_on_worklist` counts the rest — excluded by the worklist
-/// engine without even a skip test (always 0 in full-sweep mode, where
-/// `worklist_len` is the whole chunk range).
+/// engine without even a skip test (always 0 in full-sweep iterations,
+/// where `worklist_len` is the whole chunk range).
+///
+/// Every counter is `Option`-free: the [`sweep_mode`](Self::sweep_mode)
+/// tag says which dispatcher ran, so "full sweep" (`worklist_len ==
+/// n_chunks` *because everything was visited*) can no longer be
+/// confused with a worklist iteration whose list happened to span the
+/// chunk range — previously the two were indistinguishable in logs.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct IterStats {
     /// Wall time of the iteration.
     pub elapsed: Duration,
+    /// Which dispatcher executed this iteration (full-range sweep or
+    /// active-worklist sweep). In pure [`SweepMode::Full`]/
+    /// [`SweepMode::Worklist`](crate::SweepMode::Worklist) runs the tag
+    /// is constant; [`SweepMode::Adaptive`](crate::SweepMode::Adaptive)
+    /// runs interleave both — the per-iteration decision trace.
+    ///
+    /// Direction-optimized top-down iterations are not SpMV sweeps at
+    /// all: they carry the default `Full` tag with `worklist_len == 0`,
+    /// which distinguishes them from real full sweeps (whose
+    /// `worklist_len` is the whole chunk range) when aggregating the
+    /// trace over a [`run_diropt`](crate::dirop::run_diropt) run.
+    ///
+    /// [`SweepMode::Full`]: crate::SweepMode::Full
+    pub sweep_mode: ExecutedSweep,
     /// Chunks processed (MV executed).
     pub chunks_processed: usize,
     /// Chunks visited but skipped by the SlimWork test (§III-C).
@@ -36,7 +58,9 @@ pub struct IterStats {
     /// dependency fan-out actually paid); 0 in full-sweep mode.
     pub activations: u64,
     /// Chunks whose output state changed this iteration under the exact
-    /// bit-wise test (tracked in worklist mode only).
+    /// bit-wise test (tracked in worklist iterations and in adaptive
+    /// mode's tracked full sweeps; 0 in pure full-sweep runs, which
+    /// never pay for change detection).
     pub changed_chunks: usize,
     /// Column steps executed (Σ `cl[i]` over processed chunks).
     pub col_steps: u64,
@@ -101,6 +125,24 @@ impl RunStats {
     pub fn iter_seconds(&self) -> Vec<f64> {
         self.iters.iter().map(|i| i.elapsed.as_secs_f64()).collect()
     }
+
+    /// How many times consecutive iterations ran under different sweep
+    /// dispatchers — the adaptive controller's switching trace (0 in
+    /// pure full/worklist runs, and in adaptive runs that never left
+    /// their initial regime).
+    pub fn mode_switches(&self) -> usize {
+        self.iters.windows(2).filter(|w| w[0].sweep_mode != w[1].sweep_mode).count()
+    }
+
+    /// Iterations executed as full-range sweeps.
+    pub fn full_sweep_iterations(&self) -> usize {
+        self.iters.iter().filter(|i| i.sweep_mode == ExecutedSweep::Full).count()
+    }
+
+    /// Iterations executed as worklist sweeps.
+    pub fn worklist_sweep_iterations(&self) -> usize {
+        self.iters.iter().filter(|i| i.sweep_mode == ExecutedSweep::Worklist).count()
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +154,7 @@ mod tests {
         let mut s = RunStats::default();
         s.iters.push(IterStats {
             elapsed: Duration::from_millis(2),
+            sweep_mode: ExecutedSweep::Worklist,
             chunks_processed: 4,
             chunks_skipped: 1,
             chunks_not_on_worklist: 3,
@@ -124,6 +167,7 @@ mod tests {
         });
         s.iters.push(IterStats {
             elapsed: Duration::from_millis(3),
+            sweep_mode: ExecutedSweep::Full,
             chunks_processed: 2,
             chunks_skipped: 3,
             chunks_not_on_worklist: 3,
@@ -143,5 +187,27 @@ mod tests {
         assert_eq!(s.total_not_on_worklist(), 6);
         assert_eq!(s.total_activations(), 16);
         assert_eq!(s.iter_seconds().len(), 2);
+        assert_eq!(s.mode_switches(), 1);
+        assert_eq!(s.full_sweep_iterations(), 1);
+        assert_eq!(s.worklist_sweep_iterations(), 1);
+    }
+
+    #[test]
+    fn mode_switches_counts_transitions_not_iterations() {
+        let mut s = RunStats::default();
+        assert_eq!(s.mode_switches(), 0);
+        let iter = |m| IterStats { sweep_mode: m, ..Default::default() };
+        for m in [
+            ExecutedSweep::Worklist,
+            ExecutedSweep::Worklist,
+            ExecutedSweep::Full,
+            ExecutedSweep::Full,
+            ExecutedSweep::Worklist,
+        ] {
+            s.iters.push(iter(m));
+        }
+        assert_eq!(s.mode_switches(), 2);
+        assert_eq!(s.full_sweep_iterations(), 2);
+        assert_eq!(s.worklist_sweep_iterations(), 3);
     }
 }

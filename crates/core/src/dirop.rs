@@ -25,6 +25,7 @@ use crate::bfs::{step, BfsOptions, BfsOutput, EngineScratch, Schedule};
 use crate::counters::{IterStats, RunStats};
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{Semiring, StateVecs, TropicalSemiring};
+use crate::sweep::ExecutedSweep;
 use crate::tiling::ChunkTiling;
 
 /// Which direction an iteration executed.
@@ -85,13 +86,14 @@ where
     S::init(&mut cur, &mut d, n, root_p);
 
     let mut scratch = EngineScratch::new();
-    let use_wl = opts.spmv.worklist;
-    if use_wl {
+    let track_wl = opts.spmv.sweep.uses_worklist();
+    if track_wl {
         // Worklist invariant for the bottom-up steps (see crate::bfs):
         // outside the worklist, nxt already equals cur. Top-down steps
         // write cur in place, so every chunk they touch goes on the
-        // pending list and the next bottom-up sweep rewrites it.
-        nxt.clone_from(&cur);
+        // pending list and the next bottom-up sweep (worklist or
+        // adaptive) rewrites it.
+        S::clone_state(&cur, &mut nxt);
         scratch.pending.push((root_p / C) as u32);
     }
 
@@ -125,7 +127,7 @@ where
                         scanned += 1;
                         if cur.x[w as usize] == f32::INFINITY {
                             cur.x[w as usize] = depth as f32;
-                            if use_wl {
+                            if track_wl {
                                 scratch.pending.push(w / C as u32);
                             }
                             next.push(w);
@@ -134,6 +136,9 @@ where
                 }
                 frontier_edges = next.iter().map(|&w| s.row_len(w as usize) as u64).sum();
                 frontier = next;
+                // Not an SpMV sweep: the default Full tag with
+                // worklist_len == 0 marks it as a top-down step (see
+                // IterStats::sweep_mode).
                 stats.iters.push(IterStats {
                     elapsed: t0.elapsed(),
                     col_steps: scanned,
@@ -153,8 +158,11 @@ where
                     &mut scratch,
                 );
                 // Recover the new frontier (changed entries) for the
-                // heuristic and a possible switch back to top-down.
-                let next: Vec<u32> = if use_wl {
+                // heuristic and a possible switch back to top-down. The
+                // scan range follows the dispatcher the step actually
+                // ran (it.sweep_mode), not the configured policy — an
+                // adaptive step may have swept either way.
+                let next: Vec<u32> = if it.sweep_mode == ExecutedSweep::Worklist {
                     // Only worklist chunks can hold changes (outside the
                     // worklist nxt equals cur bit-for-bit), so the scan
                     // is frontier-proportional too; worklist order is

@@ -16,9 +16,13 @@
 //!   statistics.
 //! * [`slimchunk`] — 2-D chunk tiling for load balance (§III-D).
 //! * [`worklist`] — the chunk dependency graph (computed once per
-//!   structure) and epoch-stamped activation worklists behind
-//!   [`BfsOptions::worklist`]: frontier-proportional sweeps instead of
+//!   structure) and epoch-stamped activation worklists behind the
+//!   worklist sweep modes: frontier-proportional sweeps instead of
 //!   full sweeps with per-chunk skip tests.
+//! * [`sweep`] — the sweep-mode policy layer ([`BfsOptions::sweep`],
+//!   `SLIMSELL_SWEEP`): pure full/worklist modes plus the default
+//!   adaptive controller that switches per iteration at the `~nc/2`
+//!   crossover with hysteresis.
 //! * [`dp`] — the `DP` distance→parent transformation (§II-C).
 //! * [`dirop`] — direction-optimized algebraic BFS (the third curve of
 //!   Figure 1): sparse top-down steps on the SlimSell structure, SpMV
@@ -59,6 +63,7 @@ pub mod slimchunk;
 pub mod sssp;
 pub mod storage;
 pub mod structure;
+pub mod sweep;
 pub mod tiling;
 pub mod validation;
 pub mod worklist;
@@ -72,7 +77,8 @@ pub use matrix::{ChunkMatrix, SellCSigma, SlimSellMatrix};
 pub use msbfs::multi_bfs;
 pub use pagerank::{pagerank, PageRankOptions};
 pub use semiring::{BooleanSemiring, RealSemiring, SelMaxSemiring, Semiring, TropicalSemiring};
-pub use sssp::{sssp, WeightedSellCSigma};
+pub use sssp::{sssp, sssp_with, SsspOptions, WeightedSellCSigma};
 pub use structure::SellStructure;
+pub use sweep::{AdaptiveController, ExecutedSweep, SweepMode};
 pub use validation::graph500_validate;
 pub use worklist::{ActivationState, ChunkDepGraph};

@@ -10,6 +10,22 @@
 //! one SpMV over the chunked structure — the same gather/accumulate
 //! kernel as BFS with the real semiring's (+, ·) and implicit 1 values.
 //!
+//! The expensive `O(m)` SpMV pass rides the sweep-policy substrate of
+//! [`crate::sweep`]: the per-vertex SpMV accumulator is persistent, the
+//! pre-scale pass records which chunks of `y` changed bit-wise since
+//! the previous iteration, and in worklist/adaptive mode only the
+//! dependents of changed `y` chunks are recomputed — a chunk none of
+//! whose gathered inputs changed would reproduce its cached accumulator
+//! to the bit (the chunk SpMV is a pure function of the gathered
+//! lanes). Mid-run the damping base mass shifts every iteration, so `y`
+//! floods and the adaptive controller's seed-count rule settles on full
+//! sweeps without paying a single activation probe (only the `O(n)`
+//! bit compare); the worklist pays off in the convergence tail, when
+//! most of `y` has stopped moving. The cheap `O(n)` pre-scale and
+//! output passes always sweep fully. Scores, residuals, and iteration
+//! counts are bit-identical in every sweep mode and at any thread
+//! count.
+//!
 //! Both the pre-scale and the SpMV run tile-parallel over
 //! [`crate::tiling`] chunk tiles writing disjoint slabs. The L1
 //! residual is made thread-count-independent by accumulating one
@@ -30,12 +46,17 @@
 //! assert!(out.scores.iter().all(|&s| (s - 0.125).abs() < 1e-5));
 //! ```
 
+use std::time::Instant;
+
 use slimsell_graph::VertexId;
 use slimsell_simd::{SimdF32, SimdI32};
 
+use crate::counters::{IterStats, RunStats};
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{RealSemiring, Semiring};
-use crate::tiling::{ChunkTiling, Schedule};
+use crate::sweep::{resolve_sweep, AdaptiveController, ExecutedSweep, SweepMode};
+use crate::tiling::{ChunkTiling, Schedule, WorklistTiling};
+use crate::worklist::ActivationState;
 
 /// PageRank options.
 #[derive(Clone, Copy, Debug)]
@@ -46,11 +67,20 @@ pub struct PageRankOptions {
     pub tolerance: f32,
     /// Iteration cap.
     pub max_iterations: usize,
+    /// Sweep strategy for the SpMV pass (defaults to the
+    /// `SLIMSELL_SWEEP` env var; adaptive when unset). Scores are
+    /// bit-identical in every mode.
+    pub sweep: SweepMode,
 }
 
 impl Default for PageRankOptions {
     fn default() -> Self {
-        Self { damping: 0.85, tolerance: 1e-7, max_iterations: 200 }
+        Self {
+            damping: 0.85,
+            tolerance: 1e-7,
+            max_iterations: 200,
+            sweep: SweepMode::env_default(),
+        }
     }
 }
 
@@ -63,6 +93,9 @@ pub struct PageRankOutput {
     pub iterations: usize,
     /// Final L1 residual.
     pub residual: f32,
+    /// Per-iteration statistics of the SpMV pass: sweep-mode trace,
+    /// column steps actually executed, worklist sizes, activations.
+    pub stats: RunStats,
 }
 
 /// Runs PageRank on the chunked structure.
@@ -88,18 +121,60 @@ where
     // Per-chunk residual partials; summed in chunk order so the L1
     // residual does not depend on tile boundaries (thread count).
     let mut chunk_res = vec![0.0f32; nc];
+    // Persistent SpMV accumulator: `acc[v] = (A ⊗ y)[v]` at all times.
+    // The all-zero start is exactly the SpMV of the all-zero initial
+    // `y`, so the change-driven update below is correct from the first
+    // iteration with no special casing.
+    let mut acc = vec![0.0f32; np];
+    // Which chunks of `y` changed bit-wise this iteration (the SpMV
+    // worklist seeds), rebuilt by the pre-scale pass every iteration.
+    let mut y_changed = vec![0u8; nc];
+    let mut pending: Vec<u32> = Vec::new();
+    let mut act = ActivationState::new();
+    let mut ctl = AdaptiveController::new();
+    // Change detection (the bit compares in the pre-scale pass and the
+    // seed-list rebuild) is paid only by worklist-capable modes.
+    let track = opts.sweep.uses_worklist();
 
+    let tiling = ChunkTiling::new(nc, Schedule::Dynamic);
+    let mut stats = RunStats::default();
     let mut iterations = 0;
     let mut residual = f32::INFINITY;
     while iterations < opts.max_iterations && residual > opts.tolerance {
         iterations += 1;
+        let t0 = Instant::now();
         // Dangling vertices spread their mass uniformly (sequential
         // fixed-order sum: deterministic).
         let dangling: f32 = (0..n).filter(|&v| deg[v] == 0.0).map(|v| x[v]).sum();
         let base_mass = (1.0 - d) / n as f32 + d * dangling / n as f32;
-        let tiling = ChunkTiling::new(nc, Schedule::Dynamic);
-        // Pre-scale pass: y = x / deg, disjoint chunk tiles of y.
-        {
+        // Pre-scale pass: y = x / deg, disjoint chunk tiles of y —
+        // with per-chunk bit-exact change flags for the SpMV worklist
+        // when a worklist-capable mode is active; pure full-sweep runs
+        // never pay for change detection.
+        let changed_chunks;
+        if track {
+            let (x_ref, inv_ref) = (&x, &inv_deg);
+            let tiles: Vec<_> =
+                tiling.split(C, &mut y).into_iter().zip(tiling.split(1, &mut y_changed)).collect();
+            tiling.for_each(tiles, |(t, f)| {
+                let base = t.c0 * C;
+                for (k, (slot, flag)) in t.data.chunks_mut(C).zip(f.data.iter_mut()).enumerate() {
+                    let mut changed = 0u8;
+                    for (lane, yv) in slot.iter_mut().enumerate() {
+                        let v = base + k * C + lane;
+                        let new = x_ref[v] * inv_ref[v];
+                        changed |= u8::from(new.to_bits() != yv.to_bits());
+                        *yv = new;
+                    }
+                    *flag = changed;
+                }
+            });
+            pending.clear();
+            pending.extend(
+                y_changed.iter().enumerate().filter(|(_, &f)| f != 0).map(|(i, _)| i as u32),
+            );
+            changed_chunks = pending.len();
+        } else {
             let (x_ref, inv_ref) = (&x, &inv_deg);
             let tiles = tiling.split(C, &mut y);
             tiling.for_each(tiles, |t| {
@@ -108,11 +183,73 @@ where
                     *yv = x_ref[base + k] * inv_ref[base + k];
                 }
             });
+            changed_chunks = 0;
         }
-        // SpMV + residual pass: each tile owns its slab of `nxt` and the
-        // matching slab of per-chunk residual partials.
+
+        // SpMV pass under the sweep policy: recompute the accumulator
+        // for every chunk (full) or for the dependents of changed `y`
+        // chunks only (worklist) — elsewhere the cached values are
+        // already bit-exact.
+        // Short-circuit before touching `dep_graph()`: pure full-sweep
+        // runs must not force the lazy dependency-graph build.
+        let (exec, seeded) = match opts.sweep {
+            SweepMode::Full => (ExecutedSweep::Full, None),
+            _ => resolve_sweep(opts.sweep, &mut ctl, &mut act, s.dep_graph(), &mut pending, nc),
+        };
+        let y_ref = &y;
+        let (col_steps, wl_len);
+        match exec {
+            ExecutedSweep::Full => {
+                let tiles = tiling.split(C, &mut acc);
+                col_steps = tiling.map_reduce(
+                    tiles,
+                    |t| {
+                        let mut steps = 0u64;
+                        for (k, slot) in t.data.chunks_mut(C).enumerate() {
+                            let i = t.c0 + k;
+                            spmv_chunk::<M, C>(matrix, y_ref, i).store(slot);
+                            steps += s.cl()[i] as u64;
+                        }
+                        steps
+                    },
+                    || 0,
+                    |a, b| a + b,
+                );
+                wl_len = nc;
+            }
+            ExecutedSweep::Worklist => {
+                // Unlike SSSP, the per-entry changed flags are unused:
+                // the next seed list comes from the pre-scale pass's
+                // `y` compare, not from harvesting sweep outputs. The
+                // slab is passed only to satisfy `split_slab`.
+                let (ids, flags) = act.split();
+                wl_len = ids.len();
+                let wt = WorklistTiling::new(ids, Schedule::Dynamic);
+                let slabs = wt.split_slab(C, &mut acc, flags);
+                col_steps = wt.map_reduce(
+                    slabs,
+                    |slab| {
+                        let base0 = slab.ids[0] as usize * C;
+                        let mut steps = 0u64;
+                        for &id in slab.ids {
+                            let i = id as usize;
+                            let off = i * C - base0;
+                            spmv_chunk::<M, C>(matrix, y_ref, i)
+                                .store(&mut slab.data[off..off + C]);
+                            steps += s.cl()[i] as u64;
+                        }
+                        steps
+                    },
+                    || 0,
+                    |a, b| a + b,
+                );
+            }
+        }
+
+        // Output + residual pass: each tile owns its slab of `nxt` and
+        // the matching slab of per-chunk residual partials.
         {
-            let (x_ref, y_ref) = (&x, &y);
+            let (x_ref, acc_ref) = (&x, &acc);
             let tiles: Vec<_> = tiling
                 .split(C, &mut nxt)
                 .into_iter()
@@ -121,11 +258,10 @@ where
             tiling.for_each(tiles, |(out, res)| {
                 for (k, (slot, r)) in out.data.chunks_mut(C).zip(res.data.iter_mut()).enumerate() {
                     let i = out.c0 + k;
-                    let acc = spmv_chunk::<M, C>(matrix, y_ref, i);
                     let mut partial = 0.0f32;
                     for (lane, o) in slot.iter_mut().enumerate() {
                         let v = i * C + lane;
-                        *o = if v < n { base_mass + d * acc.0[lane] } else { 0.0 };
+                        *o = if v < n { base_mass + d * acc_ref[v] } else { 0.0 };
                         partial += (*o - x_ref[v]).abs();
                     }
                     *r = partial;
@@ -134,11 +270,24 @@ where
         }
         residual = chunk_res.iter().sum();
         std::mem::swap(&mut x, &mut nxt);
+        stats.iters.push(IterStats {
+            elapsed: t0.elapsed(),
+            sweep_mode: exec,
+            chunks_processed: wl_len,
+            chunks_skipped: 0,
+            chunks_not_on_worklist: nc - wl_len,
+            worklist_len: wl_len,
+            activations: seeded.unwrap_or(0),
+            changed_chunks,
+            col_steps,
+            cells: col_steps * C as u64,
+            changed: residual > opts.tolerance,
+        });
     }
 
     let perm = s.perm();
     let scores = (0..n).map(|old| x[perm.to_new(old as VertexId) as usize]).collect();
-    PageRankOutput { scores, iterations, residual }
+    PageRankOutput { scores, iterations, residual, stats }
 }
 
 /// One chunk of `A ⊗_R y` starting from a zero accumulator (unlike the
@@ -227,6 +376,62 @@ mod tests {
         let reference = reference_pagerank(&g, &opts);
         assert_close(&out.scores, &reference, 1e-4);
         assert!(out.residual <= opts.tolerance);
+    }
+
+    #[test]
+    fn all_sweep_modes_bit_identical() {
+        // The SpMV worklist must be a pure work-avoidance
+        // transformation: scores, residual, and iteration count equal
+        // to the bit under every sweep mode — including the skipped
+        // chunks whose cached accumulators stand in for a recompute.
+        let g = kronecker(8, 4.0, KroneckerParams::GRAPH500, 9);
+        let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        let full = pagerank(&m, &PageRankOptions { sweep: SweepMode::Full, ..Default::default() });
+        assert!(full.iterations > 2, "trivial convergence makes this test vacuous");
+        for sweep in [SweepMode::Worklist, SweepMode::Adaptive] {
+            let out = pagerank(&m, &PageRankOptions { sweep, ..Default::default() });
+            assert_eq!(
+                out.scores.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                full.scores.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{sweep:?} scores diverged"
+            );
+            assert_eq!(out.residual.to_bits(), full.residual.to_bits(), "{sweep:?} residual");
+            assert_eq!(out.iterations, full.iterations, "{sweep:?} iterations");
+            assert!(
+                out.stats.total_col_steps() <= full.stats.total_col_steps(),
+                "{sweep:?} recomputed more than the full sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn worklist_skips_settled_chunks_in_the_convergence_tail() {
+        // Two far-apart components settle at different speeds; once one
+        // side's y stops moving bit-wise, its chunks must drop off the
+        // SpMV worklist. The savings show up as strictly fewer total
+        // column steps than iterations × full-sweep steps.
+        let mut b = GraphBuilder::new(64);
+        for v in 0..31u32 {
+            b.edge(v, v + 1);
+        }
+        for v in 32..63u32 {
+            b.edge(v, v + 1);
+        }
+        let g = b.build();
+        let m = SlimSellMatrix::<4>::build(&g, 1);
+        let opts = PageRankOptions { sweep: SweepMode::Worklist, ..Default::default() };
+        let out = pagerank(&m, &opts);
+        let full_steps_per_iter: u64 = {
+            let s = m.structure();
+            (0..s.num_chunks()).map(|i| s.cl()[i] as u64).sum()
+        };
+        assert!(
+            out.stats.total_col_steps() < out.iterations as u64 * full_steps_per_iter,
+            "worklist never skipped anything: {} vs {}",
+            out.stats.total_col_steps(),
+            out.iterations as u64 * full_steps_per_iter
+        );
+        assert!(out.stats.iters.iter().all(|i| i.sweep_mode == ExecutedSweep::Worklist));
     }
 
     #[test]

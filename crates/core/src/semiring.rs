@@ -47,9 +47,11 @@ impl StateVecs {
 
 /// Bit-exact slice inequality (`-0.0 != 0.0`, NaN-safe): the comparison
 /// the worklist engine's change detection is built on, matching the
-/// byte-equality contract of the determinism suite.
+/// byte-equality contract of the determinism suite. Public so kernels
+/// with non-[`StateVecs`] state (weighted SSSP labels, PageRank's
+/// pre-scaled vector) run their change detection on the identical rule.
 #[inline]
-fn bits_differ(a: &[f32], b: &[f32]) -> bool {
+pub fn slice_bits_differ(a: &[f32], b: &[f32]) -> bool {
     a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())
 }
 
@@ -114,6 +116,19 @@ pub trait Semiring: Copy + Send + Sync + 'static {
         nxt_p.copy_from_slice(&cur.p[base..base + c]);
     }
 
+    /// Establishes the worklist invariant once per run: copies the
+    /// vectors this semiring maintains from `src` into `dst` so that
+    /// outside the worklist the next-state buffer already equals the
+    /// current state. Vectors the semiring never reads or writes stay
+    /// untouched — both buffers start zeroed, so they are already
+    /// equal — which makes this cheaper than a full clone on the
+    /// single-vector semirings. The default copies everything.
+    fn clone_state(src: &StateVecs, dst: &mut StateVecs) {
+        dst.x.copy_from_slice(&src.x);
+        dst.g.copy_from_slice(&src.g);
+        dst.p.copy_from_slice(&src.p);
+    }
+
     /// Exact output-change test for the worklist engine: whether the
     /// freshly written next-state of a chunk differs **bit-wise** from
     /// the previous state over the vectors this semiring maintains.
@@ -134,9 +149,9 @@ pub trait Semiring: Copy + Send + Sync + 'static {
         nxt_p: &[f32],
     ) -> bool {
         let c = nxt_x.len();
-        bits_differ(&cur.x[base..base + c], nxt_x)
-            || bits_differ(&cur.g[base..base + c], nxt_g)
-            || bits_differ(&cur.p[base..base + c], nxt_p)
+        slice_bits_differ(&cur.x[base..base + c], nxt_x)
+            || slice_bits_differ(&cur.g[base..base + c], nxt_g)
+            || slice_bits_differ(&cur.p[base..base + c], nxt_p)
     }
 
     /// Final distances in permuted space (`∞` = unreachable).
@@ -216,7 +231,11 @@ impl Semiring for TropicalSemiring {
         _nxt_g: &[f32],
         _nxt_p: &[f32],
     ) -> bool {
-        bits_differ(&cur.x[base..base + nxt_x.len()], nxt_x)
+        slice_bits_differ(&cur.x[base..base + nxt_x.len()], nxt_x)
+    }
+
+    fn clone_state(src: &StateVecs, dst: &mut StateVecs) {
+        dst.x.copy_from_slice(&src.x);
     }
 
     fn distances<'a>(state: &'a StateVecs, _d: &'a [f32]) -> &'a [f32] {
@@ -312,7 +331,13 @@ impl Semiring for BooleanSemiring {
         _nxt_p: &[f32],
     ) -> bool {
         let c = nxt_x.len();
-        bits_differ(&cur.x[base..base + c], nxt_x) || bits_differ(&cur.g[base..base + c], nxt_g)
+        slice_bits_differ(&cur.x[base..base + c], nxt_x)
+            || slice_bits_differ(&cur.g[base..base + c], nxt_g)
+    }
+
+    fn clone_state(src: &StateVecs, dst: &mut StateVecs) {
+        dst.x.copy_from_slice(&src.x);
+        dst.g.copy_from_slice(&src.g);
     }
 
     fn distances<'a>(_state: &'a StateVecs, d: &'a [f32]) -> &'a [f32] {
@@ -408,7 +433,13 @@ impl Semiring for RealSemiring {
         _nxt_p: &[f32],
     ) -> bool {
         let c = nxt_x.len();
-        bits_differ(&cur.x[base..base + c], nxt_x) || bits_differ(&cur.g[base..base + c], nxt_g)
+        slice_bits_differ(&cur.x[base..base + c], nxt_x)
+            || slice_bits_differ(&cur.g[base..base + c], nxt_g)
+    }
+
+    fn clone_state(src: &StateVecs, dst: &mut StateVecs) {
+        dst.x.copy_from_slice(&src.x);
+        dst.g.copy_from_slice(&src.g);
     }
 
     fn distances<'a>(_state: &'a StateVecs, d: &'a [f32]) -> &'a [f32] {
@@ -514,7 +545,13 @@ impl Semiring for SelMaxSemiring {
         nxt_p: &[f32],
     ) -> bool {
         let c = nxt_x.len();
-        bits_differ(&cur.x[base..base + c], nxt_x) || bits_differ(&cur.p[base..base + c], nxt_p)
+        slice_bits_differ(&cur.x[base..base + c], nxt_x)
+            || slice_bits_differ(&cur.p[base..base + c], nxt_p)
+    }
+
+    fn clone_state(src: &StateVecs, dst: &mut StateVecs) {
+        dst.x.copy_from_slice(&src.x);
+        dst.p.copy_from_slice(&src.p);
     }
 
     fn distances<'a>(_state: &'a StateVecs, d: &'a [f32]) -> &'a [f32] {

@@ -41,35 +41,8 @@ use crate::bfs::{cached_full_tiling, BfsOptions, EngineScratch};
 use crate::counters::IterStats;
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{Semiring, StateVecs};
+use crate::sweep::ExecutedSweep;
 use crate::tiling::{ChunkSpan, ChunkTiling, WorklistSpan, WorklistTiling};
-
-/// One frontier expansion with 2-D tiling, over the full chunk range or
-/// (with [`BfsOptions::worklist`]) the active worklist only. All
-/// per-phase buffers (task list, per-chunk task offsets, skip flags,
-/// tile partials) live in the run-owned [`EngineScratch`] and are
-/// reused across iterations.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn iterate_tiled<M, S, const C: usize>(
-    matrix: &M,
-    cur: &StateVecs,
-    nxt: &mut StateVecs,
-    d: &mut [f32],
-    depth: f32,
-    opts: &BfsOptions,
-    tile_w: usize,
-    scratch: &mut EngineScratch,
-) -> IterStats
-where
-    M: ChunkMatrix<C>,
-    S: Semiring,
-{
-    assert!(tile_w >= 1, "tile width must be at least 1");
-    if opts.worklist {
-        iterate_tiled_worklist::<M, S, C>(matrix, cur, nxt, d, depth, opts, tile_w, scratch)
-    } else {
-        iterate_tiled_full::<M, S, C>(matrix, cur, nxt, d, depth, opts, tile_w, scratch)
-    }
-}
 
 /// Builds the vertical tile tasks for one chunk into `tasks`.
 #[inline]
@@ -140,9 +113,15 @@ where
     (S::post_chunk(acc, cur, base, nx, ng, np, dd, depth), cl_i)
 }
 
-/// The full-sweep 2-D tiled iteration.
+/// The full-sweep 2-D tiled iteration. With `track`, phase 2
+/// additionally records each chunk's exact bit-wise changed flag and
+/// rebuilds the pending seed list from the flags in chunk order —
+/// adaptive mode's tracked full sweep (see [`crate::sweep`]). One
+/// frontier expansion; all per-phase buffers (task list, per-chunk
+/// task offsets, skip flags, tile partials) live in the run-owned
+/// [`EngineScratch`] and are reused across iterations.
 #[allow(clippy::too_many_arguments)]
-fn iterate_tiled_full<M, S, const C: usize>(
+pub(crate) fn iterate_tiled_full<M, S, const C: usize>(
     matrix: &M,
     cur: &StateVecs,
     nxt: &mut StateVecs,
@@ -151,14 +130,17 @@ fn iterate_tiled_full<M, S, const C: usize>(
     opts: &BfsOptions,
     tile_w: usize,
     scratch: &mut EngineScratch,
+    track: bool,
 ) -> IterStats
 where
     M: ChunkMatrix<C>,
     S: Semiring,
 {
+    assert!(tile_w >= 1, "tile width must be at least 1");
     let s = matrix.structure();
     let nc = s.num_chunks();
-    let EngineScratch { tiling, tasks, task_start, skip, partials, .. } = scratch;
+    let EngineScratch { tiling, tasks, task_start, skip, partials, full_changed, pending, .. } =
+        scratch;
 
     // Task list: (chunk, first column step, last column step). SlimWork
     // is applied here so skipped chunks generate no tiles at all.
@@ -184,44 +166,94 @@ where
     // Phase 2: merge partials per chunk and post-process, parallel over
     // chunk-range tiles like the untiled engine.
     let (task_start, skip, partials) = (&*task_start, &*skip, &*partials);
-    let merge_span = |span: ChunkSpan<'_>| -> (bool, u64) {
-        let mut acc2 = (false, 0u64);
-        let per_chunk = span
-            .x
-            .chunks_mut(C)
-            .zip(span.g.chunks_mut(C))
-            .zip(span.p.chunks_mut(C))
-            .zip(span.d.chunks_mut(C));
-        for (k, (((nx, ng), np), dd)) in per_chunk.enumerate() {
-            let i = span.c0 + k;
-            let (adv, steps) = merge_chunk::<S, C>(
-                cur,
-                i,
-                s.cl()[i] as u64,
-                skip[i],
-                task_start[i]..task_start[i + 1],
-                partials,
-                (nx, ng, np, dd),
-                depth,
-            );
-            acc2.0 |= adv;
-            acc2.1 += steps;
-        }
-        acc2
+    let merge_one = |i: usize, out: (&mut [f32], &mut [f32], &mut [f32], &mut [f32])| {
+        merge_chunk::<S, C>(
+            cur,
+            i,
+            s.cl()[i] as u64,
+            skip[i],
+            task_start[i]..task_start[i + 1],
+            partials,
+            out,
+            depth,
+        )
     };
     let tiling = cached_full_tiling(tiling, nc, opts.schedule);
-    let spans = tiling.split_spans::<C>(nxt, d);
-    let (changed, col_steps) =
-        tiling.map_reduce(spans, merge_span, || (false, 0), |a, b| (a.0 | b.0, a.1 + b.1));
+    let (changed, col_steps);
+    let mut changed_chunks = 0;
+    if track {
+        full_changed.clear();
+        full_changed.resize(nc, 0);
+        let spans: Vec<_> = tiling
+            .split_spans::<C>(nxt, d)
+            .into_iter()
+            .zip(tiling.split(1, full_changed))
+            .collect();
+        (changed, col_steps) = tiling.map_reduce(
+            spans,
+            |(span, flags)| {
+                let ChunkSpan { c0, x, g, p, d } = span;
+                let mut acc2 = (false, 0u64);
+                let per_chunk = x
+                    .chunks_mut(C)
+                    .zip(g.chunks_mut(C))
+                    .zip(p.chunks_mut(C))
+                    .zip(d.chunks_mut(C))
+                    .zip(flags.data.iter_mut());
+                for (k, ((((nx, ng), np), dd), flag)) in per_chunk.enumerate() {
+                    let i = c0 + k;
+                    let (adv, steps) = merge_one(i, (&mut *nx, &mut *ng, &mut *np, &mut *dd));
+                    // A skipped chunk forwarded its state verbatim;
+                    // otherwise record the exact bit-wise change (an
+                    // advanced chunk changed by implication).
+                    *flag = if skip[i] {
+                        0
+                    } else {
+                        u8::from(adv || S::state_changed(cur, i * C, nx, ng, np))
+                    };
+                    acc2.0 |= adv;
+                    acc2.1 += steps;
+                }
+                acc2
+            },
+            || (false, 0),
+            |a, b| (a.0 | b.0, a.1 + b.1),
+        );
+        pending.clear();
+        pending.extend(
+            full_changed.iter().enumerate().filter(|(_, &f)| f != 0).map(|(i, _)| i as u32),
+        );
+        changed_chunks = pending.len();
+    } else {
+        let merge_span = |span: ChunkSpan<'_>| -> (bool, u64) {
+            let mut acc2 = (false, 0u64);
+            let per_chunk = span
+                .x
+                .chunks_mut(C)
+                .zip(span.g.chunks_mut(C))
+                .zip(span.p.chunks_mut(C))
+                .zip(span.d.chunks_mut(C));
+            for (k, (((nx, ng), np), dd)) in per_chunk.enumerate() {
+                let (adv, steps) = merge_one(span.c0 + k, (nx, ng, np, dd));
+                acc2.0 |= adv;
+                acc2.1 += steps;
+            }
+            acc2
+        };
+        let spans = tiling.split_spans::<C>(nxt, d);
+        (changed, col_steps) =
+            tiling.map_reduce(spans, merge_span, || (false, 0), |a, b| (a.0 | b.0, a.1 + b.1));
+    }
 
     IterStats {
         elapsed: Default::default(),
+        sweep_mode: ExecutedSweep::Full,
         chunks_processed: nc - skipped,
         chunks_skipped: skipped,
         chunks_not_on_worklist: 0,
         worklist_len: nc,
         activations: 0,
-        changed_chunks: 0,
+        changed_chunks,
         col_steps,
         cells: col_steps * C as u64,
         changed,
@@ -230,9 +262,11 @@ where
 
 /// The worklist 2-D tiled iteration: tasks are generated for worklist
 /// chunks only, phase 2 runs over worklist tiles and records the exact
-/// per-chunk changed flags, and the next worklist is seeded from them.
+/// per-chunk changed flags, and the next pending seed list is
+/// harvested from them. The worklist itself was already seeded by the
+/// policy layer ([`crate::bfs::step`]).
 #[allow(clippy::too_many_arguments)]
-fn iterate_tiled_worklist<M, S, const C: usize>(
+pub(crate) fn iterate_tiled_worklist<M, S, const C: usize>(
     matrix: &M,
     cur: &StateVecs,
     nxt: &mut StateVecs,
@@ -246,12 +280,11 @@ where
     M: ChunkMatrix<C>,
     S: Semiring,
 {
+    assert!(tile_w >= 1, "tile width must be at least 1");
     let s = matrix.structure();
     let nc = s.num_chunks();
     let EngineScratch { act, pending, tasks, task_start, skip, partials, .. } = scratch;
 
-    let activations = act.seed(s.dep_graph(), pending);
-    pending.clear();
     let (ids, flags) = act.split();
     let wl_len = ids.len();
 
@@ -303,15 +336,18 @@ where
                 depth,
             );
             // A skipped chunk's flag stays 0 (state forwarded
-            // verbatim); otherwise record the exact change.
+            // verbatim); otherwise record the exact change (an
+            // advanced chunk changed by implication).
             if !skip[pos] {
-                changed[k] = u8::from(S::state_changed(
-                    cur,
-                    i * C,
-                    &x[off..off + C],
-                    &g[off..off + C],
-                    &p[off..off + C],
-                ));
+                changed[k] = u8::from(
+                    adv || S::state_changed(
+                        cur,
+                        i * C,
+                        &x[off..off + C],
+                        &g[off..off + C],
+                        &p[off..off + C],
+                    ),
+                );
             }
             acc2.0 |= adv;
             acc2.1 += steps;
@@ -326,11 +362,12 @@ where
     let changed_chunks = act.collect_changed_into(pending);
     IterStats {
         elapsed: Default::default(),
+        sweep_mode: ExecutedSweep::Worklist,
         chunks_processed: wl_len - skipped,
         chunks_skipped: skipped,
         chunks_not_on_worklist: nc - wl_len,
         worklist_len: wl_len,
-        activations,
+        activations: 0, // recorded by the policy layer that seeded
         changed_chunks,
         col_steps,
         cells: col_steps * C as u64,

@@ -10,10 +10,20 @@
 //! Unlike BFS, SSSP is label-*correcting*: a finite label can improve in
 //! a later iteration, so the SlimWork skip criterion ("all labels
 //! finite") is unsound here and deliberately absent — an instructive
-//! ablation of where each optimization applies.
+//! ablation of where each optimization applies. What *is* sound is the
+//! worklist machinery of [`crate::worklist`]: a chunk's labels can only
+//! improve when a chunk it gathers from (or the chunk itself) changed
+//! in the previous sweep, so the same dependency-graph + exact bit-wise
+//! change detection that drives frontier-proportional BFS turns the
+//! Bellman–Ford fixpoint from "re-run every chunk every sweep" into
+//! sweeps proportional to the still-relaxing region —
+//! [`SsspOptions::sweep`] selects full sweeps, worklist sweeps, or (the
+//! default) the adaptive controller of [`crate::sweep`], with distances
+//! bit-identical in every mode.
 //!
 //! Each relaxation sweep runs tile-parallel over [`crate::tiling`]
-//! chunk tiles writing disjoint slabs of the next label vector; the
+//! chunk tiles (full sweeps) or [`WorklistTiling`] slabs (worklist
+//! sweeps), writing disjoint slabs of the next label vector; the
 //! per-chunk min-plus math is independent of tile boundaries, so
 //! distances are bit-identical at any thread count.
 //!
@@ -30,11 +40,18 @@
 //! assert_eq!(out.dist, vec![0.0, 1.0, 3.0]);
 //! ```
 
+use std::sync::OnceLock;
+use std::time::Instant;
+
 use slimsell_graph::weighted::WeightedCsrGraph;
 use slimsell_graph::{Permutation, VertexId};
 use slimsell_simd::{SimdF32, SimdI32};
 
-use crate::tiling::{ChunkTiling, Schedule};
+use crate::counters::{IterStats, RunStats};
+use crate::semiring::slice_bits_differ;
+use crate::sweep::{resolve_sweep, AdaptiveController, ExecutedSweep, SweepMode};
+use crate::tiling::{ChunkTiling, Schedule, WorklistTiling};
+use crate::worklist::{ActivationState, ChunkDepGraph};
 
 /// Sell-C-σ with real-valued weights: structure arrays plus a weight
 /// `val` array (padding cells hold `+∞`, the min-plus annihilator).
@@ -47,6 +64,10 @@ pub struct WeightedSellCSigma<const C: usize> {
     col: Vec<i32>,
     val: Vec<f32>,
     perm: Permutation,
+    /// Chunk dependency graph, built lazily on first worklist-mode run
+    /// (non-worklist paths pay nothing) — same layout rules as the
+    /// unweighted [`crate::SellStructure`].
+    dep: OnceLock<ChunkDepGraph>,
 }
 
 impl<const C: usize> WeightedSellCSigma<C> {
@@ -95,13 +116,47 @@ impl<const C: usize> WeightedSellCSigma<C> {
                 }
             }
         }
-        Self { n, n_padded, cs, cl, col, val, perm }
+        Self { n, n_padded, cs, cl, col, val, perm, dep: OnceLock::new() }
     }
 
     /// Storage cells (`val` + `col` + `cs` + `cl`) — twice SlimSell's,
     /// necessarily.
     pub fn storage_cells(&self) -> usize {
         self.val.len() + self.col.len() + self.cs.len() + self.cl.len()
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.n_padded / C
+    }
+
+    /// The chunk dependency graph (see
+    /// [`SellStructure::dep_graph`](crate::SellStructure::dep_graph)):
+    /// computed once per matrix on first call; drives the worklist and
+    /// adaptive sweep modes.
+    pub fn dep_graph(&self) -> &ChunkDepGraph {
+        self.dep.get_or_init(|| {
+            ChunkDepGraph::build(self.num_chunks(), &self.cs, &self.cl, &self.col, C)
+        })
+    }
+}
+
+/// SSSP options: sweep strategy and scheduling. Unlike
+/// [`BfsOptions`](crate::BfsOptions) there is no SlimWork knob — the
+/// skip criterion is unsound for label-correcting relaxation (see the
+/// module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct SsspOptions {
+    /// Sweep strategy (defaults to the `SLIMSELL_SWEEP` env var;
+    /// adaptive when unset). Distances are bit-identical in every mode.
+    pub sweep: SweepMode,
+    /// Chunk scheduling policy.
+    pub schedule: Schedule,
+}
+
+impl Default for SsspOptions {
+    fn default() -> Self {
+        Self { sweep: SweepMode::env_default(), schedule: Schedule::Dynamic }
     }
 }
 
@@ -112,10 +167,56 @@ pub struct SsspOutput {
     pub dist: Vec<f32>,
     /// Relaxation sweeps executed (≤ n; typically ≈ hop diameter).
     pub iterations: usize,
+    /// Per-sweep statistics: sweep-mode trace, column steps, worklist
+    /// sizes, activation probes.
+    pub stats: RunStats,
 }
 
-/// Runs min-plus SSSP from `root` until the fixpoint.
+/// One chunk of the min-plus relaxation: gathers the current labels,
+/// folds `cl[i]` column steps, stores the chunk's next labels into
+/// `out`. Returns whether any lane improved numerically (the
+/// fixpoint-termination signal).
+#[inline]
+fn relax_chunk<const C: usize>(
+    m: &WeightedSellCSigma<C>,
+    cur: &[f32],
+    i: usize,
+    out: &mut [f32],
+) -> bool {
+    let mut acc = SimdF32::<C>::load(&cur[i * C..]);
+    let before = acc;
+    let mut index = m.cs[i];
+    for _ in 0..m.cl[i] {
+        let cols = SimdI32::<C>::load(&m.col[index..]);
+        let vals = SimdF32::<C>::load(&m.val[index..]);
+        let rhs = SimdF32::gather_or(cur, cols, f32::INFINITY);
+        // ∞ + w = ∞ keeps unreached neighbors neutral.
+        acc = rhs.add(vals).min(acc);
+        index += C;
+    }
+    acc.store(out);
+    acc.any_ne(before)
+}
+
+/// Runs min-plus SSSP from `root` until the fixpoint, with the default
+/// options (env-selected sweep mode, dynamic scheduling).
 pub fn sssp<const C: usize>(m: &WeightedSellCSigma<C>, root: VertexId) -> SsspOutput {
+    sssp_with(m, root, &SsspOptions::default())
+}
+
+/// Runs min-plus SSSP from `root` until the fixpoint, under the given
+/// sweep policy. The same correctness architecture as the BFS engine:
+/// the label vector is double-buffered, worklist sweeps maintain the
+/// invariant that outside the worklist `nxt` equals `cur` bit-for-bit
+/// (established by the initial clone, preserved because a chunk leaves
+/// the worklist only after writing back exactly its previous labels),
+/// and adaptive full sweeps track per-chunk bit-exact change flags so
+/// every full→worklist transition re-seeds correctly.
+pub fn sssp_with<const C: usize>(
+    m: &WeightedSellCSigma<C>,
+    root: VertexId,
+    opts: &SsspOptions,
+) -> SsspOutput {
     let n = m.n;
     assert!((root as usize) < n, "root {root} out of range (n = {n})");
     let root_p = m.perm.to_new(root) as usize;
@@ -123,42 +224,123 @@ pub fn sssp<const C: usize>(m: &WeightedSellCSigma<C>, root: VertexId) -> SsspOu
     cur[root_p] = 0.0;
     let mut nxt = cur.clone();
 
-    let nc = m.n_padded / C;
+    let nc = m.num_chunks();
+    let tiling = ChunkTiling::new(nc, opts.schedule);
+    let mut act = ActivationState::new();
+    let mut ctl = AdaptiveController::new();
+    let mut pending: Vec<u32> = Vec::new();
+    let mut full_changed: Vec<u8> = Vec::new();
+    if opts.sweep.uses_worklist() {
+        pending.push((root_p / C) as u32);
+    }
+    // Adaptive full sweeps must track changes to re-seed the worklist.
+    let track = opts.sweep == SweepMode::Adaptive;
+
+    let mut stats = RunStats::default();
     let mut iterations = 0usize;
     loop {
         iterations += 1;
-        let cs = &m.cs;
-        let cl = &m.cl;
-        let col = &m.col;
-        let val = &m.val;
+        let t0 = Instant::now();
+        // Short-circuit before touching `dep_graph()`: pure full-sweep
+        // runs must not force the lazy dependency-graph build.
+        let (exec, seeded) = match opts.sweep {
+            SweepMode::Full => (ExecutedSweep::Full, None),
+            _ => resolve_sweep(opts.sweep, &mut ctl, &mut act, m.dep_graph(), &mut pending, nc),
+        };
         let cur_ref = &cur;
-        let tiling = ChunkTiling::new(nc, Schedule::Dynamic);
-        let tiles = tiling.split(C, &mut nxt);
-        let changed = tiling.map_reduce(
-            tiles,
-            |t| {
-                let mut any = false;
-                for (k, out) in t.data.chunks_mut(C).enumerate() {
-                    let i = t.c0 + k;
-                    let mut acc = SimdF32::<C>::load(&cur_ref[i * C..]);
-                    let before = acc;
-                    let mut index = cs[i];
-                    for _ in 0..cl[i] {
-                        let cols = SimdI32::<C>::load(&col[index..]);
-                        let vals = SimdF32::<C>::load(&val[index..]);
-                        let rhs = SimdF32::gather_or(cur_ref, cols, f32::INFINITY);
-                        // ∞ + w = ∞ keeps unreached neighbors neutral.
-                        acc = rhs.add(vals).min(acc);
-                        index += C;
-                    }
-                    acc.store(out);
-                    any |= acc.any_ne(before);
-                }
-                any
-            },
-            || false,
-            |a, b| a | b,
-        );
+        let (changed, col_steps, wl_len, changed_chunks);
+        match exec {
+            ExecutedSweep::Full if track => {
+                full_changed.clear();
+                full_changed.resize(nc, 0);
+                let tiles: Vec<_> = tiling
+                    .split(C, &mut nxt)
+                    .into_iter()
+                    .zip(tiling.split(1, &mut full_changed))
+                    .collect();
+                (changed, col_steps) = tiling.map_reduce(
+                    tiles,
+                    |(t, f)| {
+                        let mut acc = (false, 0u64);
+                        for (k, (out, flag)) in
+                            t.data.chunks_mut(C).zip(f.data.iter_mut()).enumerate()
+                        {
+                            let i = t.c0 + k;
+                            acc.0 |= relax_chunk(m, cur_ref, i, out);
+                            *flag = u8::from(slice_bits_differ(out, &cur_ref[i * C..(i + 1) * C]));
+                            acc.1 += m.cl[i] as u64;
+                        }
+                        acc
+                    },
+                    || (false, 0),
+                    |a, b| (a.0 | b.0, a.1 + b.1),
+                );
+                pending.clear();
+                pending.extend(
+                    full_changed.iter().enumerate().filter(|(_, &f)| f != 0).map(|(i, _)| i as u32),
+                );
+                wl_len = nc;
+                changed_chunks = pending.len();
+            }
+            ExecutedSweep::Full => {
+                let tiles = tiling.split(C, &mut nxt);
+                (changed, col_steps) = tiling.map_reduce(
+                    tiles,
+                    |t| {
+                        let mut acc = (false, 0u64);
+                        for (k, out) in t.data.chunks_mut(C).enumerate() {
+                            let i = t.c0 + k;
+                            acc.0 |= relax_chunk(m, cur_ref, i, out);
+                            acc.1 += m.cl[i] as u64;
+                        }
+                        acc
+                    },
+                    || (false, 0),
+                    |a, b| (a.0 | b.0, a.1 + b.1),
+                );
+                wl_len = nc;
+                changed_chunks = 0;
+            }
+            ExecutedSweep::Worklist => {
+                let (ids, flags) = act.split();
+                wl_len = ids.len();
+                let wt = WorklistTiling::new(ids, opts.schedule);
+                let slabs = wt.split_slab(C, &mut nxt, flags);
+                (changed, col_steps) = wt.map_reduce(
+                    slabs,
+                    |s| {
+                        let base0 = s.ids[0] as usize * C;
+                        let mut acc = (false, 0u64);
+                        for (k, &id) in s.ids.iter().enumerate() {
+                            let i = id as usize;
+                            let off = i * C - base0;
+                            let out = &mut s.data[off..off + C];
+                            acc.0 |= relax_chunk(m, cur_ref, i, out);
+                            s.changed[k] =
+                                u8::from(slice_bits_differ(out, &cur_ref[i * C..(i + 1) * C]));
+                            acc.1 += m.cl[i] as u64;
+                        }
+                        acc
+                    },
+                    || (false, 0),
+                    |a, b| (a.0 | b.0, a.1 + b.1),
+                );
+                changed_chunks = act.collect_changed_into(&mut pending);
+            }
+        }
+        stats.iters.push(IterStats {
+            elapsed: t0.elapsed(),
+            sweep_mode: exec,
+            chunks_processed: wl_len,
+            chunks_skipped: 0,
+            chunks_not_on_worklist: nc - wl_len,
+            worklist_len: wl_len,
+            activations: seeded.unwrap_or(0),
+            changed_chunks,
+            col_steps,
+            cells: col_steps * C as u64,
+            changed,
+        });
         std::mem::swap(&mut cur, &mut nxt);
         if !changed || iterations > n {
             break;
@@ -166,7 +348,7 @@ pub fn sssp<const C: usize>(m: &WeightedSellCSigma<C>, root: VertexId) -> SsspOu
     }
 
     let dist = (0..n).map(|old| cur[m.perm.to_new(old as VertexId) as usize]).collect();
-    SsspOutput { dist, iterations }
+    SsspOutput { dist, iterations, stats }
 }
 
 #[cfg(test)]
@@ -185,6 +367,10 @@ mod tests {
         }
     }
 
+    fn opts(sweep: SweepMode) -> SsspOptions {
+        SsspOptions { sweep, ..Default::default() }
+    }
+
     #[test]
     fn matches_dijkstra_on_sample() {
         let g = WeightedCsrGraph::from_edges(
@@ -192,9 +378,11 @@ mod tests {
             [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 5.0), (2, 3, 1.0), (0, 4, 10.0), (3, 4, 1.0)],
         );
         let m = WeightedSellCSigma::<4>::build(&g, 5);
-        let out = sssp(&m, 0);
-        assert_close(&out.dist, &dijkstra(&g, 0));
-        assert_eq!(out.dist, vec![0.0, 1.0, 3.0, 4.0, 5.0]);
+        for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
+            let out = sssp_with(&m, 0, &opts(sweep));
+            assert_close(&out.dist, &dijkstra(&g, 0));
+            assert_eq!(out.dist, vec![0.0, 1.0, 3.0, 4.0, 5.0], "{sweep:?}");
+        }
     }
 
     #[test]
@@ -226,17 +414,110 @@ mod tests {
     }
 
     #[test]
+    fn all_sweep_modes_bit_identical() {
+        // The worklist/adaptive sweeps must be pure work-avoidance
+        // transformations: same distances to the bit, same sweep count.
+        let mut rng = Xoshiro256pp::seed_from_u64(4242);
+        for _ in 0..6 {
+            let n = 50 + rng.bounded_usize(80);
+            let edges: Vec<(u32, u32, f32)> = (0..3 * n)
+                .map(|_| {
+                    (
+                        rng.bounded_usize(n) as u32,
+                        rng.bounded_usize(n) as u32,
+                        (rng.next_f64() * 5.0) as f32 + 0.05,
+                    )
+                })
+                .collect();
+            let g = WeightedCsrGraph::from_edges(n, edges);
+            let m = WeightedSellCSigma::<4>::build(&g, n);
+            let root = (n / 3) as u32;
+            let full = sssp_with(&m, root, &opts(SweepMode::Full));
+            for sweep in [SweepMode::Worklist, SweepMode::Adaptive] {
+                let out = sssp_with(&m, root, &opts(sweep));
+                let full_bits: Vec<u32> = full.dist.iter().map(|x| x.to_bits()).collect();
+                let out_bits: Vec<u32> = out.dist.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(out_bits, full_bits, "{sweep:?} labels diverged");
+                assert_eq!(out.iterations, full.iterations, "{sweep:?} sweep count diverged");
+                assert!(
+                    out.stats.total_col_steps() <= full.stats.total_col_steps(),
+                    "{sweep:?} did more relaxation work than the full sweep"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_reduces_relaxation_work_on_a_path() {
+        // A long weighted path: the relaxing region is a wavefront, so
+        // worklist sweeps must execute far fewer column steps than the
+        // full Bellman-Ford re-run while agreeing bit-for-bit.
+        let n = 512u32;
+        let edges: Vec<(u32, u32, f32)> =
+            (0..n - 1).map(|v| (v, v + 1, 1.0 + (v % 7) as f32 * 0.25)).collect();
+        let g = WeightedCsrGraph::from_edges(n as usize, edges);
+        let m = WeightedSellCSigma::<4>::build(&g, 1);
+        let full = sssp_with(&m, 0, &opts(SweepMode::Full));
+        let wl = sssp_with(&m, 0, &opts(SweepMode::Worklist));
+        assert_eq!(
+            wl.dist.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            full.dist.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(wl.iterations, full.iterations);
+        assert!(
+            wl.stats.total_col_steps() < full.stats.total_col_steps() / 4,
+            "worklist {} not ≪ full {}",
+            wl.stats.total_col_steps(),
+            full.stats.total_col_steps()
+        );
+        assert!(wl.stats.total_not_on_worklist() > 0);
+        assert!(wl.stats.total_activations() > 0);
+        // Counter coherence per sweep.
+        let nc = m.num_chunks();
+        for it in &wl.stats.iters {
+            assert_eq!(it.chunks_processed, it.worklist_len);
+            assert_eq!(it.chunks_not_on_worklist, nc - it.worklist_len);
+            assert_eq!(it.sweep_mode, ExecutedSweep::Worklist);
+        }
+        // Adaptive stays in the worklist regime on a wavefront.
+        let ad = sssp_with(&m, 0, &opts(SweepMode::Adaptive));
+        assert_eq!(ad.stats.mode_switches(), 0);
+        assert_eq!(ad.stats.total_col_steps(), wl.stats.total_col_steps());
+    }
+
+    #[test]
     fn label_correcting_beats_greedy_hop_order() {
         // Long cheap path vs short expensive edge: the min-plus fixpoint
         // must pick the cheap 3-hop route (cost 3) over the 1-hop edge
         // (cost 10) — labels improve after first becoming finite, the
-        // reason SlimWork is unsound for SSSP.
+        // reason SlimWork is unsound for SSSP. Every sweep mode must
+        // get this right (the worklist must keep re-listing chunks
+        // whose labels keep improving).
         let g =
             WeightedCsrGraph::from_edges(4, [(0, 3, 10.0), (0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
         let m = WeightedSellCSigma::<4>::build(&g, 4);
-        let out = sssp(&m, 0);
-        assert_eq!(out.dist[3], 3.0);
-        assert!(out.iterations >= 3);
+        for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
+            let out = sssp_with(&m, 0, &opts(sweep));
+            assert_eq!(out.dist[3], 3.0, "{sweep:?}");
+            assert!(out.iterations >= 3, "{sweep:?}");
+        }
+    }
+
+    #[test]
+    fn dep_graph_is_lazy_and_consistent() {
+        // sigma = 1 keeps vertex ids equal to permuted positions.
+        let g = WeightedCsrGraph::from_edges(16, [(0, 15, 1.0), (3, 8, 2.0), (8, 9, 0.5)]);
+        let m = WeightedSellCSigma::<4>::build(&g, 1);
+        let dep = m.dep_graph();
+        assert_eq!(dep.num_chunks(), m.num_chunks());
+        for j in 0..dep.num_chunks() {
+            let d = dep.dependents(j);
+            assert!(d.contains(&(j as u32)), "missing self edge of {j}");
+            assert!(d.windows(2).all(|w| w[0] < w[1]), "unsorted deps of {j}");
+        }
+        // 0-15 edge crosses chunks 0 and 3: mutual dependency.
+        assert!(dep.dependents(0).contains(&3));
+        assert!(dep.dependents(3).contains(&0));
     }
 
     #[test]

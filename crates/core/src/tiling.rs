@@ -315,6 +315,25 @@ pub struct WorklistSpan<'a> {
     pub changed: &'a mut [u8],
 }
 
+/// A tile's exclusive view of one worklist slice over a *single*
+/// output slab — the one-vector counterpart of [`WorklistSpan`] for
+/// kernels whose state is a plain label vector (weighted SSSP's
+/// distance labels, PageRank's per-vertex SpMV accumulator) rather
+/// than the BFS-family [`StateVecs`]. Same coverage rule: `data` spans
+/// the contiguous chunk range `ids[0] ..= ids[last]` and interleaved
+/// non-worklist chunks ride inside untouched.
+pub struct WorklistSlab<'a, T> {
+    /// Worklist position of `ids[0]`.
+    pub first_pos: usize,
+    /// The worklist chunk ids this tile owns (sorted, non-empty).
+    pub ids: &'a [u32],
+    /// Output slab covering chunks `ids[0] ..= ids[last]`, `width`
+    /// elements per chunk.
+    pub data: &'a mut [T],
+    /// One changed flag per entry of `ids`, in order.
+    pub changed: &'a mut [u8],
+}
+
 /// A partition of a **sorted chunk-id worklist** into contiguous
 /// per-worker position ranges — the worklist twin of [`ChunkTiling`],
 /// with the same determinism contract: tiles own disjoint `&mut` slabs
@@ -408,6 +427,48 @@ impl<'w> WorklistTiling<'w> {
                 d: dd,
                 changed: flags,
             });
+        }
+        out
+    }
+
+    /// Carves a single `width`-per-chunk output slab and the changed
+    /// flag slab into per-tile [`WorklistSlab`]s — the generalization
+    /// of [`split_spans`](Self::split_spans) the non-`StateVecs`
+    /// kernels (SSSP, PageRank) tile with, under the same
+    /// disjoint-`split_at_mut` / determinism contract.
+    ///
+    /// # Panics
+    /// Panics if `slab` is shorter than the largest worklist id
+    /// requires or `changed` does not have one flag per worklist entry.
+    pub fn split_slab<'a, T>(
+        &self,
+        width: usize,
+        slab: &'a mut [T],
+        changed: &'a mut [u8],
+    ) -> Vec<WorklistSlab<'a, T>>
+    where
+        'w: 'a,
+    {
+        assert_eq!(changed.len(), self.ids.len(), "one changed flag per worklist entry");
+        if let Some(&last) = self.ids.last() {
+            assert!(
+                (last as usize + 1) * width <= slab.len(),
+                "worklist id {last} out of range for {} slots of width {width}",
+                slab.len()
+            );
+        }
+        let mut out = Vec::with_capacity(self.ranges.len());
+        let (mut rest, mut rc) = (slab, changed);
+        let mut cursor = 0usize; // slots consumed so far
+        for &(p0, p1) in &self.ranges {
+            let start = self.ids[p0] as usize * width;
+            let end = (self.ids[p1 - 1] as usize + 1) * width;
+            let (_, r) = std::mem::take(&mut rest).split_at_mut(start - cursor);
+            let (data, tail) = r.split_at_mut(end - start);
+            let (flags, tc) = std::mem::take(&mut rc).split_at_mut(p1 - p0);
+            (rest, rc) = (tail, tc);
+            cursor = end;
+            out.push(WorklistSlab { first_pos: p0, ids: &self.ids[p0..p1], data, changed: flags });
         }
         out
     }
@@ -545,6 +606,39 @@ mod tests {
         let tiling = ChunkTiling::new(4, Schedule::Static);
         let mut slab = vec![0f32; 7]; // not 4 * 2
         let _ = tiling.split(2, &mut slab);
+    }
+
+    #[test]
+    fn split_slab_covers_worklist_chunks_disjointly() {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            // A sparse worklist over 12 chunks of width 3; non-listed
+            // chunks (1, 2, 4, 6, 8..) must never be written.
+            let ids: Vec<u32> = vec![0, 3, 5, 7, 11];
+            let tiling = WorklistTiling::new(&ids, Schedule::Dynamic);
+            let mut slab = vec![0u32; 12 * 3];
+            let mut flags = vec![0u8; ids.len()];
+            let slabs = tiling.split_slab(3, &mut slab, &mut flags);
+            assert_eq!(slabs.iter().map(|s| s.ids.len()).sum::<usize>(), ids.len());
+            tiling.for_each(slabs, |s| {
+                let base0 = s.ids[0] as usize * 3;
+                for (k, &id) in s.ids.iter().enumerate() {
+                    let off = id as usize * 3 - base0;
+                    for v in &mut s.data[off..off + 3] {
+                        *v = id + 1;
+                    }
+                    s.changed[k] = 1;
+                }
+            });
+            for c in 0..12u32 {
+                let expect = if ids.contains(&c) { c + 1 } else { 0 };
+                assert!(
+                    slab[c as usize * 3..(c as usize + 1) * 3].iter().all(|&v| v == expect),
+                    "chunk {c} corrupted: {slab:?}"
+                );
+            }
+            assert!(flags.iter().all(|&f| f == 1));
+        });
     }
 
     #[test]

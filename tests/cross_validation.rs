@@ -77,19 +77,19 @@ fn engine_option_combinations() {
         for slimwork in [false, true] {
             for slimchunk in [None, Some(1), Some(4)] {
                 for schedule in [Schedule::Static, Schedule::Dynamic] {
-                    for worklist in [false, true] {
+                    for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
                         let opts = BfsOptions {
                             slimwork,
                             slimchunk,
                             schedule,
                             max_iterations: None,
-                            worklist,
+                            sweep,
                         };
                         let out = BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &opts);
                         assert_eq!(
                             out.dist, reference.dist,
                             "{name} slimwork={slimwork} slimchunk={slimchunk:?} {schedule:?} \
-                             worklist={worklist}"
+                             sweep={sweep:?}"
                         );
                     }
                 }

@@ -14,11 +14,15 @@ use slimsell::prelude::*;
 const SCALE: u32 = 12;
 
 fn full_opts() -> BfsOptions {
-    BfsOptions { slimwork: true, worklist: false, ..Default::default() }
+    BfsOptions { slimwork: true, sweep: SweepMode::Full, ..Default::default() }
 }
 
 fn wl_opts() -> BfsOptions {
-    BfsOptions { slimwork: true, worklist: true, ..Default::default() }
+    BfsOptions { slimwork: true, sweep: SweepMode::Worklist, ..Default::default() }
+}
+
+fn ad_opts() -> BfsOptions {
+    BfsOptions { slimwork: true, sweep: SweepMode::Adaptive, ..Default::default() }
 }
 
 fn high_diameter_graphs() -> Vec<(&'static str, CsrGraph)> {
@@ -67,13 +71,13 @@ fn worklist_outputs_bit_identical_to_sequential_oracle_in_all_modes() {
         .build()
         .unwrap()
         .install(|| BfsEngine::run::<_, SelMaxSemiring, 8>(&m, root, &full_opts()));
-    for worklist in [false, true] {
+    for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
         for slimchunk in [None, Some(4)] {
             for schedule in [Schedule::Static, Schedule::Dynamic] {
-                let opts = BfsOptions { worklist, slimchunk, schedule, ..Default::default() };
+                let opts = BfsOptions { sweep, slimchunk, schedule, ..Default::default() };
                 let out = BfsEngine::run::<_, SelMaxSemiring, 8>(&m, root, &opts);
-                assert_eq!(out.dist, oracle.dist, "dist: wl={worklist} sc={slimchunk:?}");
-                assert_eq!(out.parent, oracle.parent, "parents: wl={worklist} sc={slimchunk:?}");
+                assert_eq!(out.dist, oracle.dist, "dist: {sweep:?} sc={slimchunk:?}");
+                assert_eq!(out.parent, oracle.parent, "parents: {sweep:?} sc={slimchunk:?}");
             }
         }
     }
@@ -107,19 +111,76 @@ fn worklist_counters_are_coherent_per_iteration() {
 }
 
 #[test]
+fn adaptive_tracks_the_better_pure_mode_on_every_regime() {
+    // The acceptance shape of the adaptive controller: on the
+    // high-diameter generators it must stay in the worklist regime and
+    // match the worklist engine's column steps (within 5%); everywhere
+    // it is hard-bounded by the worse pure mode. Counters are exact,
+    // so the inequalities are deterministic.
+    for (name, g) in high_diameter_graphs() {
+        let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
+        let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        let full = BfsEngine::run::<_, TropicalSemiring, 8>(&m, root, &full_opts());
+        let wl = BfsEngine::run::<_, TropicalSemiring, 8>(&m, root, &wl_opts());
+        let ad = BfsEngine::run::<_, TropicalSemiring, 8>(&m, root, &ad_opts());
+        assert_eq!(ad.dist, full.dist, "{name}: adaptive distances wrong");
+        assert_eq!(ad.stats.num_iterations(), full.stats.num_iterations());
+        let (f, w, a) =
+            (full.stats.total_col_steps(), wl.stats.total_col_steps(), ad.stats.total_col_steps());
+        assert!(a <= f.max(w), "{name}: adaptive {a} exceeds max(full {f}, worklist {w})");
+        let best = f.min(w) as f64;
+        assert!(
+            (a as f64) <= best * 1.05,
+            "{name}: adaptive {a} not within 5% of the better pure mode {best}"
+        );
+        // High-diameter wavefronts never flood: the controller should
+        // never pay a full sweep after the start-up transient.
+        assert!(
+            ad.stats.worklist_sweep_iterations() * 10 >= ad.stats.num_iterations() * 9,
+            "{name}: adaptive ran mostly full sweeps on a wavefront regime ({} of {})",
+            ad.stats.worklist_sweep_iterations(),
+            ad.stats.num_iterations()
+        );
+    }
+}
+
+#[test]
+fn adaptive_mode_trace_is_recorded_per_iteration() {
+    let (_, g) = &high_diameter_graphs()[0];
+    let root = slimsell::graph::stats::sample_roots(g, 1)[0];
+    let m = SlimSellMatrix::<8>::build(g, g.num_vertices());
+    let ad = BfsEngine::run::<_, BooleanSemiring, 8>(&m, root, &ad_opts());
+    let nc = m.structure().num_chunks();
+    for (k, it) in ad.stats.iters.iter().enumerate() {
+        match it.sweep_mode {
+            ExecutedSweep::Full => {
+                assert_eq!(it.worklist_len, nc, "iter {k}: full sweep must visit every chunk");
+                assert_eq!(it.chunks_not_on_worklist, 0, "iter {k}");
+            }
+            ExecutedSweep::Worklist => {
+                assert_eq!(it.chunks_not_on_worklist, nc - it.worklist_len, "iter {k}");
+            }
+        }
+    }
+    // The switch count derived from the trace matches the aggregate.
+    let switches = ad.stats.iters.windows(2).filter(|w| w[0].sweep_mode != w[1].sweep_mode).count();
+    assert_eq!(switches, ad.stats.mode_switches());
+}
+
+#[test]
 fn worklist_direction_optimized_matches_on_high_diameter_graphs() {
     for (name, g) in high_diameter_graphs() {
         let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
         let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
         let reference = serial_bfs(&g, root);
         // Force bottom-up so the worklist path actually runs.
-        let mk = |worklist| DirOptOptions {
+        let mk = |sweep| DirOptOptions {
             alpha: f64::INFINITY,
             beta: f64::INFINITY,
-            spmv: BfsOptions { worklist, ..Default::default() },
+            spmv: BfsOptions { sweep, ..Default::default() },
         };
-        let full = run_diropt(&m, root, &mk(false));
-        let wl = run_diropt(&m, root, &mk(true));
+        let full = run_diropt(&m, root, &mk(SweepMode::Full));
+        let wl = run_diropt(&m, root, &mk(SweepMode::Worklist));
         assert_eq!(full.bfs.dist, reference.dist, "{name}: full diropt wrong");
         assert_eq!(wl.bfs.dist, reference.dist, "{name}: worklist diropt wrong");
         assert_eq!(wl.modes, full.modes, "{name}: mode sequences diverged");

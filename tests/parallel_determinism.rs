@@ -70,6 +70,11 @@ fn check_engine<S: Semiring>(g: &CsrGraph, root: VertexId, opts: &BfsOptions, la
             reference.stats.total_activations(),
             "{label}: activation counters diverged at {threads} threads"
         );
+        assert_eq!(
+            out.stats.iters.iter().map(|i| i.sweep_mode).collect::<Vec<_>>(),
+            reference.stats.iters.iter().map(|i| i.sweep_mode).collect::<Vec<_>>(),
+            "{label}: sweep-mode trace diverged at {threads} threads"
+        );
     }
 }
 
@@ -107,7 +112,7 @@ fn worklist_all_semirings_bit_identical_across_thread_counts() {
     // counter (worklist sizes, activations, exclusions) must be
     // byte-equal at any thread count.
     let (g, root) = graph();
-    let opts = BfsOptions { worklist: true, ..Default::default() };
+    let opts = BfsOptions { sweep: SweepMode::Worklist, ..Default::default() };
     check_engine::<TropicalSemiring>(&g, root, &opts, "tropical+worklist");
     check_engine::<BooleanSemiring>(&g, root, &opts, "boolean+worklist");
     check_engine::<RealSemiring>(&g, root, &opts, "real+worklist");
@@ -119,7 +124,12 @@ fn worklist_schedules_and_slimchunk_bit_identical() {
     let (g, root) = graph();
     for schedule in [Schedule::Static, Schedule::Dynamic] {
         for slimchunk in [None, Some(4)] {
-            let opts = BfsOptions { schedule, slimchunk, worklist: true, ..Default::default() };
+            let opts = BfsOptions {
+                schedule,
+                slimchunk,
+                sweep: SweepMode::Worklist,
+                ..Default::default()
+            };
             let label = format!("worklist/{schedule:?}/{slimchunk:?}");
             check_engine::<TropicalSemiring>(&g, root, &opts, &label);
             check_engine::<SelMaxSemiring>(&g, root, &opts, &label);
@@ -128,20 +138,77 @@ fn worklist_schedules_and_slimchunk_bit_identical() {
 }
 
 #[test]
+fn adaptive_all_semirings_bit_identical_across_thread_counts() {
+    // The adaptive controller's decisions depend only on deterministic
+    // counters (pending sizes, worklist lengths), so the full decision
+    // trace — which iterations ran full vs worklist, checked via the
+    // sweep_mode assertions in check_engine — and every output must be
+    // byte-equal at any thread count.
+    let (g, root) = graph();
+    let opts = BfsOptions { sweep: SweepMode::Adaptive, ..Default::default() };
+    check_engine::<TropicalSemiring>(&g, root, &opts, "tropical+adaptive");
+    check_engine::<BooleanSemiring>(&g, root, &opts, "boolean+adaptive");
+    check_engine::<RealSemiring>(&g, root, &opts, "real+adaptive");
+    check_engine::<SelMaxSemiring>(&g, root, &opts, "sel-max+adaptive");
+}
+
+#[test]
+fn adaptive_schedules_and_slimchunk_bit_identical() {
+    let (g, root) = graph();
+    for schedule in [Schedule::Static, Schedule::Dynamic] {
+        for slimchunk in [None, Some(4)] {
+            let opts = BfsOptions {
+                schedule,
+                slimchunk,
+                sweep: SweepMode::Adaptive,
+                ..Default::default()
+            };
+            let label = format!("adaptive/{schedule:?}/{slimchunk:?}");
+            check_engine::<TropicalSemiring>(&g, root, &opts, &label);
+            check_engine::<SelMaxSemiring>(&g, root, &opts, &label);
+        }
+    }
+}
+
+#[test]
+fn adaptive_direction_optimized_bit_identical() {
+    let (g, root) = graph();
+    let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+    let opts = DirOptOptions {
+        spmv: BfsOptions { sweep: SweepMode::Adaptive, ..Default::default() },
+        ..Default::default()
+    };
+    let reference = with_threads(1, || run_diropt(&slim, root, &opts));
+    let full_opts = DirOptOptions {
+        spmv: BfsOptions { sweep: SweepMode::Full, ..Default::default() },
+        ..Default::default()
+    };
+    let full = with_threads(1, || run_diropt(&slim, root, &full_opts));
+    assert_eq!(reference.bfs.dist, full.bfs.dist, "adaptive diropt distances diverged");
+    assert_eq!(reference.modes, full.modes, "adaptive diropt mode sequence diverged");
+    for threads in THREAD_COUNTS {
+        let out = with_threads(threads, || run_diropt(&slim, root, &opts));
+        assert_eq!(out.bfs.dist, reference.bfs.dist, "adaptive diropt dist at {threads} threads");
+        assert_eq!(out.modes, reference.modes, "adaptive diropt modes at {threads} threads");
+    }
+}
+
+#[test]
 fn worklist_direction_optimized_bit_identical() {
     let (g, root) = graph();
     let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
     let opts = DirOptOptions {
-        spmv: BfsOptions { worklist: true, ..Default::default() },
+        spmv: BfsOptions { sweep: SweepMode::Worklist, ..Default::default() },
         ..Default::default()
     };
     let reference = with_threads(1, || run_diropt(&slim, root, &opts));
     // The worklist must not perturb the heuristic: same distances and
-    // mode sequence as the full-sweep diropt. Pin worklist off
-    // explicitly — under the SLIMSELL_WORKLIST=1 CI leg the default
-    // would silently be worklist mode and the comparison vacuous.
+    // mode sequence as the full-sweep diropt. Pin the sweep mode
+    // explicitly — under the SLIMSELL_SWEEP=worklist CI leg the
+    // default would silently be worklist mode and the comparison
+    // vacuous.
     let full_opts = DirOptOptions {
-        spmv: BfsOptions { worklist: false, ..Default::default() },
+        spmv: BfsOptions { sweep: SweepMode::Full, ..Default::default() },
         ..Default::default()
     };
     let full = with_threads(1, || run_diropt(&slim, root, &full_opts));
@@ -212,18 +279,43 @@ fn sssp_bit_identical_across_thread_counts() {
     let wg = slimsell::graph::weighted::synthetic_weighted_twin(&g);
     let m = WeightedSellCSigma::<8>::build(&wg, wg.num_vertices());
     let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
-    let reference = with_threads(1, || sssp(&m, root));
-    for threads in THREAD_COUNTS {
-        let out = with_threads(threads, || sssp(&m, root));
+    // The 1-thread full-sweep run is the oracle for every sweep mode:
+    // worklist and adaptive SSSP must reproduce its labels to the bit
+    // at every thread count (and their own counters must be
+    // thread-count-invariant too).
+    let full_opts = SsspOptions { sweep: SweepMode::Full, ..Default::default() };
+    let oracle = with_threads(1, || sssp_with(&m, root, &full_opts));
+    for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
+        let opts = SsspOptions { sweep, ..Default::default() };
+        let reference = with_threads(1, || sssp_with(&m, root, &opts));
         assert_eq!(
-            bits32(&out.dist),
             bits32(&reference.dist),
-            "sssp distances diverged at {threads} threads"
+            bits32(&oracle.dist),
+            "sssp {sweep:?} labels diverged from the full-sweep oracle"
         );
-        assert_eq!(
-            out.iterations, reference.iterations,
-            "sssp sweep count diverged at {threads} threads"
-        );
+        assert_eq!(reference.iterations, oracle.iterations, "sssp {sweep:?} sweep count");
+        for threads in THREAD_COUNTS {
+            let out = with_threads(threads, || sssp_with(&m, root, &opts));
+            assert_eq!(
+                bits32(&out.dist),
+                bits32(&reference.dist),
+                "sssp {sweep:?} distances diverged at {threads} threads"
+            );
+            assert_eq!(
+                out.iterations, reference.iterations,
+                "sssp {sweep:?} sweep count diverged at {threads} threads"
+            );
+            assert_eq!(
+                out.stats.total_col_steps(),
+                reference.stats.total_col_steps(),
+                "sssp {sweep:?} column steps diverged at {threads} threads"
+            );
+            assert_eq!(
+                out.stats.iters.iter().map(|i| i.sweep_mode).collect::<Vec<_>>(),
+                reference.stats.iters.iter().map(|i| i.sweep_mode).collect::<Vec<_>>(),
+                "sssp {sweep:?} mode trace diverged at {threads} threads"
+            );
+        }
     }
 }
 

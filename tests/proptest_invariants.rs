@@ -68,8 +68,8 @@ proptest! {
         let root = (root_sel % n) as VertexId;
         let sigma = [1, 8, n][sigma_sel].max(1);
         let slim = SlimSellMatrix::<4>::build(&g, sigma);
-        let full_opts = BfsOptions { worklist: false, ..Default::default() };
-        let wl_opts = BfsOptions { worklist: true, ..Default::default() };
+        let full_opts = BfsOptions { sweep: SweepMode::Full, ..Default::default() };
+        let wl_opts = BfsOptions { sweep: SweepMode::Worklist, ..Default::default() };
         macro_rules! check {
             ($sem:ty) => {{
                 let full = BfsEngine::run::<_, $sem, 4>(&slim, root, &full_opts);
@@ -94,6 +94,81 @@ proptest! {
         prop_assert_eq!(&sc_wl.dist, &sc_full.dist, "slimchunk+worklist dist");
         prop_assert_eq!(sc_wl.stats.num_iterations(), sc_full.stats.num_iterations());
         prop_assert!(sc_wl.stats.total_col_steps() <= sc_full.stats.total_col_steps());
+    }
+
+    /// Adaptive BFS is bit-identical to the 1-thread full-sweep oracle
+    /// on arbitrary graphs: same distances, parents, and iteration
+    /// count for every semiring, with column steps bounded by the
+    /// worse pure mode — the switching policy must be invisible in the
+    /// outputs whatever the frontier shape does around the crossover.
+    #[test]
+    fn adaptive_equals_one_thread_full_sweep_oracle(
+        g in arb_graph(), root_sel in 0usize..60, sigma_sel in 0usize..3
+    ) {
+        let n = g.num_vertices();
+        let root = (root_sel % n) as VertexId;
+        let sigma = [1, 8, n][sigma_sel].max(1);
+        let slim = SlimSellMatrix::<4>::build(&g, sigma);
+        let pin1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let full_opts = BfsOptions { sweep: SweepMode::Full, ..Default::default() };
+        let wl_opts = BfsOptions { sweep: SweepMode::Worklist, ..Default::default() };
+        let ad_opts = BfsOptions { sweep: SweepMode::Adaptive, ..Default::default() };
+        macro_rules! check {
+            ($sem:ty) => {{
+                let oracle = pin1.install(||
+                    BfsEngine::run::<_, $sem, 4>(&slim, root, &full_opts));
+                let wl = BfsEngine::run::<_, $sem, 4>(&slim, root, &wl_opts);
+                let ad = BfsEngine::run::<_, $sem, 4>(&slim, root, &ad_opts);
+                prop_assert_eq!(&ad.dist, &oracle.dist, "{} dist", <$sem>::NAME);
+                prop_assert_eq!(&ad.parent, &oracle.parent, "{} parents", <$sem>::NAME);
+                prop_assert_eq!(ad.stats.num_iterations(), oracle.stats.num_iterations(),
+                    "{} iterations", <$sem>::NAME);
+                prop_assert!(
+                    ad.stats.total_col_steps()
+                        <= oracle.stats.total_col_steps().max(wl.stats.total_col_steps()),
+                    "{} adaptive exceeded the worse pure mode", <$sem>::NAME);
+            }};
+        }
+        check!(TropicalSemiring);
+        check!(BooleanSemiring);
+        check!(RealSemiring);
+        check!(SelMaxSemiring);
+        // SlimChunk + adaptive composes the same way.
+        let sc_oracle = pin1.install(|| BfsEngine::run::<_, TropicalSemiring, 4>(
+            &slim, root, &BfsOptions { slimchunk: Some(2), ..full_opts }));
+        let sc_ad = BfsEngine::run::<_, TropicalSemiring, 4>(
+            &slim, root, &BfsOptions { slimchunk: Some(2), ..ad_opts });
+        prop_assert_eq!(&sc_ad.dist, &sc_oracle.dist, "slimchunk+adaptive dist");
+        prop_assert_eq!(sc_ad.stats.num_iterations(), sc_oracle.stats.num_iterations());
+    }
+
+    /// Worklist and adaptive SSSP reproduce the 1-thread full-sweep
+    /// oracle's potentials *to the f32 bit* on arbitrary weighted
+    /// graphs, in the same number of relaxation sweeps and never with
+    /// more relaxation work — label-correcting convergence (labels
+    /// improving after first becoming finite) must keep chunks listed
+    /// until they truly settle.
+    #[test]
+    fn sssp_sweep_modes_equal_one_thread_full_oracle(
+        g in arb_graph(), root_sel in 0usize..60, sigma_sel in 0usize..3
+    ) {
+        let n = g.num_vertices();
+        let root = (root_sel % n) as VertexId;
+        let sigma = [1, 8, n][sigma_sel].max(1);
+        let wg = slimsell::graph::weighted::synthetic_weighted_twin(&g);
+        let m = WeightedSellCSigma::<4>::build(&wg, sigma);
+        let pin1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let full = SsspOptions { sweep: SweepMode::Full, ..Default::default() };
+        let oracle = pin1.install(|| sssp_with(&m, root, &full));
+        let oracle_bits: Vec<u32> = oracle.dist.iter().map(|x| x.to_bits()).collect();
+        for sweep in [SweepMode::Worklist, SweepMode::Adaptive] {
+            let out = sssp_with(&m, root, &SsspOptions { sweep, ..Default::default() });
+            let bits: Vec<u32> = out.dist.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(&bits, &oracle_bits, "{:?} potentials diverged", sweep);
+            prop_assert_eq!(out.iterations, oracle.iterations, "{:?} sweep count", sweep);
+            prop_assert!(out.stats.total_col_steps() <= oracle.stats.total_col_steps(),
+                "{:?} did more relaxation work than the full sweep", sweep);
+        }
     }
 
     /// The Sell structure stores exactly the graph's adjacency under any
