@@ -21,6 +21,9 @@
 //! scaling options:
 //!   --kernel K        kernel(s) for BENCH_scaling.json: bfs (default),
 //!                     pagerank, sssp, msbfs, betweenness, or all
+//!   --simd {0,1}      also sweep the SIMD backend axis: measure each
+//!                     point under the scalar backend and the best
+//!                     detected one (default 0: current backend only)
 //!
 //! frontier options:
 //!   --adaptive {0,1}  include the adaptive sweep axis (default 1)
@@ -67,7 +70,7 @@ fn print_help() {
     println!(
         "options: --scale-log2 N  --rho X  --seed S  --runs K  --scale-shift N  --results-dir D"
     );
-    println!("scaling only: --kernel {{bfs|pagerank|sssp|msbfs|betweenness|all}}");
+    println!("scaling only: --kernel {{bfs|pagerank|sssp|msbfs|betweenness|all}}  --simd {{0|1}}");
     println!("frontier: sweeps scales 10..=--scale-log2 (full vs worklist vs adaptive;");
     println!("          --adaptive 0 drops the adaptive axis)");
     println!("see DESIGN.md section 4 for the experiment-to-paper mapping");

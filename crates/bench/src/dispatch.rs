@@ -12,6 +12,7 @@ use slimsell_core::semiring::{
 };
 use slimsell_core::{BfsEngine, BfsOptions, BfsOutput};
 use slimsell_graph::{CsrGraph, VertexId};
+use slimsell_simd::UnsupportedLanes;
 use slimsell_simt::{run_simt_bfs, SimtBfsReport, SimtConfig, SimtOptions};
 
 /// Representation selector.
@@ -148,17 +149,36 @@ macro_rules! prep_c {
 }
 
 /// Builds a matrix for `(C, σ, representation, semiring)` and returns a
-/// reusable runner.
-///
-/// # Panics
-/// Panics if `c` is not one of 4/8/16/32.
-pub fn prepare(g: &CsrGraph, c: usize, sigma: usize, rep: RepKind, sem: SemiringKind) -> Prepared {
-    match c {
+/// reusable runner, or [`UnsupportedLanes`] when `c` is not a lane count
+/// the SIMD backends implement (4/8/16/32) — the same error the lane
+/// dispatcher itself reports, so callers can surface one message for
+/// both layers.
+pub fn try_prepare(
+    g: &CsrGraph,
+    c: usize,
+    sigma: usize,
+    rep: RepKind,
+    sem: SemiringKind,
+) -> Result<Prepared, UnsupportedLanes> {
+    Ok(match c {
         4 => prep_c!(g, sigma, rep, sem, 4),
         8 => prep_c!(g, sigma, rep, sem, 8),
         16 => prep_c!(g, sigma, rep, sem, 16),
         32 => prep_c!(g, sigma, rep, sem, 32),
-        _ => panic!("unsupported chunk height C={c} (use 4, 8, 16, or 32)"),
+        _ => return Err(UnsupportedLanes(c)),
+    })
+}
+
+/// Builds a matrix for `(C, σ, representation, semiring)` and returns a
+/// reusable runner.
+///
+/// # Panics
+/// Panics if `c` is not one of 4/8/16/32 (see [`try_prepare`] for the
+/// non-panicking form).
+pub fn prepare(g: &CsrGraph, c: usize, sigma: usize, rep: RepKind, sem: SemiringKind) -> Prepared {
+    match try_prepare(g, c, sigma, rep, sem) {
+        Ok(p) => p,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -259,8 +279,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unsupported chunk height")]
+    #[should_panic(expected = "unsupported chunk height C=5")]
     fn bad_c_panics() {
         prepare(&g(), 5, 1, RepKind::SlimSell, SemiringKind::Tropical);
+    }
+
+    #[test]
+    fn bad_c_reports_supported_lanes() {
+        let err = match try_prepare(&g(), 7, 1, RepKind::SlimSell, SemiringKind::Tropical) {
+            Ok(_) => panic!("C=7 must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(err.0, 7);
+        let msg = err.to_string();
+        assert!(msg.contains("C=7") && msg.contains("[4, 8, 16, 32]"), "message: {msg}");
     }
 }

@@ -130,17 +130,18 @@ pub struct BfsOutput {
 pub(crate) struct EngineScratch {
     /// Cached full-range tiling, keyed by (chunk count, schedule).
     pub(crate) tiling: Option<(usize, Schedule, ChunkTiling)>,
-    /// Worklist activation machinery (stamps, worklist, changed flags).
+    /// Worklist activation machinery (stamps, worklist, changed masks).
     pub(crate) act: ActivationState,
-    /// Seeds for the next worklist: chunks whose state changed this
-    /// iteration (the direction-optimized driver also pushes chunks its
-    /// top-down steps touched).
-    pub(crate) pending: Vec<u32>,
+    /// Seeds for the next worklist: `(chunk, lane mask)` pairs for
+    /// chunks whose state changed this iteration, with the mask naming
+    /// the changed rows (the direction-optimized driver also pushes the
+    /// lanes its top-down steps touched).
+    pub(crate) pending: Vec<(u32, u32)>,
     /// Adaptive sweep controller (latched mode + hysteresis).
     pub(crate) ctl: AdaptiveController,
-    /// Per-chunk changed flags of adaptive mode's *tracked* full
-    /// sweeps (one byte per chunk over the whole range).
-    pub(crate) full_changed: Vec<u8>,
+    /// Per-chunk changed lane masks of adaptive mode's *tracked* full
+    /// sweeps (one mask per chunk over the whole range).
+    pub(crate) full_changed: Vec<u32>,
     /// SlimChunk task list: (chunk id, first column step, last).
     pub(crate) tasks: Vec<(usize, usize, usize)>,
     /// SlimChunk per-chunk task-range offsets (one past each chunk).
@@ -207,7 +208,7 @@ impl BfsEngine {
             // current state, so only listed chunks are ever written
             // (only the semiring-maintained vectors need copying).
             S::clone_state(&cur, &mut nxt);
-            scratch.pending.push((root_p / C) as u32);
+            scratch.pending.push(((root_p / C) as u32, 1u32 << (root_p % C)));
         }
 
         let mut stats = RunStats::default();
@@ -280,7 +281,9 @@ where
 }
 
 /// One chunk of one iteration: SlimWork skip test, MV kernel, semiring
-/// post-processing. Returns (changed, column steps, skipped).
+/// post-processing. Returns (changed, column steps, active cells,
+/// skipped) — active cells are the chunk's non-padding cells (its
+/// stored arcs), the numerator of the measured lane utilization.
 #[inline]
 fn do_chunk<M, S, const C: usize>(
     matrix: &M,
@@ -289,7 +292,7 @@ fn do_chunk<M, S, const C: usize>(
     out: (&mut [f32], &mut [f32], &mut [f32], &mut [f32]),
     depth: f32,
     slimwork: bool,
-) -> (bool, u64, usize)
+) -> (bool, u64, u64, usize)
 where
     M: ChunkMatrix<C>,
     S: Semiring,
@@ -298,11 +301,12 @@ where
     let base = i * C;
     if slimwork && S::should_skip(cur, base..base + C) {
         S::copy_forward(cur, base, nx, ng, np);
-        return (false, 0, 1);
+        return (false, 0, 0, 1);
     }
     let acc = chunk_mv::<M, S, C>(matrix, &cur.x, i);
     let changed = S::post_chunk(acc, cur, base, nx, ng, np, dd, depth);
-    (changed, matrix.structure().cl()[i] as u64, 0)
+    let s = matrix.structure();
+    (changed, s.cl()[i] as u64, s.chunk_arcs()[i], 0)
 }
 
 /// Runs the MV + post-processing over one tile's chunks, sequentially
@@ -314,12 +318,12 @@ fn mv_span<M, S, const C: usize>(
     span: ChunkSpan<'_>,
     depth: f32,
     slimwork: bool,
-) -> (bool, u64, usize)
+) -> (bool, u64, u64, usize)
 where
     M: ChunkMatrix<C>,
     S: Semiring,
 {
-    let mut acc = (false, 0u64, 0usize);
+    let mut acc = (false, 0u64, 0u64, 0usize);
     let per_chunk = span
         .x
         .chunks_mut(C)
@@ -327,11 +331,12 @@ where
         .zip(span.p.chunks_mut(C))
         .zip(span.d.chunks_mut(C));
     for (k, (((nx, ng), np), dd)) in per_chunk.enumerate() {
-        let (c, steps, skip) =
+        let (c, steps, arcs, skip) =
             do_chunk::<M, S, C>(matrix, cur, span.c0 + k, (nx, ng, np, dd), depth, slimwork);
         acc.0 |= c;
         acc.1 += steps;
-        acc.2 += skip;
+        acc.2 += arcs;
+        acc.3 += skip;
     }
     acc
 }
@@ -398,24 +403,24 @@ where
 }
 
 /// Like [`mv_span`], but additionally records each chunk's exact
-/// bit-wise changed flag into the parallel `flags` slab (one byte per
-/// chunk of the span) — the tracked full sweep of adaptive mode. A
-/// SlimWork-skipped chunk forwarded its state verbatim, so its flag is
-/// cleared.
+/// bit-wise changed *lane mask* into the parallel `flags` slab (one
+/// mask per chunk of the span) — the tracked full sweep of adaptive
+/// mode. A SlimWork-skipped chunk forwarded its state verbatim, so its
+/// mask is cleared.
 fn mv_span_tracked<M, S, const C: usize>(
     matrix: &M,
     cur: &StateVecs,
     span: ChunkSpan<'_>,
-    flags: &mut [u8],
+    flags: &mut [u32],
     depth: f32,
     slimwork: bool,
-) -> (bool, u64, usize)
+) -> (bool, u64, u64, usize)
 where
     M: ChunkMatrix<C>,
     S: Semiring,
 {
     let ChunkSpan { c0, x, g, p, d } = span;
-    let mut acc = (false, 0u64, 0usize);
+    let mut acc = (false, 0u64, 0u64, 0usize);
     let per_chunk = x
         .chunks_mut(C)
         .zip(g.chunks_mut(C))
@@ -424,7 +429,7 @@ where
         .zip(flags.iter_mut());
     for (k, ((((nx, ng), np), dd), flag)) in per_chunk.enumerate() {
         let i = c0 + k;
-        let (c, steps, skip) = do_chunk::<M, S, C>(
+        let (c, steps, arcs, skip) = do_chunk::<M, S, C>(
             matrix,
             cur,
             i,
@@ -432,12 +437,13 @@ where
             depth,
             slimwork,
         );
-        // `c` (frontier advanced) implies a bit-wise change, so the
-        // exact compare is only needed to catch silent *clears*.
-        *flag = if skip == 0 { u8::from(c || S::state_changed(cur, i * C, nx, ng, np)) } else { 0 };
+        // The exact per-lane compare (mask != 0 ⟺ state_changed) names
+        // the rows dependents must actually re-gather.
+        *flag = if skip == 0 { S::state_changed_mask::<C>(cur, i * C, nx, ng, np) } else { 0 };
         acc.0 |= c;
         acc.1 += steps;
-        acc.2 += skip;
+        acc.2 += arcs;
+        acc.3 += skip;
     }
     acc
 }
@@ -469,7 +475,7 @@ where
     // inline — the sequential oracle path.
     let EngineScratch { tiling: tiling_slot, full_changed, pending, .. } = scratch;
     let tiling = cached_full_tiling(tiling_slot, nc, opts.schedule);
-    let (changed, col_steps, skipped);
+    let (changed, col_steps, active_cells, skipped);
     let mut changed_chunks = 0;
     if track {
         full_changed.clear();
@@ -479,26 +485,26 @@ where
             .into_iter()
             .zip(tiling.split(1, full_changed))
             .collect();
-        (changed, col_steps, skipped) = tiling.map_reduce(
+        (changed, col_steps, active_cells, skipped) = tiling.map_reduce(
             spans,
             |(span, flags)| {
                 mv_span_tracked::<M, S, C>(matrix, cur, span, flags.data, depth, slimwork)
             },
-            || (false, 0, 0),
-            |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2),
+            || (false, 0, 0, 0),
+            |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
         );
         pending.clear();
         pending.extend(
-            full_changed.iter().enumerate().filter(|(_, &f)| f != 0).map(|(i, _)| i as u32),
+            full_changed.iter().enumerate().filter(|(_, &f)| f != 0).map(|(i, &f)| (i as u32, f)),
         );
         changed_chunks = pending.len();
     } else {
         let spans = tiling.split_spans::<C>(nxt, d);
-        (changed, col_steps, skipped) = tiling.map_reduce(
+        (changed, col_steps, active_cells, skipped) = tiling.map_reduce(
             spans,
             |span| mv_span::<M, S, C>(matrix, cur, span, depth, slimwork),
-            || (false, 0, 0),
-            |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2),
+            || (false, 0, 0, 0),
+            |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
         );
     }
     IterStats {
@@ -512,35 +518,36 @@ where
         changed_chunks,
         col_steps,
         cells: col_steps * C as u64,
+        active_cells,
         changed,
     }
 }
 
 /// Runs the MV + post-processing over one worklist tile, sequentially
-/// within the tile, recording the exact per-chunk changed flags the
-/// next worklist is seeded from. Returns (changed, column steps,
-/// skipped).
+/// within the tile, recording the exact per-chunk changed lane masks
+/// the next worklist is seeded from. Returns (changed, column steps,
+/// active cells, skipped).
 fn wl_span<M, S, const C: usize>(
     matrix: &M,
     cur: &StateVecs,
     span: WorklistSpan<'_>,
     depth: f32,
     slimwork: bool,
-) -> (bool, u64, usize)
+) -> (bool, u64, u64, usize)
 where
     M: ChunkMatrix<C>,
     S: Semiring,
 {
     let WorklistSpan { first_pos: _, ids, x, g, p, d, changed } = span;
     let base0 = ids[0] as usize * C;
-    let mut acc = (false, 0u64, 0usize);
+    let mut acc = (false, 0u64, 0u64, 0usize);
     for (k, &id) in ids.iter().enumerate() {
         let i = id as usize;
         let off = i * C - base0;
         // Same per-chunk body as the full sweep (do_chunk: SlimWork
         // test + copy_forward, or MV + post-processing) so the two
         // modes cannot drift apart.
-        let (c, steps, skip) = do_chunk::<M, S, C>(
+        let (c, steps, arcs, skip) = do_chunk::<M, S, C>(
             matrix,
             cur,
             i,
@@ -553,24 +560,22 @@ where
             depth,
             slimwork,
         );
-        // A skipped chunk forwarded its state verbatim — its flag
-        // stays 0; otherwise record the exact change for seeding the
-        // next worklist (an advanced chunk changed by implication; the
-        // compare only catches silent clears).
+        // A skipped chunk forwarded its state verbatim — its mask
+        // stays 0; otherwise record the exact per-lane change for
+        // seeding (and lane-filtering) the next worklist.
         if skip == 0 {
-            changed[k] = u8::from(
-                c || S::state_changed(
-                    cur,
-                    i * C,
-                    &x[off..off + C],
-                    &g[off..off + C],
-                    &p[off..off + C],
-                ),
+            changed[k] = S::state_changed_mask::<C>(
+                cur,
+                i * C,
+                &x[off..off + C],
+                &g[off..off + C],
+                &p[off..off + C],
             );
         }
         acc.0 |= c;
         acc.1 += steps;
-        acc.2 += skip;
+        acc.2 += arcs;
+        acc.3 += skip;
     }
     acc
 }
@@ -602,11 +607,11 @@ where
     let wl_len = ids.len();
     let tiling = WorklistTiling::new(ids, opts.schedule);
     let spans = tiling.split_spans::<C>(nxt, d, flags);
-    let (changed, col_steps, skipped) = tiling.map_reduce(
+    let (changed, col_steps, active_cells, skipped) = tiling.map_reduce(
         spans,
         |span| wl_span::<M, S, C>(matrix, cur, span, depth, slimwork),
-        || (false, 0, 0),
-        |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2),
+        || (false, 0, 0, 0),
+        |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
     );
     let changed_chunks = act.collect_changed_into(pending);
     IterStats {
@@ -620,6 +625,7 @@ where
         changed_chunks,
         col_steps,
         cells: col_steps * C as u64,
+        active_cells,
         changed,
     }
 }

@@ -54,8 +54,10 @@ pub struct IterStats {
     /// chunk range in full-sweep mode.
     pub worklist_len: usize,
     /// Dependent-expansion probes performed while building the *next*
-    /// worklist (`Σ |dependents(j)|` over this iteration's seeds — the
-    /// dependency fan-out actually paid); 0 in full-sweep mode.
+    /// worklist — the dependency fan-out actually paid, after per-lane
+    /// filtering (a dependency edge only counts when the seed's changed
+    /// lane mask intersects the edge's lane mask, so this is ≤ the
+    /// chunk-granular `Σ |dependents(j)|`); 0 in full-sweep mode.
     pub activations: u64,
     /// Chunks whose output state changed this iteration under the exact
     /// bit-wise test (tracked in worklist iterations and in adaptive
@@ -67,6 +69,13 @@ pub struct IterStats {
     /// Matrix cells touched (= `C ·` col_steps): the work measure `W` of
     /// §III-A.
     pub cells: u64,
+    /// Non-padding cells (stored arcs) among the processed chunks — the
+    /// numerator of lane utilization: `active_cells / cells` is the
+    /// fraction of SIMD lane-slots that carried a real arc rather than
+    /// `-1` padding. Measured by the BFS family (BFS, SlimChunk,
+    /// bottom-up dir-opt steps); 0 where not measured (SSSP and
+    /// PageRank sweeps, top-down steps).
+    pub active_cells: u64,
     /// Whether any output changed (frontier non-empty).
     pub changed: bool,
 }
@@ -93,6 +102,26 @@ impl RunStats {
     /// §III-A bounds.
     pub fn total_cells(&self) -> u64 {
         self.iters.iter().map(|i| i.cells).sum()
+    }
+
+    /// Total non-padding cells among processed chunks (lane-utilization
+    /// numerator; see [`IterStats::active_cells`]).
+    pub fn total_active_cells(&self) -> u64 {
+        self.iters.iter().map(|i| i.active_cells).sum()
+    }
+
+    /// Measured SIMD lane utilization: the fraction of touched cells
+    /// that held a stored arc rather than `-1` padding
+    /// (`total_active_cells / total_cells`). Returns 1.0 for runs that
+    /// touched no cells, so a degenerate run never reads as wasted
+    /// lanes. Comparable to the simt cost model's `simd_efficiency`.
+    pub fn lane_utilization(&self) -> f64 {
+        let cells = self.total_cells();
+        if cells == 0 {
+            1.0
+        } else {
+            self.total_active_cells() as f64 / cells as f64
+        }
     }
 
     /// Total chunks skipped by SlimWork.
@@ -163,6 +192,7 @@ mod tests {
             changed_chunks: 2,
             col_steps: 10,
             cells: 80,
+            active_cells: 60,
             changed: true,
         });
         s.iters.push(IterStats {
@@ -176,6 +206,7 @@ mod tests {
             changed_chunks: 0,
             col_steps: 4,
             cells: 32,
+            active_cells: 24,
             changed: false,
         });
         assert_eq!(s.num_iterations(), 2);
@@ -186,6 +217,9 @@ mod tests {
         assert_eq!(s.total_visited(), 10);
         assert_eq!(s.total_not_on_worklist(), 6);
         assert_eq!(s.total_activations(), 16);
+        assert_eq!(s.total_active_cells(), 84);
+        assert!((s.lane_utilization() - 84.0 / 112.0).abs() < 1e-12);
+        assert_eq!(RunStats::default().lane_utilization(), 1.0);
         assert_eq!(s.iter_seconds().len(), 2);
         assert_eq!(s.mode_switches(), 1);
         assert_eq!(s.full_sweep_iterations(), 1);

@@ -94,7 +94,7 @@ where
         // pending list and the next bottom-up sweep (worklist or
         // adaptive) rewrites it.
         S::clone_state(&cur, &mut nxt);
-        scratch.pending.push((root_p / C) as u32);
+        scratch.pending.push(((root_p / C) as u32, 1u32 << (root_p % C)));
     }
 
     let mut frontier: Vec<u32> = vec![root_p as u32];
@@ -128,7 +128,7 @@ where
                         if cur.x[w as usize] == f32::INFINITY {
                             cur.x[w as usize] = depth as f32;
                             if track_wl {
-                                scratch.pending.push(w / C as u32);
+                                scratch.pending.push((w / C as u32, 1u32 << (w as usize % C)));
                             }
                             next.push(w);
                         }

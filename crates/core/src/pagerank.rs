@@ -126,10 +126,11 @@ where
     // `y`, so the change-driven update below is correct from the first
     // iteration with no special casing.
     let mut acc = vec![0.0f32; np];
-    // Which chunks of `y` changed bit-wise this iteration (the SpMV
-    // worklist seeds), rebuilt by the pre-scale pass every iteration.
-    let mut y_changed = vec![0u8; nc];
-    let mut pending: Vec<u32> = Vec::new();
+    // Which lanes of which chunks of `y` changed bit-wise this
+    // iteration (the SpMV worklist seeds, one lane mask per chunk),
+    // rebuilt by the pre-scale pass every iteration.
+    let mut y_changed = vec![0u32; nc];
+    let mut pending: Vec<(u32, u32)> = Vec::new();
     let mut act = ActivationState::new();
     let mut ctl = AdaptiveController::new();
     // Change detection (the bit compares in the pre-scale pass and the
@@ -159,11 +160,13 @@ where
             tiling.for_each(tiles, |(t, f)| {
                 let base = t.c0 * C;
                 for (k, (slot, flag)) in t.data.chunks_mut(C).zip(f.data.iter_mut()).enumerate() {
-                    let mut changed = 0u8;
+                    let mut changed = 0u32;
                     for (lane, yv) in slot.iter_mut().enumerate() {
                         let v = base + k * C + lane;
                         let new = x_ref[v] * inv_ref[v];
-                        changed |= u8::from(new.to_bits() != yv.to_bits());
+                        if new.to_bits() != yv.to_bits() {
+                            changed |= 1u32 << (lane & 31);
+                        }
                         *yv = new;
                     }
                     *flag = changed;
@@ -171,7 +174,7 @@ where
             });
             pending.clear();
             pending.extend(
-                y_changed.iter().enumerate().filter(|(_, &f)| f != 0).map(|(i, _)| i as u32),
+                y_changed.iter().enumerate().filter(|(_, &f)| f != 0).map(|(i, &f)| (i as u32, f)),
             );
             changed_chunks = pending.len();
         } else {
@@ -281,6 +284,7 @@ where
             changed_chunks,
             col_steps,
             cells: col_steps * C as u64,
+            active_cells: 0, // lane utilization is measured by the BFS family only
             changed: residual > opts.tolerance,
         });
     }

@@ -55,6 +55,16 @@ pub fn slice_bits_differ(a: &[f32], b: &[f32]) -> bool {
     a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())
 }
 
+/// Per-lane form of [`slice_bits_differ`] over one chunk's `C` lanes:
+/// bit `l` is set iff lane `l` differs bit-wise. Computed with the same
+/// SIMD compare the backends implement explicitly
+/// ([`SimdF32::ne_bits`]), so the mask is exactly the set of lanes a
+/// bit-exact change detector would flag.
+#[inline]
+pub fn lanes_ne_bits<const C: usize>(a: &[f32], b: &[f32]) -> u32 {
+    SimdF32::<C>::load(a).ne_bits(SimdF32::load(b))
+}
+
 /// A BFS semiring: the pluggable part of the BFS-SpMV engine.
 pub trait Semiring: Copy + Send + Sync + 'static {
     /// Display name (matches the paper's legends).
@@ -154,6 +164,32 @@ pub trait Semiring: Copy + Send + Sync + 'static {
             || slice_bits_differ(&cur.p[base..base + c], nxt_p)
     }
 
+    /// Lane-granular form of [`state_changed`](Self::state_changed): bit
+    /// `l` of the result is set iff lane `l` (row `base + l`) of any
+    /// vector this semiring maintains changed bit-wise. The worklist
+    /// engine feeds these masks through [`ChunkDepGraph`]'s per-edge
+    /// source-lane masks so a changed chunk only activates dependents
+    /// that gather from its *changed rows*.
+    ///
+    /// Invariants (pinned by the lane-mask property suite):
+    /// `state_changed_mask != 0` ⟺ [`state_changed`](Self::state_changed),
+    /// and each bit equals a per-lane replay of `state_changed` on a
+    /// one-lane window.
+    ///
+    /// [`ChunkDepGraph`]: crate::worklist::ChunkDepGraph
+    #[inline]
+    fn state_changed_mask<const C: usize>(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &[f32],
+        nxt_g: &[f32],
+        nxt_p: &[f32],
+    ) -> u32 {
+        lanes_ne_bits::<C>(&cur.x[base..], nxt_x)
+            | lanes_ne_bits::<C>(&cur.g[base..], nxt_g)
+            | lanes_ne_bits::<C>(&cur.p[base..], nxt_p)
+    }
+
     /// Final distances in permuted space (`∞` = unreachable).
     fn distances<'a>(state: &'a StateVecs, d: &'a [f32]) -> &'a [f32];
 
@@ -232,6 +268,17 @@ impl Semiring for TropicalSemiring {
         _nxt_p: &[f32],
     ) -> bool {
         slice_bits_differ(&cur.x[base..base + nxt_x.len()], nxt_x)
+    }
+
+    #[inline]
+    fn state_changed_mask<const C: usize>(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &[f32],
+        _nxt_g: &[f32],
+        _nxt_p: &[f32],
+    ) -> u32 {
+        lanes_ne_bits::<C>(&cur.x[base..], nxt_x)
     }
 
     fn clone_state(src: &StateVecs, dst: &mut StateVecs) {
@@ -335,6 +382,17 @@ impl Semiring for BooleanSemiring {
             || slice_bits_differ(&cur.g[base..base + c], nxt_g)
     }
 
+    #[inline]
+    fn state_changed_mask<const C: usize>(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &[f32],
+        nxt_g: &[f32],
+        _nxt_p: &[f32],
+    ) -> u32 {
+        lanes_ne_bits::<C>(&cur.x[base..], nxt_x) | lanes_ne_bits::<C>(&cur.g[base..], nxt_g)
+    }
+
     fn clone_state(src: &StateVecs, dst: &mut StateVecs) {
         dst.x.copy_from_slice(&src.x);
         dst.g.copy_from_slice(&src.g);
@@ -435,6 +493,17 @@ impl Semiring for RealSemiring {
         let c = nxt_x.len();
         slice_bits_differ(&cur.x[base..base + c], nxt_x)
             || slice_bits_differ(&cur.g[base..base + c], nxt_g)
+    }
+
+    #[inline]
+    fn state_changed_mask<const C: usize>(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &[f32],
+        nxt_g: &[f32],
+        _nxt_p: &[f32],
+    ) -> u32 {
+        lanes_ne_bits::<C>(&cur.x[base..], nxt_x) | lanes_ne_bits::<C>(&cur.g[base..], nxt_g)
     }
 
     fn clone_state(src: &StateVecs, dst: &mut StateVecs) {
@@ -547,6 +616,17 @@ impl Semiring for SelMaxSemiring {
         let c = nxt_x.len();
         slice_bits_differ(&cur.x[base..base + c], nxt_x)
             || slice_bits_differ(&cur.p[base..base + c], nxt_p)
+    }
+
+    #[inline]
+    fn state_changed_mask<const C: usize>(
+        cur: &StateVecs,
+        base: usize,
+        nxt_x: &[f32],
+        _nxt_g: &[f32],
+        nxt_p: &[f32],
+    ) -> u32 {
+        lanes_ne_bits::<C>(&cur.x[base..], nxt_x) | lanes_ne_bits::<C>(&cur.p[base..], nxt_p)
     }
 
     fn clone_state(src: &StateVecs, dst: &mut StateVecs) {

@@ -179,7 +179,7 @@ where
         )
     };
     let tiling = cached_full_tiling(tiling, nc, opts.schedule);
-    let (changed, col_steps);
+    let (changed, col_steps, active_cells);
     let mut changed_chunks = 0;
     if track {
         full_changed.clear();
@@ -189,11 +189,11 @@ where
             .into_iter()
             .zip(tiling.split(1, full_changed))
             .collect();
-        (changed, col_steps) = tiling.map_reduce(
+        (changed, col_steps, active_cells) = tiling.map_reduce(
             spans,
             |(span, flags)| {
                 let ChunkSpan { c0, x, g, p, d } = span;
-                let mut acc2 = (false, 0u64);
+                let mut acc2 = (false, 0u64, 0u64);
                 let per_chunk = x
                     .chunks_mut(C)
                     .zip(g.chunks_mut(C))
@@ -204,29 +204,30 @@ where
                     let i = c0 + k;
                     let (adv, steps) = merge_one(i, (&mut *nx, &mut *ng, &mut *np, &mut *dd));
                     // A skipped chunk forwarded its state verbatim;
-                    // otherwise record the exact bit-wise change (an
-                    // advanced chunk changed by implication).
+                    // otherwise record the exact per-lane change mask
+                    // (mask != 0 ⟺ the chunk's state changed).
                     *flag = if skip[i] {
                         0
                     } else {
-                        u8::from(adv || S::state_changed(cur, i * C, nx, ng, np))
+                        acc2.2 += s.chunk_arcs()[i];
+                        S::state_changed_mask::<C>(cur, i * C, nx, ng, np)
                     };
                     acc2.0 |= adv;
                     acc2.1 += steps;
                 }
                 acc2
             },
-            || (false, 0),
-            |a, b| (a.0 | b.0, a.1 + b.1),
+            || (false, 0, 0),
+            |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2),
         );
         pending.clear();
         pending.extend(
-            full_changed.iter().enumerate().filter(|(_, &f)| f != 0).map(|(i, _)| i as u32),
+            full_changed.iter().enumerate().filter(|(_, &f)| f != 0).map(|(i, &f)| (i as u32, f)),
         );
         changed_chunks = pending.len();
     } else {
-        let merge_span = |span: ChunkSpan<'_>| -> (bool, u64) {
-            let mut acc2 = (false, 0u64);
+        let merge_span = |span: ChunkSpan<'_>| -> (bool, u64, u64) {
+            let mut acc2 = (false, 0u64, 0u64);
             let per_chunk = span
                 .x
                 .chunks_mut(C)
@@ -234,15 +235,23 @@ where
                 .zip(span.p.chunks_mut(C))
                 .zip(span.d.chunks_mut(C));
             for (k, (((nx, ng), np), dd)) in per_chunk.enumerate() {
-                let (adv, steps) = merge_one(span.c0 + k, (nx, ng, np, dd));
+                let i = span.c0 + k;
+                let (adv, steps) = merge_one(i, (nx, ng, np, dd));
+                if !skip[i] {
+                    acc2.2 += s.chunk_arcs()[i];
+                }
                 acc2.0 |= adv;
                 acc2.1 += steps;
             }
             acc2
         };
         let spans = tiling.split_spans::<C>(nxt, d);
-        (changed, col_steps) =
-            tiling.map_reduce(spans, merge_span, || (false, 0), |a, b| (a.0 | b.0, a.1 + b.1));
+        (changed, col_steps, active_cells) = tiling.map_reduce(
+            spans,
+            merge_span,
+            || (false, 0, 0),
+            |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2),
+        );
     }
 
     IterStats {
@@ -256,6 +265,7 @@ where
         changed_chunks,
         col_steps,
         cells: col_steps * C as u64,
+        active_cells,
         changed,
     }
 }
@@ -312,10 +322,10 @@ where
 
     // Phase 2 over worklist tiles.
     let (task_start, skip, partials) = (&*task_start, &*skip, &*partials);
-    let merge_span = |span: WorklistSpan<'_>| -> (bool, u64) {
+    let merge_span = |span: WorklistSpan<'_>| -> (bool, u64, u64) {
         let WorklistSpan { first_pos, ids, x, g, p, d, changed } = span;
         let base0 = ids[0] as usize * C;
-        let mut acc2 = (false, 0u64);
+        let mut acc2 = (false, 0u64, 0u64);
         for (k, &id) in ids.iter().enumerate() {
             let pos = first_pos + k;
             let i = id as usize;
@@ -335,18 +345,17 @@ where
                 ),
                 depth,
             );
-            // A skipped chunk's flag stays 0 (state forwarded
-            // verbatim); otherwise record the exact change (an
-            // advanced chunk changed by implication).
+            // A skipped chunk's mask stays 0 (state forwarded
+            // verbatim); otherwise record the exact per-lane change
+            // mask for seeding (and lane-filtering) the next worklist.
             if !skip[pos] {
-                changed[k] = u8::from(
-                    adv || S::state_changed(
-                        cur,
-                        i * C,
-                        &x[off..off + C],
-                        &g[off..off + C],
-                        &p[off..off + C],
-                    ),
+                acc2.2 += s.chunk_arcs()[i];
+                changed[k] = S::state_changed_mask::<C>(
+                    cur,
+                    i * C,
+                    &x[off..off + C],
+                    &g[off..off + C],
+                    &p[off..off + C],
                 );
             }
             acc2.0 |= adv;
@@ -356,8 +365,12 @@ where
     };
     let tiling = WorklistTiling::new(ids, opts.schedule);
     let spans = tiling.split_spans::<C>(nxt, d, flags);
-    let (changed, col_steps) =
-        tiling.map_reduce(spans, merge_span, || (false, 0), |a, b| (a.0 | b.0, a.1 + b.1));
+    let (changed, col_steps, active_cells) = tiling.map_reduce(
+        spans,
+        merge_span,
+        || (false, 0, 0),
+        |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2),
+    );
 
     let changed_chunks = act.collect_changed_into(pending);
     IterStats {
@@ -371,6 +384,7 @@ where
         changed_chunks,
         col_steps,
         cells: col_steps * C as u64,
+        active_cells,
         changed,
     }
 }

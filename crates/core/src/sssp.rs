@@ -48,7 +48,7 @@ use slimsell_graph::{Permutation, VertexId};
 use slimsell_simd::{SimdF32, SimdI32};
 
 use crate::counters::{IterStats, RunStats};
-use crate::semiring::slice_bits_differ;
+use crate::semiring::lanes_ne_bits;
 use crate::sweep::{resolve_sweep, AdaptiveController, ExecutedSweep, SweepMode};
 use crate::tiling::{ChunkTiling, Schedule, WorklistTiling};
 use crate::worklist::{ActivationState, ChunkDepGraph};
@@ -228,10 +228,12 @@ pub fn sssp_with<const C: usize>(
     let tiling = ChunkTiling::new(nc, opts.schedule);
     let mut act = ActivationState::new();
     let mut ctl = AdaptiveController::new();
-    let mut pending: Vec<u32> = Vec::new();
-    let mut full_changed: Vec<u8> = Vec::new();
+    let mut pending: Vec<(u32, u32)> = Vec::new();
+    let mut full_changed: Vec<u32> = Vec::new();
     if opts.sweep.uses_worklist() {
-        pending.push((root_p / C) as u32);
+        // Only the root's label differs from +∞, so only dependents
+        // gathering the root's lane can produce a different output.
+        pending.push(((root_p / C) as u32, 1u32 << (root_p % C)));
     }
     // Adaptive full sweeps must track changes to re-seed the worklist.
     let track = opts.sweep == SweepMode::Adaptive;
@@ -267,7 +269,7 @@ pub fn sssp_with<const C: usize>(
                         {
                             let i = t.c0 + k;
                             acc.0 |= relax_chunk(m, cur_ref, i, out);
-                            *flag = u8::from(slice_bits_differ(out, &cur_ref[i * C..(i + 1) * C]));
+                            *flag = lanes_ne_bits::<C>(&cur_ref[i * C..], out);
                             acc.1 += m.cl[i] as u64;
                         }
                         acc
@@ -277,7 +279,11 @@ pub fn sssp_with<const C: usize>(
                 );
                 pending.clear();
                 pending.extend(
-                    full_changed.iter().enumerate().filter(|(_, &f)| f != 0).map(|(i, _)| i as u32),
+                    full_changed
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &f)| f != 0)
+                        .map(|(i, &f)| (i as u32, f)),
                 );
                 wl_len = nc;
                 changed_chunks = pending.len();
@@ -316,8 +322,7 @@ pub fn sssp_with<const C: usize>(
                             let off = i * C - base0;
                             let out = &mut s.data[off..off + C];
                             acc.0 |= relax_chunk(m, cur_ref, i, out);
-                            s.changed[k] =
-                                u8::from(slice_bits_differ(out, &cur_ref[i * C..(i + 1) * C]));
+                            s.changed[k] = lanes_ne_bits::<C>(&cur_ref[i * C..], out);
                             acc.1 += m.cl[i] as u64;
                         }
                         acc
@@ -339,6 +344,7 @@ pub fn sssp_with<const C: usize>(
             changed_chunks,
             col_steps,
             cells: col_steps * C as u64,
+            active_cells: 0, // lane utilization is measured by the BFS family only
             changed,
         });
         std::mem::swap(&mut cur, &mut nxt);

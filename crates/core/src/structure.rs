@@ -37,6 +37,9 @@ pub struct SellStructure<const C: usize> {
     padding_cells: usize,
     /// Number of stored arcs (`2m`).
     arcs: usize,
+    /// Stored arcs per chunk (non-padding cells), length `nc`; the
+    /// per-chunk numerator of measured SIMD lane utilization.
+    chunk_arcs: Vec<u64>,
     /// Chunk-granularity dependency graph (who must re-run when a
     /// chunk's vertices change), computed once per structure on first
     /// use by the worklist engine. Lazy so that non-worklist paths —
@@ -73,9 +76,11 @@ impl<const C: usize> SellStructure<C> {
         let nc = n.div_ceil(C);
         let n_padded = nc * C;
         let mut cl = vec![0u32; nc];
-        for (i, c) in cl.iter_mut().enumerate() {
+        let mut chunk_arcs = vec![0u64; nc];
+        for (i, (c, a)) in cl.iter_mut().zip(chunk_arcs.iter_mut()).enumerate() {
             let hi = ((i + 1) * C).min(n);
             *c = (i * C..hi).map(|r| pg.degree(r as VertexId) as u32).max().unwrap_or(0);
+            *a = (i * C..hi).map(|r| pg.degree(r as VertexId) as u64).sum();
         }
         let mut cs = vec![0usize; nc];
         let mut total = 0usize;
@@ -109,7 +114,7 @@ impl<const C: usize> SellStructure<C> {
         let arcs = pg.num_arcs();
         let padding_cells = total - arcs;
         let dep = std::sync::OnceLock::new();
-        Self { n, n_padded, nc, cs, cl, col, perm, sigma, padding_cells, arcs, dep }
+        Self { n, n_padded, nc, cs, cl, col, perm, sigma, padding_cells, arcs, chunk_arcs, dep }
     }
 
     /// Number of (real) rows = vertices.
@@ -170,6 +175,16 @@ impl<const C: usize> SellStructure<C> {
     #[inline]
     pub fn arcs(&self) -> usize {
         self.arcs
+    }
+
+    /// Stored arcs (non-padding cells) per chunk; sums to [`arcs`].
+    /// Feeds the engines' `active_cells` counter — processing chunk `i`
+    /// touches `C · cl[i]` cells of which `chunk_arcs[i]` are real.
+    ///
+    /// [`arcs`]: Self::arcs
+    #[inline]
+    pub fn chunk_arcs(&self) -> &[u64] {
+        &self.chunk_arcs
     }
 
     /// The chunk dependency graph: for each chunk `j`, the chunks that
@@ -328,6 +343,21 @@ mod tests {
         assert_eq!(s.num_chunks(), 2);
         assert_eq!(s.n_padded(), 8);
         s.verify_against(&g).unwrap();
+    }
+
+    #[test]
+    fn chunk_arcs_count_non_padding_cells() {
+        let g = star_plus_path();
+        for sigma in [1, 10] {
+            let s = SellStructure::<4>::build(&g, sigma);
+            assert_eq!(s.chunk_arcs().iter().sum::<u64>(), s.arcs() as u64);
+            for i in 0..s.num_chunks() {
+                let lo = s.cs()[i];
+                let hi = lo + s.cl()[i] as usize * 4;
+                let stored = s.col()[lo..hi].iter().filter(|&&c| c >= 0).count() as u64;
+                assert_eq!(s.chunk_arcs()[i], stored, "chunk {i} sigma {sigma}");
+            }
+        }
     }
 
     #[test]

@@ -266,26 +266,28 @@ impl AdaptiveController {
 /// Resolves the sweep policy for one iteration — the single shared
 /// entry point of the BFS engine, SSSP, and PageRank drivers, so the
 /// controller's contract cannot drift between kernels. Decides which
-/// dispatcher runs, seeds the activation state from `pending` when a
-/// worklist sweep is due (clearing `pending` afterwards), and returns
-/// the executed mode plus the activation probes paid (`None` when no
-/// seeding happened).
+/// dispatcher runs, seeds the activation state from the pending
+/// `(chunk, changed-lane mask)` list when a worklist sweep is due
+/// (clearing `pending` afterwards), and returns the executed mode plus
+/// the lane-filtered activations paid (`None` when no seeding
+/// happened).
 ///
 /// In [`SweepMode::Adaptive`] the pending seed list is deduplicated
-/// *before* the decision: callers like the direction-optimized driver
-/// push one entry per discovered vertex (up to `C` duplicates per
-/// chunk), and the controller's crossover is calibrated on distinct
-/// changed chunks. [`ActivationState::seed`] would dedup anyway, so
-/// this costs nothing extra on the worklist path.
+/// *before* the decision (duplicate chunks merge their lane masks):
+/// callers like the direction-optimized driver push one entry per
+/// discovered vertex (up to `C` duplicates per chunk), and the
+/// controller's crossover is calibrated on distinct changed chunks.
+/// [`ActivationState::seed`] would merge anyway, so this costs nothing
+/// extra on the worklist path.
 pub fn resolve_sweep(
     mode: SweepMode,
     ctl: &mut AdaptiveController,
     act: &mut ActivationState,
     dep: &ChunkDepGraph,
-    pending: &mut Vec<u32>,
+    pending: &mut Vec<(u32, u32)>,
     nc: usize,
 ) -> (ExecutedSweep, Option<u64>) {
-    let seed = |act: &mut ActivationState, pending: &mut Vec<u32>| {
+    let seed = |act: &mut ActivationState, pending: &mut Vec<(u32, u32)>| {
         let probes = act.seed(dep, pending);
         pending.clear();
         (ExecutedSweep::Worklist, Some(probes))
@@ -294,8 +296,15 @@ pub fn resolve_sweep(
         SweepMode::Full => (ExecutedSweep::Full, None),
         SweepMode::Worklist => seed(act, pending),
         SweepMode::Adaptive => {
-            pending.sort_unstable();
-            pending.dedup();
+            pending.sort_unstable_by_key(|&(j, _)| j);
+            pending.dedup_by(|next, prev| {
+                if next.0 == prev.0 {
+                    prev.1 |= next.1;
+                    true
+                } else {
+                    false
+                }
+            });
             match ctl.decide(pending.len(), nc) {
                 // The tracked full sweep rebuilds `pending` itself, so
                 // the stale seeds are left for it to overwrite.

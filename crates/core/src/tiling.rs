@@ -311,8 +311,9 @@ pub struct WorklistSpan<'a> {
     pub p: &'a mut [f32],
     /// Distance vector slots, same coverage.
     pub d: &'a mut [f32],
-    /// One changed flag per entry of `ids`, in order.
-    pub changed: &'a mut [u8],
+    /// One changed lane mask per entry of `ids`, in order (0 = state
+    /// unchanged, bit `r` set = row `r` of the chunk changed).
+    pub changed: &'a mut [u32],
 }
 
 /// A tile's exclusive view of one worklist slice over a *single*
@@ -330,8 +331,9 @@ pub struct WorklistSlab<'a, T> {
     /// Output slab covering chunks `ids[0] ..= ids[last]`, `width`
     /// elements per chunk.
     pub data: &'a mut [T],
-    /// One changed flag per entry of `ids`, in order.
-    pub changed: &'a mut [u8],
+    /// One changed lane mask per entry of `ids`, in order (0 = state
+    /// unchanged, bit `r` set = row `r` of the chunk changed).
+    pub changed: &'a mut [u32],
 }
 
 /// A partition of a **sorted chunk-id worklist** into contiguous
@@ -376,22 +378,22 @@ impl<'w> WorklistTiling<'w> {
     }
 
     /// Carves the state vectors, the distance vector and the changed
-    /// flag slab into per-tile [`WorklistSpan`]s.
+    /// lane-mask slab into per-tile [`WorklistSpan`]s.
     ///
     /// # Panics
     /// Panics if the vectors are shorter than the largest worklist id
     /// requires, if their lengths disagree, or if `changed` does not
-    /// have one flag per worklist entry.
+    /// have one mask per worklist entry.
     pub fn split_spans<'a, const C: usize>(
         &self,
         nxt: &'a mut StateVecs,
         d: &'a mut [f32],
-        changed: &'a mut [u8],
+        changed: &'a mut [u32],
     ) -> Vec<WorklistSpan<'a>>
     where
         'w: 'a,
     {
-        assert_eq!(changed.len(), self.ids.len(), "one changed flag per worklist entry");
+        assert_eq!(changed.len(), self.ids.len(), "one changed mask per worklist entry");
         assert_eq!(nxt.x.len(), d.len(), "state and distance vectors disagree");
         if let Some(&last) = self.ids.last() {
             assert!(
@@ -432,24 +434,24 @@ impl<'w> WorklistTiling<'w> {
     }
 
     /// Carves a single `width`-per-chunk output slab and the changed
-    /// flag slab into per-tile [`WorklistSlab`]s — the generalization
-    /// of [`split_spans`](Self::split_spans) the non-`StateVecs`
-    /// kernels (SSSP, PageRank) tile with, under the same
-    /// disjoint-`split_at_mut` / determinism contract.
+    /// lane-mask slab into per-tile [`WorklistSlab`]s — the
+    /// generalization of [`split_spans`](Self::split_spans) the
+    /// non-`StateVecs` kernels (SSSP, PageRank) tile with, under the
+    /// same disjoint-`split_at_mut` / determinism contract.
     ///
     /// # Panics
     /// Panics if `slab` is shorter than the largest worklist id
-    /// requires or `changed` does not have one flag per worklist entry.
+    /// requires or `changed` does not have one mask per worklist entry.
     pub fn split_slab<'a, T>(
         &self,
         width: usize,
         slab: &'a mut [T],
-        changed: &'a mut [u8],
+        changed: &'a mut [u32],
     ) -> Vec<WorklistSlab<'a, T>>
     where
         'w: 'a,
     {
-        assert_eq!(changed.len(), self.ids.len(), "one changed flag per worklist entry");
+        assert_eq!(changed.len(), self.ids.len(), "one changed mask per worklist entry");
         if let Some(&last) = self.ids.last() {
             assert!(
                 (last as usize + 1) * width <= slab.len(),
@@ -617,7 +619,7 @@ mod tests {
             let ids: Vec<u32> = vec![0, 3, 5, 7, 11];
             let tiling = WorklistTiling::new(&ids, Schedule::Dynamic);
             let mut slab = vec![0u32; 12 * 3];
-            let mut flags = vec![0u8; ids.len()];
+            let mut flags = vec![0u32; ids.len()];
             let slabs = tiling.split_slab(3, &mut slab, &mut flags);
             assert_eq!(slabs.iter().map(|s| s.ids.len()).sum::<usize>(), ids.len());
             tiling.for_each(slabs, |s| {

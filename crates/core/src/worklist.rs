@@ -12,23 +12,31 @@
 //!    every chunk whose column indices fall in chunk `j`'s row range —
 //!    i.e. the chunks that must re-run when `j`'s vertices change —
 //!    plus `j` itself (a chunk whose own state changed must re-run its
-//!    post-processing, and its double-buffered slots are stale).
-//! 2. [`ActivationState`] turns "which chunks changed last iteration"
-//!    into the next iteration's sorted, duplicate-free worklist with an
-//!    epoch-stamped activation array: no hashing, no atomics, `O(Σ
-//!    |dependents(changed)|)` per iteration, deterministic at any
-//!    thread count.
+//!    post-processing, and its double-buffered slots are stale). Each
+//!    dependency edge carries a **source-lane mask**: bit `l` is set iff
+//!    the dependent actually gathers from row `j·C + l`, so a change
+//!    confined to other lanes need not activate it.
+//! 2. [`ActivationState`] turns "which chunks changed last iteration,
+//!    and in which lanes" into the next iteration's sorted,
+//!    duplicate-free worklist with an epoch-stamped activation array:
+//!    no hashing, no atomics, `O(Σ |dependents(changed)|)` per
+//!    iteration, deterministic at any thread count. An edge whose lane
+//!    mask misses the changed-lane mask is filtered out — the
+//!    lane-granular precision lever on top of chunk-granular seeds.
 //!
 //! Correctness rests on one invariant the engine maintains: outside the
 //! worklist, the next-state buffer already equals the current state
 //! bit-for-bit (a chunk leaves the worklist only after an iteration in
 //! which its output did not change), so untouched chunks need no
-//! copy-forward and the swap at the end of the iteration is sound.
+//! copy-forward and the swap at the end of the iteration is sound. The
+//! lane filter preserves it: a dependent that gathers none of the
+//! changed rows would recompute bit-identical output, so skipping its
+//! activation changes nothing observable.
 //!
 //! # Example
 //!
 //! ```
-//! use slimsell_core::worklist::ActivationState;
+//! use slimsell_core::worklist::{full_lane_mask, ActivationState};
 //! use slimsell_core::SellStructure;
 //! use slimsell_graph::GraphBuilder;
 //!
@@ -41,17 +49,37 @@
 //! assert_eq!(dep.dependents(0), &[0, 1]);
 //! assert_eq!(dep.dependents(1), &[0, 1]);
 //!
-//! // Seeding with chunk 0 activates both; duplicate seeds are
-//! // deduplicated up front, duplicate dependents by the epoch stamps.
+//! // Seeding all lanes of chunk 0 activates both; duplicate seeds are
+//! // folded up front, duplicate dependents by the epoch stamps.
 //! let mut act = ActivationState::new();
-//! act.seed(dep, &mut vec![0, 0]);
+//! let full = full_lane_mask(4);
+//! act.seed(dep, &mut vec![(0, full), (0, full)]);
 //! assert_eq!(act.worklist(), &[0, 1]);
+//!
+//! // Chunk 1 gathers only row 3 of chunk 0 (the 0-4 path edge is row
+//! // 4's column 3 … row 3's column 4): a change confined to lane 0
+//! // re-activates chunk 0 (self edge, all lanes) but not chunk 1.
+//! act.seed(dep, &mut vec![(0, 0b0001)]);
+//! assert_eq!(act.worklist(), &[0]);
 //! ```
+
+/// All-lanes mask for chunk height `lanes` (`lanes ≤ 32`; the engine's
+/// `SUPPORTED_LANES` max out at 32, matching the `u32` mask width).
+#[inline]
+pub fn full_lane_mask(lanes: usize) -> u32 {
+    if lanes >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << lanes) - 1
+    }
+}
 
 /// Chunk-granularity dependency graph in CSR form: for each chunk `j`,
 /// the sorted list of chunks that gather from `j`'s row range (its
 /// *dependents*, the chunks that must re-run when `j`'s vertices
-/// change), always including `j` itself.
+/// change), always including `j` itself. Each edge carries the mask of
+/// `j`'s lanes the dependent actually reads (the self edge is all
+/// lanes: any local change requires re-running post-processing).
 ///
 /// Built once per [`crate::SellStructure`]; see the module docs for the
 /// role it plays in the worklist engine.
@@ -61,6 +89,10 @@ pub struct ChunkDepGraph {
     offsets: Vec<usize>,
     /// Dependent chunk ids, ascending within each chunk's slice.
     targets: Vec<u32>,
+    /// Per-edge source-lane masks, parallel to `targets`: bit `l` of
+    /// `masks[e]` means "edge `e`'s dependent gathers from source lane
+    /// `l`".
+    masks: Vec<u32>,
 }
 
 impl ChunkDepGraph {
@@ -70,9 +102,11 @@ impl ChunkDepGraph {
     ///
     /// Work is `O(2m + P + nc)`: every cell is visited once per pass
     /// (two passes) and per-reader duplicate targets are folded with a
-    /// marker array, so the CSR holds each (reader, target) pair once.
+    /// marker array, so the CSR holds each (reader, target) pair once —
+    /// repeat encounters OR their lane bit into the existing edge mask.
     pub fn build(nc: usize, cs: &[usize], cl: &[u32], col: &[i32], lanes: usize) -> Self {
         assert!(nc < (u32::MAX / 2) as usize, "chunk count {nc} exceeds dependency-graph range");
+        assert!(lanes <= 32, "chunk height {lanes} exceeds the 32-bit lane-mask width");
         // Pass 1: count dependents per target chunk. `stamp[j] == marker
         // of reader i` means "already counted for i"; markers are unique
         // per reader and per pass, so the array never needs clearing.
@@ -99,27 +133,37 @@ impl ChunkDepGraph {
         // Pass 2: fill. Readers are visited in ascending order and each
         // appends itself to its targets' slices, so every slice comes
         // out sorted. Markers are offset by `nc` to stay distinct from
-        // pass 1's leftovers.
+        // pass 1's leftovers; `entry[j]` remembers where reader i's edge
+        // from `j` landed so repeat cells OR in further lane bits.
         let mut cursor: Vec<usize> = offsets[..nc].to_vec();
+        let mut entry = vec![0usize; nc];
         let mut targets = vec![0u32; offsets[nc]];
+        let mut masks = vec![0u32; offsets[nc]];
         for i in 0..nc {
             let marker = (nc + i) as u32;
             stamp[i] = marker;
+            entry[i] = cursor[i];
             targets[cursor[i]] = i as u32;
+            masks[cursor[i]] = full_lane_mask(lanes); // self edge: all lanes
             cursor[i] += 1;
             for &c in &col[cs[i]..cs[i] + cl[i] as usize * lanes] {
                 if c < 0 {
                     continue;
                 }
                 let j = c as usize / lanes;
+                let bit = 1u32 << (c as usize % lanes);
                 if stamp[j] != marker {
                     stamp[j] = marker;
+                    entry[j] = cursor[j];
                     targets[cursor[j]] = i as u32;
+                    masks[cursor[j]] = bit;
                     cursor[j] += 1;
+                } else {
+                    masks[entry[j]] |= bit;
                 }
             }
         }
-        Self { offsets, targets }
+        Self { offsets, targets, masks }
     }
 
     /// Number of chunks the graph covers.
@@ -132,6 +176,14 @@ impl ChunkDepGraph {
     #[inline]
     pub fn dependents(&self, j: usize) -> &[u32] {
         &self.targets[self.offsets[j]..self.offsets[j + 1]]
+    }
+
+    /// Source-lane masks parallel to [`dependents`](Self::dependents):
+    /// `edge_masks(j)[e]` is the set of `j`'s lanes that
+    /// `dependents(j)[e]` gathers from (the self edge is all lanes).
+    #[inline]
+    pub fn edge_masks(&self, j: usize) -> &[u32] {
+        &self.masks[self.offsets[j]..self.offsets[j + 1]]
     }
 
     /// Total number of dependency edges (including the `nc` self edges).
@@ -156,23 +208,25 @@ impl ChunkDepGraph {
     }
 }
 
-/// Epoch-stamped worklist builder: turns a set of changed chunks into
-/// the next iteration's sorted, deduplicated active-chunk list.
+/// Epoch-stamped worklist builder: turns a set of changed chunks (with
+/// their changed-lane masks) into the next iteration's sorted,
+/// deduplicated active-chunk list.
 ///
 /// [`seed`](Self::seed) expands the dependents of every seed chunk
 /// through a stamp array (`stamp[t] == epoch` means "already on the
-/// next list"), so the union is built without hashing or atomics; the
-/// result is sorted once, keeping tile partitions and merges
+/// next list"), filtering each dependency edge against the seed's
+/// changed-lane mask, so the union is built without hashing or atomics;
+/// the result is sorted once, keeping tile partitions and merges
 /// deterministic at any thread count. The per-position
-/// [`changed flags`](Self::split) are written by the sweep workers into
-/// disjoint tile slices and harvested in worklist order by
+/// [`changed-lane masks`](Self::split) are written by the sweep workers
+/// into disjoint tile slices and harvested in worklist order by
 /// [`collect_changed_into`](Self::collect_changed_into).
 #[derive(Clone, Debug, Default)]
 pub struct ActivationState {
     stamp: Vec<u32>,
     epoch: u32,
     worklist: Vec<u32>,
-    changed: Vec<u8>,
+    changed: Vec<u32>,
     activations: u64,
 }
 
@@ -184,17 +238,28 @@ impl ActivationState {
     }
 
     /// Rebuilds the worklist as the sorted, deduplicated union of
-    /// `dependents(j)` over the seed chunks `j`. The seed list is
-    /// sorted and deduplicated in place first, so callers may push
-    /// duplicates freely (the direction-optimized driver pushes one
-    /// entry per discovered *vertex*) without multiplying the
-    /// dependent walks. Returns the number of activation probes
-    /// performed (`Σ |dependents(j)|` over the distinct seeds) — the
-    /// work measure reported as
+    /// `dependents(j)` over the seed chunks `j`, keeping only dependents
+    /// whose edge mask intersects the seed's changed-lane mask. The seed
+    /// list is sorted and its masks merged (OR) per chunk first, so
+    /// callers may push duplicates freely (the direction-optimized
+    /// driver pushes one entry per discovered *vertex*) without
+    /// multiplying the dependent walks. Returns the number of
+    /// activations performed (dependency edges whose lane filter
+    /// passed) — the work measure reported as
     /// [`IterStats::activations`](crate::counters::IterStats::activations).
-    pub fn seed(&mut self, dep: &ChunkDepGraph, seeds: &mut Vec<u32>) -> u64 {
-        seeds.sort_unstable();
-        seeds.dedup();
+    /// Seeding every chunk with [`full_lane_mask`] reproduces the
+    /// chunk-granular behavior exactly.
+    pub fn seed(&mut self, dep: &ChunkDepGraph, seeds: &mut Vec<(u32, u32)>) -> u64 {
+        seeds.sort_unstable_by_key(|&(j, _)| j);
+        // Merge duplicate chunks by OR-ing their lane masks.
+        seeds.dedup_by(|next, prev| {
+            if next.0 == prev.0 {
+                prev.1 |= next.1;
+                true
+            } else {
+                false
+            }
+        });
         let nc = dep.num_chunks();
         if self.stamp.len() < nc {
             self.stamp.resize(nc, 0);
@@ -209,8 +274,16 @@ impl ActivationState {
         let epoch = self.epoch;
         self.worklist.clear();
         let mut activations = 0u64;
-        for &j in seeds.iter() {
-            for &t in dep.dependents(j as usize) {
+        for &(j, seed_mask) in seeds.iter() {
+            if seed_mask == 0 {
+                continue;
+            }
+            let deps = dep.dependents(j as usize);
+            let masks = dep.edge_masks(j as usize);
+            for (&t, &edge_mask) in deps.iter().zip(masks) {
+                if seed_mask & edge_mask == 0 {
+                    continue; // dependent gathers none of the changed rows
+                }
                 activations += 1;
                 let slot = &mut self.stamp[t as usize];
                 if *slot != epoch {
@@ -230,29 +303,32 @@ impl ActivationState {
         &self.worklist
     }
 
-    /// Activation probes performed by the last [`seed`](Self::seed).
+    /// Lane-filtered activations performed by the last
+    /// [`seed`](Self::seed).
     #[inline]
     pub fn activations(&self) -> u64 {
         self.activations
     }
 
-    /// Borrows the worklist together with a zeroed per-position changed
-    /// flag slab (one byte per worklist entry) for the sweep workers to
-    /// fill; the two borrows are disjoint so the flags can be carved
-    /// into `&mut` tile slices alongside the state vectors.
-    pub fn split(&mut self) -> (&[u32], &mut [u8]) {
+    /// Borrows the worklist together with a zeroed per-position
+    /// changed-lane-mask slab (one `u32` per worklist entry) for the
+    /// sweep workers to fill; the two borrows are disjoint so the masks
+    /// can be carved into `&mut` tile slices alongside the state
+    /// vectors.
+    pub fn split(&mut self) -> (&[u32], &mut [u32]) {
         self.changed.clear();
         self.changed.resize(self.worklist.len(), 0);
         (&self.worklist, &mut self.changed)
     }
 
-    /// Appends the chunk ids whose changed flag was set to `out` (in
-    /// worklist order, i.e. ascending) and returns how many there were.
-    pub fn collect_changed_into(&self, out: &mut Vec<u32>) -> usize {
+    /// Appends `(chunk id, changed-lane mask)` for every worklist entry
+    /// whose mask is non-zero to `out` (in worklist order, i.e.
+    /// ascending) and returns how many there were.
+    pub fn collect_changed_into(&self, out: &mut Vec<(u32, u32)>) -> usize {
         let before = out.len();
-        for (&id, &flag) in self.worklist.iter().zip(&self.changed) {
-            if flag != 0 {
-                out.push(id);
+        for (&id, &mask) in self.worklist.iter().zip(&self.changed) {
+            if mask != 0 {
+                out.push((id, mask));
             }
         }
         out.len() - before
@@ -264,6 +340,8 @@ mod tests {
     use super::*;
     use crate::structure::SellStructure;
     use slimsell_graph::GraphBuilder;
+
+    const FULL4: u32 = 0b1111;
 
     fn dep_of(n: usize, edges: &[(u32, u32)]) -> ChunkDepGraph {
         let g = GraphBuilder::new(n).edges(edges.iter().copied()).build();
@@ -277,6 +355,7 @@ mod tests {
         assert_eq!(dep.num_chunks(), 2);
         assert_eq!(dep.dependents(0), &[0]);
         assert_eq!(dep.dependents(1), &[1]);
+        assert_eq!(dep.edge_masks(0), &[FULL4]);
         assert_eq!(dep.num_deps(), 2);
     }
 
@@ -286,6 +365,10 @@ mod tests {
         let dep = dep_of(8, &[(0, 7)]);
         assert_eq!(dep.dependents(0), &[0, 1]);
         assert_eq!(dep.dependents(1), &[0, 1]);
+        // Chunk 1 reads exactly row 0 of chunk 0 (lane 0); chunk 0 reads
+        // exactly row 7 of chunk 1 (lane 3).
+        assert_eq!(dep.edge_masks(0), &[FULL4, 0b0001]);
+        assert_eq!(dep.edge_masks(1), &[0b1000, FULL4]);
     }
 
     #[test]
@@ -293,6 +376,7 @@ mod tests {
         let dep = dep_of(8, &[(0, 1), (2, 3), (4, 5)]);
         assert_eq!(dep.dependents(0), &[0]);
         assert_eq!(dep.dependents(1), &[1]);
+        assert_eq!(dep.edge_masks(0), &[FULL4]);
     }
 
     #[test]
@@ -302,6 +386,10 @@ mod tests {
         let dep = dep_of(12, &[(0, 4), (0, 5), (0, 6), (0, 7), (0, 8)]);
         assert_eq!(dep.dependents(1), &[0, 1]);
         assert_eq!(dep.dependents(2), &[0, 2]);
+        // Chunk 0 gathers all four rows of chunk 1 (vertices 4..8) and
+        // only row 8 (lane 0) of chunk 2.
+        assert_eq!(dep.edge_masks(1)[0], FULL4);
+        assert_eq!(dep.edge_masks(2)[0], 0b0001);
         assert!(dep.max_fanout() >= 3); // chunk 0: itself + chunks 1, 2
         assert!(dep.avg_fanout() >= 1.0);
     }
@@ -317,6 +405,7 @@ mod tests {
             let d = dep.dependents(j);
             assert!(d.windows(2).all(|w| w[0] < w[1]), "unsorted/dup deps of {j}: {d:?}");
             assert!(d.contains(&(j as u32)), "missing self edge of {j}");
+            assert!(dep.edge_masks(j).iter().all(|&m| m != 0), "empty edge mask at {j}");
         }
     }
 
@@ -330,30 +419,40 @@ mod tests {
             let dep = s.dep_graph();
             let nc = s.num_chunks();
             // Brute force: chunk i reads chunk j iff any of i's cells
-            // names a column in j's row range.
+            // names a column in j's row range; the edge mask is the OR
+            // of those columns' lane bits (self edge: all lanes).
             for j in 0..nc {
-                let mut expect: Vec<u32> = (0..nc)
-                    .filter(|&i| {
-                        i == j
-                            || s.col()[s.cs()[i]..s.cs()[i] + s.cl()[i] as usize * 4]
-                                .iter()
-                                .any(|&c| c >= 0 && c as usize / 4 == j)
+                let mut expect: Vec<(u32, u32)> = (0..nc)
+                    .filter_map(|i| {
+                        let mut mask = if i == j { FULL4 } else { 0 };
+                        for &c in &s.col()[s.cs()[i]..s.cs()[i] + s.cl()[i] as usize * 4] {
+                            if c >= 0 && c as usize / 4 == j {
+                                mask |= 1 << (c as usize % 4);
+                            }
+                        }
+                        (mask != 0).then_some((i as u32, mask))
                     })
-                    .map(|i| i as u32)
                     .collect();
                 expect.sort_unstable();
-                assert_eq!(dep.dependents(j), expect.as_slice(), "sigma={sigma} chunk {j}");
+                let got: Vec<(u32, u32)> = dep
+                    .dependents(j)
+                    .iter()
+                    .zip(dep.edge_masks(j))
+                    .map(|(&t, &m)| (t, m))
+                    .collect();
+                assert_eq!(got, expect, "sigma={sigma} chunk {j}");
             }
         }
     }
 
     #[test]
-    fn seed_dedups_and_sorts() {
+    fn seed_dedups_and_merges_masks() {
         let dep = dep_of(16, &[(0, 15), (4, 8)]);
         let mut act = ActivationState::new();
         // Duplicate seeds are folded before expansion: chunk 3's
-        // dependents are walked once, not twice.
-        let probes = act.seed(&dep, &mut vec![3, 0, 3]);
+        // dependents are walked once, not twice; full masks pass every
+        // edge filter, reproducing chunk-granular probe counts.
+        let probes = act.seed(&dep, &mut vec![(3, FULL4), (0, FULL4), (3, 0b0010)]);
         assert_eq!(probes as usize, dep.dependents(3).len() + dep.dependents(0).len());
         let wl = act.worklist().to_vec();
         assert!(wl.windows(2).all(|w| w[0] < w[1]), "worklist not sorted/dedup: {wl:?}");
@@ -361,30 +460,58 @@ mod tests {
     }
 
     #[test]
-    fn changed_flags_round_trip() {
+    fn lane_filter_prunes_unread_dependents() {
+        // 0-7 edge: chunk 1 gathers only row 0 (lane 0) of chunk 0.
+        let dep = dep_of(8, &[(0, 7)]);
+        let mut act = ActivationState::new();
+        // A change confined to lane 2 of chunk 0: the self edge fires,
+        // the cross edge (lane 0) is filtered out.
+        act.seed(&dep, &mut vec![(0, 0b0100)]);
+        assert_eq!(act.worklist(), &[0]);
+        assert_eq!(act.activations(), 1);
+        // A change on lane 0 activates both.
+        act.seed(&dep, &mut vec![(0, 0b0001)]);
+        assert_eq!(act.worklist(), &[0, 1]);
+        assert_eq!(act.activations(), 2);
+        // Zero masks seed nothing.
+        act.seed(&dep, &mut vec![(0, 0)]);
+        assert!(act.worklist().is_empty());
+        assert_eq!(act.activations(), 0);
+    }
+
+    #[test]
+    fn changed_masks_round_trip() {
         let dep = dep_of(16, &[(0, 15)]);
         let mut act = ActivationState::new();
-        act.seed(&dep, &mut vec![0, 1, 2, 3]);
-        let (ids, flags) = act.split();
+        act.seed(&dep, &mut vec![(0, FULL4), (1, FULL4), (2, FULL4), (3, FULL4)]);
+        let (ids, masks) = act.split();
         assert_eq!(ids, &[0, 1, 2, 3]);
-        assert!(flags.iter().all(|&f| f == 0));
-        flags[1] = 1;
-        flags[3] = 1;
+        assert!(masks.iter().all(|&m| m == 0));
+        masks[1] = 0b0010;
+        masks[3] = FULL4;
         let mut changed = Vec::new();
         assert_eq!(act.collect_changed_into(&mut changed), 2);
-        assert_eq!(changed, vec![1, 3]);
+        assert_eq!(changed, vec![(1, 0b0010), (3, FULL4)]);
     }
 
     #[test]
     fn reseeding_clears_previous_worklist() {
         let dep = dep_of(16, &[]);
         let mut act = ActivationState::new();
-        act.seed(&dep, &mut vec![0, 1, 2]);
+        act.seed(&dep, &mut vec![(0, FULL4), (1, FULL4), (2, FULL4)]);
         assert_eq!(act.worklist(), &[0, 1, 2]);
-        act.seed(&dep, &mut vec![3]);
+        act.seed(&dep, &mut vec![(3, FULL4)]);
         assert_eq!(act.worklist(), &[3]);
         act.seed(&dep, &mut Vec::new());
         assert!(act.worklist().is_empty());
         assert_eq!(act.activations(), 0);
+    }
+
+    #[test]
+    fn full_lane_mask_widths() {
+        assert_eq!(full_lane_mask(4), 0b1111);
+        assert_eq!(full_lane_mask(8), 0xff);
+        assert_eq!(full_lane_mask(16), 0xffff);
+        assert_eq!(full_lane_mask(32), u32::MAX);
     }
 }

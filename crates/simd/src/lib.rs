@@ -12,14 +12,18 @@
 //! | 16 | Xeon Phi KNL (512-bit AVX-512 units, §IV-C)             |
 //! | 32 | GPU warp (32 SIMT lanes, §IV-B)                         |
 //!
-//! Implementation note: stable Rust has no `std::simd`, so each primitive
-//! is a fixed-trip-count lane loop over a `#[repr(align(64))]` array.
-//! With `-C target-cpu=native` (set in `.cargo/config.toml`) LLVM compiles
-//! these loops to single AVX2/AVX-512 instructions — the compiled kernels
-//! use the very instructions Listing 2 names (`vminps`, `vaddps`,
-//! `vblendvps`, …). This keeps the programming model identical to the
-//! paper's while remaining portable, which is exactly the property
-//! Sell-C-σ was designed around.
+//! Implementation note: stable Rust has no `std::simd`, so the *portable*
+//! implementation of each primitive is a fixed-trip-count lane loop over a
+//! `#[repr(align(64))]` array. On x86-64 the primitives additionally have
+//! an explicit `std::arch` intrinsics backend ([`backend`], `x86`) that is
+//! selected **once per process at run time** from CPUID — so a binary
+//! built with the default target features still executes the very
+//! instructions Listing 2 names (`vminps`, `vaddps`, `vblendvps`,
+//! `vgatherdps`, …) on hardware that has them, with no dependence on
+//! `-C target-cpu=native` build flags (see `.cargo/config.toml` for the
+//! optional opt-in). The `SLIMSELL_SIMD={auto,scalar,avx2,avx512}`
+//! environment variable overrides the selection; every backend is
+//! bit-identical to the portable lane loops.
 //!
 //! Mask convention: comparison results are *numeric* masks holding `0.0`
 //! or `1.0` per lane, matching the paper's Listing 1 ("return a vector
@@ -36,14 +40,35 @@
 // `std::ops` traits.
 #![allow(clippy::needless_range_loop, clippy::should_implement_trait)]
 
+pub mod backend;
 pub mod f32xc;
 pub mod i32xc;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86;
 
+pub use backend::{active_backend, backend_supported, detect_best, set_backend, Backend};
 pub use f32xc::SimdF32;
 pub use i32xc::SimdI32;
 
 /// Lane counts used by the reproduction (CPU, AVX2, KNL, GPU-warp).
 pub const SUPPORTED_LANES: [usize; 4] = [4, 8, 16, 32];
+
+/// Error returned by [`dispatch_lanes`] for a lane count outside
+/// [`SUPPORTED_LANES`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnsupportedLanes(pub usize);
+
+impl std::fmt::Display for UnsupportedLanes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unsupported chunk height C={} (supported lane counts: {:?})",
+            self.0, SUPPORTED_LANES
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedLanes {}
 
 /// Dispatches a generic-in-`C` function object over a runtime lane count.
 ///
@@ -55,15 +80,19 @@ pub const SUPPORTED_LANES: [usize; 4] = [4, 8, 16, 32];
 ///     fn run<const C: usize>(self) -> usize { C }
 /// }
 /// assert_eq!(dispatch_lanes(16, WidthOf).unwrap(), 16);
-/// assert!(dispatch_lanes(5, WidthOf).is_none());
+/// assert!(dispatch_lanes(5, WidthOf).is_err());
 /// ```
-pub fn dispatch_lanes<D: LaneDispatch>(c: usize, d: D) -> Option<D::Output> {
+///
+/// # Errors
+/// Returns [`UnsupportedLanes`] (naming the offending count and the
+/// supported set) when `c` is not in [`SUPPORTED_LANES`].
+pub fn dispatch_lanes<D: LaneDispatch>(c: usize, d: D) -> Result<D::Output, UnsupportedLanes> {
     match c {
-        4 => Some(d.run::<4>()),
-        8 => Some(d.run::<8>()),
-        16 => Some(d.run::<16>()),
-        32 => Some(d.run::<32>()),
-        _ => None,
+        4 => Ok(d.run::<4>()),
+        8 => Ok(d.run::<8>()),
+        16 => Ok(d.run::<16>()),
+        32 => Ok(d.run::<32>()),
+        _ => Err(UnsupportedLanes(c)),
     }
 }
 
@@ -91,12 +120,16 @@ mod tests {
     #[test]
     fn dispatch_supported() {
         for c in SUPPORTED_LANES {
-            assert_eq!(dispatch_lanes(c, Width), Some(c));
+            assert_eq!(dispatch_lanes(c, Width), Ok(c));
         }
     }
 
     #[test]
     fn dispatch_unsupported() {
-        assert_eq!(dispatch_lanes(7, Width), None);
+        let err = dispatch_lanes(7, Width).unwrap_err();
+        assert_eq!(err, UnsupportedLanes(7));
+        let msg = err.to_string();
+        assert!(msg.contains("C=7"), "{msg}");
+        assert!(msg.contains("4, 8, 16, 32"), "{msg}");
     }
 }

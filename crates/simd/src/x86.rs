@@ -1,0 +1,661 @@
+//! Explicit x86 SIMD backend for the `SimdF32`/`SimdI32` primitives.
+//!
+//! Each width module (`w4` = 128-bit, `w8` = 256-bit, `w16` = 512-bit)
+//! implements the Listing-2 primitive set with `std::arch` intrinsics,
+//! operating on raw lane pointers in groups of the register width so that
+//! every supported `C` gets an explicit-SIMD path under any non-scalar
+//! backend: C=4 → one 128-bit group, C=8 → one 256-bit group, C∈{16,32}
+//! → `C/16` 512-bit groups under AVX-512 or `C/8` 256-bit groups under
+//! AVX2. The `pub(crate)` glue functions at the bottom dispatch on
+//! ([`active_backend`], `C`) and return `None` when the portable lane
+//! loop should run instead (scalar backend, or a gather that must take
+//! the panicking slice-index path).
+//!
+//! # Bit-identity contract
+//!
+//! Every function here must be bit-identical to the portable lane loop it
+//! replaces (pinned by the `backend_equivalence` property suite). The
+//! non-obvious cases:
+//!
+//! * **min/max**: `f32::min(a, b)` returns the *first* operand when the
+//!   operands compare equal (so `min(-0.0, +0.0) == -0.0`) and the other
+//!   operand when exactly one is NaN, while `vminps(x, y)` returns the
+//!   *second* operand on equal or unordered. Emulation: `vminps(b, a)`
+//!   (operands swapped, so equal → `a`, `b` NaN → `a`), then a blend to
+//!   `b` where `a` is NaN. The engine never produces NaN, so the
+//!   both-NaN payload is out of contract.
+//! * **blend**: the scalar contract is `mask != 0.0 ? b : a`, so `-0.0`
+//!   must select `a`; a raw sign-bit `vblendvps` on the mask would take
+//!   `b`. The mask is first compared `NEQ_UQ` against zero (unordered →
+//!   true, matching scalar `!=` on NaN).
+//! * **gather_or**: only lanes with `idx >= 0` may touch memory (masked
+//!   gather with the `idx > -1` compare as the lane mask); an in-range
+//!   check is done vectorially first, and any out-of-bounds lane makes
+//!   the glue return `None` so the portable loop raises the standard
+//!   slice-index panic.
+//! * **cvtdq2ps** is bit-identical to `as f32` (round-to-nearest-even,
+//!   verified including `i32::MIN/MAX` and 2^24+1).
+
+use crate::backend::{active_backend, Backend};
+
+/// 128-bit lane groups. Gated on `avx2` (not bare SSE) because the
+/// masked-gather primitive `_mm_mask_i32gather_ps` is an AVX2
+/// instruction; the runtime backend check covers the whole module.
+mod w4 {
+    use core::arch::x86_64::*;
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn ld(p: *const f32, k: usize) -> __m128 {
+        _mm_loadu_ps(p.add(k * 4))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn st(p: *mut f32, k: usize, v: __m128) {
+        _mm_storeu_ps(p.add(k * 4), v)
+    }
+
+    macro_rules! bin4 {
+        ($name:ident, |$x:ident, $y:ident| $body:expr) => {
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(a: *const f32, b: *const f32, out: *mut f32, n: usize) {
+                for k in 0..n {
+                    let $x = ld(a, k);
+                    let $y = ld(b, k);
+                    st(out, k, $body);
+                }
+            }
+        };
+    }
+
+    bin4!(add, |x, y| _mm_add_ps(x, y));
+    bin4!(mul, |x, y| _mm_mul_ps(x, y));
+    bin4!(and_bits, |x, y| _mm_and_ps(x, y));
+    bin4!(or_bits, |x, y| _mm_or_ps(x, y));
+    // Swapped operands + NaN fixup: see module docs.
+    bin4!(min, |x, y| {
+        let r = _mm_min_ps(y, x);
+        _mm_blendv_ps(r, y, _mm_cmpunord_ps(x, x))
+    });
+    bin4!(max, |x, y| {
+        let r = _mm_max_ps(y, x);
+        _mm_blendv_ps(r, y, _mm_cmpunord_ps(x, x))
+    });
+    bin4!(cmp_eq, |x, y| _mm_and_ps(_mm_cmpeq_ps(x, y), _mm_set1_ps(1.0)));
+    bin4!(cmp_neq, |x, y| _mm_and_ps(_mm_cmpneq_ps(x, y), _mm_set1_ps(1.0)));
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn copy(src: *const f32, out: *mut f32, n: usize) {
+        for k in 0..n {
+            st(out, k, ld(src, k));
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn blend(a: *const f32, b: *const f32, m: *const f32, out: *mut f32, n: usize) {
+        for k in 0..n {
+            let sel = _mm_cmpneq_ps(ld(m, k), _mm_setzero_ps());
+            st(out, k, _mm_blendv_ps(ld(a, k), ld(b, k), sel));
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn any_ne(a: *const f32, b: *const f32, n: usize) -> bool {
+        let mut m = 0;
+        for k in 0..n {
+            m |= _mm_movemask_ps(_mm_cmpneq_ps(ld(a, k), ld(b, k)));
+        }
+        m != 0
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn ne_bits(a: *const f32, b: *const f32, n: usize) -> u32 {
+        let mut m = 0u32;
+        for k in 0..n {
+            let ai = _mm_loadu_si128(a.add(k * 4) as *const __m128i);
+            let bi = _mm_loadu_si128(b.add(k * 4) as *const __m128i);
+            let eq = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(ai, bi))) as u32;
+            m |= (!eq & 0xf) << (k * 4);
+        }
+        m
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather(
+        values: *const f32,
+        len: i32,
+        idx: *const i32,
+        default: f32,
+        out: *mut f32,
+        n: usize,
+    ) -> bool {
+        let m_ones = _mm_set1_epi32(-1);
+        let lim = _mm_set1_epi32(len - 1);
+        let def = _mm_set1_ps(default);
+        for k in 0..n {
+            let ix = _mm_loadu_si128(idx.add(k * 4) as *const __m128i);
+            let ge0 = _mm_cmpgt_epi32(ix, m_ones);
+            let oob = _mm_and_si128(ge0, _mm_cmpgt_epi32(ix, lim));
+            if _mm_movemask_epi8(oob) != 0 {
+                return false;
+            }
+            let g = _mm_mask_i32gather_ps::<4>(def, values, ix, _mm_castsi128_ps(ge0));
+            st(out, k, g);
+        }
+        true
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn i32_cmp_eq_mask(a: *const i32, b: *const i32, out: *mut f32, n: usize) {
+        for k in 0..n {
+            let ai = _mm_loadu_si128(a.add(k * 4) as *const __m128i);
+            let bi = _mm_loadu_si128(b.add(k * 4) as *const __m128i);
+            let eq = _mm_castsi128_ps(_mm_cmpeq_epi32(ai, bi));
+            st(out, k, _mm_and_ps(eq, _mm_set1_ps(1.0)));
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn i32_to_f32(a: *const i32, out: *mut f32, n: usize) {
+        for k in 0..n {
+            let ai = _mm_loadu_si128(a.add(k * 4) as *const __m128i);
+            st(out, k, _mm_cvtepi32_ps(ai));
+        }
+    }
+}
+
+/// 256-bit lane groups (AVX2) — the paper's §IV-A configuration.
+mod w8 {
+    use core::arch::x86_64::*;
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn ld(p: *const f32, k: usize) -> __m256 {
+        _mm256_loadu_ps(p.add(k * 8))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn st(p: *mut f32, k: usize, v: __m256) {
+        _mm256_storeu_ps(p.add(k * 8), v)
+    }
+
+    macro_rules! bin8 {
+        ($name:ident, |$x:ident, $y:ident| $body:expr) => {
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(a: *const f32, b: *const f32, out: *mut f32, n: usize) {
+                for k in 0..n {
+                    let $x = ld(a, k);
+                    let $y = ld(b, k);
+                    st(out, k, $body);
+                }
+            }
+        };
+    }
+
+    bin8!(add, |x, y| _mm256_add_ps(x, y));
+    bin8!(mul, |x, y| _mm256_mul_ps(x, y));
+    bin8!(and_bits, |x, y| _mm256_and_ps(x, y));
+    bin8!(or_bits, |x, y| _mm256_or_ps(x, y));
+    // Swapped operands + NaN fixup: see module docs.
+    bin8!(min, |x, y| {
+        let r = _mm256_min_ps(y, x);
+        _mm256_blendv_ps(r, y, _mm256_cmp_ps::<_CMP_UNORD_Q>(x, x))
+    });
+    bin8!(max, |x, y| {
+        let r = _mm256_max_ps(y, x);
+        _mm256_blendv_ps(r, y, _mm256_cmp_ps::<_CMP_UNORD_Q>(x, x))
+    });
+    bin8!(cmp_eq, |x, y| _mm256_and_ps(_mm256_cmp_ps::<_CMP_EQ_OQ>(x, y), _mm256_set1_ps(1.0)));
+    bin8!(cmp_neq, |x, y| _mm256_and_ps(_mm256_cmp_ps::<_CMP_NEQ_UQ>(x, y), _mm256_set1_ps(1.0)));
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn copy(src: *const f32, out: *mut f32, n: usize) {
+        for k in 0..n {
+            st(out, k, ld(src, k));
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn blend(a: *const f32, b: *const f32, m: *const f32, out: *mut f32, n: usize) {
+        for k in 0..n {
+            let sel = _mm256_cmp_ps::<_CMP_NEQ_UQ>(ld(m, k), _mm256_setzero_ps());
+            st(out, k, _mm256_blendv_ps(ld(a, k), ld(b, k), sel));
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn any_ne(a: *const f32, b: *const f32, n: usize) -> bool {
+        let mut m = 0;
+        for k in 0..n {
+            m |= _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_NEQ_UQ>(ld(a, k), ld(b, k)));
+        }
+        m != 0
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn ne_bits(a: *const f32, b: *const f32, n: usize) -> u32 {
+        let mut m = 0u32;
+        for k in 0..n {
+            let ai = _mm256_loadu_si256(a.add(k * 8) as *const __m256i);
+            let bi = _mm256_loadu_si256(b.add(k * 8) as *const __m256i);
+            let eq = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(ai, bi))) as u32;
+            m |= (!eq & 0xff) << (k * 8);
+        }
+        m
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather(
+        values: *const f32,
+        len: i32,
+        idx: *const i32,
+        default: f32,
+        out: *mut f32,
+        n: usize,
+    ) -> bool {
+        let m_ones = _mm256_set1_epi32(-1);
+        let lim = _mm256_set1_epi32(len - 1);
+        let def = _mm256_set1_ps(default);
+        for k in 0..n {
+            let ix = _mm256_loadu_si256(idx.add(k * 8) as *const __m256i);
+            let ge0 = _mm256_cmpgt_epi32(ix, m_ones);
+            let oob = _mm256_and_si256(ge0, _mm256_cmpgt_epi32(ix, lim));
+            if _mm256_movemask_epi8(oob) != 0 {
+                return false;
+            }
+            let g = _mm256_mask_i32gather_ps::<4>(def, values, ix, _mm256_castsi256_ps(ge0));
+            st(out, k, g);
+        }
+        true
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn i32_cmp_eq_mask(a: *const i32, b: *const i32, out: *mut f32, n: usize) {
+        for k in 0..n {
+            let ai = _mm256_loadu_si256(a.add(k * 8) as *const __m256i);
+            let bi = _mm256_loadu_si256(b.add(k * 8) as *const __m256i);
+            let eq = _mm256_castsi256_ps(_mm256_cmpeq_epi32(ai, bi));
+            st(out, k, _mm256_and_ps(eq, _mm256_set1_ps(1.0)));
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn i32_to_f32(a: *const i32, out: *mut f32, n: usize) {
+        for k in 0..n {
+            let ai = _mm256_loadu_si256(a.add(k * 8) as *const __m256i);
+            st(out, k, _mm256_cvtepi32_ps(ai));
+        }
+    }
+}
+
+/// 512-bit lane groups (AVX-512 F) — the paper's KNL configuration.
+/// Compares produce `__mmask16` registers rather than vector masks.
+mod w16 {
+    use core::arch::x86_64::*;
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn ld(p: *const f32, k: usize) -> __m512 {
+        _mm512_loadu_ps(p.add(k * 16))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn st(p: *mut f32, k: usize, v: __m512) {
+        _mm512_storeu_ps(p.add(k * 16), v)
+    }
+
+    macro_rules! bin16 {
+        ($name:ident, |$x:ident, $y:ident| $body:expr) => {
+            #[target_feature(enable = "avx512f")]
+            pub unsafe fn $name(a: *const f32, b: *const f32, out: *mut f32, n: usize) {
+                for k in 0..n {
+                    let $x = ld(a, k);
+                    let $y = ld(b, k);
+                    st(out, k, $body);
+                }
+            }
+        };
+    }
+
+    bin16!(add, |x, y| _mm512_add_ps(x, y));
+    bin16!(mul, |x, y| _mm512_mul_ps(x, y));
+    bin16!(and_bits, |x, y| _mm512_castsi512_ps(_mm512_and_si512(
+        _mm512_castps_si512(x),
+        _mm512_castps_si512(y)
+    )));
+    bin16!(or_bits, |x, y| _mm512_castsi512_ps(_mm512_or_si512(
+        _mm512_castps_si512(x),
+        _mm512_castps_si512(y)
+    )));
+    // Swapped operands + NaN fixup: see module docs.
+    bin16!(min, |x, y| {
+        let r = _mm512_min_ps(y, x);
+        _mm512_mask_blend_ps(_mm512_cmp_ps_mask::<_CMP_UNORD_Q>(x, x), r, y)
+    });
+    bin16!(max, |x, y| {
+        let r = _mm512_max_ps(y, x);
+        _mm512_mask_blend_ps(_mm512_cmp_ps_mask::<_CMP_UNORD_Q>(x, x), r, y)
+    });
+    bin16!(cmp_eq, |x, y| _mm512_maskz_mov_ps(
+        _mm512_cmp_ps_mask::<_CMP_EQ_OQ>(x, y),
+        _mm512_set1_ps(1.0)
+    ));
+    bin16!(cmp_neq, |x, y| _mm512_maskz_mov_ps(
+        _mm512_cmp_ps_mask::<_CMP_NEQ_UQ>(x, y),
+        _mm512_set1_ps(1.0)
+    ));
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn copy(src: *const f32, out: *mut f32, n: usize) {
+        for k in 0..n {
+            st(out, k, ld(src, k));
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn blend(a: *const f32, b: *const f32, m: *const f32, out: *mut f32, n: usize) {
+        for k in 0..n {
+            let sel = _mm512_cmp_ps_mask::<_CMP_NEQ_UQ>(ld(m, k), _mm512_setzero_ps());
+            st(out, k, _mm512_mask_blend_ps(sel, ld(a, k), ld(b, k)));
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn any_ne(a: *const f32, b: *const f32, n: usize) -> bool {
+        let mut m = 0u16;
+        for k in 0..n {
+            m |= _mm512_cmp_ps_mask::<_CMP_NEQ_UQ>(ld(a, k), ld(b, k));
+        }
+        m != 0
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn ne_bits(a: *const f32, b: *const f32, n: usize) -> u32 {
+        let mut m = 0u32;
+        for k in 0..n {
+            let ai = _mm512_loadu_si512(a.add(k * 16) as *const _);
+            let bi = _mm512_loadu_si512(b.add(k * 16) as *const _);
+            m |= (_mm512_cmpneq_epi32_mask(ai, bi) as u32) << (k * 16);
+        }
+        m
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gather(
+        values: *const f32,
+        len: i32,
+        idx: *const i32,
+        default: f32,
+        out: *mut f32,
+        n: usize,
+    ) -> bool {
+        let m_ones = _mm512_set1_epi32(-1);
+        let lim = _mm512_set1_epi32(len - 1);
+        let def = _mm512_set1_ps(default);
+        for k in 0..n {
+            let ix = _mm512_loadu_si512(idx.add(k * 16) as *const _);
+            let ge0 = _mm512_cmpgt_epi32_mask(ix, m_ones);
+            if ge0 & _mm512_cmpgt_epi32_mask(ix, lim) != 0 {
+                return false;
+            }
+            let g = _mm512_mask_i32gather_ps::<4>(def, ge0, ix, values);
+            st(out, k, g);
+        }
+        true
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn i32_cmp_eq_mask(a: *const i32, b: *const i32, out: *mut f32, n: usize) {
+        for k in 0..n {
+            let ai = _mm512_loadu_si512(a.add(k * 16) as *const _);
+            let bi = _mm512_loadu_si512(b.add(k * 16) as *const _);
+            let eq = _mm512_cmpeq_epi32_mask(ai, bi);
+            st(out, k, _mm512_maskz_mov_ps(eq, _mm512_set1_ps(1.0)));
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn i32_to_f32(a: *const i32, out: *mut f32, n: usize) {
+        for k in 0..n {
+            let ai = _mm512_loadu_si512(a.add(k * 16) as *const _);
+            st(out, k, _mm512_cvtepi32_ps(ai));
+        }
+    }
+}
+
+/// The active backend if it has explicit-SIMD paths, else `None`.
+#[inline]
+fn wide_backend() -> Option<Backend> {
+    match active_backend() {
+        Backend::Scalar => None,
+        b => Some(b),
+    }
+}
+
+macro_rules! bin_glue {
+    ($name:ident, $op:ident) => {
+        #[inline]
+        pub(crate) fn $name<const C: usize>(a: &[f32; C], b: &[f32; C]) -> Option<[f32; C]> {
+            let be = wide_backend()?;
+            let mut out = [0.0f32; C];
+            unsafe {
+                match C {
+                    4 => w4::$op(a.as_ptr(), b.as_ptr(), out.as_mut_ptr(), 1),
+                    8 => w8::$op(a.as_ptr(), b.as_ptr(), out.as_mut_ptr(), 1),
+                    16 | 32 => {
+                        if be == Backend::Avx512 {
+                            w16::$op(a.as_ptr(), b.as_ptr(), out.as_mut_ptr(), C / 16)
+                        } else {
+                            w8::$op(a.as_ptr(), b.as_ptr(), out.as_mut_ptr(), C / 8)
+                        }
+                    }
+                    _ => return None,
+                }
+            }
+            Some(out)
+        }
+    };
+}
+
+bin_glue!(add, add);
+bin_glue!(mul, mul);
+bin_glue!(min, min);
+bin_glue!(max, max);
+bin_glue!(and_bits, and_bits);
+bin_glue!(or_bits, or_bits);
+bin_glue!(cmp_eq, cmp_eq);
+bin_glue!(cmp_neq, cmp_neq);
+
+#[inline]
+pub(crate) fn copy<const C: usize>(src: &[f32]) -> Option<[f32; C]> {
+    let be = wide_backend()?;
+    // Length check stays with the caller's portable panic path.
+    if src.len() < C {
+        return None;
+    }
+    let mut out = [0.0f32; C];
+    unsafe {
+        match C {
+            4 => w4::copy(src.as_ptr(), out.as_mut_ptr(), 1),
+            8 => w8::copy(src.as_ptr(), out.as_mut_ptr(), 1),
+            16 | 32 => {
+                if be == Backend::Avx512 {
+                    w16::copy(src.as_ptr(), out.as_mut_ptr(), C / 16)
+                } else {
+                    w8::copy(src.as_ptr(), out.as_mut_ptr(), C / 8)
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[inline]
+pub(crate) fn store<const C: usize>(v: &[f32; C], dst: &mut [f32]) -> Option<()> {
+    let be = wide_backend()?;
+    if dst.len() < C {
+        return None;
+    }
+    unsafe {
+        match C {
+            4 => w4::copy(v.as_ptr(), dst.as_mut_ptr(), 1),
+            8 => w8::copy(v.as_ptr(), dst.as_mut_ptr(), 1),
+            16 | 32 => {
+                if be == Backend::Avx512 {
+                    w16::copy(v.as_ptr(), dst.as_mut_ptr(), C / 16)
+                } else {
+                    w8::copy(v.as_ptr(), dst.as_mut_ptr(), C / 8)
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(())
+}
+
+#[inline]
+pub(crate) fn blend<const C: usize>(a: &[f32; C], b: &[f32; C], m: &[f32; C]) -> Option<[f32; C]> {
+    let be = wide_backend()?;
+    let mut out = [0.0f32; C];
+    unsafe {
+        match C {
+            4 => w4::blend(a.as_ptr(), b.as_ptr(), m.as_ptr(), out.as_mut_ptr(), 1),
+            8 => w8::blend(a.as_ptr(), b.as_ptr(), m.as_ptr(), out.as_mut_ptr(), 1),
+            16 | 32 => {
+                if be == Backend::Avx512 {
+                    w16::blend(a.as_ptr(), b.as_ptr(), m.as_ptr(), out.as_mut_ptr(), C / 16)
+                } else {
+                    w8::blend(a.as_ptr(), b.as_ptr(), m.as_ptr(), out.as_mut_ptr(), C / 8)
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[inline]
+pub(crate) fn any_ne<const C: usize>(a: &[f32; C], b: &[f32; C]) -> Option<bool> {
+    let be = wide_backend()?;
+    unsafe {
+        match C {
+            4 => Some(w4::any_ne(a.as_ptr(), b.as_ptr(), 1)),
+            8 => Some(w8::any_ne(a.as_ptr(), b.as_ptr(), 1)),
+            16 | 32 => {
+                if be == Backend::Avx512 {
+                    Some(w16::any_ne(a.as_ptr(), b.as_ptr(), C / 16))
+                } else {
+                    Some(w8::any_ne(a.as_ptr(), b.as_ptr(), C / 8))
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[inline]
+pub(crate) fn ne_bits<const C: usize>(a: &[f32; C], b: &[f32; C]) -> Option<u32> {
+    let be = wide_backend()?;
+    unsafe {
+        match C {
+            4 => Some(w4::ne_bits(a.as_ptr(), b.as_ptr(), 1)),
+            8 => Some(w8::ne_bits(a.as_ptr(), b.as_ptr(), 1)),
+            16 | 32 => {
+                if be == Backend::Avx512 {
+                    Some(w16::ne_bits(a.as_ptr(), b.as_ptr(), C / 16))
+                } else {
+                    Some(w8::ne_bits(a.as_ptr(), b.as_ptr(), C / 8))
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[inline]
+pub(crate) fn gather_or<const C: usize>(
+    values: &[f32],
+    idx: &[i32; C],
+    default: f32,
+) -> Option<[f32; C]> {
+    let be = wide_backend()?;
+    if values.len() > i32::MAX as usize {
+        return None;
+    }
+    let len = values.len() as i32;
+    let mut out = [0.0f32; C];
+    let ok = unsafe {
+        match C {
+            4 => w4::gather(values.as_ptr(), len, idx.as_ptr(), default, out.as_mut_ptr(), 1),
+            8 => w8::gather(values.as_ptr(), len, idx.as_ptr(), default, out.as_mut_ptr(), 1),
+            16 | 32 => {
+                if be == Backend::Avx512 {
+                    w16::gather(
+                        values.as_ptr(),
+                        len,
+                        idx.as_ptr(),
+                        default,
+                        out.as_mut_ptr(),
+                        C / 16,
+                    )
+                } else {
+                    w8::gather(values.as_ptr(), len, idx.as_ptr(), default, out.as_mut_ptr(), C / 8)
+                }
+            }
+            _ => return None,
+        }
+    };
+    // Out-of-bounds lane: take the portable path so the standard
+    // slice-index panic fires with its usual message.
+    if ok {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+#[inline]
+pub(crate) fn i32_cmp_eq_mask<const C: usize>(a: &[i32; C], b: &[i32; C]) -> Option<[f32; C]> {
+    let be = wide_backend()?;
+    let mut out = [0.0f32; C];
+    unsafe {
+        match C {
+            4 => w4::i32_cmp_eq_mask(a.as_ptr(), b.as_ptr(), out.as_mut_ptr(), 1),
+            8 => w8::i32_cmp_eq_mask(a.as_ptr(), b.as_ptr(), out.as_mut_ptr(), 1),
+            16 | 32 => {
+                if be == Backend::Avx512 {
+                    w16::i32_cmp_eq_mask(a.as_ptr(), b.as_ptr(), out.as_mut_ptr(), C / 16)
+                } else {
+                    w8::i32_cmp_eq_mask(a.as_ptr(), b.as_ptr(), out.as_mut_ptr(), C / 8)
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[inline]
+pub(crate) fn i32_to_f32<const C: usize>(a: &[i32; C]) -> Option<[f32; C]> {
+    let be = wide_backend()?;
+    let mut out = [0.0f32; C];
+    unsafe {
+        match C {
+            4 => w4::i32_to_f32(a.as_ptr(), out.as_mut_ptr(), 1),
+            8 => w8::i32_to_f32(a.as_ptr(), out.as_mut_ptr(), 1),
+            16 | 32 => {
+                if be == Backend::Avx512 {
+                    w16::i32_to_f32(a.as_ptr(), out.as_mut_ptr(), C / 16)
+                } else {
+                    w8::i32_to_f32(a.as_ptr(), out.as_mut_ptr(), C / 8)
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}

@@ -1,0 +1,208 @@
+//! Property tests: every explicit-SIMD backend is **bit-identical** to
+//! the portable scalar lane-loop backend on every primitive, at every
+//! supported lane count — the contract that makes runtime backend
+//! selection (and mid-process [`set_backend`] switching) observation-free.
+//!
+//! Inputs deliberately include the IEEE-754 corners where naive intrinsic
+//! emulation diverges from Rust scalar semantics: signed zeros (min/max
+//! return the *first* operand on equal compares; blend must treat `-0.0`
+//! as zero), infinities, and subnormals. NaN is covered one-sidedly by a
+//! deterministic test (the engine never produces NaN, and the both-NaN
+//! payload is out of contract).
+
+use proptest::prelude::*;
+use slimsell_simd::{backend_supported, set_backend, Backend, SimdF32, SimdI32};
+use std::sync::Mutex;
+
+/// Serializes backend toggling across the test threads of this binary.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const WIDE_BACKENDS: [Backend; 2] = [Backend::Avx2, Backend::Avx512];
+
+fn with_backend<R>(b: Backend, f: impl FnOnce() -> R) -> R {
+    let prev = set_backend(b);
+    let r = f();
+    set_backend(prev);
+    r
+}
+
+fn val() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        Just(0.0f32),
+        Just(-0.0f32),
+        Just(1.0f32),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+        Just(1.0e-40f32), // subnormal
+        -100.0f32..100.0f32,
+    ]
+}
+
+fn take<const C: usize>(v: &[f32]) -> [f32; C] {
+    let mut out = [0.0f32; C];
+    out.copy_from_slice(&v[..C]);
+    out
+}
+
+fn push<const C: usize>(out: &mut Vec<u32>, v: SimdF32<C>) {
+    out.extend(v.as_array().iter().map(|x| x.to_bits()));
+}
+
+/// Runs every primitive on the given inputs under the *currently active*
+/// backend and returns the concatenated bit patterns of all results.
+fn digest<const C: usize>(a: [f32; C], b: [f32; C], m: [f32; C], idx: [i32; C]) -> Vec<u32> {
+    let va = SimdF32::<C>(a);
+    let vb = SimdF32::<C>(b);
+    let vm = SimdF32::<C>(m);
+    let vi = SimdI32::<C>(idx);
+    let values: Vec<f32> = a.iter().chain(b.iter()).copied().collect();
+    let mut out = Vec::new();
+    push(&mut out, SimdF32::<C>::load(&a));
+    let mut stored = vec![0.0f32; C];
+    va.store(&mut stored);
+    out.extend(stored.iter().map(|x| x.to_bits()));
+    push(&mut out, SimdF32::<C>::gather_or(&values, vi, f32::INFINITY));
+    push(&mut out, va.cmp_eq(vb));
+    push(&mut out, va.cmp_neq(vb));
+    push(&mut out, SimdF32::blend(va, vb, vm));
+    push(&mut out, va.min(vb));
+    push(&mut out, va.max(vb));
+    push(&mut out, va.add(vb));
+    push(&mut out, va.mul(vb));
+    push(&mut out, va.and_bits(vb));
+    push(&mut out, va.or_bits(vb));
+    out.push(va.any_nonzero() as u32);
+    out.push(va.any_ne(vb) as u32);
+    out.push(va.ne_bits(vb));
+    push(&mut out, vi.cmp_eq_mask(SimdI32::minus_ones()));
+    push(&mut out, vi.to_f32());
+    out
+}
+
+fn check_backends<const C: usize>(a: &[f32], b: &[f32], m: &[f32], idx: &[i32]) {
+    let (a, b, m) = (take::<C>(a), take::<C>(b), take::<C>(m));
+    let mut ix = [0i32; C];
+    ix.copy_from_slice(&idx[..C]);
+    let reference = with_backend(Backend::Scalar, || digest(a, b, m, ix));
+    for be in WIDE_BACKENDS {
+        if !backend_supported(be) {
+            continue;
+        }
+        let got = with_backend(be, || digest(a, b, m, ix));
+        assert_eq!(got, reference, "backend {} diverged at C={C}", be.name());
+    }
+}
+
+proptest! {
+    #[test]
+    fn all_backends_bit_identical(
+        a in prop::collection::vec(val(), 32),
+        b in prop::collection::vec(val(), 32),
+        m in prop::collection::vec(val(), 32),
+        // `digest` gathers from a 2C-element buffer; keep indices valid
+        // for the smallest C (the OOB path has its own deterministic test).
+        idx in prop::collection::vec(-1i32..8, 32),
+    ) {
+        let _g = lock();
+        check_backends::<4>(&a, &b, &m, &idx);
+        check_backends::<8>(&a, &b, &m, &idx);
+        check_backends::<16>(&a, &b, &m, &idx);
+        check_backends::<32>(&a, &b, &m, &idx);
+    }
+}
+
+/// Signed zeros and one-sided NaN: the exact corners where `vminps`
+/// operand order matters. `f32::min(-0.0, +0.0)` must stay `-0.0`
+/// (first operand), `min(NaN, x)` and `min(x, NaN)` must both be `x`,
+/// on every backend.
+#[test]
+fn min_max_corner_cases_every_backend() {
+    let _g = lock();
+    let cases: [(f32, f32); 8] = [
+        (-0.0, 0.0),
+        (0.0, -0.0),
+        (f32::NAN, 1.0),
+        (1.0, f32::NAN),
+        (f32::INFINITY, f32::NEG_INFINITY),
+        (f32::NEG_INFINITY, f32::INFINITY),
+        (2.0, 2.0),
+        (-3.5, 7.25),
+    ];
+    for be in [Backend::Scalar, Backend::Avx2, Backend::Avx512] {
+        if !backend_supported(be) {
+            continue;
+        }
+        with_backend(be, || {
+            for (x, y) in cases {
+                let a = SimdF32::<8>::splat(x);
+                let b = SimdF32::<8>::splat(y);
+                let (mn, mx) = (a.min(b), a.max(b));
+                for i in 0..8 {
+                    assert_eq!(
+                        mn.0[i].to_bits(),
+                        x.min(y).to_bits(),
+                        "min({x}, {y}) on {}",
+                        be.name()
+                    );
+                    assert_eq!(
+                        mx.0[i].to_bits(),
+                        x.max(y).to_bits(),
+                        "max({x}, {y}) on {}",
+                        be.name()
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// `-0.0` is numerically zero: blend must select `a`, cmp_neq must say
+/// "equal", any_ne must say "same" — while ne_bits (bitwise) must flag
+/// the lane. Pinned on every backend.
+#[test]
+fn signed_zero_mask_semantics_every_backend() {
+    let _g = lock();
+    for be in [Backend::Scalar, Backend::Avx2, Backend::Avx512] {
+        if !backend_supported(be) {
+            continue;
+        }
+        with_backend(be, || {
+            let pz = SimdF32::<8>::splat(0.0);
+            let nz = SimdF32::<8>::splat(-0.0);
+            let a = SimdF32::<8>::splat(10.0);
+            let b = SimdF32::<8>::splat(20.0);
+            assert_eq!(SimdF32::blend(a, b, nz).0, [10.0; 8], "{}", be.name());
+            assert_eq!(pz.cmp_neq(nz).0, [0.0; 8], "{}", be.name());
+            assert!(!pz.any_ne(nz), "{}", be.name());
+            assert!(!nz.any_nonzero(), "{}", be.name());
+            assert_eq!(pz.ne_bits(nz), 0xff, "{}", be.name());
+            assert_eq!(pz.ne_bits(pz), 0, "{}", be.name());
+        });
+    }
+}
+
+/// Out-of-bounds gather indices must panic identically (the portable
+/// slice-index path) regardless of backend.
+#[test]
+fn gather_out_of_bounds_panics_every_backend() {
+    let _g = lock();
+    for be in [Backend::Scalar, Backend::Avx2, Backend::Avx512] {
+        if !backend_supported(be) {
+            continue;
+        }
+        let result = std::panic::catch_unwind(|| {
+            with_backend(be, || {
+                let values = [1.0f32; 4];
+                SimdF32::<8>::gather_or(&values, SimdI32::from_fn(|i| i as i32), 0.0)
+            })
+        });
+        assert!(result.is_err(), "OOB gather must panic on {}", be.name());
+        // catch_unwind with the backend still switched: restore.
+        set_backend(Backend::Scalar);
+    }
+    set_backend(slimsell_simd::detect_best());
+}

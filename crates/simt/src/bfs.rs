@@ -113,14 +113,9 @@ where
     S::init(&mut cur, &mut d, n, root_p);
 
     // Per-chunk edge (non-padding) cell counts for the lane-efficiency
-    // metric; computed once.
-    let chunk_arcs: Vec<u64> = (0..nc)
-        .map(|i| {
-            let lo = s.cs()[i];
-            let hi = lo + s.cl()[i] as usize * C;
-            s.col()[lo..hi].iter().filter(|&&c| c >= 0).count() as u64
-        })
-        .collect();
+    // metric — the same series the CPU engines' `active_cells` counter
+    // draws from, so measured and simulated utilization agree exactly.
+    let chunk_arcs: &[u64] = s.chunk_arcs();
 
     let mut iters = Vec::new();
     let mut depth = 0u32;

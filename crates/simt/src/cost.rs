@@ -6,6 +6,7 @@
 //! part — the experiments read *shapes* (ratios, crossovers), not
 //! absolute times, exactly as DESIGN.md's substitution note states.
 
+use slimsell_core::counters::IterStats;
 use slimsell_core::matrix::Representation;
 
 /// Cycle costs for warp-wide operations.
@@ -68,6 +69,24 @@ impl CostModel {
     /// Cycles charged to a skipped chunk (criterion check + state copy).
     pub fn skipped_chunk(&self) -> u64 {
         self.skip_check + self.load + self.store
+    }
+
+    /// Busy cycles this model predicts for a *measured* CPU iteration:
+    /// the launch and post-processing of every processed chunk, the
+    /// column steps actually executed, and the skip path of every
+    /// SlimWork-skipped chunk. For an untiled full sweep this equals
+    /// [`run_simt_bfs`](crate::run_simt_bfs)'s per-iteration
+    /// `busy_cycles` exactly — the bridge that lets the CPU engine's
+    /// hardware counters validate the simulator (and vice versa).
+    pub fn predicted_busy_cycles(
+        &self,
+        it: &IterStats,
+        rep: Representation,
+        semiring: &str,
+    ) -> u64 {
+        (self.launch + self.post_chunk(semiring)) * it.chunks_processed as u64
+            + it.col_steps * self.column_step(rep)
+            + self.skipped_chunk() * it.chunks_skipped as u64
     }
 }
 

@@ -77,6 +77,62 @@ fn busy_cycles_independent_of_slots() {
 }
 
 #[test]
+fn cpu_counters_reproduce_simt_cost_model() {
+    // The CPU engine's measured counters (chunks processed/skipped,
+    // column steps, active cells) must plug into the warp cost model and
+    // reproduce the simulator's busy-cycle and lane-efficiency numbers
+    // exactly, iteration for iteration — the two layers account for the
+    // same schedule, so any drift is a bug in one of them.
+    let g = kronecker(10, 16.0, KroneckerParams::GRAPH500, 9);
+    let root = slimsell::graph::stats::sample_roots(&g, 1)[0];
+    let slim = SlimSellMatrix::<32>::build(&g, g.num_vertices());
+    let cfg = SimtConfig::default();
+    let rep = slim.representation();
+    for slimwork in [false, true] {
+        macro_rules! check {
+            ($sem:ty) => {{
+                let cpu_opts =
+                    BfsOptions { slimwork, sweep: SweepMode::Full, ..Default::default() };
+                let cpu = BfsEngine::run::<_, $sem, 32>(&slim, root, &cpu_opts);
+                let sim = run_simt_bfs::<_, $sem, 32>(
+                    &slim,
+                    root,
+                    &cfg,
+                    &SimtOptions { slimwork, slimchunk: None },
+                );
+                assert_eq!(cpu.dist, sim.dist);
+                assert_eq!(
+                    cpu.stats.iters.len(),
+                    sim.iters.len(),
+                    "{} sw={slimwork}: iteration counts differ",
+                    <$sem>::NAME
+                );
+                for (k, (c, s)) in cpu.stats.iters.iter().zip(&sim.iters).enumerate() {
+                    assert_eq!(c.chunks_processed, s.chunks_processed, "iter {k}");
+                    assert_eq!(c.chunks_skipped, s.chunks_skipped, "iter {k}");
+                    assert_eq!(
+                        cfg.cost.predicted_busy_cycles(c, rep, <$sem>::NAME),
+                        s.busy_cycles,
+                        "{} sw={slimwork} iter {k}: predicted busy cycles drift",
+                        <$sem>::NAME
+                    );
+                    let measured =
+                        if c.cells == 0 { 1.0 } else { c.active_cells as f64 / c.cells as f64 };
+                    assert_eq!(
+                        measured,
+                        s.simd_efficiency,
+                        "{} sw={slimwork} iter {k}: lane utilization drift",
+                        <$sem>::NAME
+                    );
+                }
+            }};
+        }
+        check!(TropicalSemiring);
+        check!(BooleanSemiring);
+    }
+}
+
+#[test]
 fn pricier_gathers_hurt_sellcs_more() {
     // Raising the gather price hits both reps equally, but raising the
     // *load* price hits Sell-C-σ (which streams val) harder than
