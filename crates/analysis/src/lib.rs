@@ -11,6 +11,9 @@
 //! * [`frontier`] — full-sweep vs worklist sweep accounting: column
 //!   steps, chunk visits and activation overhead of the
 //!   frontier-proportional engine;
+//! * [`serve`] — serving-layer latency/throughput distillation:
+//!   nearest-rank latency percentiles and the batch-fill counters
+//!   behind the batched-BFS query engine's qps numbers;
 //! * [`report`] — plain-text table rendering shared by the reproduction
 //!   harness.
 
@@ -19,10 +22,12 @@ pub mod bounds;
 pub mod frontier;
 pub mod padding;
 pub mod report;
+pub mod serve;
 pub mod work;
 
 pub use amortize::{amortization_table, runs_to_amortize};
 pub use bounds::{er_max_degree_bound, estimate_powerlaw_exponent, powerlaw_max_degree_bound};
 pub use frontier::WorklistComparison;
 pub use padding::{padding_bound_full_sort, padding_full_sort, padding_unsorted};
+pub use serve::{LatencyProfile, ServePoint};
 pub use work::{table2_rows, work_bound_general, WorkBound};

@@ -1,0 +1,171 @@
+//! Serving-layer latency/throughput distillation — the analysis behind
+//! the `serve` experiment.
+//!
+//! The serving layer trades latency for throughput: holding a batch
+//! window open delays the first query of a batch by up to the window,
+//! but every coalesced query amortizes one `C·B`-wide sweep over `B`
+//! sources. This module distills a closed-loop load run into one
+//! comparison row per `(B, clients)` point: queries/sec, the latency
+//! distribution (nearest-rank percentiles over per-query wall times),
+//! and the batch-fill/lane-occupancy counters that explain *why* the
+//! throughput moved. No types from the serving crate appear here — the
+//! inputs are plain numbers, so the analysis stays dependency-free and
+//! host-independent except for the timed fields.
+
+use crate::report::TextTable;
+
+/// Latency distribution over per-query wall times (seconds).
+#[derive(Clone, Debug)]
+pub struct LatencyProfile {
+    /// Number of samples the profile summarizes.
+    pub samples: usize,
+    /// Mean latency in seconds.
+    pub mean_s: f64,
+    /// Median (nearest-rank p50) in seconds.
+    pub p50_s: f64,
+    /// Nearest-rank p99 in seconds.
+    pub p99_s: f64,
+    /// Worst observed latency in seconds.
+    pub max_s: f64,
+}
+
+impl LatencyProfile {
+    /// Builds the profile from raw per-query latencies (any order).
+    /// An empty sample set yields an all-zero profile.
+    pub fn from_seconds(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Self { samples: 0, mean_s: 0.0, p50_s: 0.0, p99_s: 0.0, max_s: 0.0 };
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        Self {
+            samples: n,
+            mean_s: mean,
+            p50_s: percentile(&samples, 0.50),
+            p99_s: percentile(&samples, 0.99),
+            max_s: samples[n - 1],
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One measured `(batch width, client count)` point of the serve
+/// experiment: the timed side (throughput, latency profile) plus the
+/// deterministic batch counters that explain it.
+#[derive(Clone, Debug)]
+pub struct ServePoint {
+    /// Source-dimension lanes per batch (`B`).
+    pub batch_b: usize,
+    /// Closed-loop client threads submitting queries.
+    pub clients: usize,
+    /// Queries served at this point.
+    pub queries: usize,
+    /// Wall time for the whole run, seconds.
+    pub elapsed_s: f64,
+    /// Per-query latency distribution.
+    pub latency: LatencyProfile,
+    /// Batches executed.
+    pub batches: u64,
+    /// Batches that coalesced more than one query.
+    pub multi_root_batches: u64,
+    /// Mean live queries per batch.
+    pub mean_batch_fill: f64,
+    /// Fraction of touched lane-slots that carried a stored arc.
+    pub lane_utilization: f64,
+    /// Sweeps executed across all batches.
+    pub total_iterations: u64,
+    /// Column steps across all batches.
+    pub total_col_steps: u64,
+}
+
+impl ServePoint {
+    /// Served queries per second.
+    pub fn qps(&self) -> f64 {
+        if self.elapsed_s == 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / self.elapsed_s
+        }
+    }
+
+    /// Header of the comparison table [`row`](Self::row)s feed.
+    pub const HEADER: [&'static str; 9] =
+        ["B", "clients", "queries", "qps", "p50", "p99", "batches", "fill", "lane util"];
+
+    /// One table row for this point.
+    pub fn row(&self) -> [String; 9] {
+        [
+            self.batch_b.to_string(),
+            self.clients.to_string(),
+            self.queries.to_string(),
+            format!("{:.1}", self.qps()),
+            crate::report::fmt_secs(self.latency.p50_s),
+            crate::report::fmt_secs(self.latency.p99_s),
+            self.batches.to_string(),
+            format!("{:.2}", self.mean_batch_fill),
+            format!("{:.3}", self.lane_utilization),
+        ]
+    }
+
+    /// A ready table with this comparison's header.
+    pub fn table() -> TextTable {
+        TextTable::new(Self::HEADER)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let p = LatencyProfile::from_seconds((1..=100).map(|i| i as f64).collect());
+        assert_eq!(p.samples, 100);
+        assert_eq!(p.p50_s, 50.0);
+        assert_eq!(p.p99_s, 99.0);
+        assert_eq!(p.max_s, 100.0);
+        assert!((p.mean_s - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_profile() {
+        let p = LatencyProfile::from_seconds(vec![0.25]);
+        assert_eq!((p.p50_s, p.p99_s, p.max_s), (0.25, 0.25, 0.25));
+    }
+
+    #[test]
+    fn empty_profile_is_zeroed() {
+        let p = LatencyProfile::from_seconds(vec![]);
+        assert_eq!(p.samples, 0);
+        assert_eq!(p.p99_s, 0.0);
+    }
+
+    #[test]
+    fn point_row_matches_header_width() {
+        let point = ServePoint {
+            batch_b: 8,
+            clients: 4,
+            queries: 64,
+            elapsed_s: 2.0,
+            latency: LatencyProfile::from_seconds(vec![0.01; 64]),
+            batches: 9,
+            multi_root_batches: 8,
+            mean_batch_fill: 7.1,
+            lane_utilization: 0.42,
+            total_iterations: 90,
+            total_col_steps: 12_345,
+        };
+        assert!((point.qps() - 32.0).abs() < 1e-9);
+        let mut t = ServePoint::table();
+        t.row(point.row());
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("32.0"));
+    }
+}

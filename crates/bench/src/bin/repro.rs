@@ -7,7 +7,7 @@
 //!   table2 table3 table4 table5
 //!   fig1 fig5a fig5b fig5c fig5d fig6a fig6b fig6c fig6d fig6e
 //!   fig7 fig8 fig9 fig10
-//!   prep bounds scaling frontier
+//!   prep bounds scaling frontier serve
 //!   all                        run everything
 //!
 //! common options:
@@ -27,6 +27,10 @@
 //!
 //! frontier options:
 //!   --adaptive {0,1}  include the adaptive sweep axis (default 1)
+//!
+//! serve options:
+//!   --queries N       closed-loop queries per (B, clients) point
+//!                     (default 64)
 //! ```
 //!
 //! The `scaling` experiment additionally writes the machine-readable
@@ -37,7 +41,12 @@
 //! `results/BENCH_frontier.json`: full-sweep vs worklist vs adaptive
 //! BFS over `{kronecker, geometric, smallworld} × scales
 //! 10..=--scale-log2`, with exact column-step/visit/activation/
-//! mode-switch counters.
+//! mode-switch counters. The `serve` experiment drives the batched BFS
+//! query engine (`crates/serve`) with closed-loop clients and writes
+//! `results/BENCH_serve.json`: qps, p50/p99 latency and batch-fill
+//! counters over batch widths `B ∈ {1, 4, 8}` × client counts
+//! `{1, 4, 16}`; the batch window is tunable via
+//! `SLIMSELL_BATCH_WINDOW_US`.
 
 use slimsell_bench::experiments;
 use slimsell_bench::harness::{Args, ExpContext};
@@ -73,5 +82,7 @@ fn print_help() {
     println!("scaling only: --kernel {{bfs|pagerank|sssp|msbfs|betweenness|all}}  --simd {{0|1}}");
     println!("frontier: sweeps scales 10..=--scale-log2 (full vs worklist vs adaptive;");
     println!("          --adaptive 0 drops the adaptive axis)");
+    println!("serve: batched BFS query engine load test; --queries N per point (default 64),");
+    println!("       batch window via SLIMSELL_BATCH_WINDOW_US (default 200)");
     println!("see DESIGN.md section 4 for the experiment-to-paper mapping");
 }

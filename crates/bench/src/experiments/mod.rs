@@ -13,6 +13,7 @@ pub mod fig9;
 pub mod frontier;
 pub mod prep;
 pub mod scaling;
+pub mod serve;
 pub mod tables;
 
 use slimsell_gen::kronecker::KroneckerParams;
@@ -45,6 +46,7 @@ pub fn run(ctx: &ExpContext) -> Result<(), String> {
         "bounds" => bounds::run(ctx),
         "scaling" => scaling::run(ctx),
         "frontier" => frontier::run(ctx),
+        "serve" => serve::run(ctx),
         "ablate" => ablate::run(ctx),
         "all" => {
             for name in EXPERIMENTS {
@@ -67,7 +69,7 @@ pub fn run(ctx: &ExpContext) -> Result<(), String> {
 pub const EXPERIMENTS: &[&str] = &[
     "table2", "table3", "table4", "table5", "fig1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6a",
     "fig6b", "fig6c", "fig6d", "fig6e", "fig7", "fig8", "fig9", "fig10", "prep", "bounds",
-    "scaling", "frontier", "ablate", "all",
+    "scaling", "frontier", "serve", "ablate", "all",
 ];
 
 /// Generates the context's default Kronecker graph.

@@ -11,10 +11,17 @@
 //! 2. a *backward* sweep accumulating dependencies
 //!    `δ_s(v) = Σ_{w: succ} σ(v)/σ(w) · (1 + δ(w))`.
 //!
-//! The forward sweep reuses the chunked SpMV kernel verbatim and runs
-//! tile-parallel over [`crate::tiling`] chunk tiles (disjoint slabs of
-//! the next state vectors plus a per-chunk changed-flag slab). The
-//! backward sweep stays **sequential by design**: dependency
+//! The forward sweep reuses the BFS engine's sweep dispatchers
+//! verbatim ([`crate::bfs`]'s full-range and worklist iterators), so it
+//! rides the same [`SweepMode`] substrate as every other kernel: full
+//! sweeps, frontier-proportional worklist sweeps, or the adaptive
+//! controller ([`BetweennessOptions::sweep`], defaulting to the
+//! `SLIMSELL_SWEEP` env var). Every sweep runs *tracked* — the exact
+//! bit-wise changed-chunk list is harvested each iteration as the
+//! deterministic frontier from which σ and levels are recorded, in
+//! ascending chunk order in every mode, so the DAG (and hence the
+//! centralities) is bit-identical across sweep modes and thread
+//! counts. The backward sweep stays **sequential by design**: dependency
 //! accumulation scatters `δ` contributions to predecessors, so
 //! different vertices of one level may write the same `δ[v]` — there is
 //! no chunk-disjoint write pattern to tile over without atomics or
@@ -43,13 +50,36 @@
 //! assert_eq!(bc, vec![0.0, 2.0, 0.0]); // both directions counted
 //! ```
 
+use std::time::Instant;
+
 use rayon::prelude::*;
 use slimsell_graph::VertexId;
 
-use crate::bfs::chunk_mv;
+use crate::bfs::{iterate, iterate_worklist, BfsOptions, EngineScratch};
+use crate::counters::RunStats;
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{RealSemiring, Semiring, StateVecs};
-use crate::tiling::{ChunkTiling, Schedule};
+use crate::sweep::{resolve_sweep, ExecutedSweep, SweepMode};
+use crate::tiling::Schedule;
+
+/// Betweenness options: sweep strategy and scheduling for the forward
+/// sweeps (the backward sweep is sequential by design and unaffected).
+#[derive(Clone, Copy, Debug)]
+pub struct BetweennessOptions {
+    /// Sweep strategy for the forward (real-semiring BFS) sweeps
+    /// (defaults to the `SLIMSELL_SWEEP` env var; adaptive when unset).
+    /// The DAG — and hence the centralities — is bit-identical in
+    /// every mode.
+    pub sweep: SweepMode,
+    /// Chunk scheduling policy.
+    pub schedule: Schedule,
+}
+
+impl Default for BetweennessOptions {
+    fn default() -> Self {
+        Self { sweep: SweepMode::env_default(), schedule: Schedule::Dynamic }
+    }
+}
 
 /// Per-source forward-sweep result.
 #[derive(Clone, Debug)]
@@ -61,11 +91,36 @@ pub struct ShortestPathDag {
     pub sigma: Vec<f64>,
     /// Vertices grouped by level, deepest last (permuted ids).
     pub levels: Vec<Vec<u32>>,
+    /// Per-sweep statistics of the forward sweep: sweep-mode trace,
+    /// column steps, worklist sizes, activation probes.
+    pub stats: RunStats,
 }
 
 /// Forward sweep from `root` (original id): real-semiring BFS recording
-/// `σ` and levels.
+/// `σ` and levels, with the default options (env-selected sweep mode,
+/// dynamic scheduling).
 pub fn forward_sweep<M, const C: usize>(matrix: &M, root: VertexId) -> ShortestPathDag
+where
+    M: ChunkMatrix<C>,
+{
+    forward_sweep_with(matrix, root, &BetweennessOptions::default())
+}
+
+/// Forward sweep from `root` under the given sweep policy.
+///
+/// Runs the BFS engine's sweep dispatchers with change tracking forced
+/// on in every mode: the exact bit-wise changed-chunk list of each
+/// iteration (which the adaptive controller needs anyway) doubles as
+/// the frontier from which new levels and σ values are harvested —
+/// a superset of the chunks holding newly discovered vertices, scanned
+/// in ascending chunk order, so the recorded DAG is deterministic
+/// across sweep modes and thread counts while the harvest cost stays
+/// proportional to the changed region instead of the chunk range.
+pub fn forward_sweep_with<M, const C: usize>(
+    matrix: &M,
+    root: VertexId,
+    opts: &BetweennessOptions,
+) -> ShortestPathDag
 where
     M: ChunkMatrix<C>,
 {
@@ -88,47 +143,76 @@ where
     sigma[root_p] = 1.0;
 
     let nc = np / C;
-    // Per-chunk changed flags, written tile-disjointly and harvested
-    // sequentially in chunk order (deterministic frontier recording).
-    let mut changed = vec![false; nc];
+    let bfs_opts = BfsOptions {
+        slimwork: true,
+        slimchunk: None,
+        schedule: opts.schedule,
+        max_iterations: None,
+        sweep: opts.sweep,
+    };
+    let mut scratch = EngineScratch::new();
+    if opts.sweep.uses_worklist() {
+        // Establish the worklist invariant once (nxt == cur outside the
+        // worklist) and seed from the root's chunk/lane.
+        S::clone_state(&cur, &mut nxt);
+        scratch.pending.push(((root_p / C) as u32, 1u32 << (root_p % C)));
+    }
+
+    let mut stats = RunStats::default();
     let mut depth = 0u32;
     loop {
         depth += 1;
-        {
-            let cur_ref = &cur;
-            let tiling = ChunkTiling::new(nc, Schedule::Dynamic);
-            let tiles: Vec<_> = tiling
-                .split_spans::<C>(&mut nxt, &mut d)
-                .into_iter()
-                .zip(tiling.split(1, &mut changed))
-                .collect();
-            tiling.for_each(tiles, |(span, flags)| {
-                let per_chunk = span
-                    .x
-                    .chunks_mut(C)
-                    .zip(span.g.chunks_mut(C))
-                    .zip(span.p.chunks_mut(C))
-                    .zip(span.d.chunks_mut(C))
-                    .zip(flags.data.iter_mut());
-                for (k, ((((nx, ng), np_), dd), flag)) in per_chunk.enumerate() {
-                    let i = span.c0 + k;
-                    let base = i * C;
-                    if S::should_skip(cur_ref, base..base + C) {
-                        S::copy_forward(cur_ref, base, nx, ng, np_);
-                        *flag = false;
-                        continue;
-                    }
-                    let acc = chunk_mv::<M, S, C>(matrix, &cur_ref.x, i);
-                    *flag = S::post_chunk(acc, cur_ref, base, nx, ng, np_, dd, depth as f32);
-                }
-            });
+        let t0 = Instant::now();
+        let EngineScratch { act, pending, ctl, .. } = &mut scratch;
+        let (exec, seeded) = match opts.sweep {
+            // Short-circuit before touching `dep_graph()`: pure
+            // full-sweep runs must not force the lazy build.
+            SweepMode::Full => (ExecutedSweep::Full, None),
+            _ => resolve_sweep(opts.sweep, ctl, act, s.dep_graph(), pending, nc),
+        };
+        let mut it = match exec {
+            // track = true even in pure full mode: the changed-chunk
+            // list is the harvest frontier, not just re-seeding state.
+            ExecutedSweep::Full => iterate::<M, S, C>(
+                matrix,
+                &cur,
+                &mut nxt,
+                &mut d,
+                depth as f32,
+                &bfs_opts,
+                &mut scratch,
+                true,
+            ),
+            ExecutedSweep::Worklist => iterate_worklist::<M, S, C>(
+                matrix,
+                &cur,
+                &mut nxt,
+                &mut d,
+                depth as f32,
+                &bfs_opts,
+                &mut scratch,
+            ),
+        };
+        it.sweep_mode = exec;
+        if let Some(probes) = seeded {
+            it.activations = probes;
         }
-        let any = changed.iter().any(|&c| c);
-        // Record σ and level for the newly discovered frontier.
+        it.elapsed = t0.elapsed();
+        let any = it.changed;
+        stats.iters.push(it);
+        // Record σ and level for the newly discovered frontier. After
+        // either dispatcher, `scratch.pending` holds exactly this
+        // iteration's bit-wise changed (chunk, lane-mask) pairs in
+        // ascending chunk order — a newly counted vertex changed its
+        // `x` lane, so its chunk (and lane bit) is always listed.
         let mut this_level = Vec::new();
-        for (i, _) in changed.iter().enumerate().filter(|&(_, &c)| c) {
+        for &(chunk, mask) in scratch.pending.iter() {
+            let base = chunk as usize * C;
             for lane in 0..C {
-                let v = i * C + lane;
+                if mask & (1 << lane) == 0 {
+                    continue;
+                }
+                let v = base + lane;
                 let count = nxt.x[v];
                 if count != 0.0 && level[v] == u32::MAX {
                     assert!(
@@ -149,7 +233,7 @@ where
             break;
         }
     }
-    ShortestPathDag { level, sigma, levels }
+    ShortestPathDag { level, sigma, levels, stats }
 }
 
 /// Backward dependency accumulation over the Sell structure: returns
@@ -202,8 +286,23 @@ where
     betweenness_from_sources(matrix, &sources)
 }
 
-/// Sampled (approximate) betweenness from the given sources.
+/// Sampled (approximate) betweenness from the given sources, with the
+/// default options.
 pub fn betweenness_from_sources<M, const C: usize>(matrix: &M, sources: &[VertexId]) -> Vec<f64>
+where
+    M: ChunkMatrix<C>,
+{
+    betweenness_from_sources_with(matrix, sources, &BetweennessOptions::default())
+}
+
+/// Sampled (approximate) betweenness from the given sources under the
+/// given forward-sweep policy. Centralities are bit-identical in every
+/// sweep mode.
+pub fn betweenness_from_sources_with<M, const C: usize>(
+    matrix: &M,
+    sources: &[VertexId],
+    opts: &BetweennessOptions,
+) -> Vec<f64>
 where
     M: ChunkMatrix<C>,
 {
@@ -211,7 +310,7 @@ where
     let n = s.n();
     let mut bc = vec![0.0f64; n];
     for &src in sources {
-        let dag = forward_sweep(matrix, src);
+        let dag = forward_sweep_with(matrix, src, opts);
         let delta = backward_sweep(matrix, &dag);
         let root_p = s.perm().to_new(src) as usize;
         for (old, b) in bc.iter_mut().enumerate() {
@@ -346,5 +445,82 @@ mod tests {
         assert_eq!(dag.sigma[to_new(3)], 2.0); // two shortest paths
         assert_eq!(dag.level[to_new(3)], 2);
         assert_eq!(dag.levels.len(), 3);
+    }
+
+    #[test]
+    fn forward_sweep_modes_produce_identical_dags() {
+        use crate::sweep::SweepMode;
+        let g = kronecker(8, 4.0, KroneckerParams::GRAPH500, 21);
+        let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        for root in [0u32, 17, 63] {
+            let full = forward_sweep_with(
+                &m,
+                root,
+                &BetweennessOptions { sweep: SweepMode::Full, ..Default::default() },
+            );
+            for sweep in [SweepMode::Worklist, SweepMode::Adaptive] {
+                let opts = BetweennessOptions { sweep, ..Default::default() };
+                let dag = forward_sweep_with(&m, root, &opts);
+                assert_eq!(dag.level, full.level, "{sweep:?} root {root}: levels diverged");
+                let a: Vec<u64> = dag.sigma.iter().map(|x| x.to_bits()).collect();
+                let b: Vec<u64> = full.sigma.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(a, b, "{sweep:?} root {root}: σ diverged");
+                assert_eq!(dag.levels, full.levels, "{sweep:?} root {root}: level sets diverged");
+                assert!(
+                    dag.stats.total_col_steps() <= full.stats.total_col_steps(),
+                    "{sweep:?} did more work than the full sweep"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_sweep_worklist_reduces_work_on_a_path() {
+        use crate::sweep::SweepMode;
+        let n = 256u32;
+        let g = GraphBuilder::new(n as usize).edges((0..n - 1).map(|v| (v, v + 1))).build();
+        let m = SlimSellMatrix::<4>::build(&g, 1);
+        let full = forward_sweep_with(
+            &m,
+            0,
+            &BetweennessOptions { sweep: SweepMode::Full, ..Default::default() },
+        );
+        let wl = forward_sweep_with(
+            &m,
+            0,
+            &BetweennessOptions { sweep: SweepMode::Worklist, ..Default::default() },
+        );
+        assert_eq!(wl.level, full.level);
+        assert_eq!(wl.levels, full.levels);
+        assert!(
+            wl.stats.total_col_steps() < full.stats.total_col_steps(),
+            "worklist {} !< full {}",
+            wl.stats.total_col_steps(),
+            full.stats.total_col_steps()
+        );
+        assert!(wl.stats.total_not_on_worklist() > 0);
+        assert!(wl.stats.total_activations() > 0);
+    }
+
+    #[test]
+    fn centralities_bit_identical_across_sweep_modes() {
+        use crate::sweep::SweepMode;
+        let g = kronecker(7, 4.0, KroneckerParams::GRAPH500, 9);
+        let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        let sources = [0u32, 3, 11, 29];
+        let run = |sweep| {
+            betweenness_from_sources_with(
+                &m,
+                &sources,
+                &BetweennessOptions { sweep, ..Default::default() },
+            )
+        };
+        let full = run(SweepMode::Full);
+        for sweep in [SweepMode::Worklist, SweepMode::Adaptive] {
+            let bc = run(sweep);
+            let a: Vec<u64> = bc.iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u64> = full.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "{sweep:?} centralities diverged");
+        }
     }
 }

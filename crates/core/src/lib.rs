@@ -68,13 +68,16 @@ pub mod tiling;
 pub mod validation;
 pub mod worklist;
 
-pub use betweenness::{betweenness_exact, betweenness_from_sources};
+pub use betweenness::{
+    betweenness_exact, betweenness_from_sources, betweenness_from_sources_with, forward_sweep,
+    forward_sweep_with, BetweennessOptions, ShortestPathDag,
+};
 pub use bfs::{chunk_mv, BfsEngine, BfsOptions, BfsOutput, Schedule};
 pub use components::connected_components;
 pub use counters::{IterStats, RunStats};
 pub use dp::dp_transform;
 pub use matrix::{ChunkMatrix, SellCSigma, SlimSellMatrix};
-pub use msbfs::multi_bfs;
+pub use msbfs::{multi_bfs, multi_bfs_while, multi_bfs_with, MsBfsOptions, MultiBfsOutput};
 pub use pagerank::{pagerank, PageRankOptions};
 pub use semiring::{BooleanSemiring, RealSemiring, SelMaxSemiring, Semiring, TropicalSemiring};
 pub use sssp::{sssp, sssp_with, SsspOptions, WeightedSellCSigma};

@@ -8,14 +8,32 @@
 //! sweep advances all `B` traversals at once (min-plus over the tropical
 //! semiring, exactly Listing 6 with the lane axis transposed). This is
 //! the algebraic analogue of MS-BFS and the building block for sampled
-//! betweenness/closeness and diameter estimation.
+//! betweenness/closeness, diameter estimation — and batched query
+//! serving ([`slimsell-serve`]'s admission queue coalesces concurrent
+//! single-source requests into one `B`-lane sweep).
 //!
-//! Work per iteration is `O(2m + P)` *regardless of B*, so batching
-//! amortizes the structure traversal across sources.
+//! Work per iteration is `O(2m + P)` *regardless of B* on a `B`-wide
+//! SIMD unit, so batching amortizes the structure traversal across
+//! sources.
+//!
+//! Like BFS/SSSP/PageRank, the sweeps ride the [`SweepMode`] substrate:
+//! full-range sweeps, frontier-proportional worklist sweeps over the
+//! chunk dependency graph of [`crate::worklist`], or (the default) the
+//! adaptive controller of [`crate::sweep`]. The per-chunk change masks
+//! are per *row* lane — bit `l` set iff any of row `l`'s `B` distance
+//! lanes changed bit-wise — so the same lane-filtered dependency
+//! expansion that gates single-source sweeps gates `B`-wide sweeps: a
+//! dependent chunk re-runs only when it gathers a row whose lane group
+//! changed, regardless of which of the `B` sources caused it. The
+//! SlimWork analogue (skip a chunk when all `C·B` values are finite —
+//! hop distances never improve once finite) applies in every mode.
 //!
 //! Each sweep runs tile-parallel over [`crate::tiling`] chunk tiles
-//! (`C·B` values per chunk) writing disjoint slabs; outputs are
-//! bit-identical at any thread count.
+//! (`C·B` values per chunk) or worklist slabs, writing disjoint slabs;
+//! outputs are bit-identical at any thread count and in every sweep
+//! mode.
+//!
+//! [`slimsell-serve`]: https://docs.rs/slimsell-serve
 //!
 //! # Example
 //!
@@ -29,13 +47,40 @@
 //! let out = multi_bfs::<_, 4, 2>(&m, &[0, 3]);
 //! assert_eq!(out.dist[0], vec![0, 1, 2, 3]);
 //! assert_eq!(out.dist[1], vec![3, 2, 1, 0]);
+//! assert!(out.completed);
 //! ```
 
-use slimsell_graph::{VertexId, UNREACHABLE};
-use slimsell_simd::SimdF32;
+use std::time::Instant;
 
+use slimsell_graph::{VertexId, UNREACHABLE};
+use slimsell_simd::prefetch_read;
+
+use crate::counters::{IterStats, RunStats};
 use crate::matrix::ChunkMatrix;
-use crate::tiling::{ChunkTiling, Schedule};
+use crate::semiring::slice_bits_differ;
+use crate::sweep::{resolve_sweep, AdaptiveController, ExecutedSweep, SweepMode};
+use crate::tiling::{ChunkTiling, Schedule, WorklistTiling};
+use crate::worklist::ActivationState;
+
+/// Multi-source BFS options: sweep strategy and scheduling.
+#[derive(Clone, Copy, Debug)]
+pub struct MsBfsOptions {
+    /// Sweep strategy (defaults to the `SLIMSELL_SWEEP` env var;
+    /// adaptive when unset). Distances are bit-identical in every mode.
+    pub sweep: SweepMode,
+    /// Chunk scheduling policy.
+    pub schedule: Schedule,
+    /// Safety cap on iterations (defaults to `n + 1`, which min-plus
+    /// hop relaxation can never exceed). A capped run reports
+    /// [`MultiBfsOutput::completed`] `= false`.
+    pub max_iterations: Option<usize>,
+}
+
+impl Default for MsBfsOptions {
+    fn default() -> Self {
+        Self { sweep: SweepMode::env_default(), schedule: Schedule::Dynamic, max_iterations: None }
+    }
+}
 
 /// Output of a multi-source run: one distance vector per source, in
 /// original vertex ids.
@@ -43,17 +88,154 @@ use crate::tiling::{ChunkTiling, Schedule};
 pub struct MultiBfsOutput<const B: usize> {
     /// `dist[b][v]` = hop distance from `roots[b]` to `v`.
     pub dist: Vec<Vec<u32>>,
-    /// Iterations executed.
+    /// Iterations executed (including the final no-change one).
     pub iterations: usize,
+    /// Whether the fixpoint was reached. `false` only when the control
+    /// callback of [`multi_bfs_while`] stopped the run early or the
+    /// [`MsBfsOptions::max_iterations`] cap fired; distances of an
+    /// incomplete run are the tentative state at the stopping point.
+    pub completed: bool,
+    /// Per-sweep statistics: sweep-mode trace, column steps, worklist
+    /// sizes, activation probes, lane-slot utilization. Cells count
+    /// `C·B` lane-slots per column step (each structure step feeds `C`
+    /// rows × `B` sources); active cells count `B` slots per stored
+    /// arc, so [`RunStats::lane_utilization`] measures the same
+    /// padding-waste ratio as single-source BFS, per batch.
+    pub stats: RunStats,
 }
 
-/// Runs `B` simultaneous BFS traversals over the Sell structure.
+/// How many column steps ahead [`ms_chunk`] prefetches its gathers —
+/// far enough to cover DRAM latency on the `B`-wide state, near enough
+/// that the lines are still resident when the step arrives.
+const MS_PREFETCH_STEPS: usize = 4;
+
+/// One chunk of the `B`-wide min-plus sweep: per row lane, gather the
+/// neighbors' `B`-lane distance vectors, fold `min(acc, rhs + 1)`,
+/// store the chunk's `C·B` next values into `out`. Returns (changed
+/// row-lane mask, column steps, active lane-slots, skipped).
+///
+/// The SlimWork analogue short-circuits a chunk whose `C·B` values are
+/// all finite: hop distances never improve once finite (unlike
+/// weighted SSSP labels), so the chunk is converged and its state is
+/// forwarded verbatim — which also keeps the worklist invariant (`nxt
+/// == cur` bit-for-bit off the worklist) intact when the chunk later
+/// leaves the list.
+#[inline]
+fn ms_chunk<M, const C: usize, const B: usize>(
+    matrix: &M,
+    cur: &[f32],
+    i: usize,
+    out: &mut [f32],
+) -> (u32, u64, u64, usize)
+where
+    M: ChunkMatrix<C>,
+{
+    let s = matrix.structure();
+    let base = i * C;
+    if cur[base * B..(base + C) * B].iter().all(|&x| x != f32::INFINITY) {
+        out.copy_from_slice(&cur[base * B..(base + C) * B]);
+        return (0, 0, 0, 1);
+    }
+    // Step-major walk: the column entries of step `k` are contiguous
+    // (`col[cs[i] + k*C ..][..C]`), so the structure streams
+    // sequentially and the gathers of a *future* step can be
+    // prefetched while the current one computes — the `B`-wide state
+    // is `B×` larger than single-source state, so these random reads
+    // are the batch kernel's latency wall. Per row the neighbor fold
+    // order is unchanged (ascending `k`), keeping outputs bit-identical
+    // to the row-major walk.
+    // The `B` source lanes of a row are contiguous, so the min-plus
+    // fold is a plain fixed-trip lane loop the compiler autovectorizes
+    // directly — deliberately NOT the `SimdF32` primitives here: their
+    // per-op runtime backend dispatch is a non-inlinable call, and at
+    // one dispatch per gathered operand it costs more than the vector
+    // instructions it selects (the single-source engine solved the
+    // same problem with whole-chunk backend kernels).
+    let (cs, cl, col) = (s.cs(), s.cl(), s.col());
+    let (start, steps) = (cs[i], cl[i] as usize);
+    let mut acc = [[0.0f32; B]; C];
+    for (lane, a) in acc.iter_mut().enumerate() {
+        a.copy_from_slice(&cur[(base + lane) * B..(base + lane + 1) * B]);
+    }
+    for k in 0..steps {
+        if k + MS_PREFETCH_STEPS < steps {
+            for &c in &col[start + (k + MS_PREFETCH_STEPS) * C..][..C] {
+                if c >= 0 {
+                    prefetch_read(cur, c as usize * B);
+                }
+            }
+        }
+        let group = &col[start + k * C..][..C];
+        for (lane, a) in acc.iter_mut().enumerate() {
+            let c = group[lane];
+            if c >= 0 {
+                let rhs = &cur[c as usize * B..c as usize * B + B];
+                for (av, &rv) in a.iter_mut().zip(rhs) {
+                    *av = av.min(rv + 1.0);
+                }
+            }
+        }
+    }
+    let mut mask = 0u32;
+    for (lane, a) in acc.iter().enumerate() {
+        out[lane * B..(lane + 1) * B].copy_from_slice(a);
+        let r = base + lane;
+        // Exact bit-wise per-row change detection: the row's mask bit
+        // feeds the lane-filtered dependency expansion, so it must
+        // match the byte-equality contract of the determinism suite.
+        if slice_bits_differ(&cur[r * B..(r + 1) * B], &out[lane * B..(lane + 1) * B]) {
+            mask |= 1 << lane;
+        }
+    }
+    (mask, steps as u64, s.chunk_arcs()[i] * B as u64, 0)
+}
+
+/// Runs `B` simultaneous BFS traversals over the Sell structure with
+/// the default options (env-selected sweep mode, dynamic scheduling).
 ///
 /// # Panics
 /// Panics if any root is out of range.
 pub fn multi_bfs<M, const C: usize, const B: usize>(
     matrix: &M,
     roots: &[VertexId; B],
+) -> MultiBfsOutput<B>
+where
+    M: ChunkMatrix<C>,
+{
+    multi_bfs_with(matrix, roots, &MsBfsOptions::default())
+}
+
+/// Runs `B` simultaneous BFS traversals under the given sweep policy.
+///
+/// # Panics
+/// Panics if any root is out of range.
+pub fn multi_bfs_with<M, const C: usize, const B: usize>(
+    matrix: &M,
+    roots: &[VertexId; B],
+    opts: &MsBfsOptions,
+) -> MultiBfsOutput<B>
+where
+    M: ChunkMatrix<C>,
+{
+    multi_bfs_while(matrix, roots, opts, |_| true)
+}
+
+/// Runs `B` simultaneous BFS traversals with a per-iteration control
+/// hook: before each sweep, `keep_going` is called with the 1-based
+/// index of the sweep about to execute; returning `false` stops the
+/// run gracefully before that sweep ([`MultiBfsOutput::completed`]
+/// `= false`, distances reflect the state reached so far). This is the
+/// abort point the serving layer uses for per-query iteration budgets
+/// and batch-wide cancellation — the check is between sweeps, so a
+/// stopped run never leaves a sweep half-executed.
+///
+/// # Panics
+/// Panics if any root is out of range.
+pub fn multi_bfs_while<M, const C: usize, const B: usize>(
+    matrix: &M,
+    roots: &[VertexId; B],
+    opts: &MsBfsOptions,
+    mut keep_going: impl FnMut(usize) -> bool,
 ) -> MultiBfsOutput<B>
 where
     M: ChunkMatrix<C>,
@@ -75,44 +257,154 @@ where
     let mut nxt = cur.clone();
 
     let nc = np / C;
+    let tiling = ChunkTiling::new(nc, opts.schedule);
+    let mut act = ActivationState::new();
+    let mut ctl = AdaptiveController::new();
+    let mut pending: Vec<(u32, u32)> = Vec::new();
+    let mut full_changed: Vec<u32> = Vec::new();
+    if opts.sweep.uses_worklist() {
+        // Only the root rows differ from the all-∞ rest state, so only
+        // chunks gathering a root's row lane can produce a different
+        // output. Duplicate root chunks merge their lane masks in
+        // `ActivationState::seed`.
+        for &r in roots.iter() {
+            let rp = s.perm().to_new(r) as usize;
+            pending.push(((rp / C) as u32, 1u32 << (rp % C)));
+        }
+    }
+    // Adaptive full sweeps must track changes to re-seed the worklist.
+    let track = opts.sweep == SweepMode::Adaptive;
+
+    let mut stats = RunStats::default();
+    let max_iters = opts.max_iterations.unwrap_or(n + 1);
     let mut iterations = 0usize;
+    let mut completed = false;
     loop {
+        if !keep_going(iterations + 1) {
+            break;
+        }
         iterations += 1;
+        let t0 = Instant::now();
+        // Short-circuit before touching `dep_graph()`: pure full-sweep
+        // runs must not force the lazy dependency-graph build.
+        let (exec, seeded) = match opts.sweep {
+            SweepMode::Full => (ExecutedSweep::Full, None),
+            _ => resolve_sweep(opts.sweep, &mut ctl, &mut act, s.dep_graph(), &mut pending, nc),
+        };
         let cur_ref = &cur;
-        let tiling = ChunkTiling::new(nc, Schedule::Dynamic);
-        let tiles = tiling.split(C * B, &mut nxt);
-        let changed = tiling.map_reduce(
-            tiles,
-            |t| {
-                let mut tile_any = false;
-                for (k, out) in t.data.chunks_mut(C * B).enumerate() {
-                    let base = (t.c0 + k) * C;
-                    // SlimWork analogue: all lanes of all rows finite.
-                    if cur_ref[base * B..(base + C) * B].iter().all(|&x| x != f32::INFINITY) {
-                        out.copy_from_slice(&cur_ref[base * B..(base + C) * B]);
-                        continue;
-                    }
-                    let mut any = false;
-                    for lane in 0..C {
-                        let r = base + lane;
-                        let mut acc = SimdF32::<B>::load(&cur_ref[r * B..]);
-                        let before = acc;
-                        for c in s.row_neighbors(r) {
-                            let rhs = SimdF32::<B>::load(&cur_ref[c as usize * B..]);
-                            acc = acc.min(rhs.add(SimdF32::one()));
+        let (changed, col_steps, active_cells, skipped, wl_len, changed_chunks);
+        match exec {
+            ExecutedSweep::Full if track => {
+                full_changed.clear();
+                full_changed.resize(nc, 0);
+                let tiles: Vec<_> = tiling
+                    .split(C * B, &mut nxt)
+                    .into_iter()
+                    .zip(tiling.split(1, &mut full_changed))
+                    .collect();
+                (changed, col_steps, active_cells, skipped) = tiling.map_reduce(
+                    tiles,
+                    |(t, f)| {
+                        let mut acc = (false, 0u64, 0u64, 0usize);
+                        for (k, (out, flag)) in
+                            t.data.chunks_mut(C * B).zip(f.data.iter_mut()).enumerate()
+                        {
+                            let (mask, steps, arcs, skip) =
+                                ms_chunk::<M, C, B>(matrix, cur_ref, t.c0 + k, out);
+                            *flag = mask;
+                            acc.0 |= mask != 0;
+                            acc.1 += steps;
+                            acc.2 += arcs;
+                            acc.3 += skip;
                         }
-                        any |= acc.any_ne(before);
-                        acc.store(&mut out[lane * B..]);
-                    }
-                    tile_any |= any;
-                }
-                tile_any
-            },
-            || false,
-            |a, b| a | b,
-        );
+                        acc
+                    },
+                    || (false, 0, 0, 0),
+                    |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
+                );
+                pending.clear();
+                pending.extend(
+                    full_changed
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &f)| f != 0)
+                        .map(|(i, &f)| (i as u32, f)),
+                );
+                wl_len = nc;
+                changed_chunks = pending.len();
+            }
+            ExecutedSweep::Full => {
+                let tiles = tiling.split(C * B, &mut nxt);
+                (changed, col_steps, active_cells, skipped) = tiling.map_reduce(
+                    tiles,
+                    |t| {
+                        let mut acc = (false, 0u64, 0u64, 0usize);
+                        for (k, out) in t.data.chunks_mut(C * B).enumerate() {
+                            let (mask, steps, arcs, skip) =
+                                ms_chunk::<M, C, B>(matrix, cur_ref, t.c0 + k, out);
+                            acc.0 |= mask != 0;
+                            acc.1 += steps;
+                            acc.2 += arcs;
+                            acc.3 += skip;
+                        }
+                        acc
+                    },
+                    || (false, 0, 0, 0),
+                    |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
+                );
+                wl_len = nc;
+                changed_chunks = 0;
+            }
+            ExecutedSweep::Worklist => {
+                let (ids, flags) = act.split();
+                wl_len = ids.len();
+                let wt = WorklistTiling::new(ids, opts.schedule);
+                let slabs = wt.split_slab(C * B, &mut nxt, flags);
+                (changed, col_steps, active_cells, skipped) = wt.map_reduce(
+                    slabs,
+                    |sl| {
+                        let base0 = sl.ids[0] as usize * (C * B);
+                        let mut acc = (false, 0u64, 0u64, 0usize);
+                        for (k, &id) in sl.ids.iter().enumerate() {
+                            let i = id as usize;
+                            let off = i * (C * B) - base0;
+                            let out = &mut sl.data[off..off + C * B];
+                            let (mask, steps, arcs, skip) =
+                                ms_chunk::<M, C, B>(matrix, cur_ref, i, out);
+                            sl.changed[k] = mask;
+                            acc.0 |= mask != 0;
+                            acc.1 += steps;
+                            acc.2 += arcs;
+                            acc.3 += skip;
+                        }
+                        acc
+                    },
+                    || (false, 0, 0, 0),
+                    |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
+                );
+                changed_chunks = act.collect_changed_into(&mut pending);
+            }
+        }
+        stats.iters.push(IterStats {
+            elapsed: t0.elapsed(),
+            sweep_mode: exec,
+            chunks_processed: wl_len - skipped,
+            chunks_skipped: skipped,
+            chunks_not_on_worklist: nc - wl_len,
+            worklist_len: wl_len,
+            activations: seeded.unwrap_or(0),
+            changed_chunks,
+            col_steps,
+            cells: col_steps * (C * B) as u64,
+            active_cells,
+            changed,
+        });
         std::mem::swap(&mut cur, &mut nxt);
-        if !changed || iterations > n {
+        if !changed {
+            completed = true;
+            break;
+        }
+        if iterations >= max_iters {
             break;
         }
     }
@@ -132,7 +424,7 @@ where
                 .collect()
         })
         .collect();
-    MultiBfsOutput { dist, iterations }
+    MultiBfsOutput { dist, iterations, completed, stats }
 }
 
 #[cfg(test)]
@@ -142,6 +434,10 @@ mod tests {
     use slimsell_gen::kronecker::{kronecker, KroneckerParams};
     use slimsell_graph::{serial_bfs, GraphBuilder};
 
+    fn opts(sweep: SweepMode) -> MsBfsOptions {
+        MsBfsOptions { sweep, ..Default::default() }
+    }
+
     #[test]
     fn matches_independent_bfs() {
         let g = kronecker(9, 6.0, KroneckerParams::GRAPH500, 4);
@@ -150,9 +446,16 @@ mod tests {
             let r = slimsell_graph::stats::sample_roots(&g, 4);
             [r[0], r[1 % r.len()], r[2 % r.len()], r[3 % r.len()]]
         };
-        let out = multi_bfs::<_, 8, 4>(&m, &roots);
-        for (b, &root) in roots.iter().enumerate() {
-            assert_eq!(out.dist[b], serial_bfs(&g, root).dist, "source {b} (root {root})");
+        for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
+            let out = multi_bfs_with::<_, 8, 4>(&m, &roots, &opts(sweep));
+            assert!(out.completed, "{sweep:?}");
+            for (b, &root) in roots.iter().enumerate() {
+                assert_eq!(
+                    out.dist[b],
+                    serial_bfs(&g, root).dist,
+                    "{sweep:?} source {b} (root {root})"
+                );
+            }
         }
     }
 
@@ -169,9 +472,12 @@ mod tests {
     fn iteration_count_is_max_eccentricity_plus_one() {
         let g = GraphBuilder::new(8).edges((0..7u32).map(|v| (v, v + 1))).build();
         let m = SlimSellMatrix::<4>::build(&g, 8);
-        // Sources at both ends: eccentricities 7 and 7; middle source 4.
-        let out = multi_bfs::<_, 4, 2>(&m, &[3, 4]);
-        assert_eq!(out.iterations, 5); // max distance 4 (+1 convergence)
+        for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
+            // Sources at positions 3 and 4: max distance 4 (+1 convergence).
+            let out = multi_bfs_with::<_, 4, 2>(&m, &[3, 4], &opts(sweep));
+            assert_eq!(out.iterations, 5, "{sweep:?}");
+            assert_eq!(out.stats.num_iterations(), 5, "{sweep:?}");
+        }
     }
 
     #[test]
@@ -182,5 +488,95 @@ mod tests {
         assert_eq!(out.dist[0][3], UNREACHABLE);
         assert_eq!(out.dist[1][0], UNREACHABLE);
         assert_eq!(out.dist[1][4], 1);
+    }
+
+    #[test]
+    fn all_sweep_modes_bit_identical() {
+        // The worklist/adaptive sweeps must be pure work-avoidance
+        // transformations: same distances, same sweep count, never more
+        // column steps than the full sweep.
+        let g = kronecker(8, 5.0, KroneckerParams::GRAPH500, 11);
+        let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        let roots: [u32; 8] = core::array::from_fn(|i| (i * 17 % g.num_vertices()) as u32);
+        let full = multi_bfs_with::<_, 8, 8>(&m, &roots, &opts(SweepMode::Full));
+        for sweep in [SweepMode::Worklist, SweepMode::Adaptive] {
+            let out = multi_bfs_with::<_, 8, 8>(&m, &roots, &opts(sweep));
+            assert_eq!(out.dist, full.dist, "{sweep:?} distances diverged");
+            assert_eq!(out.iterations, full.iterations, "{sweep:?} sweep count diverged");
+            assert!(
+                out.stats.total_col_steps() <= full.stats.total_col_steps(),
+                "{sweep:?} did more work than the full sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn worklist_reduces_work_on_a_path() {
+        // A long path with both sources near one end: the B-wide
+        // frontier is a thin wavefront, so worklist sweeps must execute
+        // far fewer column steps while agreeing bit-for-bit.
+        let n = 512u32;
+        let g = GraphBuilder::new(n as usize).edges((0..n - 1).map(|v| (v, v + 1))).build();
+        let m = SlimSellMatrix::<4>::build(&g, 1);
+        let full = multi_bfs_with::<_, 4, 2>(&m, &[0, 1], &opts(SweepMode::Full));
+        let wl = multi_bfs_with::<_, 4, 2>(&m, &[0, 1], &opts(SweepMode::Worklist));
+        assert_eq!(wl.dist, full.dist);
+        assert_eq!(wl.iterations, full.iterations);
+        assert!(
+            wl.stats.total_col_steps() < full.stats.total_col_steps() / 4,
+            "worklist {} not ≪ full {}",
+            wl.stats.total_col_steps(),
+            full.stats.total_col_steps()
+        );
+        assert!(wl.stats.total_not_on_worklist() > 0);
+        assert!(wl.stats.total_activations() > 0);
+        // Counter coherence per sweep: C·B lane-slots per column step.
+        let nc = m.structure().num_chunks();
+        for it in &wl.stats.iters {
+            assert_eq!(it.chunks_processed + it.chunks_skipped, it.worklist_len);
+            assert_eq!(it.chunks_not_on_worklist, nc - it.worklist_len);
+            assert_eq!(it.cells, it.col_steps * 8);
+            assert_eq!(it.sweep_mode, ExecutedSweep::Worklist);
+        }
+        // Adaptive stays in the worklist regime on a wavefront.
+        let ad = multi_bfs_with::<_, 4, 2>(&m, &[0, 1], &opts(SweepMode::Adaptive));
+        assert_eq!(ad.stats.mode_switches(), 0);
+        assert_eq!(ad.stats.total_col_steps(), wl.stats.total_col_steps());
+    }
+
+    #[test]
+    fn stats_measure_lane_utilization() {
+        let g = kronecker(8, 6.0, KroneckerParams::GRAPH500, 5);
+        let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        let out = multi_bfs::<_, 8, 4>(&m, &[0, 1, 2, 3]);
+        assert!(out.completed);
+        assert!(out.stats.total_cells() > 0);
+        let u = out.stats.lane_utilization();
+        assert!(u > 0.0 && u <= 1.0, "lane utilization {u} out of range");
+        assert_eq!(out.stats.total_cells(), out.stats.total_col_steps() * 32);
+    }
+
+    #[test]
+    fn control_hook_stops_runs_gracefully() {
+        let g = GraphBuilder::new(64).edges((0..63u32).map(|v| (v, v + 1))).build();
+        let m = SlimSellMatrix::<4>::build(&g, 1);
+        for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
+            // Budget of 2 sweeps: exactly 2 execute, run is incomplete.
+            let out = multi_bfs_while::<_, 4, 2>(&m, &[0, 0], &opts(sweep), |it| it <= 2);
+            assert_eq!(out.iterations, 2, "{sweep:?}");
+            assert!(!out.completed, "{sweep:?}");
+            assert_eq!(out.stats.num_iterations(), 2, "{sweep:?}");
+            // Two sweeps reach hop distance 2; the rest is tentative ∞.
+            assert_eq!(out.dist[0][..3], [0, 1, 2]);
+            assert_eq!(out.dist[0][3], UNREACHABLE);
+
+            // Stopping before the first sweep leaves only the roots.
+            let out = multi_bfs_while::<_, 4, 2>(&m, &[5, 9], &opts(sweep), |_| false);
+            assert_eq!(out.iterations, 0, "{sweep:?}");
+            assert!(!out.completed, "{sweep:?}");
+            assert_eq!(out.dist[0][5], 0);
+            assert_eq!(out.dist[1][9], 0);
+            assert_eq!(out.dist[0][6], UNREACHABLE);
+        }
     }
 }

@@ -1,0 +1,190 @@
+//! Graph-as-a-service: a concurrent batched BFS query engine over a
+//! shared SlimSell snapshot.
+//!
+//! The paper's multi-source BFS extension (§VI) vectorizes `B`
+//! independent BFS traversals over the source dimension of one
+//! `C·B`-wide SpMV sweep. This crate turns that kernel into a serving
+//! layer:
+//!
+//! * an immutable snapshot (`Arc<M: ChunkMatrix<C>>`) shared across a
+//!   pool of worker threads;
+//! * an admission queue that **coalesces** concurrent single-source
+//!   queries into multi-source batches — a batch launches when `B`
+//!   roots have arrived or a batch window expires, whichever first;
+//! * per-query extraction back out of the `B`-lane batch state; each
+//!   lane is an exact single-source BFS, so served distances are
+//!   **bit-identical** to a standalone [`BfsEngine`](slimsell_core::BfsEngine)
+//!   run regardless of how queries were batched;
+//! * per-query **cancellation** and **iteration budgets**: a cancelled
+//!   or expired query drops out of result extraction without
+//!   perturbing its batch-mates, and once every lane of a batch is
+//!   dead the iteration-level control hook stops the sweep gracefully
+//!   instead of running to convergence.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use slimsell_core::SlimSellMatrix;
+//! use slimsell_graph::GraphBuilder;
+//! use slimsell_serve::{BfsServer, ServeOptions};
+//!
+//! let g = GraphBuilder::new(6)
+//!     .edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+//!     .build();
+//! let m = Arc::new(SlimSellMatrix::<4>::build(&g, 6));
+//! let server = BfsServer::<_, 4, 2>::start(m, ServeOptions::default());
+//! let a = server.submit(0);
+//! let b = server.submit(5);
+//! assert_eq!(a.wait().unwrap().dist, vec![0, 1, 2, 3, 4, 5]);
+//! assert_eq!(b.wait().unwrap().dist, vec![5, 4, 3, 2, 1, 0]);
+//! server.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+mod query;
+mod server;
+mod stats;
+
+pub use query::{BatchInfo, QueryError, QueryHandle, QueryOutput};
+pub use server::{BfsServer, ServeOptions};
+pub use stats::ServerStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimsell_core::SlimSellMatrix;
+    use slimsell_graph::{serial_bfs, CsrGraph, GraphBuilder};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn path(n: usize) -> CsrGraph {
+        GraphBuilder::new(n).edges((0..n as u32 - 1).map(|v| (v, v + 1))).build()
+    }
+
+    fn wide_opts() -> ServeOptions {
+        // A generous window so tests control batch composition: every
+        // query submitted while the window is open lands in one batch.
+        ServeOptions { batch_window: Duration::from_millis(1000), ..ServeOptions::default() }
+    }
+
+    #[test]
+    fn serves_exact_distances() {
+        let g = path(10);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        let server = BfsServer::<_, 4, 2>::start(m, ServeOptions::default());
+        let handles: Vec<_> = (0..10).map(|r| server.submit(r)).collect();
+        for (r, h) in handles.into_iter().enumerate() {
+            let out = h.wait().expect("served");
+            assert_eq!(out.dist, serial_bfs(&g, r as u32).dist, "root {r}");
+            assert!(out.batch.batch_size >= 1);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.served, 10);
+        assert_eq!(stats.coalesced, 10);
+    }
+
+    #[test]
+    fn coalesces_into_multi_root_batches() {
+        let g = path(12);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        let server = BfsServer::<_, 4, 4>::start(m, wide_opts());
+        let handles: Vec<_> = (0..4).map(|r| server.submit(r)).collect();
+        for h in handles {
+            h.wait().expect("served");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 4);
+        assert_eq!(stats.batches, 1, "window should coalesce all four roots");
+        assert_eq!(stats.multi_root_batches, 1);
+        assert!((stats.mean_batch_fill() - 4.0).abs() < 1e-9);
+        assert!(stats.total_iterations > 0);
+        assert!(stats.total_cells >= stats.total_active_cells);
+    }
+
+    #[test]
+    fn zero_budget_fails_fast_without_entering_queue() {
+        let g = path(8);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        let server = BfsServer::<_, 4, 2>::start(m, wide_opts());
+        let h = server.submit_with(0, Some(0));
+        assert!(h.is_done(), "zero budget must fail at submission");
+        assert_eq!(h.wait(), Err(QueryError::BudgetExhausted));
+        let stats = server.shutdown();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.batches, 0, "the query never reached a batch");
+    }
+
+    #[test]
+    fn expired_query_does_not_poison_batch_mates() {
+        // A 64-path from root 0 needs 64 sweeps; budget 1 expires while
+        // the unbounded batch-mate still converges exactly.
+        let g = path(64);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        let server = BfsServer::<_, 4, 2>::start(m, wide_opts());
+        let ok = server.submit_with(0, None);
+        let poor = server.submit_with(0, Some(1));
+        assert_eq!(poor.wait(), Err(QueryError::BudgetExhausted));
+        let out = ok.wait().expect("unbounded batch-mate served");
+        assert_eq!(out.dist, serial_bfs(&g, 0).dist);
+        let stats = server.shutdown();
+        assert_eq!((stats.served, stats.expired), (1, 1));
+        assert_eq!(stats.aborted_sweeps, 0, "a live lane ran to convergence");
+    }
+
+    #[test]
+    fn all_lanes_over_budget_aborts_the_sweep() {
+        let g = path(64);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        let server = BfsServer::<_, 4, 2>::start(m, wide_opts());
+        let a = server.submit_with(0, Some(3));
+        let b = server.submit_with(1, Some(2));
+        assert_eq!(a.wait(), Err(QueryError::BudgetExhausted));
+        assert_eq!(b.wait(), Err(QueryError::BudgetExhausted));
+        let stats = server.shutdown();
+        assert_eq!(stats.expired, 2);
+        assert_eq!(stats.aborted_sweeps, 1);
+        // The sweep stopped right after the longest budget ran out
+        // rather than running the path to convergence.
+        assert_eq!(stats.total_iterations, 3);
+    }
+
+    #[test]
+    fn cancelled_query_resolves_immediately() {
+        let g = path(16);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        let server = BfsServer::<_, 4, 2>::start(m, wide_opts());
+        let doomed = server.submit(3);
+        doomed.cancel();
+        assert!(doomed.is_done());
+        assert_eq!(doomed.wait(), Err(QueryError::Cancelled));
+        // Batch-mates (and later queries) are unaffected.
+        let ok = server.submit(5);
+        assert_eq!(ok.wait().expect("served").dist, serial_bfs(&g, 5).dist);
+        let stats = server.shutdown();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.served, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queue_then_rejects() {
+        let g = path(32);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        let server = BfsServer::<_, 4, 4>::start(m, ServeOptions::default());
+        let handles: Vec<_> = (0..12).map(|r| server.submit(r)).collect();
+        let stats = server.shutdown();
+        for (r, h) in handles.into_iter().enumerate() {
+            let out = h.wait().expect("in-flight query drained");
+            assert_eq!(out.dist, serial_bfs(&g, r as u32).dist);
+        }
+        assert_eq!(stats.served, 12);
+        let late = server.submit(0);
+        assert_eq!(late.wait(), Err(QueryError::ShutDown));
+        let stats = server.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(
+            stats.submitted,
+            stats.served + stats.expired + stats.cancelled + stats.rejected
+        );
+    }
+}

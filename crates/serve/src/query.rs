@@ -1,0 +1,187 @@
+//! Per-query state: tickets, handles, results and errors.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use slimsell_graph::VertexId;
+
+/// Why a query did not produce distances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query was cancelled via [`QueryHandle::cancel`] before its
+    /// results were extracted. Cancellation never aborts or perturbs
+    /// the batch the query rode in — batch-mates are served normally.
+    Cancelled,
+    /// The query's iteration budget was exhausted: the batch sweep it
+    /// rode needed more iterations than the budget allows (a
+    /// zero-budget query fails this way at submission, without ever
+    /// entering the queue).
+    BudgetExhausted,
+    /// The query was submitted after the server began shutting down.
+    ShutDown,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Cancelled => write!(f, "query cancelled"),
+            QueryError::BudgetExhausted => write!(f, "iteration budget exhausted"),
+            QueryError::ShutDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// How the batch that served a query ran — the per-batch slice of the
+/// kernel's [`RunStats`](slimsell_core::RunStats), shared by every
+/// query the batch coalesced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchInfo {
+    /// Server-unique batch id (assignment order, not submission order).
+    pub batch_id: u64,
+    /// Live queries this batch coalesced (1..=B); unused lanes repeat
+    /// the first root and are never extracted.
+    pub batch_size: usize,
+    /// Sweeps the batch executed.
+    pub iterations: usize,
+    /// Total column steps across the batch's sweeps.
+    pub col_steps: u64,
+    /// Total `C·B` lane-slots touched (`col_steps · C · B`).
+    pub cells: u64,
+    /// Lane-slots that carried a stored arc (`arcs · B` per processed
+    /// chunk) — the numerator of [`Self::lane_utilization`].
+    pub active_cells: u64,
+}
+
+impl BatchInfo {
+    /// Fraction of touched lane-slots that held a stored arc rather
+    /// than `-1` padding (1.0 when nothing was touched).
+    pub fn lane_utilization(&self) -> f64 {
+        if self.cells == 0 {
+            1.0
+        } else {
+            self.active_cells as f64 / self.cells as f64
+        }
+    }
+}
+
+/// A served query: the exact single-source BFS distances (bit-identical
+/// to a standalone [`BfsEngine`](slimsell_core::BfsEngine) run,
+/// whatever batch the admission queue put the query in) plus the
+/// batch's work accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryOutput {
+    /// Hop distances in original vertex ids
+    /// ([`UNREACHABLE`](slimsell_graph::UNREACHABLE) where unreached).
+    pub dist: Vec<u32>,
+    /// How the batch that carried this query ran.
+    pub batch: BatchInfo,
+}
+
+/// The server-side query record: shared between the submitting client
+/// (through [`QueryHandle`]) and the worker that serves the batch.
+pub(crate) struct Ticket {
+    pub(crate) id: u64,
+    pub(crate) root: VertexId,
+    /// Iteration budget: the query fails with
+    /// [`QueryError::BudgetExhausted`] when its batch needs more
+    /// sweeps than this. `None` = unbounded.
+    pub(crate) budget: Option<usize>,
+    cancelled: AtomicBool,
+    slot: Mutex<Option<Result<QueryOutput, QueryError>>>,
+    cv: Condvar,
+}
+
+impl Ticket {
+    pub(crate) fn new(id: u64, root: VertexId, budget: Option<usize>) -> Self {
+        Self {
+            id,
+            root,
+            budget,
+            cancelled: AtomicBool::new(false),
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Advisory cancellation flag, polled by the batch control hook and
+    /// at extraction (the authoritative outcome is whoever resolves the
+    /// slot first).
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn mark_cancelled(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// First writer wins: fills the result slot and wakes waiters.
+    /// Returns whether this call actually resolved the query — the
+    /// worker's accounting uses it so server stats always agree with
+    /// the outcome each handle observed, even under a cancel race.
+    pub(crate) fn resolve(&self, result: Result<QueryOutput, QueryError>) -> bool {
+        let mut slot = self.slot.lock().expect("ticket lock");
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(result);
+        self.cv.notify_all();
+        true
+    }
+
+    fn take_result(&self) -> Result<QueryOutput, QueryError> {
+        let mut slot = self.slot.lock().expect("ticket lock");
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.cv.wait(slot).expect("ticket lock");
+        }
+    }
+
+    fn is_resolved(&self) -> bool {
+        self.slot.lock().expect("ticket lock").is_some()
+    }
+}
+
+/// Client handle to one submitted query.
+pub struct QueryHandle {
+    pub(crate) ticket: Arc<Ticket>,
+}
+
+impl QueryHandle {
+    /// Server-unique query id (submission order).
+    pub fn id(&self) -> u64 {
+        self.ticket.id
+    }
+
+    /// The requested BFS root (original vertex id).
+    pub fn root(&self) -> VertexId {
+        self.ticket.root
+    }
+
+    /// Requests cancellation. If the query has not been resolved yet it
+    /// resolves to [`QueryError::Cancelled`] immediately (a queued
+    /// query drops out of its batch before the sweep; a query whose
+    /// batch is mid-sweep drops out of result extraction without
+    /// aborting its batch-mates — and when *every* lane of a batch is
+    /// cancelled or expired, the iteration-level control hook stops the
+    /// sweep gracefully). Cancelling an already-served query is a
+    /// no-op.
+    pub fn cancel(&self) {
+        self.ticket.mark_cancelled();
+        self.ticket.resolve(Err(QueryError::Cancelled));
+    }
+
+    /// Whether a result (or error) is already available, without
+    /// blocking.
+    pub fn is_done(&self) -> bool {
+        self.ticket.is_resolved()
+    }
+
+    /// Blocks until the query resolves and returns its outcome.
+    pub fn wait(self) -> Result<QueryOutput, QueryError> {
+        self.ticket.take_result()
+    }
+}

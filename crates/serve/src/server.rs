@@ -1,0 +1,327 @@
+//! The worker pool, admission queue, and batch lifecycle.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use slimsell_core::{multi_bfs_while, ChunkMatrix, MsBfsOptions, Schedule, SweepMode};
+use slimsell_graph::VertexId;
+
+use crate::query::{BatchInfo, QueryError, QueryHandle, QueryOutput, Ticket};
+use crate::stats::ServerStats;
+
+/// Default admission window when `SLIMSELL_BATCH_WINDOW_US` is unset.
+const DEFAULT_BATCH_WINDOW_US: u64 = 200;
+
+fn env_batch_window() -> Duration {
+    static WINDOW: OnceLock<Duration> = OnceLock::new();
+    *WINDOW.get_or_init(|| {
+        let us = std::env::var("SLIMSELL_BATCH_WINDOW_US")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(DEFAULT_BATCH_WINDOW_US);
+        Duration::from_micros(us)
+    })
+}
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Worker threads pulling batches from the admission queue.
+    pub workers: usize,
+    /// How long a worker holds a partially filled batch open waiting
+    /// for more roots: a batch launches when `B` roots have arrived or
+    /// the window expires, whichever comes first. Defaults to
+    /// `SLIMSELL_BATCH_WINDOW_US` microseconds (200 µs when unset).
+    pub batch_window: Duration,
+    /// Iteration budget applied by [`BfsServer::submit`]; `None` =
+    /// unbounded. `submit_with` overrides per query.
+    pub default_budget: Option<usize>,
+    /// Sweep policy for the batch kernel (defaults to `SLIMSELL_SWEEP`).
+    pub sweep: SweepMode,
+    /// Tile schedule for the batch kernel.
+    pub schedule: Schedule,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            batch_window: env_batch_window(),
+            default_budget: None,
+            sweep: SweepMode::env_default(),
+            schedule: Schedule::Dynamic,
+        }
+    }
+}
+
+struct QueueState {
+    queue: VecDeque<Arc<Ticket>>,
+    shutdown: bool,
+}
+
+struct Shared<M> {
+    matrix: Arc<M>,
+    opts: ServeOptions,
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+    next_id: AtomicU64,
+    next_batch: AtomicU64,
+    stats: Mutex<ServerStats>,
+}
+
+/// A graph-as-a-service BFS query engine.
+///
+/// An immutable SlimSell snapshot (`Arc<M>`) is shared across a pool of
+/// worker threads. Clients submit single-source BFS queries; the
+/// admission queue coalesces concurrent queries into multi-source
+/// batches of up to `B` roots that ride the `C·B`-wide
+/// [`multi_bfs`](slimsell_core::multi_bfs) kernel, and each query's
+/// distances are extracted back out of its lane of the batch state.
+/// Because each lane computes an exact single-source BFS, served
+/// distances are bit-identical to a standalone run no matter how the
+/// queue happened to batch them.
+pub struct BfsServer<M, const C: usize, const B: usize>
+where
+    M: ChunkMatrix<C> + 'static,
+{
+    shared: Arc<Shared<M>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl<M, const C: usize, const B: usize> BfsServer<M, C, B>
+where
+    M: ChunkMatrix<C> + 'static,
+{
+    /// Starts the worker pool over a shared immutable snapshot.
+    pub fn start(matrix: Arc<M>, opts: ServeOptions) -> Self {
+        assert!(opts.workers >= 1, "server needs at least one worker");
+        assert!(B >= 1, "batch width B must be at least 1");
+        let workers = opts.workers;
+        let shared = Arc::new(Shared {
+            matrix,
+            opts,
+            queue: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
+            cv: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            next_batch: AtomicU64::new(0),
+            stats: Mutex::new(ServerStats::default()),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop::<M, C, B>(&sh))
+            })
+            .collect();
+        Self { shared, workers: Mutex::new(handles) }
+    }
+
+    /// Source-dimension lanes per batch (`B`).
+    pub fn batch_lanes(&self) -> usize {
+        B
+    }
+
+    /// Submits a single-source BFS query with the server's default
+    /// budget. Panics if `root` is out of range for the snapshot.
+    pub fn submit(&self, root: VertexId) -> QueryHandle {
+        self.submit_with(root, self.shared.opts.default_budget)
+    }
+
+    /// Submits a query with an explicit iteration budget (`None` =
+    /// unbounded): the query fails with
+    /// [`QueryError::BudgetExhausted`] if the batch that carries it
+    /// needs more than `budget` sweeps. A `Some(0)` budget fails fast
+    /// at submission without entering the queue.
+    pub fn submit_with(&self, root: VertexId, budget: Option<usize>) -> QueryHandle {
+        let n = self.shared.matrix.structure().n();
+        assert!((root as usize) < n, "root {root} out of range for snapshot with {n} vertices");
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let ticket = Arc::new(Ticket::new(id, root, budget));
+        let handle = QueryHandle { ticket: Arc::clone(&ticket) };
+        self.shared.stats.lock().expect("stats lock").submitted += 1;
+        if budget == Some(0) {
+            ticket.resolve(Err(QueryError::BudgetExhausted));
+            self.shared.stats.lock().expect("stats lock").expired += 1;
+            return handle;
+        }
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            if q.shutdown {
+                drop(q);
+                ticket.resolve(Err(QueryError::ShutDown));
+                self.shared.stats.lock().expect("stats lock").rejected += 1;
+                return handle;
+            }
+            q.queue.push_back(ticket);
+        }
+        self.shared.cv.notify_all();
+        handle
+    }
+
+    /// Snapshot of the server's lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.lock().expect("stats lock").clone()
+    }
+
+    /// Stops admission and drains: already-queued queries are still
+    /// served (workers exit only once the queue is empty), then the
+    /// pool is joined. Queries submitted after this resolve with
+    /// [`QueryError::ShutDown`]. Idempotent; returns the final
+    /// counters.
+    pub fn shutdown(&self) -> ServerStats {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        let handles: Vec<_> = self.workers.lock().expect("workers lock").drain(..).collect();
+        for h in handles {
+            h.join().expect("serve worker panicked");
+        }
+        self.stats()
+    }
+}
+
+impl<M, const C: usize, const B: usize> Drop for BfsServer<M, C, B>
+where
+    M: ChunkMatrix<C> + 'static,
+{
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop<M, const C: usize, const B: usize>(shared: &Shared<M>)
+where
+    M: ChunkMatrix<C>,
+{
+    while let Some(batch) = next_batch::<M, B>(shared) {
+        run_batch::<M, C, B>(shared, batch);
+    }
+}
+
+/// Blocks for the next admission batch: waits for a first ticket, then
+/// holds the batch open until `B` roots arrive, the batch window
+/// expires, or shutdown — whichever comes first. Returns `None` when
+/// the server is shut down and the queue fully drained.
+fn next_batch<M, const B: usize>(shared: &Shared<M>) -> Option<Vec<Arc<Ticket>>> {
+    let mut q = shared.queue.lock().expect("queue lock");
+    let first = loop {
+        if let Some(t) = q.queue.pop_front() {
+            break t;
+        }
+        if q.shutdown {
+            return None;
+        }
+        q = shared.cv.wait(q).expect("queue lock");
+    };
+    let mut batch = vec![first];
+    let deadline = Instant::now() + shared.opts.batch_window;
+    loop {
+        while batch.len() < B {
+            match q.queue.pop_front() {
+                Some(t) => batch.push(t),
+                None => break,
+            }
+        }
+        if batch.len() >= B || q.shutdown {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, _) = shared.cv.wait_timeout(q, deadline - now).expect("queue lock");
+        q = guard;
+    }
+    drop(q);
+    Some(batch)
+}
+
+fn run_batch<M, const C: usize, const B: usize>(shared: &Shared<M>, tickets: Vec<Arc<Ticket>>)
+where
+    M: ChunkMatrix<C>,
+{
+    // Queries cancelled while queued drop out before the sweep; their
+    // handles were already resolved by `cancel()`.
+    let mut pre_cancelled = 0u64;
+    let live: Vec<Arc<Ticket>> = tickets
+        .into_iter()
+        .filter(|t| {
+            let dead = t.is_cancelled();
+            pre_cancelled += dead as u64;
+            !dead
+        })
+        .collect();
+    if live.is_empty() {
+        shared.stats.lock().expect("stats lock").cancelled += pre_cancelled;
+        return;
+    }
+
+    // Unused lanes repeat the first live root; `multi_bfs` tolerates
+    // duplicates and those lanes are simply never extracted.
+    let mut roots = [live[0].root; B];
+    for (lane, t) in live.iter().enumerate() {
+        roots[lane] = t.root;
+    }
+    let opts = MsBfsOptions {
+        sweep: shared.opts.sweep,
+        schedule: shared.opts.schedule,
+        max_iterations: None,
+    };
+    // The iteration-level control hook: keep sweeping only while some
+    // lane's query is still live — neither cancelled nor past its
+    // budget. When the last live lane drops, the sweep stops
+    // gracefully instead of running to convergence.
+    let out = multi_bfs_while(&*shared.matrix, &roots, &opts, |iter| {
+        live.iter().any(|t| !t.is_cancelled() && t.budget.is_none_or(|b| iter <= b))
+    });
+
+    let info = BatchInfo {
+        batch_id: shared.next_batch.fetch_add(1, Ordering::Relaxed),
+        batch_size: live.len(),
+        iterations: out.iterations,
+        col_steps: out.stats.total_col_steps(),
+        cells: out.stats.total_cells(),
+        active_cells: out.stats.total_active_cells(),
+    };
+
+    let (mut served, mut expired, mut cancelled) = (0u64, 0u64, pre_cancelled);
+    let mut dists = out.dist.into_iter();
+    for t in &live {
+        let dist = dists.next().expect("one distance vector per lane");
+        if t.is_cancelled() {
+            // Cancelled mid-batch: the handle already resolved; the
+            // query just drops out of extraction without touching its
+            // batch-mates.
+            cancelled += 1;
+            continue;
+        }
+        let within = t.budget.is_none_or(|b| out.iterations <= b);
+        let resolved = if out.completed && within {
+            t.resolve(Ok(QueryOutput { dist, batch: info.clone() }))
+        } else {
+            t.resolve(Err(QueryError::BudgetExhausted))
+        };
+        match (resolved, out.completed && within) {
+            (true, true) => served += 1,
+            (true, false) => expired += 1,
+            // A concurrent `cancel()` won the resolve race.
+            (false, _) => cancelled += 1,
+        }
+    }
+
+    let mut stats = shared.stats.lock().expect("stats lock");
+    stats.served += served;
+    stats.expired += expired;
+    stats.cancelled += cancelled;
+    stats.batches += 1;
+    stats.multi_root_batches += (info.batch_size > 1) as u64;
+    stats.coalesced += info.batch_size as u64;
+    stats.aborted_sweeps += (!out.completed) as u64;
+    stats.total_iterations += info.iterations as u64;
+    stats.total_col_steps += info.col_steps;
+    stats.total_cells += info.cells;
+    stats.total_active_cells += info.active_cells;
+}

@@ -1,0 +1,63 @@
+//! Whole-server counters aggregated across batches.
+
+/// Lifetime counters for one [`BfsServer`](crate::BfsServer).
+///
+/// Query outcomes partition: once every handle has resolved,
+/// `submitted == served + expired + cancelled + rejected`. Work
+/// counters aggregate the per-batch [`RunStats`](slimsell_core::RunStats)
+/// slices, so `lane_utilization` is comparable with the standalone
+/// kernels' accounting.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Queries accepted by `submit`/`submit_with` (including ones that
+    /// fail fast).
+    pub submitted: u64,
+    /// Queries that resolved with exact distances.
+    pub served: u64,
+    /// Queries that resolved `BudgetExhausted` (zero-budget fast-fails
+    /// included).
+    pub expired: u64,
+    /// Queries that resolved `Cancelled`.
+    pub cancelled: u64,
+    /// Queries that resolved `ShutDown` (submitted after shutdown).
+    pub rejected: u64,
+    /// Batches executed (empty all-cancelled batches are not counted —
+    /// their sweep never starts).
+    pub batches: u64,
+    /// Batches that coalesced more than one live query.
+    pub multi_root_batches: u64,
+    /// Total live queries over all batches (`Σ batch_size`).
+    pub coalesced: u64,
+    /// Batches whose sweep the control hook stopped before convergence
+    /// (every lane cancelled or over budget).
+    pub aborted_sweeps: u64,
+    /// Sweeps executed across all batches.
+    pub total_iterations: u64,
+    /// Column steps across all batches.
+    pub total_col_steps: u64,
+    /// `C·B` lane-slots touched across all batches.
+    pub total_cells: u64,
+    /// Touched lane-slots that carried a stored arc.
+    pub total_active_cells: u64,
+}
+
+impl ServerStats {
+    /// Mean live queries per executed batch (0.0 before any batch ran).
+    pub fn mean_batch_fill(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.coalesced as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of touched lane-slots that held a stored arc rather
+    /// than padding (1.0 when nothing was touched).
+    pub fn lane_utilization(&self) -> f64 {
+        if self.total_cells == 0 {
+            1.0
+        } else {
+            self.total_active_cells as f64 / self.total_cells as f64
+        }
+    }
+}

@@ -53,6 +53,28 @@ pub use i32xc::SimdI32;
 /// Lane counts used by the reproduction (CPU, AVX2, KNL, GPU-warp).
 pub const SUPPORTED_LANES: [usize; 4] = [4, 8, 16, 32];
 
+/// Best-effort prefetch of the cache line containing `data[i]` into the
+/// whole cache hierarchy (`prefetcht0`). Purely a latency hint for
+/// gather-heavy kernels whose future indices are known ahead of time —
+/// it never reads or writes architectural state, so results are
+/// unaffected. A no-op on non-x86-64 targets and for out-of-range
+/// indices.
+#[inline(always)]
+pub fn prefetch_read(data: &[f32], i: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if i < data.len() {
+        // SAFETY: the pointer is in bounds of a live slice, and
+        // `prefetcht0` has no architectural effect on memory.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                data.as_ptr().add(i).cast(),
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (data, i);
+}
+
 /// Error returned by [`dispatch_lanes`] for a lane count outside
 /// [`SUPPORTED_LANES`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

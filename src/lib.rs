@@ -16,6 +16,7 @@
 //! | [`baseline`] | Graph500-style Trad-BFS, direction-optimizing BFS, SpMSpV BFS |
 //! | [`simt`] | the software GPU (SIMT warp) simulator |
 //! | [`analysis`] | Table II/III work & storage models, Eq. (1)/(2) bounds |
+//! | [`serve`] | graph-as-a-service: concurrent batched BFS query engine |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@ pub use slimsell_baseline as baseline;
 pub use slimsell_core as core;
 pub use slimsell_gen as gen;
 pub use slimsell_graph as graph;
+pub use slimsell_serve as serve;
 pub use slimsell_simd as simd;
 pub use slimsell_simt as simt;
 
@@ -63,6 +65,7 @@ pub mod prelude {
         largest_component, serial_bfs, validate_parents, AdjacencyList, CsrGraph, GraphBuilder,
         GraphStats, VertexId, WeightedCsrGraph, UNREACHABLE,
     };
+    pub use slimsell_serve::{BfsServer, QueryError, QueryHandle, ServeOptions, ServerStats};
     pub use slimsell_simt::{run_simt_bfs, SimtConfig, SimtOptions};
 }
 

@@ -1,5 +1,6 @@
 //! Failure injection and edge cases: malformed inputs, degenerate
-//! graphs, extreme parameters.
+//! graphs, extreme parameters, and serving-layer faults (cancellation,
+//! exhausted budgets, shutdown races).
 
 use slimsell::prelude::*;
 
@@ -130,4 +131,76 @@ fn generators_reject_bad_parameters() {
     assert!(std::panic::catch_unwind(|| erdos_renyi_gnp(10, 1.5, 0)).is_err());
     assert!(std::panic::catch_unwind(|| slimsell::gen::erdos_renyi_gnm(3, 100, 0)).is_err());
     assert!(std::panic::catch_unwind(|| standin("does-not-exist", 4, 0)).is_err());
+}
+
+// ---- serving layer (crates/serve) failure injection ------------------
+
+use std::sync::Arc;
+use std::time::Duration;
+
+fn serve_fixture() -> (Arc<SlimSellMatrix<8>>, ServeOptions) {
+    // A long path makes sweeps take many iterations, so budgets and
+    // cancellation have something to interrupt; a generous batch window
+    // coalesces everything submitted up front into one batch.
+    let g = GraphBuilder::new(96).edges((0..95u32).map(|v| (v, v + 1))).build();
+    let m = Arc::new(SlimSellMatrix::<8>::build(&g, 96));
+    let opts = ServeOptions { batch_window: Duration::from_millis(500), ..Default::default() };
+    (m, opts)
+}
+
+#[test]
+fn serve_cancel_mid_batch_does_not_poison_mates() {
+    let (m, opts) = serve_fixture();
+    let server = BfsServer::<_, 8, 4>::start(Arc::clone(&m), opts);
+    let victim = server.submit(48);
+    let mates = [server.submit(0), server.submit(95)];
+    victim.cancel();
+    // The cancelled query either reports Cancelled or had already won
+    // the race to an exact answer; its mates must be exact either way.
+    match victim.wait() {
+        Err(QueryError::Cancelled) | Ok(_) => {}
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+    for (h, root) in mates.into_iter().zip([0u32, 95]) {
+        let out = h.wait().expect("mate poisoned by cancellation");
+        let want = BfsEngine::run::<_, TropicalSemiring, 8>(&*m, root, &BfsOptions::default()).dist;
+        assert_eq!(out.dist, want, "mate {root}");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 3);
+    assert_eq!(stats.submitted, stats.served + stats.expired + stats.cancelled + stats.rejected);
+}
+
+#[test]
+fn serve_zero_budget_fails_fast() {
+    let (m, opts) = serve_fixture();
+    let server = BfsServer::<_, 8, 4>::start(m, opts);
+    let h = server.submit_with(0, Some(0));
+    // Resolved synchronously: never enters the admission queue.
+    assert!(h.is_done(), "zero-budget query entered the queue");
+    assert_eq!(h.wait(), Err(QueryError::BudgetExhausted));
+    let stats = server.shutdown();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.batches, 0, "zero-budget query consumed a batch");
+}
+
+#[test]
+fn serve_shutdown_drains_pending_then_rejects() {
+    let (m, opts) = serve_fixture();
+    let server = BfsServer::<_, 8, 4>::start(Arc::clone(&m), opts);
+    let pending: Vec<_> = (0..10u32).map(|r| server.submit(r)).collect();
+    let stats = server.shutdown();
+    // Every query admitted before shutdown is answered, not dropped.
+    for (r, h) in pending.into_iter().enumerate() {
+        let out = h.wait().expect("pending query dropped at shutdown");
+        let want =
+            BfsEngine::run::<_, TropicalSemiring, 8>(&*m, r as u32, &BfsOptions::default()).dist;
+        assert_eq!(out.dist, want, "root {r}");
+    }
+    assert_eq!(stats.served, 10);
+    // Submissions after shutdown are rejected immediately.
+    let late = server.submit(0);
+    assert!(late.is_done());
+    assert_eq!(late.wait(), Err(QueryError::ShutDown));
+    assert_eq!(server.stats().rejected, 1);
 }

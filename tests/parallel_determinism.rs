@@ -19,7 +19,11 @@
 //! (which CI also exercises across the whole suite).
 
 use slimsell::core::dirop::{run_diropt, DirOptOptions};
+use slimsell::core::{
+    betweenness_from_sources_with, multi_bfs_with, BetweennessOptions, MsBfsOptions,
+};
 use slimsell::prelude::*;
+use std::sync::Arc;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -321,18 +325,55 @@ fn sssp_bit_identical_across_thread_counts() {
 
 #[test]
 fn msbfs_bit_identical_across_thread_counts() {
+    // Multi-source BFS across every sweep mode: distances must match
+    // the 1-thread full-sweep oracle, and within each mode every work
+    // counter must be invariant to the thread count.
     let (g, _) = graph();
     let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
     let r = slimsell::graph::stats::sample_roots(&g, 4);
     let roots: [VertexId; 4] = [r[0], r[1 % r.len()], r[2 % r.len()], r[3 % r.len()]];
-    let reference = with_threads(1, || multi_bfs::<_, 8, 4>(&m, &roots));
-    for threads in THREAD_COUNTS {
-        let out = with_threads(threads, || multi_bfs::<_, 8, 4>(&m, &roots));
-        assert_eq!(out.dist, reference.dist, "msbfs distances diverged at {threads} threads");
+    let full_opts = MsBfsOptions { sweep: SweepMode::Full, ..Default::default() };
+    let oracle = with_threads(1, || multi_bfs_with::<_, 8, 4>(&m, &roots, &full_opts));
+    assert!(oracle.completed, "msbfs oracle hit its iteration cap");
+    for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
+        let opts = MsBfsOptions { sweep, ..Default::default() };
+        let reference = with_threads(1, || multi_bfs_with::<_, 8, 4>(&m, &roots, &opts));
         assert_eq!(
-            out.iterations, reference.iterations,
-            "msbfs iteration count diverged at {threads} threads"
+            reference.dist, oracle.dist,
+            "msbfs {sweep:?} distances diverged from the full-sweep oracle"
         );
+        assert_eq!(reference.iterations, oracle.iterations, "msbfs {sweep:?} sweep count");
+        for threads in THREAD_COUNTS {
+            let out = with_threads(threads, || multi_bfs_with::<_, 8, 4>(&m, &roots, &opts));
+            assert_eq!(
+                out.dist, reference.dist,
+                "msbfs {sweep:?} distances diverged at {threads} threads"
+            );
+            assert_eq!(
+                out.iterations, reference.iterations,
+                "msbfs {sweep:?} iteration count diverged at {threads} threads"
+            );
+            assert_eq!(
+                out.stats.total_cells(),
+                reference.stats.total_cells(),
+                "msbfs {sweep:?} cell counters diverged at {threads} threads"
+            );
+            assert_eq!(
+                out.stats.total_col_steps(),
+                reference.stats.total_col_steps(),
+                "msbfs {sweep:?} column steps diverged at {threads} threads"
+            );
+            assert_eq!(
+                out.stats.total_activations(),
+                reference.stats.total_activations(),
+                "msbfs {sweep:?} activation counters diverged at {threads} threads"
+            );
+            assert_eq!(
+                out.stats.iters.iter().map(|i| i.sweep_mode).collect::<Vec<_>>(),
+                reference.stats.iters.iter().map(|i| i.sweep_mode).collect::<Vec<_>>(),
+                "msbfs {sweep:?} mode trace diverged at {threads} threads"
+            );
+        }
     }
 }
 
@@ -344,11 +385,89 @@ fn betweenness_bit_identical_across_thread_counts() {
     let g = kronecker(9, 8.0, KroneckerParams::GRAPH500, 5);
     let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
     let r = slimsell::graph::stats::sample_roots(&g, 4);
-    let reference = with_threads(1, || betweenness_from_sources(&m, &r));
-    assert!(reference.iter().any(|&b| b > 0.0), "all-zero centralities; test is vacuous");
-    for threads in THREAD_COUNTS {
-        let out = with_threads(threads, || betweenness_from_sources(&m, &r));
-        assert_eq!(bits64(&out), bits64(&reference), "betweenness diverged at {threads} threads");
+    let oracle = with_threads(1, || {
+        betweenness_from_sources_with(
+            &m,
+            &r,
+            &BetweennessOptions { sweep: SweepMode::Full, ..Default::default() },
+        )
+    });
+    assert!(oracle.iter().any(|&b| b > 0.0), "all-zero centralities; test is vacuous");
+    for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
+        let opts = BetweennessOptions { sweep, ..Default::default() };
+        let reference = with_threads(1, || betweenness_from_sources_with(&m, &r, &opts));
+        assert_eq!(
+            bits64(&reference),
+            bits64(&oracle),
+            "betweenness {sweep:?} diverged from the full-sweep oracle"
+        );
+        for threads in THREAD_COUNTS {
+            let out = with_threads(threads, || betweenness_from_sources_with(&m, &r, &opts));
+            assert_eq!(
+                bits64(&out),
+                bits64(&reference),
+                "betweenness {sweep:?} diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn serve_concurrent_clients_bit_identical() {
+    // The serving layer must not trade determinism for throughput: the
+    // same root always yields the same distances no matter how many
+    // client threads race to submit, how the admission queue slices the
+    // stream into batches, or which lanes a query lands on. The kernel
+    // thread-count axis is exercised by running this whole suite under
+    // the SLIMSELL_THREADS CI matrix.
+    let (g, _) = graph();
+    let n = g.num_vertices();
+    let m = Arc::new(SlimSellMatrix::<8>::build(&g, n));
+    let roots: Vec<VertexId> =
+        slimsell::graph::stats::sample_roots(&g, 8).into_iter().cycle().take(32).collect();
+    // Standalone single-source oracle per distinct root.
+    let oracle: Vec<Vec<u32>> = roots
+        .iter()
+        .map(|&r| BfsEngine::run::<_, TropicalSemiring, 8>(&*m, r, &BfsOptions::default()).dist)
+        .collect();
+    for clients in [2usize, 8] {
+        let server = BfsServer::<_, 8, 4>::start(Arc::clone(&m), ServeOptions::default());
+        let mut results: Vec<(usize, Vec<u32>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let server = &server;
+                    let roots = &roots;
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        for k in (c..roots.len()).step_by(clients) {
+                            let out = server.submit(roots[k]).wait().expect("query failed");
+                            got.push((k, out.dist));
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let stats = server.shutdown();
+        results.sort_by_key(|(k, _)| *k);
+        assert_eq!(results.len(), roots.len(), "{clients} clients: lost queries");
+        for (k, dist) in &results {
+            assert_eq!(
+                dist, &oracle[*k],
+                "{clients} clients: query {k} (root {}) diverged from standalone BFS",
+                roots[*k]
+            );
+        }
+        assert_eq!(stats.submitted, roots.len() as u64, "{clients} clients: submitted");
+        assert_eq!(stats.served, roots.len() as u64, "{clients} clients: served");
+        assert_eq!(
+            stats.submitted,
+            stats.served + stats.expired + stats.cancelled + stats.rejected,
+            "{clients} clients: stats incoherent"
+        );
+        assert_eq!(stats.coalesced, stats.submitted, "{clients} clients: coalesced");
+        assert!(stats.batches >= roots.len() as u64 / 4, "{clients} clients: batch count");
     }
 }
 
