@@ -29,5 +29,5 @@ pub use amortize::{amortization_table, runs_to_amortize};
 pub use bounds::{er_max_degree_bound, estimate_powerlaw_exponent, powerlaw_max_degree_bound};
 pub use frontier::WorklistComparison;
 pub use padding::{padding_bound_full_sort, padding_full_sort, padding_unsorted};
-pub use serve::{LatencyProfile, ServePoint};
+pub use serve::{LatencyProfile, OverloadPoint, ServePoint};
 pub use work::{table2_rows, work_bound_general, WorkBound};

@@ -120,6 +120,87 @@ impl ServePoint {
     }
 }
 
+/// One measured offered-load point of the overload/degradation sweep:
+/// clients hammer a deliberately under-provisioned server (bounded
+/// queue, tight deadlines) and the point records how gracefully it
+/// sheds — goodput instead of collapse, bounded tail latency, and an
+/// explicit account of every query that was not served.
+#[derive(Clone, Debug)]
+pub struct OverloadPoint {
+    /// Closed-loop client threads offering load.
+    pub clients: usize,
+    /// Per-query wall-clock deadline, microseconds (0 = none).
+    pub deadline_us: u64,
+    /// Queries the clients attempted (first tries, not retries).
+    pub offered: usize,
+    /// Submission attempts including retries after `QueueFull`.
+    pub attempts: usize,
+    /// Queries that resolved with exact distances.
+    pub served: usize,
+    /// Queries shed from the queue after their deadline expired.
+    pub shed: u64,
+    /// Queries that expired after claiming a batch lane.
+    pub expired: u64,
+    /// Submissions fast-failed against the full bounded queue.
+    pub queue_full_rejects: u64,
+    /// Wall time for the whole run, seconds.
+    pub elapsed_s: f64,
+    /// Latency profile over *served* queries only (goodput latency).
+    pub latency: LatencyProfile,
+}
+
+impl OverloadPoint {
+    /// Served queries per second — goodput, not offered throughput.
+    pub fn goodput(&self) -> f64 {
+        if self.elapsed_s == 0.0 {
+            0.0
+        } else {
+            self.served as f64 / self.elapsed_s
+        }
+    }
+
+    /// Fraction of offered queries shed or expired past deadline.
+    pub fn shed_frac(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.shed + self.expired) as f64 / self.offered as f64
+        }
+    }
+
+    /// Fraction of submission attempts bounced off the full queue.
+    pub fn reject_frac(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.queue_full_rejects as f64 / self.attempts as f64
+        }
+    }
+
+    /// Header of the degradation table [`row`](Self::row)s feed.
+    pub const HEADER: [&'static str; 8] =
+        ["clients", "deadline", "offered", "served", "goodput", "p99", "shed%", "qfull%"];
+
+    /// One degradation-table row for this point.
+    pub fn row(&self) -> [String; 8] {
+        [
+            self.clients.to_string(),
+            if self.deadline_us == 0 { "-".to_string() } else { format!("{}us", self.deadline_us) },
+            self.offered.to_string(),
+            self.served.to_string(),
+            format!("{:.1}/s", self.goodput()),
+            crate::report::fmt_secs(self.latency.p99_s),
+            format!("{:.1}", 100.0 * self.shed_frac()),
+            format!("{:.1}", 100.0 * self.reject_frac()),
+        ]
+    }
+
+    /// A ready table with the degradation header.
+    pub fn table() -> TextTable {
+        TextTable::new(Self::HEADER)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +248,50 @@ mod tests {
         t.row(point.row());
         assert_eq!(t.len(), 1);
         assert!(t.render().contains("32.0"));
+    }
+
+    #[test]
+    fn overload_point_fractions_and_row() {
+        let point = OverloadPoint {
+            clients: 16,
+            deadline_us: 2000,
+            offered: 100,
+            attempts: 130,
+            served: 60,
+            shed: 25,
+            expired: 5,
+            queue_full_rejects: 13,
+            elapsed_s: 2.0,
+            latency: LatencyProfile::from_seconds(vec![0.001; 60]),
+        };
+        assert!((point.goodput() - 30.0).abs() < 1e-9);
+        assert!((point.shed_frac() - 0.30).abs() < 1e-9);
+        assert!((point.reject_frac() - 0.10).abs() < 1e-9);
+        let mut t = OverloadPoint::table();
+        t.row(point.row());
+        let rendered = t.render();
+        assert!(rendered.contains("2000us"));
+        assert!(rendered.contains("30.0/s"));
+        assert!(rendered.contains("10.0"));
+    }
+
+    #[test]
+    fn overload_point_degenerate_cases_are_zeroed() {
+        let point = OverloadPoint {
+            clients: 1,
+            deadline_us: 0,
+            offered: 0,
+            attempts: 0,
+            served: 0,
+            shed: 0,
+            expired: 0,
+            queue_full_rejects: 0,
+            elapsed_s: 0.0,
+            latency: LatencyProfile::from_seconds(vec![]),
+        };
+        assert_eq!(point.goodput(), 0.0);
+        assert_eq!(point.shed_frac(), 0.0);
+        assert_eq!(point.reject_frac(), 0.0);
+        assert!(point.row()[1].contains('-'));
     }
 }

@@ -31,6 +31,10 @@
 //! serve options:
 //!   --queries N       closed-loop queries per (B, clients) point
 //!                     (default 64)
+//!   --deadline-us N   per-query wall-clock deadline for the overload
+//!                     sweep, microseconds (default 2000; 0 = none)
+//!   --retries N       client retries after a QueueFull rejection,
+//!                     with jittered exponential backoff (default 2)
 //! ```
 //!
 //! The `scaling` experiment additionally writes the machine-readable
@@ -46,7 +50,12 @@
 //! `results/BENCH_serve.json`: qps, p50/p99 latency and batch-fill
 //! counters over batch widths `B ∈ {1, 4, 8}` × client counts
 //! `{1, 4, 16}`; the batch window is tunable via
-//! `SLIMSELL_BATCH_WINDOW_US`.
+//! `SLIMSELL_BATCH_WINDOW_US`. It then runs the overload sweep against
+//! a deliberately under-provisioned server (one worker, bounded queue,
+//! per-query deadlines) and writes `results/BENCH_serve_overload.json`:
+//! goodput, served-query p99, shed fraction and queue-full reject
+//! fraction per offered-load point, with client-side
+//! retry-plus-jittered-backoff on `QueueFull`.
 
 use slimsell_bench::experiments;
 use slimsell_bench::harness::{Args, ExpContext};
@@ -83,6 +92,8 @@ fn print_help() {
     println!("frontier: sweeps scales 10..=--scale-log2 (full vs worklist vs adaptive;");
     println!("          --adaptive 0 drops the adaptive axis)");
     println!("serve: batched BFS query engine load test; --queries N per point (default 64),");
-    println!("       batch window via SLIMSELL_BATCH_WINDOW_US (default 200)");
+    println!("       batch window via SLIMSELL_BATCH_WINDOW_US (default 200);");
+    println!("       overload sweep: --deadline-us N (default 2000, 0 = none), --retries N");
+    println!("       (default 2, jittered backoff); restart budget via SLIMSELL_MAX_RESTARTS");
     println!("see DESIGN.md section 4 for the experiment-to-paper mapping");
 }

@@ -1,0 +1,192 @@
+//! Deterministic chaos injection: seeded fault plans for the worker
+//! pool.
+//!
+//! A [`FaultPlan`] is a list of `(worker, batch_seq) → fault` triggers
+//! installed via [`ServeOptions::fault_plan`](crate::ServeOptions).
+//! When worker `w` takes its `s`-th batch (1-based, counted per worker
+//! incarnation) it consults the plan: a [`FaultKind::Panic`] makes the
+//! worker panic *mid-batch* — from inside the batch kernel's
+//! iteration callback, after the batch has been formed and the sweep
+//! state allocated — and a [`FaultKind::Stall`] makes it sleep before
+//! the sweep, simulating a hung or slow worker. Both paths exercise
+//! exactly the machinery production faults would: supervision,
+//! restart budgets, deadline shedding and overload control.
+//!
+//! Plans are **deterministic**: the same plan against the same
+//! submission schedule fires the same faults. Worker ids are
+//! per-incarnation (a respawned worker gets a fresh id and a fresh
+//! batch count), so each trigger site fires at most once and every
+//! chaos run terminates.
+
+use std::time::Duration;
+
+/// What an armed trigger site does to its worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic mid-batch: the worker unwinds from inside the batch
+    /// kernel's iteration callback. The supervised worker loop catches
+    /// the unwind, fails the in-flight batch, and restarts the worker
+    /// if budget remains.
+    Panic,
+    /// Sleep for the given duration before the batch's sweep,
+    /// simulating a stalled worker; the batch still runs afterwards.
+    Stall(Duration),
+}
+
+/// One armed trigger: fire `kind` when worker `worker` takes its
+/// `batch_seq`-th batch (1-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Trigger {
+    worker: usize,
+    batch_seq: usize,
+    kind: FaultKind,
+}
+
+/// A deterministic fault-injection plan (empty by default).
+///
+/// ```
+/// use std::time::Duration;
+/// use slimsell_serve::{FaultKind, FaultPlan};
+///
+/// let plan = FaultPlan::new()
+///     .panic_worker(1, 3) // panic worker 1 on its 3rd batch
+///     .stall_worker(0, 2, Duration::from_millis(5));
+/// assert_eq!(plan.len(), 2);
+/// assert_eq!(plan.panic_count(), 1);
+/// assert_eq!(plan.action(1, 3), Some(FaultKind::Panic));
+/// assert_eq!(plan.action(1, 2), None);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    triggers: Vec<Trigger>,
+}
+
+/// `splitmix64` step — the plan generator's only source of randomness,
+/// so seeded plans are reproducible across platforms.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults ever fire.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a panic for worker `worker`'s `batch_seq`-th batch
+    /// (1-based).
+    #[must_use]
+    pub fn panic_worker(mut self, worker: usize, batch_seq: usize) -> Self {
+        self.triggers.push(Trigger { worker, batch_seq, kind: FaultKind::Panic });
+        self
+    }
+
+    /// Arms a pre-sweep stall of `dur` for worker `worker`'s
+    /// `batch_seq`-th batch (1-based).
+    #[must_use]
+    pub fn stall_worker(mut self, worker: usize, batch_seq: usize, dur: Duration) -> Self {
+        self.triggers.push(Trigger { worker, batch_seq, kind: FaultKind::Stall(dur) });
+        self
+    }
+
+    /// Generates a reproducible random plan: `count` triggers over
+    /// worker ids `0..workers` and batch sequences `1..=horizon`, each
+    /// a panic or a 1–5 ms stall. The same `(seed, workers, horizon,
+    /// count)` always yields the same plan. Duplicate sites may occur;
+    /// only the first trigger at a site fires.
+    pub fn seeded(seed: u64, workers: usize, horizon: usize, count: usize) -> Self {
+        assert!(workers >= 1, "a seeded plan needs at least one worker");
+        assert!(horizon >= 1, "a seeded plan needs a batch horizon of at least 1");
+        let mut state = seed ^ 0x51ed_2701_89ab_cdef;
+        let mut plan = Self::new();
+        for _ in 0..count {
+            let worker = (splitmix64(&mut state) % workers as u64) as usize;
+            let batch_seq = 1 + (splitmix64(&mut state) % horizon as u64) as usize;
+            plan = if splitmix64(&mut state).is_multiple_of(2) {
+                plan.panic_worker(worker, batch_seq)
+            } else {
+                let ms = 1 + splitmix64(&mut state) % 5;
+                plan.stall_worker(worker, batch_seq, Duration::from_millis(ms))
+            };
+        }
+        plan
+    }
+
+    /// Number of armed triggers.
+    pub fn len(&self) -> usize {
+        self.triggers.len()
+    }
+
+    /// Whether the plan is empty (no faults ever fire).
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
+
+    /// Number of panic triggers — chaos tests use it to bound
+    /// `worker_panics` and size restart budgets.
+    pub fn panic_count(&self) -> usize {
+        self.triggers.iter().filter(|t| t.kind == FaultKind::Panic).count()
+    }
+
+    /// The fault armed for worker `worker`'s `batch_seq`-th batch, if
+    /// any (first matching trigger wins).
+    pub fn action(&self, worker: usize, batch_seq: usize) -> Option<FaultKind> {
+        self.triggers
+            .iter()
+            .find(|t| t.worker == worker && t.batch_seq == batch_seq)
+            .map(|t| t.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        for w in 0..4 {
+            for s in 1..10 {
+                assert_eq!(p.action(w, s), None);
+            }
+        }
+    }
+
+    #[test]
+    fn triggers_match_their_site_only() {
+        let p = FaultPlan::new().panic_worker(2, 5).stall_worker(0, 1, Duration::from_millis(3));
+        assert_eq!(p.action(2, 5), Some(FaultKind::Panic));
+        assert_eq!(p.action(0, 1), Some(FaultKind::Stall(Duration::from_millis(3))));
+        assert_eq!(p.action(2, 4), None);
+        assert_eq!(p.action(1, 5), None);
+        assert_eq!((p.len(), p.panic_count()), (2, 1));
+    }
+
+    #[test]
+    fn first_trigger_at_a_site_wins() {
+        let p = FaultPlan::new().stall_worker(0, 1, Duration::from_millis(2)).panic_worker(0, 1);
+        assert_eq!(p.action(0, 1), Some(FaultKind::Stall(Duration::from_millis(2))));
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_in_range() {
+        let a = FaultPlan::seeded(42, 3, 7, 16);
+        let b = FaultPlan::seeded(42, 3, 7, 16);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        for t in &a.triggers {
+            assert!(t.worker < 3);
+            assert!((1..=7).contains(&t.batch_seq));
+            if let FaultKind::Stall(d) = t.kind {
+                assert!((1..=5).contains(&d.as_millis()));
+            }
+        }
+        // Different seeds diverge (overwhelmingly likely for 16 draws).
+        assert_ne!(a, FaultPlan::seeded(43, 3, 7, 16));
+    }
+}

@@ -19,7 +19,23 @@
 //!   or expired query drops out of result extraction without
 //!   perturbing its batch-mates, and once every lane of a batch is
 //!   dead the iteration-level control hook stops the sweep gracefully
-//!   instead of running to convergence.
+//!   instead of running to convergence;
+//! * **fault tolerance**: workers are panic-isolated and supervised —
+//!   a panic fails only its own batch, supervision respawns the
+//!   worker up to [`ServeOptions::max_worker_restarts`], and past the
+//!   budget the server degrades to rejecting new work while draining
+//!   what it admitted. [`FaultPlan`] injects panics and stalls
+//!   deterministically so the whole path is testable;
+//! * **overload control**: per-query wall-clock deadlines
+//!   ([`QuerySpec`]) with earliest-deadline-first dispatch, shedding
+//!   of already-expired queued work, and a bounded admission queue
+//!   ([`ServeOptions::queue_capacity`]) that fast-fails
+//!   [`QueryError::QueueFull`] instead of building unbounded backlog.
+//!
+//! Once every submitted handle has resolved, the outcome counters
+//! partition the submissions exactly: `submitted = served + expired +
+//! cancelled + rejected + failed + shed`
+//! (see [`ServerStats::resolved`]).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -36,18 +52,23 @@
 //! let b = server.submit(5);
 //! assert_eq!(a.wait().unwrap().dist, vec![0, 1, 2, 3, 4, 5]);
 //! assert_eq!(b.wait().unwrap().dist, vec![5, 4, 3, 2, 1, 0]);
-//! server.shutdown();
+//! let report = server.shutdown();
+//! assert_eq!(report.stats.served, 2);
+//! assert_eq!(report.unclean_joins, 0);
 //! ```
 
 #![deny(missing_docs)]
 
+mod fault;
 mod query;
 mod server;
 mod stats;
+mod sync;
 
-pub use query::{BatchInfo, QueryError, QueryHandle, QueryOutput};
+pub use fault::{FaultKind, FaultPlan};
+pub use query::{BatchInfo, QueryError, QueryHandle, QueryOutput, QuerySpec};
 pub use server::{BfsServer, ServeOptions};
-pub use stats::ServerStats;
+pub use stats::{ServerStats, ShutdownReport};
 
 #[cfg(test)]
 mod tests {
@@ -67,6 +88,14 @@ mod tests {
         ServeOptions { batch_window: Duration::from_millis(1000), ..ServeOptions::default() }
     }
 
+    fn assert_partition(stats: &ServerStats) {
+        assert_eq!(
+            stats.submitted,
+            stats.resolved(),
+            "outcomes must partition submissions: {stats:?}"
+        );
+    }
+
     #[test]
     fn serves_exact_distances() {
         let g = path(10);
@@ -78,10 +107,13 @@ mod tests {
             assert_eq!(out.dist, serial_bfs(&g, r as u32).dist, "root {r}");
             assert!(out.batch.batch_size >= 1);
         }
-        let stats = server.shutdown();
-        assert_eq!(stats.submitted, 10);
-        assert_eq!(stats.served, 10);
-        assert_eq!(stats.coalesced, 10);
+        let report = server.shutdown();
+        assert_eq!(report.stats.submitted, 10);
+        assert_eq!(report.stats.served, 10);
+        assert_eq!(report.stats.coalesced, 10);
+        assert_eq!(report.unclean_joins, 0);
+        assert!(!report.degraded);
+        assert_partition(&report.stats);
     }
 
     #[test]
@@ -93,13 +125,14 @@ mod tests {
         for h in handles {
             h.wait().expect("served");
         }
-        let stats = server.shutdown();
+        let stats = server.shutdown().stats;
         assert_eq!(stats.served, 4);
         assert_eq!(stats.batches, 1, "window should coalesce all four roots");
         assert_eq!(stats.multi_root_batches, 1);
         assert!((stats.mean_batch_fill() - 4.0).abs() < 1e-9);
         assert!(stats.total_iterations > 0);
         assert!(stats.total_cells >= stats.total_active_cells);
+        assert_partition(&stats);
     }
 
     #[test]
@@ -110,9 +143,10 @@ mod tests {
         let h = server.submit_with(0, Some(0));
         assert!(h.is_done(), "zero budget must fail at submission");
         assert_eq!(h.wait(), Err(QueryError::BudgetExhausted));
-        let stats = server.shutdown();
+        let stats = server.shutdown().stats;
         assert_eq!(stats.expired, 1);
         assert_eq!(stats.batches, 0, "the query never reached a batch");
+        assert_partition(&stats);
     }
 
     #[test]
@@ -127,9 +161,10 @@ mod tests {
         assert_eq!(poor.wait(), Err(QueryError::BudgetExhausted));
         let out = ok.wait().expect("unbounded batch-mate served");
         assert_eq!(out.dist, serial_bfs(&g, 0).dist);
-        let stats = server.shutdown();
+        let stats = server.shutdown().stats;
         assert_eq!((stats.served, stats.expired), (1, 1));
         assert_eq!(stats.aborted_sweeps, 0, "a live lane ran to convergence");
+        assert_partition(&stats);
     }
 
     #[test]
@@ -141,12 +176,13 @@ mod tests {
         let b = server.submit_with(1, Some(2));
         assert_eq!(a.wait(), Err(QueryError::BudgetExhausted));
         assert_eq!(b.wait(), Err(QueryError::BudgetExhausted));
-        let stats = server.shutdown();
+        let stats = server.shutdown().stats;
         assert_eq!(stats.expired, 2);
         assert_eq!(stats.aborted_sweeps, 1);
         // The sweep stopped right after the longest budget ran out
         // rather than running the path to convergence.
         assert_eq!(stats.total_iterations, 3);
+        assert_partition(&stats);
     }
 
     #[test]
@@ -161,9 +197,10 @@ mod tests {
         // Batch-mates (and later queries) are unaffected.
         let ok = server.submit(5);
         assert_eq!(ok.wait().expect("served").dist, serial_bfs(&g, 5).dist);
-        let stats = server.shutdown();
+        let stats = server.shutdown().stats;
         assert_eq!(stats.cancelled, 1);
         assert_eq!(stats.served, 1);
+        assert_partition(&stats);
     }
 
     #[test]
@@ -172,19 +209,203 @@ mod tests {
         let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
         let server = BfsServer::<_, 4, 4>::start(m, ServeOptions::default());
         let handles: Vec<_> = (0..12).map(|r| server.submit(r)).collect();
-        let stats = server.shutdown();
+        let report = server.shutdown();
         for (r, h) in handles.into_iter().enumerate() {
             let out = h.wait().expect("in-flight query drained");
             assert_eq!(out.dist, serial_bfs(&g, r as u32).dist);
         }
-        assert_eq!(stats.served, 12);
+        assert_eq!(report.stats.served, 12);
+        assert_eq!(report.workers_joined, 1);
+        assert_eq!(report.unclean_joins, 0);
         let late = server.submit(0);
         assert_eq!(late.wait(), Err(QueryError::ShutDown));
         let stats = server.stats();
         assert_eq!(stats.rejected, 1);
-        assert_eq!(
-            stats.submitted,
-            stats.served + stats.expired + stats.cancelled + stats.rejected
+        assert_partition(&stats);
+    }
+
+    #[test]
+    fn bounded_queue_fast_fails_when_full() {
+        let g = path(16);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        // One worker, B=1, and a long stall on the first batch: the
+        // worker is pinned while we overfill the capacity-2 queue.
+        let opts = ServeOptions {
+            batch_window: Duration::ZERO,
+            queue_capacity: Some(2),
+            fault_plan: FaultPlan::new().stall_worker(0, 1, Duration::from_millis(150)),
+            ..ServeOptions::default()
+        };
+        let server = BfsServer::<_, 4, 1>::start(m, opts);
+        let first = server.submit(0); // claimed by the (stalled) worker
+        std::thread::sleep(Duration::from_millis(30));
+        let queued: Vec<_> = (1..3).map(|r| server.submit(r)).collect();
+        let overflow = server.submit(3);
+        assert_eq!(overflow.wait(), Err(QueryError::QueueFull));
+        assert_eq!(first.wait().expect("stalled but served").dist, serial_bfs(&g, 0).dist);
+        for (i, h) in queued.into_iter().enumerate() {
+            assert_eq!(
+                h.wait().expect("queued query served").dist,
+                serial_bfs(&g, i as u32 + 1).dist
+            );
+        }
+        let stats = server.shutdown().stats;
+        assert_eq!(stats.queue_full_rejects, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_partition(&stats);
+    }
+
+    #[test]
+    fn expired_queued_work_is_shed() {
+        let g = path(16);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        // Pin the single worker with a 150 ms stall, then queue a query
+        // whose 20 ms deadline expires long before a lane frees up.
+        let opts = ServeOptions {
+            batch_window: Duration::ZERO,
+            fault_plan: FaultPlan::new().stall_worker(0, 1, Duration::from_millis(150)),
+            ..ServeOptions::default()
+        };
+        let server = BfsServer::<_, 4, 1>::start(m, opts);
+        let pinned = server.submit(0);
+        std::thread::sleep(Duration::from_millis(30));
+        let doomed = server
+            .submit_spec(1, QuerySpec { budget: None, deadline: Some(Duration::from_millis(20)) });
+        assert_eq!(doomed.wait(), Err(QueryError::DeadlineExceeded));
+        pinned.wait().expect("stalled batch still serves");
+        let stats = server.shutdown().stats;
+        assert_eq!(stats.shed, 1, "expired queued work must be shed, not served");
+        assert_eq!(stats.served, 1);
+        assert_partition(&stats);
+    }
+
+    #[test]
+    fn deadlines_dispatch_earliest_first() {
+        let g = path(16);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        // Pin the worker, then queue: no-deadline, 10 s, 1 s. EDF order
+        // must dispatch them 1 s, 10 s, then no-deadline — observable
+        // through strictly increasing batch ids (B=1: one batch each).
+        let opts = ServeOptions {
+            batch_window: Duration::ZERO,
+            fault_plan: FaultPlan::new().stall_worker(0, 1, Duration::from_millis(120)),
+            ..ServeOptions::default()
+        };
+        let server = BfsServer::<_, 4, 1>::start(m, opts);
+        let pinned = server.submit(0);
+        std::thread::sleep(Duration::from_millis(30));
+        let relaxed = server.submit(1);
+        let lax = server
+            .submit_spec(2, QuerySpec { budget: None, deadline: Some(Duration::from_secs(10)) });
+        let urgent = server
+            .submit_spec(3, QuerySpec { budget: None, deadline: Some(Duration::from_secs(1)) });
+        let b_urgent = urgent.wait().expect("urgent served").batch.batch_id;
+        let b_lax = lax.wait().expect("lax served").batch.batch_id;
+        let b_relaxed = relaxed.wait().expect("relaxed served").batch.batch_id;
+        pinned.wait().expect("pinned served");
+        assert!(
+            b_urgent < b_lax && b_lax < b_relaxed,
+            "EDF order violated: urgent={b_urgent} lax={b_lax} relaxed={b_relaxed}"
         );
+        let stats = server.shutdown().stats;
+        assert_eq!(stats.served, 4);
+        assert_partition(&stats);
+    }
+
+    #[test]
+    fn panicking_worker_fails_batch_and_respawns() {
+        let g = path(16);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        let opts = ServeOptions {
+            batch_window: Duration::from_millis(300),
+            fault_plan: FaultPlan::new().panic_worker(0, 1),
+            ..ServeOptions::default()
+        };
+        let server = BfsServer::<_, 4, 2>::start(m, opts);
+        // Both queries coalesce into worker 0's first batch → both fail.
+        let a = server.submit(0);
+        let b = server.submit(1);
+        match a.wait() {
+            Err(QueryError::Failed { reason }) => {
+                assert!(reason.contains("injected fault"), "reason: {reason}")
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(matches!(b.wait(), Err(QueryError::Failed { .. })));
+        // The respawned worker serves fresh work: the server healed.
+        let healed = server.submit(2);
+        assert_eq!(healed.wait().expect("respawned worker serves").dist, serial_bfs(&g, 2).dist);
+        assert!(!server.degraded());
+        let report = server.shutdown();
+        assert_eq!(report.stats.worker_panics, 1);
+        assert_eq!(report.stats.restarts, 1);
+        assert_eq!(report.stats.failed, 2);
+        assert_eq!(report.stats.served, 1);
+        assert_eq!(report.unclean_joins, 0, "supervision must trap the panic before join");
+        assert!(!report.degraded);
+        assert_partition(&report.stats);
+    }
+
+    #[test]
+    fn exhausted_restart_budget_degrades_but_still_resolves_everything() {
+        let g = path(16);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        // Zero restarts: the first panic kills the only worker for good.
+        let opts = ServeOptions {
+            batch_window: Duration::ZERO,
+            max_worker_restarts: 0,
+            fault_plan: FaultPlan::new().panic_worker(0, 1),
+            ..ServeOptions::default()
+        };
+        let server = BfsServer::<_, 4, 1>::start(m, opts);
+        let doomed = server.submit(0);
+        assert!(matches!(doomed.wait(), Err(QueryError::Failed { .. })));
+        // Wait for supervision to flip the degraded flag (it runs on
+        // the dying worker's thread after failing the batch).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !server.degraded() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(server.degraded(), "restart budget 0 must degrade on first panic");
+        let rejected = server.submit(1);
+        assert_eq!(rejected.wait(), Err(QueryError::Degraded));
+        let report = server.shutdown();
+        assert_eq!(report.stats.worker_panics, 1);
+        assert_eq!(report.stats.restarts, 0);
+        assert_eq!(report.stats.failed, 1);
+        assert_eq!(report.stats.rejected, 1);
+        assert!(report.degraded);
+        assert_eq!(report.unclean_joins, 0);
+        assert_partition(&report.stats);
+    }
+
+    #[test]
+    fn queued_work_fails_out_when_the_pool_dies() {
+        let g = path(16);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        // Single worker, no restarts, stalled then panicking on its
+        // first batch; work queued behind the stall must fail out when
+        // the pool dies rather than wait forever.
+        let opts = ServeOptions {
+            batch_window: Duration::ZERO,
+            max_worker_restarts: 0,
+            fault_plan: FaultPlan::new()
+                .stall_worker(0, 1, Duration::from_millis(80))
+                .panic_worker(0, 2),
+            ..ServeOptions::default()
+        };
+        let server = BfsServer::<_, 4, 1>::start(m, opts);
+        let stalled = server.submit(0); // batch 1: stalls, then serves
+        std::thread::sleep(Duration::from_millis(20));
+        let doomed = server.submit(1); // batch 2: panics
+        let orphan = server.submit(2); // queued behind the panic
+        assert_eq!(stalled.wait().expect("stalled batch serves").dist, serial_bfs(&g, 0).dist);
+        assert!(matches!(doomed.wait(), Err(QueryError::Failed { .. })));
+        assert!(matches!(orphan.wait(), Err(QueryError::Failed { .. })), "orphan must not hang");
+        let report = server.shutdown();
+        assert_eq!(report.stats.served, 1);
+        assert!(report.stats.failed >= 2);
+        assert!(report.degraded);
+        assert_partition(&report.stats);
     }
 }

@@ -2,11 +2,15 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use slimsell_graph::VertexId;
 
+use crate::stats::{Outcome, ServerStats};
+use crate::sync;
+
 /// Why a query did not produce distances.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum QueryError {
     /// The query was cancelled via [`QueryHandle::cancel`] before its
     /// results were extracted. Cancellation never aborts or perturbs
@@ -17,8 +21,30 @@ pub enum QueryError {
     /// zero-budget query fails this way at submission, without ever
     /// entering the queue).
     BudgetExhausted,
+    /// The query's wall-clock deadline passed before its results could
+    /// be delivered — either shed from the queue before claiming a
+    /// batch lane, or expired during its batch's sweep.
+    DeadlineExceeded,
     /// The query was submitted after the server began shutting down.
     ShutDown,
+    /// The bounded admission queue was full
+    /// ([`ServeOptions::queue_capacity`](crate::ServeOptions)); the
+    /// submission fast-failed without queueing. Retry after a backoff.
+    QueueFull,
+    /// The server exhausted its worker-restart budget
+    /// ([`ServeOptions::max_worker_restarts`](crate::ServeOptions))
+    /// and is rejecting new work while draining what it already
+    /// admitted.
+    Degraded,
+    /// A fault killed the query after admission: the worker serving
+    /// its batch panicked mid-batch, or the whole worker pool died
+    /// while the query was queued. Batch-mates of a panicking worker
+    /// fail together; queries in other batches are unaffected.
+    Failed {
+        /// Human-readable description of the fault (panic payload or
+        /// pool state).
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -26,12 +52,30 @@ impl std::fmt::Display for QueryError {
         match self {
             QueryError::Cancelled => write!(f, "query cancelled"),
             QueryError::BudgetExhausted => write!(f, "iteration budget exhausted"),
+            QueryError::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
             QueryError::ShutDown => write!(f, "server shutting down"),
+            QueryError::QueueFull => write!(f, "admission queue full"),
+            QueryError::Degraded => write!(f, "server degraded: worker restart budget exhausted"),
+            QueryError::Failed { reason } => write!(f, "query failed: {reason}"),
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+/// Per-query knobs for [`BfsServer::submit_spec`](crate::BfsServer::submit_spec).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QuerySpec {
+    /// Iteration budget (`None` = unbounded): the query fails with
+    /// [`QueryError::BudgetExhausted`] if its batch needs more sweeps.
+    pub budget: Option<usize>,
+    /// Wall-clock deadline measured from submission (`None` = no
+    /// deadline). The admission queue dispatches
+    /// earliest-deadline-first, sheds the query if the deadline passes
+    /// while it is still queued, and fails it `DeadlineExceeded` if
+    /// the deadline passes before extraction.
+    pub deadline: Option<Duration>,
+}
 
 /// How the batch that served a query ran — the per-batch slice of the
 /// kernel's [`RunStats`](slimsell_core::RunStats), shared by every
@@ -88,20 +132,37 @@ pub(crate) struct Ticket {
     /// [`QueryError::BudgetExhausted`] when its batch needs more
     /// sweeps than this. `None` = unbounded.
     pub(crate) budget: Option<usize>,
+    /// Absolute wall-clock deadline (submission instant + the spec's
+    /// relative deadline). `None` = no deadline.
+    pub(crate) deadline: Option<Instant>,
     cancelled: AtomicBool,
     slot: Mutex<Option<Result<QueryOutput, QueryError>>>,
     cv: Condvar,
+    /// The server's counters: the winning resolver records its
+    /// partition bucket here, so stats can never drift from handle
+    /// outcomes — not even when a panic interrupts a worker between
+    /// resolving a batch's tickets and its (former) end-of-batch
+    /// accounting.
+    stats: Arc<Mutex<ServerStats>>,
 }
 
 impl Ticket {
-    pub(crate) fn new(id: u64, root: VertexId, budget: Option<usize>) -> Self {
+    pub(crate) fn new(
+        id: u64,
+        root: VertexId,
+        budget: Option<usize>,
+        deadline: Option<Instant>,
+        stats: Arc<Mutex<ServerStats>>,
+    ) -> Self {
         Self {
             id,
             root,
             budget,
+            deadline,
             cancelled: AtomicBool::new(false),
             slot: Mutex::new(None),
             cv: Condvar::new(),
+            stats,
         }
     }
 
@@ -116,32 +177,46 @@ impl Ticket {
         self.cancelled.store(true, Ordering::Relaxed);
     }
 
-    /// First writer wins: fills the result slot and wakes waiters.
-    /// Returns whether this call actually resolved the query — the
-    /// worker's accounting uses it so server stats always agree with
-    /// the outcome each handle observed, even under a cancel race.
-    pub(crate) fn resolve(&self, result: Result<QueryOutput, QueryError>) -> bool {
-        let mut slot = self.slot.lock().expect("ticket lock");
-        if slot.is_some() {
-            return false;
+    /// Whether the wall-clock deadline has already passed.
+    pub(crate) fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// First writer wins: fills the result slot, records `outcome` in
+    /// the server's partition counters, and wakes waiters. Returns
+    /// whether this call actually resolved the query. Because the
+    /// winning resolver is also the (only) accountant, server stats
+    /// exactly agree with the outcome each handle observed — under
+    /// cancel races and under worker panics alike.
+    pub(crate) fn resolve(
+        &self,
+        result: Result<QueryOutput, QueryError>,
+        outcome: Outcome,
+    ) -> bool {
+        {
+            let mut slot = sync::lock(&self.slot);
+            if slot.is_some() {
+                return false;
+            }
+            *slot = Some(result);
+            self.cv.notify_all();
         }
-        *slot = Some(result);
-        self.cv.notify_all();
+        sync::lock(&self.stats).count(outcome);
         true
     }
 
     fn take_result(&self) -> Result<QueryOutput, QueryError> {
-        let mut slot = self.slot.lock().expect("ticket lock");
+        let mut slot = sync::lock(&self.slot);
         loop {
             if let Some(r) = slot.take() {
                 return r;
             }
-            slot = self.cv.wait(slot).expect("ticket lock");
+            slot = sync::wait(&self.cv, slot);
         }
     }
 
-    fn is_resolved(&self) -> bool {
-        self.slot.lock().expect("ticket lock").is_some()
+    pub(crate) fn is_resolved(&self) -> bool {
+        sync::lock(&self.slot).is_some()
     }
 }
 
@@ -171,7 +246,7 @@ impl QueryHandle {
     /// no-op.
     pub fn cancel(&self) {
         self.ticket.mark_cancelled();
-        self.ticket.resolve(Err(QueryError::Cancelled));
+        self.ticket.resolve(Err(QueryError::Cancelled), Outcome::Cancelled);
     }
 
     /// Whether a result (or error) is already available, without
@@ -181,6 +256,12 @@ impl QueryHandle {
     }
 
     /// Blocks until the query resolves and returns its outcome.
+    ///
+    /// This can never block forever: every admitted ticket is resolved
+    /// by its batch's worker, by supervision (a panicking worker fails
+    /// its in-flight batch; a dying pool fails the remaining queue),
+    /// or by [`shutdown`](crate::BfsServer::shutdown)'s final sweep —
+    /// and dropping the server runs shutdown.
     pub fn wait(self) -> Result<QueryOutput, QueryError> {
         self.ticket.take_result()
     }

@@ -1,18 +1,54 @@
-//! The worker pool, admission queue, and batch lifecycle.
+//! The worker pool, admission queue, batch lifecycle, and supervision.
+//!
+//! # Fault domains and unwind safety
+//!
+//! Each worker's batch processing runs inside `catch_unwind`, making
+//! one batch the blast radius of one panic: the panicking worker
+//! resolves its in-flight batch's queries as
+//! [`QueryError::Failed`] and exits; supervision respawns a
+//! replacement while the restart budget
+//! ([`ServeOptions::max_worker_restarts`]) lasts, after which the
+//! server *degrades* — new submissions are rejected
+//! ([`QueryError::Degraded`]) while admitted work keeps draining.
+//!
+//! The `AssertUnwindSafe` is justified, not assumed:
+//!
+//! * the matrix snapshot is immutable behind an `Arc` — no sweep ever
+//!   writes it;
+//! * all kernel scratch (`multi_bfs_while`'s state vectors, the roots
+//!   array) is batch-local and dropped by the unwind;
+//! * shared mutable state is touched only through the poison-
+//!   recovering locks in [`crate::sync`], and every critical section
+//!   is a single non-panicking write (a counter bump, a queue
+//!   push/pop, a result-slot fill), so a panic can never expose a
+//!   torn invariant to the next lock holder;
+//! * ticket resolution is first-writer-wins and counts its partition
+//!   bucket in the same call, so stats agree with handle outcomes
+//!   even when a panic lands between a batch's resolutions.
+//!
+//! Injected faults ([`FaultPlan`]) panic from the iteration callback —
+//! between sweeps, on the worker thread, never inside a parallel
+//! region — exercising exactly this path deterministically.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use slimsell_core::{multi_bfs_while, ChunkMatrix, MsBfsOptions, Schedule, SweepMode};
 use slimsell_graph::VertexId;
 
-use crate::query::{BatchInfo, QueryError, QueryHandle, QueryOutput, Ticket};
-use crate::stats::ServerStats;
+use crate::fault::{FaultKind, FaultPlan};
+use crate::query::{BatchInfo, QueryError, QueryHandle, QueryOutput, QuerySpec, Ticket};
+use crate::stats::{Outcome, ServerStats, ShutdownReport};
+use crate::sync;
 
 /// Default admission window when `SLIMSELL_BATCH_WINDOW_US` is unset.
 const DEFAULT_BATCH_WINDOW_US: u64 = 200;
+
+/// Default worker-restart budget when `SLIMSELL_MAX_RESTARTS` is unset.
+const DEFAULT_MAX_RESTARTS: usize = 8;
 
 fn env_batch_window() -> Duration {
     static WINDOW: OnceLock<Duration> = OnceLock::new();
@@ -22,6 +58,16 @@ fn env_batch_window() -> Duration {
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(DEFAULT_BATCH_WINDOW_US);
         Duration::from_micros(us)
+    })
+}
+
+fn env_max_restarts() -> usize {
+    static RESTARTS: OnceLock<usize> = OnceLock::new();
+    *RESTARTS.get_or_init(|| {
+        std::env::var("SLIMSELL_MAX_RESTARTS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_MAX_RESTARTS)
     })
 }
 
@@ -36,8 +82,24 @@ pub struct ServeOptions {
     /// `SLIMSELL_BATCH_WINDOW_US` microseconds (200 µs when unset).
     pub batch_window: Duration,
     /// Iteration budget applied by [`BfsServer::submit`]; `None` =
-    /// unbounded. `submit_with` overrides per query.
+    /// unbounded. `submit_with`/`submit_spec` override per query.
     pub default_budget: Option<usize>,
+    /// Wall-clock deadline applied by [`BfsServer::submit`] and
+    /// [`BfsServer::submit_with`], measured from submission; `None` =
+    /// no deadline. `submit_spec` overrides per query.
+    pub default_deadline: Option<Duration>,
+    /// Bound on the admission queue (`None` = unbounded). A submission
+    /// against a full queue fast-fails with [`QueryError::QueueFull`]
+    /// instead of growing the backlog — the load-shedding fast path.
+    pub queue_capacity: Option<usize>,
+    /// How many panicked workers supervision may respawn over the
+    /// server's lifetime before it degrades to rejecting new
+    /// submissions (admitted work still drains). Defaults to
+    /// `SLIMSELL_MAX_RESTARTS` (8 when unset).
+    pub max_worker_restarts: usize,
+    /// Deterministic chaos injection: which workers panic or stall on
+    /// which batches. Empty by default (no faults).
+    pub fault_plan: FaultPlan,
     /// Sweep policy for the batch kernel (defaults to `SLIMSELL_SWEEP`).
     pub sweep: SweepMode,
     /// Tile schedule for the batch kernel.
@@ -50,6 +112,10 @@ impl Default for ServeOptions {
             workers: 1,
             batch_window: env_batch_window(),
             default_budget: None,
+            default_deadline: None,
+            queue_capacity: None,
+            max_worker_restarts: env_max_restarts(),
+            fault_plan: FaultPlan::new(),
             sweep: SweepMode::env_default(),
             schedule: Schedule::Dynamic,
         }
@@ -59,6 +125,9 @@ impl Default for ServeOptions {
 struct QueueState {
     queue: VecDeque<Arc<Ticket>>,
     shutdown: bool,
+    /// Set when the restart budget is exhausted by a panic: new
+    /// submissions are rejected, admitted work still drains.
+    degraded: bool,
 }
 
 struct Shared<M> {
@@ -68,7 +137,19 @@ struct Shared<M> {
     cv: Condvar,
     next_id: AtomicU64,
     next_batch: AtomicU64,
-    stats: Mutex<ServerStats>,
+    stats: Arc<Mutex<ServerStats>>,
+    /// Worker join handles; respawned replacements register here so
+    /// shutdown can join every incarnation.
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Workers currently alive (spawned minus exited). When a panic
+    /// kills the last worker past the restart budget, the queue is
+    /// failed out so no admitted handle can block forever.
+    live_workers: AtomicUsize,
+    /// Respawns consumed from [`ServeOptions::max_worker_restarts`].
+    restarts_used: AtomicUsize,
+    /// Fresh ids for respawned workers (per-incarnation, so a
+    /// [`FaultPlan`] trigger site fires at most once).
+    next_worker_id: AtomicUsize,
 }
 
 /// A graph-as-a-service BFS query engine.
@@ -82,12 +163,16 @@ struct Shared<M> {
 /// Because each lane computes an exact single-source BFS, served
 /// distances are bit-identical to a standalone run no matter how the
 /// queue happened to batch them.
+///
+/// Workers are *supervised*: a panic (real or injected via
+/// [`FaultPlan`]) fails only its own batch, and the pool self-heals up
+/// to [`ServeOptions::max_worker_restarts`] respawns — see the module
+/// docs for the fault-domain contract.
 pub struct BfsServer<M, const C: usize, const B: usize>
 where
     M: ChunkMatrix<C> + 'static,
 {
     shared: Arc<Shared<M>>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl<M, const C: usize, const B: usize> BfsServer<M, C, B>
@@ -102,19 +187,24 @@ where
         let shared = Arc::new(Shared {
             matrix,
             opts,
-            queue: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
+            queue: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+                degraded: false,
+            }),
             cv: Condvar::new(),
             next_id: AtomicU64::new(0),
             next_batch: AtomicU64::new(0),
-            stats: Mutex::new(ServerStats::default()),
+            stats: Arc::new(Mutex::new(ServerStats::default())),
+            workers: Mutex::new(Vec::with_capacity(workers)),
+            live_workers: AtomicUsize::new(workers),
+            restarts_used: AtomicUsize::new(0),
+            next_worker_id: AtomicUsize::new(workers),
         });
-        let handles = (0..workers)
-            .map(|_| {
-                let sh = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop::<M, C, B>(&sh))
-            })
-            .collect();
-        Self { shared, workers: Mutex::new(handles) }
+        for id in 0..workers {
+            spawn_worker::<M, C, B>(&shared, id);
+        }
+        Self { shared }
     }
 
     /// Source-dimension lanes per batch (`B`).
@@ -123,37 +213,76 @@ where
     }
 
     /// Submits a single-source BFS query with the server's default
-    /// budget. Panics if `root` is out of range for the snapshot.
+    /// budget and deadline. Panics if `root` is out of range for the
+    /// snapshot.
     pub fn submit(&self, root: VertexId) -> QueryHandle {
-        self.submit_with(root, self.shared.opts.default_budget)
+        self.submit_spec(
+            root,
+            QuerySpec {
+                budget: self.shared.opts.default_budget,
+                deadline: self.shared.opts.default_deadline,
+            },
+        )
     }
 
     /// Submits a query with an explicit iteration budget (`None` =
-    /// unbounded): the query fails with
-    /// [`QueryError::BudgetExhausted`] if the batch that carries it
-    /// needs more than `budget` sweeps. A `Some(0)` budget fails fast
-    /// at submission without entering the queue.
+    /// unbounded) and the server's default deadline: the query fails
+    /// with [`QueryError::BudgetExhausted`] if the batch that carries
+    /// it needs more than `budget` sweeps. A `Some(0)` budget fails
+    /// fast at submission without entering the queue.
     pub fn submit_with(&self, root: VertexId, budget: Option<usize>) -> QueryHandle {
+        self.submit_spec(root, QuerySpec { budget, deadline: self.shared.opts.default_deadline })
+    }
+
+    /// Submits a query with explicit per-query controls: iteration
+    /// budget and wall-clock deadline (see [`QuerySpec`]). Deadlined
+    /// queries are dispatched earliest-deadline-first, shed from the
+    /// queue if they expire before claiming a batch lane
+    /// ([`QueryError::DeadlineExceeded`], counted as
+    /// [`ServerStats::shed`]), and fail the same way if the deadline
+    /// passes before extraction (counted as [`ServerStats::expired`]).
+    /// Panics if `root` is out of range for the snapshot.
+    pub fn submit_spec(&self, root: VertexId, spec: QuerySpec) -> QueryHandle {
         let n = self.shared.matrix.structure().n();
         assert!((root as usize) < n, "root {root} out of range for snapshot with {n} vertices");
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
-        let ticket = Arc::new(Ticket::new(id, root, budget));
+        let deadline = spec.deadline.map(|d| Instant::now() + d);
+        let ticket =
+            Arc::new(Ticket::new(id, root, spec.budget, deadline, Arc::clone(&self.shared.stats)));
         let handle = QueryHandle { ticket: Arc::clone(&ticket) };
-        self.shared.stats.lock().expect("stats lock").submitted += 1;
-        if budget == Some(0) {
-            ticket.resolve(Err(QueryError::BudgetExhausted));
-            self.shared.stats.lock().expect("stats lock").expired += 1;
+        sync::lock(&self.shared.stats).submitted += 1;
+        if spec.budget == Some(0) {
+            ticket.resolve(Err(QueryError::BudgetExhausted), Outcome::Expired);
             return handle;
         }
         {
-            let mut q = self.shared.queue.lock().expect("queue lock");
+            let mut q = sync::lock(&self.shared.queue);
             if q.shutdown {
                 drop(q);
-                ticket.resolve(Err(QueryError::ShutDown));
-                self.shared.stats.lock().expect("stats lock").rejected += 1;
+                ticket.resolve(Err(QueryError::ShutDown), Outcome::Rejected);
                 return handle;
             }
-            q.queue.push_back(ticket);
+            if q.degraded {
+                drop(q);
+                ticket.resolve(Err(QueryError::Degraded), Outcome::Rejected);
+                return handle;
+            }
+            if let Some(cap) = self.shared.opts.queue_capacity {
+                if q.queue.len() >= cap {
+                    drop(q);
+                    ticket.resolve(Err(QueryError::QueueFull), Outcome::Rejected);
+                    sync::lock(&self.shared.stats).queue_full_rejects += 1;
+                    return handle;
+                }
+            }
+            // Deadline-ordered admission: earliest deadline first,
+            // deadline-free queries last, FIFO among equals — so under
+            // backlog the work most at risk of expiring ships first.
+            let pos = q.queue.iter().position(|t| earlier_deadline(deadline, t.deadline));
+            match pos {
+                Some(i) => q.queue.insert(i, ticket),
+                None => q.queue.push_back(ticket),
+            }
         }
         self.shared.cv.notify_all();
         handle
@@ -161,25 +290,70 @@ where
 
     /// Snapshot of the server's lifetime counters.
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats.lock().expect("stats lock").clone()
+        sync::lock(&self.shared.stats).clone()
+    }
+
+    /// Whether the server has degraded: its worker-restart budget was
+    /// exhausted by panics, so new submissions are being rejected
+    /// while already-admitted work drains.
+    pub fn degraded(&self) -> bool {
+        sync::lock(&self.shared.queue).degraded
     }
 
     /// Stops admission and drains: already-queued queries are still
     /// served (workers exit only once the queue is empty), then the
     /// pool is joined. Queries submitted after this resolve with
-    /// [`QueryError::ShutDown`]. Idempotent; returns the final
-    /// counters.
-    pub fn shutdown(&self) -> ServerStats {
+    /// [`QueryError::ShutDown`]. Never panics — workers that died from
+    /// a panic are recorded in the report instead of propagating.
+    /// Idempotent; returns the final counters and join tally.
+    pub fn shutdown(&self) -> ShutdownReport {
         {
-            let mut q = self.shared.queue.lock().expect("queue lock");
+            let mut q = sync::lock(&self.shared.queue);
             q.shutdown = true;
         }
         self.shared.cv.notify_all();
-        let handles: Vec<_> = self.workers.lock().expect("workers lock").drain(..).collect();
-        for h in handles {
-            h.join().expect("serve worker panicked");
+        let (mut joined, mut unclean) = (0usize, 0usize);
+        // Respawned workers may register while we join their
+        // predecessors; keep draining until the registry stays empty.
+        loop {
+            let handles: Vec<_> = sync::lock(&self.shared.workers).drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(()) => joined += 1,
+                    Err(_) => {
+                        // A panic escaped the supervised region (it
+                        // cannot in normal operation): record it, never
+                        // propagate it into the caller.
+                        unclean += 1;
+                        sync::lock(&self.shared.stats).worker_panics += 1;
+                    }
+                }
+            }
         }
-        self.stats()
+        // Safety net: if the pool died past its restart budget with
+        // work still queued, resolve the leftovers so no admitted
+        // handle blocks forever.
+        let (leftovers, degraded) = {
+            let mut q = sync::lock(&self.shared.queue);
+            (q.queue.drain(..).collect::<Vec<_>>(), q.degraded)
+        };
+        for t in leftovers {
+            t.resolve(
+                Err(QueryError::Failed {
+                    reason: "server shut down with no live workers".to_string(),
+                }),
+                Outcome::Failed,
+            );
+        }
+        ShutdownReport {
+            stats: self.stats(),
+            workers_joined: joined,
+            unclean_joins: unclean,
+            degraded,
+        }
     }
 }
 
@@ -192,35 +366,162 @@ where
     }
 }
 
-fn worker_loop<M, const C: usize, const B: usize>(shared: &Shared<M>)
-where
-    M: ChunkMatrix<C>,
-{
-    while let Some(batch) = next_batch::<M, B>(shared) {
-        run_batch::<M, C, B>(shared, batch);
+/// `a` strictly precedes `b` under earliest-deadline-first order
+/// (`None` = no deadline = last; FIFO among equals because the
+/// insertion point is the first *strictly later* queue entry).
+fn earlier_deadline(a: Option<Instant>, b: Option<Instant>) -> bool {
+    match (a, b) {
+        (Some(a), Some(b)) => a < b,
+        (Some(_), None) => true,
+        (None, _) => false,
     }
 }
 
-/// Blocks for the next admission batch: waits for a first ticket, then
-/// holds the batch open until `B` roots arrive, the batch window
+/// Spawns one supervised worker and registers its handle.
+fn spawn_worker<M, const C: usize, const B: usize>(shared: &Arc<Shared<M>>, id: usize)
+where
+    M: ChunkMatrix<C> + 'static,
+{
+    let sh = Arc::clone(shared);
+    let handle = std::thread::spawn(move || worker_loop::<M, C, B>(&sh, id));
+    sync::lock(&shared.workers).push(handle);
+}
+
+/// The supervised worker loop: batch processing runs inside
+/// `catch_unwind` (see the module docs for the unwind-safety
+/// argument), so a panic fails one batch, not the pool.
+fn worker_loop<M, const C: usize, const B: usize>(shared: &Arc<Shared<M>>, id: usize)
+where
+    M: ChunkMatrix<C> + 'static,
+{
+    let mut seq = 0usize;
+    loop {
+        let Some(batch) = next_batch::<M, B>(shared) else {
+            // Clean exit: shutdown requested and the queue is drained.
+            shared.live_workers.fetch_sub(1, Ordering::AcqRel);
+            return;
+        };
+        seq += 1;
+        let fault = shared.opts.fault_plan.action(id, seq);
+        let run = catch_unwind(AssertUnwindSafe(|| run_batch::<M, C, B>(shared, &batch, fault)));
+        if let Err(payload) = run {
+            supervise_panic::<M, C, B>(shared, id, &batch, payload.as_ref());
+            return; // the replacement (if any) was spawned by supervision
+        }
+    }
+}
+
+/// Renders a caught panic payload for [`QueryError::Failed`] reasons.
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Supervision: runs on a worker's own thread after `catch_unwind`
+/// trapped a panic. Fails the in-flight batch, then either respawns a
+/// replacement (restart budget permitting) or degrades the server —
+/// and if the pool just died entirely, fails out the queue so every
+/// admitted handle still resolves.
+fn supervise_panic<M, const C: usize, const B: usize>(
+    shared: &Arc<Shared<M>>,
+    id: usize,
+    batch: &[Arc<Ticket>],
+    payload: &(dyn std::any::Any + Send),
+) where
+    M: ChunkMatrix<C> + 'static,
+{
+    let reason = payload_string(payload);
+    // Tickets already resolved before the panic (served mid-extraction,
+    // cancelled) keep their outcome: resolve is first-writer-wins and
+    // each winner already counted its bucket.
+    for t in batch {
+        t.resolve(
+            Err(QueryError::Failed { reason: format!("worker {id} panicked mid-batch: {reason}") }),
+            Outcome::Failed,
+        );
+    }
+    sync::lock(&shared.stats).worker_panics += 1;
+
+    let budget = shared.opts.max_worker_restarts;
+    let respawn = shared
+        .restarts_used
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |used| {
+            (used < budget).then_some(used + 1)
+        })
+        .is_ok();
+    if respawn {
+        sync::lock(&shared.stats).restarts += 1;
+        let new_id = shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
+        spawn_worker::<M, C, B>(shared, new_id);
+        return;
+    }
+
+    // Restart budget exhausted: degrade. New submissions are rejected
+    // from now on; surviving workers keep draining. If this was the
+    // last worker, fail out the queue — nothing is left to drain it.
+    let orphans: Vec<Arc<Ticket>> = {
+        let mut q = sync::lock(&shared.queue);
+        q.degraded = true;
+        if shared.live_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            q.queue.drain(..).collect()
+        } else {
+            Vec::new()
+        }
+    };
+    for t in orphans {
+        t.resolve(
+            Err(QueryError::Failed {
+                reason: "worker pool died: restart budget exhausted".to_string(),
+            }),
+            Outcome::Failed,
+        );
+    }
+}
+
+/// Pops the next query that still deserves a batch lane, shedding
+/// expired work on the way: queries whose wall-clock deadline passed
+/// while queued resolve [`QueryError::DeadlineExceeded`] here (counted
+/// as `shed`) instead of wasting a lane; queries cancelled while
+/// queued were already resolved by `cancel()` and just drop out.
+fn pop_live(q: &mut QueueState) -> Option<Arc<Ticket>> {
+    while let Some(t) = q.queue.pop_front() {
+        if t.is_resolved() || t.is_cancelled() {
+            continue;
+        }
+        if t.deadline_passed() {
+            t.resolve(Err(QueryError::DeadlineExceeded), Outcome::Shed);
+            continue;
+        }
+        return Some(t);
+    }
+    None
+}
+
+/// Blocks for the next admission batch: waits for a first live ticket,
+/// then holds the batch open until `B` roots arrive, the batch window
 /// expires, or shutdown — whichever comes first. Returns `None` when
 /// the server is shut down and the queue fully drained.
 fn next_batch<M, const B: usize>(shared: &Shared<M>) -> Option<Vec<Arc<Ticket>>> {
-    let mut q = shared.queue.lock().expect("queue lock");
+    let mut q = sync::lock(&shared.queue);
     let first = loop {
-        if let Some(t) = q.queue.pop_front() {
+        if let Some(t) = pop_live(&mut q) {
             break t;
         }
         if q.shutdown {
             return None;
         }
-        q = shared.cv.wait(q).expect("queue lock");
+        q = sync::wait(&shared.cv, q);
     };
     let mut batch = vec![first];
     let deadline = Instant::now() + shared.opts.batch_window;
     loop {
         while batch.len() < B {
-            match q.queue.pop_front() {
+            match pop_live(&mut q) {
                 Some(t) => batch.push(t),
                 None => break,
             }
@@ -232,32 +533,31 @@ fn next_batch<M, const B: usize>(shared: &Shared<M>) -> Option<Vec<Arc<Ticket>>>
         if now >= deadline {
             break;
         }
-        let (guard, _) = shared.cv.wait_timeout(q, deadline - now).expect("queue lock");
+        let (guard, _) = sync::wait_timeout(&shared.cv, q, deadline - now);
         q = guard;
     }
     drop(q);
     Some(batch)
 }
 
-fn run_batch<M, const C: usize, const B: usize>(shared: &Shared<M>, tickets: Vec<Arc<Ticket>>)
-where
+fn run_batch<M, const C: usize, const B: usize>(
+    shared: &Shared<M>,
+    tickets: &[Arc<Ticket>],
+    fault: Option<FaultKind>,
+) where
     M: ChunkMatrix<C>,
 {
-    // Queries cancelled while queued drop out before the sweep; their
-    // handles were already resolved by `cancel()`.
-    let mut pre_cancelled = 0u64;
-    let live: Vec<Arc<Ticket>> = tickets
-        .into_iter()
-        .filter(|t| {
-            let dead = t.is_cancelled();
-            pre_cancelled += dead as u64;
-            !dead
-        })
-        .collect();
+    // Queries cancelled while the batch was forming drop out before
+    // the sweep; `cancel()` already resolved and accounted them.
+    let live: Vec<&Arc<Ticket>> = tickets.iter().filter(|t| !t.is_cancelled()).collect();
     if live.is_empty() {
-        shared.stats.lock().expect("stats lock").cancelled += pre_cancelled;
         return;
     }
+
+    if let Some(FaultKind::Stall(d)) = fault {
+        std::thread::sleep(d);
+    }
+    let inject_panic = matches!(fault, Some(FaultKind::Panic));
 
     // Unused lanes repeat the first live root; `multi_bfs` tolerates
     // duplicates and those lanes are simply never extracted.
@@ -271,11 +571,19 @@ where
         max_iterations: None,
     };
     // The iteration-level control hook: keep sweeping only while some
-    // lane's query is still live — neither cancelled nor past its
-    // budget. When the last live lane drops, the sweep stops
-    // gracefully instead of running to convergence.
+    // lane's query is still live — neither cancelled, past its budget,
+    // nor past its wall-clock deadline. When the last live lane drops,
+    // the sweep stops gracefully instead of running to convergence.
+    // An injected panic fires here, after the batch formed and the
+    // sweep state was allocated — genuinely mid-batch, but between
+    // sweeps and outside any parallel region.
     let out = multi_bfs_while(&*shared.matrix, &roots, &opts, |iter| {
-        live.iter().any(|t| !t.is_cancelled() && t.budget.is_none_or(|b| iter <= b))
+        if inject_panic {
+            panic!("injected fault: panic at sweep {iter}");
+        }
+        live.iter().any(|t| {
+            !t.is_cancelled() && t.budget.is_none_or(|b| iter <= b) && !t.deadline_passed()
+        })
     });
 
     let info = BatchInfo {
@@ -287,35 +595,29 @@ where
         active_cells: out.stats.total_active_cells(),
     };
 
-    let (mut served, mut expired, mut cancelled) = (0u64, 0u64, pre_cancelled);
     let mut dists = out.dist.into_iter();
     for t in &live {
+        // One distance vector per lane by construction (live.len() <=
+        // B); if this ever breaks, the panic is trapped by supervision
+        // and fails this batch alone.
         let dist = dists.next().expect("one distance vector per lane");
         if t.is_cancelled() {
-            // Cancelled mid-batch: the handle already resolved; the
-            // query just drops out of extraction without touching its
-            // batch-mates.
-            cancelled += 1;
+            // Cancelled mid-batch: `cancel()` resolved and accounted
+            // it; the query drops out of extraction without touching
+            // its batch-mates.
             continue;
         }
         let within = t.budget.is_none_or(|b| out.iterations <= b);
-        let resolved = if out.completed && within {
-            t.resolve(Ok(QueryOutput { dist, batch: info.clone() }))
+        if t.deadline_passed() {
+            t.resolve(Err(QueryError::DeadlineExceeded), Outcome::Expired);
+        } else if out.completed && within {
+            t.resolve(Ok(QueryOutput { dist, batch: info.clone() }), Outcome::Served);
         } else {
-            t.resolve(Err(QueryError::BudgetExhausted))
-        };
-        match (resolved, out.completed && within) {
-            (true, true) => served += 1,
-            (true, false) => expired += 1,
-            // A concurrent `cancel()` won the resolve race.
-            (false, _) => cancelled += 1,
+            t.resolve(Err(QueryError::BudgetExhausted), Outcome::Expired);
         }
     }
 
-    let mut stats = shared.stats.lock().expect("stats lock");
-    stats.served += served;
-    stats.expired += expired;
-    stats.cancelled += cancelled;
+    let mut stats = sync::lock(&shared.stats);
     stats.batches += 1;
     stats.multi_root_batches += (info.batch_size > 1) as u64;
     stats.coalesced += info.batch_size as u64;

@@ -1,0 +1,56 @@
+//! Poison-free synchronization primitives.
+//!
+//! Every `Mutex`/`Condvar` in this crate is accessed through these
+//! helpers instead of `.lock().expect(..)`: a worker that panics while
+//! holding a lock poisons it, and an `expect` on the poisoned lock
+//! would turn one worker's fault into a process-wide cascade — the
+//! admission queue would wedge `submit`/`shutdown` forever. Recovery is
+//! sound here because every critical section in this crate restores its
+//! invariants before any statement that can panic (counter bumps and
+//! queue pushes are single non-panicking writes; see the unwind-safety
+//! notes in `server.rs`), so the state behind a poisoned lock is never
+//! torn.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `m`, recovering the guard if a panicking thread poisoned it.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with poison recovery on reacquisition.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] with poison recovery on reacquisition.
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        // Poison the mutex by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7);
+        *lock(&m) += 1;
+        assert_eq!(*lock(&m), 8);
+    }
+}

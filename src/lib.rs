@@ -65,7 +65,10 @@ pub mod prelude {
         largest_component, serial_bfs, validate_parents, AdjacencyList, CsrGraph, GraphBuilder,
         GraphStats, VertexId, WeightedCsrGraph, UNREACHABLE,
     };
-    pub use slimsell_serve::{BfsServer, QueryError, QueryHandle, ServeOptions, ServerStats};
+    pub use slimsell_serve::{
+        BfsServer, FaultKind, FaultPlan, QueryError, QueryHandle, QuerySpec, ServeOptions,
+        ServerStats, ShutdownReport,
+    };
     pub use slimsell_simt::{run_simt_bfs, SimtConfig, SimtOptions};
 }
 

@@ -217,8 +217,9 @@ fn served_queries_agree_with_serial_reference() {
                     "{name} serve {sweep:?} root {root}"
                 );
             }
-            let stats = server.shutdown();
+            let stats = server.shutdown().stats;
             assert_eq!(stats.served, roots.len() as u64, "{name} serve {sweep:?}");
+            assert_eq!(stats.submitted, stats.resolved(), "{name} serve {sweep:?}");
         }
     }
 }

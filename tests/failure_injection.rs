@@ -166,9 +166,9 @@ fn serve_cancel_mid_batch_does_not_poison_mates() {
         let want = BfsEngine::run::<_, TropicalSemiring, 8>(&*m, root, &BfsOptions::default()).dist;
         assert_eq!(out.dist, want, "mate {root}");
     }
-    let stats = server.shutdown();
+    let stats = server.shutdown().stats;
     assert_eq!(stats.submitted, 3);
-    assert_eq!(stats.submitted, stats.served + stats.expired + stats.cancelled + stats.rejected);
+    assert_eq!(stats.submitted, stats.resolved());
 }
 
 #[test]
@@ -179,9 +179,10 @@ fn serve_zero_budget_fails_fast() {
     // Resolved synchronously: never enters the admission queue.
     assert!(h.is_done(), "zero-budget query entered the queue");
     assert_eq!(h.wait(), Err(QueryError::BudgetExhausted));
-    let stats = server.shutdown();
+    let stats = server.shutdown().stats;
     assert_eq!(stats.expired, 1);
     assert_eq!(stats.batches, 0, "zero-budget query consumed a batch");
+    assert_eq!(stats.submitted, stats.resolved());
 }
 
 #[test]
@@ -189,7 +190,9 @@ fn serve_shutdown_drains_pending_then_rejects() {
     let (m, opts) = serve_fixture();
     let server = BfsServer::<_, 8, 4>::start(Arc::clone(&m), opts);
     let pending: Vec<_> = (0..10u32).map(|r| server.submit(r)).collect();
-    let stats = server.shutdown();
+    let report = server.shutdown();
+    assert_eq!(report.unclean_joins, 0);
+    let stats = report.stats;
     // Every query admitted before shutdown is answered, not dropped.
     for (r, h) in pending.into_iter().enumerate() {
         let out = h.wait().expect("pending query dropped at shutdown");
@@ -202,5 +205,7 @@ fn serve_shutdown_drains_pending_then_rejects() {
     let late = server.submit(0);
     assert!(late.is_done());
     assert_eq!(late.wait(), Err(QueryError::ShutDown));
-    assert_eq!(server.stats().rejected, 1);
+    let stats = server.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.submitted, stats.resolved());
 }

@@ -449,7 +449,7 @@ fn serve_concurrent_clients_bit_identical() {
                 .collect();
             handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
         });
-        let stats = server.shutdown();
+        let stats = server.shutdown().stats;
         results.sort_by_key(|(k, _)| *k);
         assert_eq!(results.len(), roots.len(), "{clients} clients: lost queries");
         for (k, dist) in &results {
@@ -461,11 +461,7 @@ fn serve_concurrent_clients_bit_identical() {
         }
         assert_eq!(stats.submitted, roots.len() as u64, "{clients} clients: submitted");
         assert_eq!(stats.served, roots.len() as u64, "{clients} clients: served");
-        assert_eq!(
-            stats.submitted,
-            stats.served + stats.expired + stats.cancelled + stats.rejected,
-            "{clients} clients: stats incoherent"
-        );
+        assert_eq!(stats.submitted, stats.resolved(), "{clients} clients: stats incoherent");
         assert_eq!(stats.coalesced, stats.submitted, "{clients} clients: coalesced");
         assert!(stats.batches >= roots.len() as u64 / 4, "{clients} clients: batch count");
     }

@@ -59,13 +59,12 @@ proptest! {
             prop_assert_eq!(&out.dist, &standalone(&m, root), "root {}", root);
             prop_assert!(out.batch.batch_size >= 1 && out.batch.batch_size <= B);
         }
-        let stats = server.shutdown();
+        let report = server.shutdown();
+        let stats = report.stats;
+        prop_assert_eq!(report.unclean_joins, 0);
         prop_assert_eq!(stats.submitted, roots.len() as u64);
         prop_assert_eq!(stats.served, roots.len() as u64);
-        prop_assert_eq!(
-            stats.submitted,
-            stats.served + stats.expired + stats.cancelled + stats.rejected
-        );
+        prop_assert_eq!(stats.submitted, stats.resolved());
     }
 
     /// Lock-step submission (wait for each answer before submitting the
@@ -85,8 +84,9 @@ proptest! {
             let out = server.submit(root).wait().expect("unbudgeted query failed");
             prop_assert_eq!(&out.dist, &standalone(&m, root), "root {}", root);
         }
-        let stats = server.shutdown();
+        let stats = server.shutdown().stats;
         prop_assert_eq!(stats.served, root_sels.len() as u64);
+        prop_assert_eq!(stats.submitted, stats.resolved());
     }
 
     /// Cancellation and budgets never poison batch-mates: queries that
@@ -137,11 +137,8 @@ proptest! {
                 Err(e) => prop_assert!(false, "unexpected error: {e}"),
             }
         }
-        let stats = server.shutdown();
+        let stats = server.shutdown().stats;
         prop_assert_eq!(stats.submitted, queries.len() as u64);
-        prop_assert_eq!(
-            stats.submitted,
-            stats.served + stats.expired + stats.cancelled + stats.rejected
-        );
+        prop_assert_eq!(stats.submitted, stats.resolved());
     }
 }

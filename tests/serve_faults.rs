@@ -1,0 +1,256 @@
+//! Chaos suite: deterministic fault injection against the serving
+//! layer (`crates/serve`).
+//!
+//! A seeded [`FaultPlan`] panics and stalls workers mid-batch while
+//! clients submit arbitrary query mixes. The properties:
+//!
+//! * **survivor exactness** — every query that is served despite the
+//!   chaos returns distances bit-identical to a fault-free standalone
+//!   [`BfsEngine`] run; a panic may kill a batch, never corrupt one;
+//! * **containment** — only `Failed` (and, for budgeted/cancelled
+//!   queries, their own outcomes) ever surface; panics are bounded by
+//!   the plan's panic count and every panic is matched by a respawn
+//!   while the restart budget lasts;
+//! * **liveness** — after the chaos the server still accepts and
+//!   serves fresh queries, and a killed pool (or a dropped server)
+//!   still resolves every outstanding handle instead of hanging it;
+//! * **accounting** — once every handle has resolved, the outcome
+//!   counters exactly partition the submissions:
+//!   `submitted = served + expired + cancelled + rejected + failed +
+//!   shed`.
+//!
+//! The case count is tunable via `SLIMSELL_CHAOS_CASES` (default 24;
+//! CI's chaos leg elevates it).
+
+use proptest::prelude::*;
+use slimsell::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const C: usize = 4;
+const B: usize = 4;
+
+fn chaos_cases() -> u32 {
+    std::env::var("SLIMSELL_CHAOS_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(24)
+}
+
+/// Strategy: a random undirected simple graph with 1..=60 vertices.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (1usize..=60).prop_flat_map(|n| {
+        let max_edges = (n * n).min(400);
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_edges)
+            .prop_map(move |edges| GraphBuilder::new(n).edges(edges).build())
+    })
+}
+
+/// The three batching regimes (immediate, default, always-full).
+fn window(sel: usize) -> Duration {
+    Duration::from_micros([0, 200, 5_000][sel % 3])
+}
+
+fn standalone(m: &SlimSellMatrix<C>, root: VertexId) -> Vec<u32> {
+    BfsEngine::run::<_, TropicalSemiring, C>(m, root, &BfsOptions::default()).dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+
+    /// Seeded chaos over two workers: survivors are bit-identical to a
+    /// fault-free run, the server stays live, and the books balance.
+    /// The restart budget covers every possible panic, so the pool can
+    /// never die and `Failed` is the only fault-induced outcome.
+    #[test]
+    fn chaos_survivors_bit_identical_and_server_stays_live(
+        g in arb_graph(),
+        root_sels in proptest::collection::vec(0usize..60, 1..=4 * B),
+        seed in 0u64..(1u64 << 48),
+        window_sel in 0usize..3,
+    ) {
+        let n = g.num_vertices();
+        let m = Arc::new(SlimSellMatrix::<C>::build(&g, n));
+        let plan = FaultPlan::seeded(seed, 2, 4, 3);
+        let opts = ServeOptions {
+            workers: 2,
+            batch_window: window(window_sel),
+            max_worker_restarts: plan.panic_count(),
+            fault_plan: plan.clone(),
+            ..Default::default()
+        };
+        let server = BfsServer::<_, C, B>::start(Arc::clone(&m), opts);
+        let roots: Vec<VertexId> = root_sels.iter().map(|&r| (r % n) as VertexId).collect();
+        let handles: Vec<_> = roots.iter().map(|&r| server.submit(r)).collect();
+        let mut failed = 0u64;
+        for (h, &root) in handles.into_iter().zip(&roots) {
+            match h.wait() {
+                Ok(out) => prop_assert_eq!(
+                    &out.dist,
+                    &standalone(&m, root),
+                    "chaos corrupted a survivor (root {})",
+                    root
+                ),
+                Err(QueryError::Failed { .. }) => failed += 1,
+                Err(e) => prop_assert!(false, "unexpected outcome under chaos: {}", e),
+            }
+        }
+        // Liveness: the (possibly respawned) pool still serves. A
+        // fresh query may itself hit a not-yet-fired panic trigger, but
+        // each trigger fires at most once — so within panic_count()+1
+        // attempts one query must come back served.
+        let fresh_root = roots[0];
+        let mut extra = 0u64;
+        let mut served_fresh = false;
+        for _ in 0..=plan.panic_count() {
+            extra += 1;
+            match server.submit(fresh_root).wait() {
+                Ok(out) => {
+                    prop_assert_eq!(&out.dist, &standalone(&m, fresh_root));
+                    served_fresh = true;
+                    break;
+                }
+                Err(QueryError::Failed { .. }) => failed += 1,
+                Err(e) => prop_assert!(false, "unexpected post-chaos outcome: {}", e),
+            }
+        }
+        prop_assert!(
+            served_fresh,
+            "server failed {} consecutive fresh queries — not live after chaos",
+            plan.panic_count() + 1
+        );
+        prop_assert!(!server.degraded(), "budget covers every panic; must not degrade");
+        let report = server.shutdown();
+        let stats = report.stats;
+        prop_assert_eq!(report.unclean_joins, 0, "supervision must trap every panic");
+        prop_assert!(
+            stats.worker_panics <= plan.panic_count() as u64,
+            "more panics ({}) than the plan armed ({})",
+            stats.worker_panics,
+            plan.panic_count()
+        );
+        prop_assert_eq!(
+            stats.restarts, stats.worker_panics,
+            "every in-budget panic must respawn"
+        );
+        prop_assert_eq!(stats.failed, failed, "Failed handles vs failed counter");
+        prop_assert_eq!(stats.submitted, roots.len() as u64 + extra);
+        prop_assert_eq!(stats.submitted, stats.resolved(), "partition broken: {:?}", stats);
+    }
+
+    /// Chaos composed with client-side budgets and cancellation: every
+    /// outcome stays attributable (exact answer, own budget, own
+    /// cancel, or the injected fault) and the partition still balances.
+    #[test]
+    fn chaos_with_budgets_and_cancels_keeps_books_exact(
+        g in arb_graph(),
+        plan_sel in proptest::collection::vec((0usize..60, 0usize..3, 0usize..4), 1..=4 * B),
+        seed in 0u64..(1u64 << 48),
+        window_sel in 0usize..3,
+    ) {
+        let n = g.num_vertices();
+        let m = Arc::new(SlimSellMatrix::<C>::build(&g, n));
+        let fault_plan = FaultPlan::seeded(seed, 2, 3, 2);
+        let opts = ServeOptions {
+            workers: 2,
+            batch_window: window(window_sel),
+            max_worker_restarts: fault_plan.panic_count(),
+            fault_plan,
+            ..Default::default()
+        };
+        let server = BfsServer::<_, C, B>::start(Arc::clone(&m), opts);
+        // mode: 0 => plain, 1 => tight budget (may expire), 2..=3 => cancel.
+        let queries: Vec<(VertexId, Option<usize>, bool)> = plan_sel
+            .iter()
+            .map(|&(r, budget_sel, mode)| {
+                let budget = (budget_sel > 0).then_some(budget_sel);
+                ((r % n) as VertexId, budget, mode >= 2)
+            })
+            .collect();
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|&(root, budget, cancel)| {
+                let h = server.submit_with(root, budget);
+                if cancel {
+                    h.cancel();
+                }
+                h
+            })
+            .collect();
+        for (h, &(root, budget, cancel)) in handles.into_iter().zip(&queries) {
+            match h.wait() {
+                Ok(out) => prop_assert_eq!(&out.dist, &standalone(&m, root), "root {}", root),
+                Err(QueryError::Cancelled) => prop_assert!(cancel, "spurious cancel"),
+                Err(QueryError::BudgetExhausted) => {
+                    prop_assert!(budget.is_some(), "unbudgeted query expired")
+                }
+                Err(QueryError::Failed { .. }) => {} // the injected fault
+                Err(e) => prop_assert!(false, "unexpected outcome: {}", e),
+            }
+        }
+        let stats = server.shutdown().stats;
+        prop_assert_eq!(stats.submitted, queries.len() as u64);
+        prop_assert_eq!(stats.submitted, stats.resolved(), "partition broken: {:?}", stats);
+    }
+}
+
+/// Regression: a handle being waited on while the server dies (pool
+/// killed by an over-budget panic, then the server dropped) must
+/// resolve instead of blocking its thread forever.
+#[test]
+fn wait_resolves_when_server_dies_mid_wait() {
+    let g = GraphBuilder::new(16).edges((0..15u32).map(|v| (v, v + 1))).build();
+    let m = Arc::new(SlimSellMatrix::<C>::build(&g, 16));
+    // One worker, zero restarts: the stall pins batch 1 long enough for
+    // us to queue work behind it, then batch 2's panic kills the pool.
+    let opts = ServeOptions {
+        batch_window: Duration::ZERO,
+        max_worker_restarts: 0,
+        fault_plan: FaultPlan::new()
+            .stall_worker(0, 1, Duration::from_millis(80))
+            .panic_worker(0, 2),
+        ..Default::default()
+    };
+    let server = BfsServer::<_, C, 1>::start(m, opts);
+    let pinned = server.submit(0);
+    std::thread::sleep(Duration::from_millis(20));
+    let doomed = server.submit(1);
+    let orphan = server.submit(2);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let waiter = std::thread::spawn(move || {
+        let _ = tx.send(orphan.wait());
+    });
+    assert!(pinned.wait().is_ok(), "stalled batch must still serve");
+    assert!(matches!(doomed.wait(), Err(QueryError::Failed { .. })));
+    // Drop the server (runs shutdown) while the waiter may still block.
+    drop(server);
+    let got = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("QueryHandle::wait hung after the server died");
+    assert!(
+        matches!(got, Err(QueryError::Failed { .. })),
+        "orphan behind a dead pool must fail, got {got:?}"
+    );
+    waiter.join().expect("waiter thread panicked");
+}
+
+/// Regression for the old `shutdown` aborting on a panicked worker:
+/// shutdown after injected panics must return a report, not propagate
+/// the panic, and the report's accounting must match the plan.
+#[test]
+fn shutdown_is_panic_proof_and_reports_faults() {
+    let g = GraphBuilder::new(12).edges((0..11u32).map(|v| (v, v + 1))).build();
+    let m = Arc::new(SlimSellMatrix::<C>::build(&g, 12));
+    let opts = ServeOptions {
+        batch_window: Duration::ZERO,
+        fault_plan: FaultPlan::new().panic_worker(0, 1),
+        ..Default::default()
+    };
+    let server = BfsServer::<_, C, 1>::start(m, opts);
+    let doomed = server.submit(0);
+    assert!(matches!(doomed.wait(), Err(QueryError::Failed { .. })));
+    let report = server.shutdown();
+    assert_eq!(report.stats.worker_panics, 1);
+    assert_eq!(report.stats.restarts, 1);
+    assert_eq!(report.unclean_joins, 0, "the panic was supervised, not leaked to join");
+    assert!(report.workers_joined >= 1, "the respawned worker must be joined");
+    assert!(!report.degraded);
+    assert_eq!(report.stats.submitted, report.stats.resolved());
+}
