@@ -247,12 +247,12 @@ mod tests {
         let full = BfsEngine::run::<_, TropicalSemiring, 4>(
             &m,
             0,
-            &BfsOptions { sweep: SweepMode::Full, ..Default::default() },
+            &BfsOptions::default().sweep(SweepMode::Full),
         );
         let wl = BfsEngine::run::<_, TropicalSemiring, 4>(
             &m,
             0,
-            &BfsOptions { sweep: SweepMode::Worklist, ..Default::default() },
+            &BfsOptions::default().sweep(SweepMode::Worklist),
         );
         (full.stats, wl.stats)
     }
@@ -298,12 +298,8 @@ mod tests {
         let g = GraphBuilder::new(n as usize).edges((0..n - 1).map(|v| (v, v + 1))).build();
         let m = SlimSellMatrix::<4>::build(&g, 1);
         let run = |sweep| {
-            BfsEngine::run::<_, TropicalSemiring, 4>(
-                &m,
-                0,
-                &BfsOptions { sweep, ..Default::default() },
-            )
-            .stats
+            BfsEngine::run::<_, TropicalSemiring, 4>(&m, 0, &BfsOptions::default().sweep(sweep))
+                .stats
         };
         (run(SweepMode::Full), run(SweepMode::Worklist), run(SweepMode::Adaptive))
     }

@@ -11,6 +11,8 @@
 //! * [`frontier`] — full-sweep vs worklist sweep accounting: column
 //!   steps, chunk visits and activation overhead of the
 //!   frontier-proportional engine;
+//! * [`masked`] — masked vs unmasked traversal accounting: the
+//!   column-step savings of descriptor-restricted sweeps;
 //! * [`serve`] — serving-layer latency/throughput distillation:
 //!   nearest-rank latency percentiles and the batch-fill counters
 //!   behind the batched-BFS query engine's qps numbers;
@@ -20,6 +22,7 @@
 pub mod amortize;
 pub mod bounds;
 pub mod frontier;
+pub mod masked;
 pub mod padding;
 pub mod report;
 pub mod serve;
@@ -28,6 +31,7 @@ pub mod work;
 pub use amortize::{amortization_table, runs_to_amortize};
 pub use bounds::{er_max_degree_bound, estimate_powerlaw_exponent, powerlaw_max_degree_bound};
 pub use frontier::WorklistComparison;
+pub use masked::MaskedComparison;
 pub use padding::{padding_bound_full_sort, padding_full_sort, padding_unsorted};
 pub use serve::{LatencyProfile, OverloadPoint, ServePoint};
 pub use work::{table2_rows, work_bound_general, WorkBound};

@@ -1,0 +1,147 @@
+//! Masked vs unmasked traversal accounting — the analysis behind the
+//! `masked` experiment.
+//!
+//! A [`VertexMask`](slimsell_core::VertexMask) restricts a sweep to a
+//! vertex subset: fully masked chunks forward their state without
+//! running the MV, partially masked chunks run it and blend the
+//! masked-out lanes back. The win the descriptor layer is after is that
+//! the masked run executes *strictly fewer column steps* than the
+//! unmasked traversal of the same matrix — work proportional to the
+//! surviving subgraph, without rebuilding the representation. This
+//! module distills a masked/unmasked pair of [`RunStats`] into one
+//! comparison row.
+//!
+//! Unlike [`frontier`](crate::frontier), the two runs are *different*
+//! traversals (the mask changes reachability), so iteration counts are
+//! reported separately rather than asserted equal.
+
+use slimsell_core::RunStats;
+
+use crate::report::TextTable;
+
+/// Aggregated comparison of a masked run against the unmasked run on
+/// the same matrix and root.
+#[derive(Clone, Copy, Debug)]
+pub struct MaskedComparison {
+    /// Fraction of real vertices inside the mask (`|mask| / n`).
+    pub mask_fraction: f64,
+    /// Iterations of the unmasked run.
+    pub unmasked_iterations: usize,
+    /// Iterations of the masked run (may differ: the mask changes
+    /// reachability and therefore the fixpoint).
+    pub masked_iterations: usize,
+    /// Total column steps of the unmasked run.
+    pub unmasked_col_steps: u64,
+    /// Total column steps of the masked run.
+    pub masked_col_steps: u64,
+    /// Chunk visits the masked run skipped as fully masked (SlimWork
+    /// skips included — the per-iteration `chunks_skipped` sum).
+    pub masked_skipped: usize,
+    /// Chunk visits the unmasked run skipped (SlimWork only).
+    pub unmasked_skipped: usize,
+}
+
+impl MaskedComparison {
+    /// Builds the comparison from the two runs' statistics and the mask
+    /// cardinality.
+    pub fn measure(unmasked: &RunStats, masked: &RunStats, mask_len: usize, n: usize) -> Self {
+        Self {
+            mask_fraction: if n == 0 { 0.0 } else { mask_len as f64 / n as f64 },
+            unmasked_iterations: unmasked.num_iterations(),
+            masked_iterations: masked.num_iterations(),
+            unmasked_col_steps: unmasked.total_col_steps(),
+            masked_col_steps: masked.total_col_steps(),
+            masked_skipped: masked.total_skipped(),
+            unmasked_skipped: unmasked.total_skipped(),
+        }
+    }
+
+    /// Masked column steps as a fraction of the unmasked run's (< 1
+    /// means masking saved MV work; the acceptance bar is *strictly*
+    /// below 1 on every generator at scale).
+    pub fn col_step_ratio(&self) -> f64 {
+        if self.unmasked_col_steps == 0 {
+            return if self.masked_col_steps == 0 { 1.0 } else { f64::INFINITY };
+        }
+        self.masked_col_steps as f64 / self.unmasked_col_steps as f64
+    }
+
+    /// Whether the masked run did strictly less MV work — the
+    /// acceptance predicate of the `masked` experiment.
+    pub fn strictly_cheaper(&self) -> bool {
+        self.masked_col_steps < self.unmasked_col_steps
+    }
+
+    /// Header of the comparison table [`row`](Self::row)s feed.
+    pub const HEADER: [&'static str; 8] = [
+        "graph",
+        "mask",
+        "iters (un/masked)",
+        "col steps (unmasked)",
+        "col steps (masked)",
+        "step ratio",
+        "skips (unmasked)",
+        "skips (masked)",
+    ];
+
+    /// One table row labeled with the graph/configuration name.
+    pub fn row(&self, label: &str) -> [String; 8] {
+        [
+            label.to_string(),
+            format!("{:.2}", self.mask_fraction),
+            format!("{}/{}", self.unmasked_iterations, self.masked_iterations),
+            self.unmasked_col_steps.to_string(),
+            self.masked_col_steps.to_string(),
+            format!("{:.3}", self.col_step_ratio()),
+            self.unmasked_skipped.to_string(),
+            self.masked_skipped.to_string(),
+        ]
+    }
+
+    /// A ready table with this comparison's header.
+    pub fn table() -> TextTable {
+        TextTable::new(Self::HEADER)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimsell_core::{IterStats, RunStats};
+
+    fn stats(col_steps: u64, iters: usize, skipped: usize) -> RunStats {
+        let mut s = RunStats::default();
+        for _ in 0..iters {
+            s.iters.push(IterStats {
+                col_steps: col_steps / iters as u64,
+                cells: col_steps * 8 / iters as u64,
+                chunks_skipped: skipped / iters,
+                ..Default::default()
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn ratio_and_predicate() {
+        let un = stats(1000, 4, 0);
+        let mk = stats(400, 2, 12);
+        let c = MaskedComparison::measure(&un, &mk, 50, 100);
+        assert!((c.mask_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(c.unmasked_iterations, 4);
+        assert_eq!(c.masked_iterations, 2);
+        assert!(c.strictly_cheaper());
+        assert!(c.col_step_ratio() < 0.5);
+        let eq = MaskedComparison::measure(&un, &un, 100, 100);
+        assert!(!eq.strictly_cheaper());
+        assert!((eq.col_step_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_work_is_not_infinite() {
+        let z = RunStats::default();
+        let c = MaskedComparison::measure(&z, &z, 0, 0);
+        assert_eq!(c.col_step_ratio(), 1.0);
+        assert!(!c.strictly_cheaper());
+    }
+}

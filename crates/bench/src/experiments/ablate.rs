@@ -82,7 +82,7 @@ fn schedule(ctx: &ExpContext) -> Result<(), String> {
         let p = prepare(&g, 8, sigma, RepKind::SlimSell, SemiringKind::Tropical);
         let mut row = vec![if sigma == n { "n".to_string() } else { sigma.to_string() }];
         for sched in [Schedule::Static, Schedule::Dynamic] {
-            let opts = BfsOptions { schedule: sched, ..Default::default() };
+            let opts = BfsOptions::default().schedule(sched);
             let secs = mean_time(runs, || {
                 for &r in &rts {
                     std::hint::black_box(p.run(r, &opts));

@@ -58,7 +58,7 @@ pub fn run_sigma_sweep(ctx: &ExpContext, variant: Variant) -> Result<(), String>
     let n = g.num_vertices();
     let rts = roots(&g, 2);
     let runs = ctx.runs();
-    let opts = BfsOptions { schedule, ..Default::default() };
+    let opts = BfsOptions::default().schedule(schedule);
 
     let mut t =
         TextTable::new(["log2(sigma)", "boolean [s]", "real [s]", "sel-max [s]", "tropical [s]"]);

@@ -63,10 +63,11 @@ pub fn run(ctx: &ExpContext) -> Result<(), String> {
                 let opts = BfsOptions {
                     slimwork: true,
                     slimchunk: None,
-                    schedule: Schedule::Dynamic,
                     max_iterations: None,
-                    sweep,
-                };
+                    ..Default::default()
+                }
+                .sweep(sweep)
+                .schedule(Schedule::Dynamic);
                 // Work counters are deterministic across runs, so the
                 // stats come from the timed runs themselves — no extra
                 // untimed execution per point.

@@ -11,6 +11,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod frontier;
+pub mod masked;
 pub mod prep;
 pub mod scaling;
 pub mod serve;
@@ -46,6 +47,7 @@ pub fn run(ctx: &ExpContext) -> Result<(), String> {
         "bounds" => bounds::run(ctx),
         "scaling" => scaling::run(ctx),
         "frontier" => frontier::run(ctx),
+        "masked" => masked::run(ctx),
         "serve" => serve::run(ctx),
         "ablate" => ablate::run(ctx),
         "all" => {
@@ -69,7 +71,7 @@ pub fn run(ctx: &ExpContext) -> Result<(), String> {
 pub const EXPERIMENTS: &[&str] = &[
     "table2", "table3", "table4", "table5", "fig1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6a",
     "fig6b", "fig6c", "fig6d", "fig6e", "fig7", "fig8", "fig9", "fig10", "prep", "bounds",
-    "scaling", "frontier", "serve", "ablate", "all",
+    "scaling", "frontier", "masked", "serve", "ablate", "all",
 ];
 
 /// Generates the context's default Kronecker graph.

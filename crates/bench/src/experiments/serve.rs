@@ -210,7 +210,7 @@ fn run_overload_point(
                     let q0 = Instant::now();
                     for attempt in 0..=retries {
                         attempts += 1;
-                        let spec = QuerySpec { budget: None, deadline };
+                        let spec = QuerySpec { budget: None, deadline, mask: None };
                         match server.submit_spec(root, spec).wait() {
                             Ok(out) => {
                                 local.push(q0.elapsed().as_secs_f64());

@@ -59,25 +59,52 @@ use crate::bfs::{iterate, iterate_worklist, BfsOptions, EngineScratch};
 use crate::counters::RunStats;
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{RealSemiring, Semiring, StateVecs};
-use crate::sweep::{resolve_sweep, ExecutedSweep, SweepMode};
+use crate::sweep::{resolve_sweep, ExecutedSweep, SweepConfig, SweepMode};
 use crate::tiling::Schedule;
 
 /// Betweenness options: sweep strategy and scheduling for the forward
 /// sweeps (the backward sweep is sequential by design and unaffected).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct BetweennessOptions {
-    /// Sweep strategy for the forward (real-semiring BFS) sweeps
-    /// (defaults to the `SLIMSELL_SWEEP` env var; adaptive when unset).
-    /// The DAG — and hence the centralities — is bit-identical in
-    /// every mode.
-    pub sweep: SweepMode,
-    /// Chunk scheduling policy.
-    pub schedule: Schedule,
+    /// Sweep strategy and chunk scheduling for the forward
+    /// (real-semiring BFS) sweeps (sweep defaults to the
+    /// `SLIMSELL_SWEEP` env var; adaptive when unset). The DAG — and
+    /// hence the centralities — is bit-identical in every mode.
+    pub config: SweepConfig,
 }
 
-impl Default for BetweennessOptions {
-    fn default() -> Self {
-        Self { sweep: SweepMode::env_default(), schedule: Schedule::Dynamic }
+impl BetweennessOptions {
+    /// Sets the sweep strategy of the forward sweeps (builder).
+    #[must_use]
+    pub fn sweep(mut self, sweep: SweepMode) -> Self {
+        self.config.sweep = sweep;
+        self
+    }
+
+    /// Sets the chunk scheduling policy of the forward sweeps (builder).
+    #[must_use]
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Sets the full sweep configuration of the forward sweeps (builder).
+    #[must_use]
+    pub fn config(mut self, config: SweepConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Migration shim for the pre-PR-10 `sweep` field.
+    #[deprecated(note = "set `config.sweep` or use the `.sweep(..)` builder")]
+    pub fn set_sweep(&mut self, sweep: SweepMode) {
+        self.config.sweep = sweep;
+    }
+
+    /// Migration shim for the pre-PR-10 `schedule` field.
+    #[deprecated(note = "set `config.schedule` or use the `.schedule(..)` builder")]
+    pub fn set_schedule(&mut self, schedule: Schedule) {
+        self.config.schedule = schedule;
     }
 }
 
@@ -143,15 +170,9 @@ where
     sigma[root_p] = 1.0;
 
     let nc = np / C;
-    let bfs_opts = BfsOptions {
-        slimwork: true,
-        slimchunk: None,
-        schedule: opts.schedule,
-        max_iterations: None,
-        sweep: opts.sweep,
-    };
+    let bfs_opts = BfsOptions::default().config(opts.config);
     let mut scratch = EngineScratch::new();
-    if opts.sweep.uses_worklist() {
+    if opts.config.sweep.uses_worklist() {
         // Establish the worklist invariant once (nxt == cur outside the
         // worklist) and seed from the root's chunk/lane.
         S::clone_state(&cur, &mut nxt);
@@ -164,11 +185,11 @@ where
         depth += 1;
         let t0 = Instant::now();
         let EngineScratch { act, pending, ctl, .. } = &mut scratch;
-        let (exec, seeded) = match opts.sweep {
+        let (exec, seeded) = match opts.config.sweep {
             // Short-circuit before touching `dep_graph()`: pure
             // full-sweep runs must not force the lazy build.
             SweepMode::Full => (ExecutedSweep::Full, None),
-            _ => resolve_sweep(opts.sweep, ctl, act, s.dep_graph(), pending, nc),
+            _ => resolve_sweep(opts.config.sweep, ctl, act, s.dep_graph(), pending, nc, None),
         };
         let mut it = match exec {
             // track = true even in pure full mode: the changed-chunk
@@ -453,13 +474,10 @@ mod tests {
         let g = kronecker(8, 4.0, KroneckerParams::GRAPH500, 21);
         let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
         for root in [0u32, 17, 63] {
-            let full = forward_sweep_with(
-                &m,
-                root,
-                &BetweennessOptions { sweep: SweepMode::Full, ..Default::default() },
-            );
+            let full =
+                forward_sweep_with(&m, root, &BetweennessOptions::default().sweep(SweepMode::Full));
             for sweep in [SweepMode::Worklist, SweepMode::Adaptive] {
-                let opts = BetweennessOptions { sweep, ..Default::default() };
+                let opts = BetweennessOptions::default().sweep(sweep);
                 let dag = forward_sweep_with(&m, root, &opts);
                 assert_eq!(dag.level, full.level, "{sweep:?} root {root}: levels diverged");
                 let a: Vec<u64> = dag.sigma.iter().map(|x| x.to_bits()).collect();
@@ -480,16 +498,9 @@ mod tests {
         let n = 256u32;
         let g = GraphBuilder::new(n as usize).edges((0..n - 1).map(|v| (v, v + 1))).build();
         let m = SlimSellMatrix::<4>::build(&g, 1);
-        let full = forward_sweep_with(
-            &m,
-            0,
-            &BetweennessOptions { sweep: SweepMode::Full, ..Default::default() },
-        );
-        let wl = forward_sweep_with(
-            &m,
-            0,
-            &BetweennessOptions { sweep: SweepMode::Worklist, ..Default::default() },
-        );
+        let full = forward_sweep_with(&m, 0, &BetweennessOptions::default().sweep(SweepMode::Full));
+        let wl =
+            forward_sweep_with(&m, 0, &BetweennessOptions::default().sweep(SweepMode::Worklist));
         assert_eq!(wl.level, full.level);
         assert_eq!(wl.levels, full.levels);
         assert!(
@@ -509,11 +520,7 @@ mod tests {
         let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
         let sources = [0u32, 3, 11, 29];
         let run = |sweep| {
-            betweenness_from_sources_with(
-                &m,
-                &sources,
-                &BetweennessOptions { sweep, ..Default::default() },
-            )
+            betweenness_from_sources_with(&m, &sources, &BetweennessOptions::default().sweep(sweep))
         };
         let full = run(SweepMode::Full);
         for sweep in [SweepMode::Worklist, SweepMode::Adaptive] {

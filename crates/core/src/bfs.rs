@@ -44,7 +44,7 @@
 //! [`IterStats::chunks_not_on_worklist`]).
 //!
 //! Which sweep runs is decided by the [`SweepMode`] policy layer
-//! ([`crate::sweep`]): [`BfsOptions::sweep`] selects pure full sweeps,
+//! ([`crate::sweep`]): [`BfsOptions::config`] selects pure full sweeps,
 //! pure worklist sweeps, or — the default — the adaptive controller
 //! that picks per iteration at the calibrated `~nc/2` crossover with
 //! hysteresis. Adaptive full sweeps are *tracked* (per-chunk bit-exact
@@ -53,40 +53,51 @@
 //! re-seeding invariant. The 1-thread full-sweep run remains the
 //! oracle the equivalence suite compares every mode against.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use slimsell_graph::{VertexId, UNREACHABLE};
 use slimsell_simd::{SimdF32, SimdI32};
 
 use crate::counters::{IterStats, RunStats};
+use crate::mask::VertexMask;
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{Semiring, StateVecs};
 use crate::slimchunk;
-use crate::sweep::{resolve_sweep, AdaptiveController, ExecutedSweep, SweepMode};
+use crate::sweep::{resolve_sweep, AdaptiveController, ExecutedSweep, SweepConfig, SweepMode};
 use crate::tiling::{ChunkSpan, ChunkTiling, WorklistSpan, WorklistTiling};
-use crate::worklist::ActivationState;
+use crate::worklist::{full_lane_mask, ActivationState};
 
 pub use crate::tiling::Schedule;
 
 /// Engine configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct BfsOptions {
     /// Enable SlimWork chunk skipping (§III-C).
     pub slimwork: bool,
     /// Enable SlimChunk 2-D tiling with the given tile width in column
     /// steps (§III-D). `None` disables tiling.
     pub slimchunk: Option<usize>,
-    /// Chunk scheduling policy.
-    pub schedule: Schedule,
     /// Safety cap on iterations (defaults to `n + 1`).
     pub max_iterations: Option<usize>,
-    /// Sweep strategy: full-range sweeps, frontier-proportional
-    /// worklist sweeps (per-iteration cost `O(|worklist|)` instead of
-    /// `O(n_chunks)`, the big win on high-diameter graphs), or the
-    /// default adaptive controller that switches between them per
-    /// iteration. Outputs are bit-identical in every mode. Defaults to
-    /// the `SLIMSELL_SWEEP` env var (adaptive when unset).
-    pub sweep: SweepMode,
+    /// Sweep strategy and tile schedule (shared by every kernel's
+    /// options). The sweep modes: full-range sweeps,
+    /// frontier-proportional worklist sweeps (per-iteration cost
+    /// `O(|worklist|)` instead of `O(n_chunks)`, the big win on
+    /// high-diameter graphs), or the default adaptive controller that
+    /// switches between them per iteration. Outputs are bit-identical
+    /// in every mode. Defaults to the `SLIMSELL_SWEEP` env var
+    /// (adaptive when unset).
+    pub config: SweepConfig,
+    /// Restrict the sweep to a vertex subset: vertices outside the
+    /// mask keep their initial (rest) state forever and the traversal
+    /// behaves as if they were deleted from the graph. Fully masked
+    /// chunks are skipped before the SlimWork probe and before any
+    /// worklist activation probe; partially masked chunks blend the
+    /// masked-out lanes back to their previous values after the MV, so
+    /// a full mask is bit-for-bit identical to `None` — counters
+    /// included. `None` sweeps the whole graph.
+    pub mask: Option<Arc<VertexMask>>,
 }
 
 impl Default for BfsOptions {
@@ -94,9 +105,9 @@ impl Default for BfsOptions {
         Self {
             slimwork: true,
             slimchunk: None,
-            schedule: Schedule::Dynamic,
             max_iterations: None,
-            sweep: SweepMode::env_default(),
+            config: SweepConfig::default(),
+            mask: None,
         }
     }
 }
@@ -105,7 +116,47 @@ impl BfsOptions {
     /// The paper's baseline configuration: SlimWork off, full sweeps,
     /// dynamic scheduling (corresponds to "No SlimWork" in Fig. 5d).
     pub fn plain() -> Self {
-        Self { slimwork: false, sweep: SweepMode::Full, ..Self::default() }
+        Self { slimwork: false, ..Self::default() }.sweep(SweepMode::Full)
+    }
+
+    /// Returns the options with the sweep mode replaced.
+    #[must_use]
+    pub fn sweep(mut self, sweep: SweepMode) -> Self {
+        self.config.sweep = sweep;
+        self
+    }
+
+    /// Returns the options with the tile schedule replaced.
+    #[must_use]
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Returns the options with the whole sweep config replaced.
+    #[must_use]
+    pub fn config(mut self, config: SweepConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Returns the options with the vertex mask replaced.
+    #[must_use]
+    pub fn mask(mut self, mask: Option<Arc<VertexMask>>) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Migration shim for the pre-PR-10 `sweep` field.
+    #[deprecated(note = "set `config.sweep` or use the `.sweep(..)` builder")]
+    pub fn set_sweep(&mut self, sweep: SweepMode) {
+        self.config.sweep = sweep;
+    }
+
+    /// Migration shim for the pre-PR-10 `schedule` field.
+    #[deprecated(note = "set `config.schedule` or use the `.schedule(..)` builder")]
+    pub fn set_schedule(&mut self, schedule: Schedule) {
+        self.config.schedule = schedule;
     }
 }
 
@@ -181,10 +232,16 @@ pub struct BfsEngine;
 
 impl BfsEngine {
     /// Runs BFS from `root` (original vertex id) over `matrix` with
-    /// semiring `S`.
+    /// semiring `S`. When [`BfsOptions::mask`] is set the traversal is
+    /// confined to the masked subgraph: edges into or out of masked
+    /// vertices are never taken and masked vertices come back
+    /// unreached.
     ///
     /// # Panics
-    /// Panics if `root` is out of range.
+    /// Panics if `root` is out of range, if a mask was built for a
+    /// different structure, or if `root` is outside the mask (a masked
+    /// root's seeded state would leak distance 0 to its neighbors, so
+    /// it is rejected loudly rather than answered wrongly).
     pub fn run<M, S, const C: usize>(matrix: &M, root: VertexId, opts: &BfsOptions) -> BfsOutput
     where
         M: ChunkMatrix<C>,
@@ -195,6 +252,10 @@ impl BfsEngine {
         assert!((root as usize) < n, "root {root} out of range (n = {n})");
         let root_p = s.perm().to_new(root) as usize;
         let np = s.n_padded();
+        if let Some(m) = opts.mask.as_deref() {
+            m.check_layout(s);
+            assert!(m.contains(root_p), "root {root} is not in the vertex mask");
+        }
 
         let mut cur = StateVecs::new(np);
         let mut nxt = StateVecs::new(np);
@@ -202,7 +263,7 @@ impl BfsEngine {
         S::init(&mut cur, &mut d, n, root_p);
 
         let mut scratch = EngineScratch::new();
-        if opts.sweep.uses_worklist() {
+        if opts.config.sweep.uses_worklist() {
             // Establish the worklist invariant once: outside the
             // worklist the next-state buffer must already equal the
             // current state, so only listed chunks are ever written
@@ -280,10 +341,22 @@ where
     acc
 }
 
-/// One chunk of one iteration: SlimWork skip test, MV kernel, semiring
-/// post-processing. Returns (changed, column steps, active cells,
-/// skipped) — active cells are the chunk's non-padding cells (its
-/// stored arcs), the numerator of the measured lane utilization.
+/// One chunk of one iteration: mask/SlimWork skip tests, MV kernel,
+/// per-lane mask blend, semiring post-processing. Returns (changed,
+/// column steps, active cells, skipped) — active cells are the chunk's
+/// non-padding cells (its stored arcs), the numerator of the measured
+/// lane utilization.
+///
+/// Masking happens at two points. A chunk with no allowed real lane is
+/// skipped outright (one `u32` test, before the SlimWork probe — same
+/// copy-forward, same `chunks_skipped` accounting). A partially masked
+/// chunk runs the full MV, then the masked-out lanes of the
+/// accumulator are blended back to their *previous* values before the
+/// semiring post-processing: with `acc[lane] == cur.x[lane]` every
+/// shipped semiring's post-processing leaves that lane's entire state
+/// (x, g, p, d) bit-identical and reports it unchanged — exactly "this
+/// lane did not run", without any per-semiring masking hooks. A full
+/// mask therefore reproduces the unmasked path bit-for-bit.
 #[inline]
 fn do_chunk<M, S, const C: usize>(
     matrix: &M,
@@ -292,6 +365,7 @@ fn do_chunk<M, S, const C: usize>(
     out: (&mut [f32], &mut [f32], &mut [f32], &mut [f32]),
     depth: f32,
     slimwork: bool,
+    mask: Option<&VertexMask>,
 ) -> (bool, u64, u64, usize)
 where
     M: ChunkMatrix<C>,
@@ -299,11 +373,29 @@ where
 {
     let (nx, ng, np, dd) = out;
     let base = i * C;
+    let allowed = mask.map_or_else(|| full_lane_mask(C), |m| m.allowed(i));
+    if let Some(m) = mask {
+        if m.allowed_real(i) == 0 {
+            // Fully masked (no allowed real lane): forward verbatim.
+            S::copy_forward(cur, base, nx, ng, np);
+            return (false, 0, 0, 1);
+        }
+    }
     if slimwork && S::should_skip(cur, base..base + C) {
         S::copy_forward(cur, base, nx, ng, np);
         return (false, 0, 0, 1);
     }
-    let acc = chunk_mv::<M, S, C>(matrix, &cur.x, i);
+    let mut acc = chunk_mv::<M, S, C>(matrix, &cur.x, i);
+    if allowed != full_lane_mask(C) {
+        let mut lanes = [0.0f32; C];
+        acc.store(&mut lanes);
+        for (l, slot) in lanes.iter_mut().enumerate() {
+            if allowed & (1 << l) == 0 {
+                *slot = cur.x[base + l];
+            }
+        }
+        acc = SimdF32::load(&lanes);
+    }
     let changed = S::post_chunk(acc, cur, base, nx, ng, np, dd, depth);
     let s = matrix.structure();
     (changed, s.cl()[i] as u64, s.chunk_arcs()[i], 0)
@@ -318,6 +410,7 @@ fn mv_span<M, S, const C: usize>(
     span: ChunkSpan<'_>,
     depth: f32,
     slimwork: bool,
+    mask: Option<&VertexMask>,
 ) -> (bool, u64, u64, usize)
 where
     M: ChunkMatrix<C>,
@@ -332,7 +425,7 @@ where
         .zip(span.d.chunks_mut(C));
     for (k, (((nx, ng), np), dd)) in per_chunk.enumerate() {
         let (c, steps, arcs, skip) =
-            do_chunk::<M, S, C>(matrix, cur, span.c0 + k, (nx, ng, np, dd), depth, slimwork);
+            do_chunk::<M, S, C>(matrix, cur, span.c0 + k, (nx, ng, np, dd), depth, slimwork, mask);
         acc.0 |= c;
         acc.1 += steps;
         acc.2 += arcs;
@@ -369,16 +462,24 @@ where
     let s = matrix.structure();
     let nc = s.num_chunks();
     let EngineScratch { act, pending, ctl, .. } = &mut *scratch;
-    let (exec, seeded) = match opts.sweep {
+    let (exec, seeded) = match opts.config.sweep {
         // Short-circuit before touching `dep_graph()`: pure full-sweep
         // runs must not force the lazy dependency-graph build.
         SweepMode::Full => (ExecutedSweep::Full, None),
-        _ => resolve_sweep(opts.sweep, ctl, act, s.dep_graph(), pending, nc),
+        _ => resolve_sweep(
+            opts.config.sweep,
+            ctl,
+            act,
+            s.dep_graph(),
+            pending,
+            nc,
+            opts.mask.as_deref(),
+        ),
     };
     // Only adaptive full sweeps pay for change tracking: pure full
     // sweeps never transition, pure worklist sweeps track via the
     // worklist flags.
-    let track = opts.sweep == SweepMode::Adaptive;
+    let track = opts.config.sweep == SweepMode::Adaptive;
     let mut it = match (exec, opts.slimchunk) {
         (ExecutedSweep::Full, None) => {
             iterate::<M, S, C>(matrix, cur, nxt, d, depth, opts, scratch, track)
@@ -414,6 +515,7 @@ fn mv_span_tracked<M, S, const C: usize>(
     flags: &mut [u32],
     depth: f32,
     slimwork: bool,
+    mask: Option<&VertexMask>,
 ) -> (bool, u64, u64, usize)
 where
     M: ChunkMatrix<C>,
@@ -436,6 +538,7 @@ where
             (&mut *nx, &mut *ng, &mut *np, &mut *dd),
             depth,
             slimwork,
+            mask,
         );
         // The exact per-lane compare (mask != 0 ⟺ state_changed) names
         // the rows dependents must actually re-gather.
@@ -471,10 +574,11 @@ where
     let s = matrix.structure();
     let nc = s.num_chunks();
     let slimwork = opts.slimwork;
+    let mask = opts.mask.as_deref();
     // At 1 effective thread the tiling is one span over everything, run
     // inline — the sequential oracle path.
     let EngineScratch { tiling: tiling_slot, full_changed, pending, .. } = scratch;
-    let tiling = cached_full_tiling(tiling_slot, nc, opts.schedule);
+    let tiling = cached_full_tiling(tiling_slot, nc, opts.config.schedule);
     let (changed, col_steps, active_cells, skipped);
     let mut changed_chunks = 0;
     if track {
@@ -488,7 +592,7 @@ where
         (changed, col_steps, active_cells, skipped) = tiling.map_reduce(
             spans,
             |(span, flags)| {
-                mv_span_tracked::<M, S, C>(matrix, cur, span, flags.data, depth, slimwork)
+                mv_span_tracked::<M, S, C>(matrix, cur, span, flags.data, depth, slimwork, mask)
             },
             || (false, 0, 0, 0),
             |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
@@ -502,7 +606,7 @@ where
         let spans = tiling.split_spans::<C>(nxt, d);
         (changed, col_steps, active_cells, skipped) = tiling.map_reduce(
             spans,
-            |span| mv_span::<M, S, C>(matrix, cur, span, depth, slimwork),
+            |span| mv_span::<M, S, C>(matrix, cur, span, depth, slimwork, mask),
             || (false, 0, 0, 0),
             |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
         );
@@ -520,6 +624,7 @@ where
         cells: col_steps * C as u64,
         active_cells,
         changed,
+        ..Default::default()
     }
 }
 
@@ -533,6 +638,7 @@ fn wl_span<M, S, const C: usize>(
     span: WorklistSpan<'_>,
     depth: f32,
     slimwork: bool,
+    mask: Option<&VertexMask>,
 ) -> (bool, u64, u64, usize)
 where
     M: ChunkMatrix<C>,
@@ -544,9 +650,9 @@ where
     for (k, &id) in ids.iter().enumerate() {
         let i = id as usize;
         let off = i * C - base0;
-        // Same per-chunk body as the full sweep (do_chunk: SlimWork
-        // test + copy_forward, or MV + post-processing) so the two
-        // modes cannot drift apart.
+        // Same per-chunk body as the full sweep (do_chunk: mask and
+        // SlimWork tests + copy_forward, or MV + post-processing) so
+        // the two modes cannot drift apart.
         let (c, steps, arcs, skip) = do_chunk::<M, S, C>(
             matrix,
             cur,
@@ -559,6 +665,7 @@ where
             ),
             depth,
             slimwork,
+            mask,
         );
         // A skipped chunk forwarded its state verbatim — its mask
         // stays 0; otherwise record the exact per-lane change for
@@ -602,14 +709,15 @@ where
     let s = matrix.structure();
     let nc = s.num_chunks();
     let slimwork = opts.slimwork;
+    let mask = opts.mask.as_deref();
     let EngineScratch { act, pending, .. } = scratch;
     let (ids, flags) = act.split();
     let wl_len = ids.len();
-    let tiling = WorklistTiling::new(ids, opts.schedule);
+    let tiling = WorklistTiling::new(ids, opts.config.schedule);
     let spans = tiling.split_spans::<C>(nxt, d, flags);
     let (changed, col_steps, active_cells, skipped) = tiling.map_reduce(
         spans,
-        |span| wl_span::<M, S, C>(matrix, cur, span, depth, slimwork),
+        |span| wl_span::<M, S, C>(matrix, cur, span, depth, slimwork, mask),
         || (false, 0, 0, 0),
         |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
     );
@@ -627,6 +735,7 @@ where
         cells: col_steps * C as u64,
         active_cells,
         changed,
+        ..Default::default()
     }
 }
 
@@ -691,7 +800,7 @@ mod tests {
     #[test]
     fn static_schedule_matches() {
         let g = sample();
-        let opts = BfsOptions { schedule: Schedule::Static, ..Default::default() };
+        let opts = BfsOptions::default().schedule(Schedule::Static);
         check_dist::<BooleanSemiring>(&g, 4, 0, &opts);
     }
 
@@ -740,7 +849,7 @@ mod tests {
     #[test]
     fn worklist_matches_reference_all_semirings() {
         let g = sample();
-        let opts = BfsOptions { sweep: SweepMode::Worklist, ..Default::default() };
+        let opts = BfsOptions::default().sweep(SweepMode::Worklist);
         for sigma in [1, 4, 11] {
             for root in [0u32, 6, 8] {
                 check_dist::<TropicalSemiring>(&g, sigma, root, &opts);
@@ -757,13 +866,9 @@ mod tests {
         for slimwork in [false, true] {
             for slimchunk in [None, Some(2)] {
                 for schedule in [Schedule::Static, Schedule::Dynamic] {
-                    let opts = BfsOptions {
-                        sweep: SweepMode::Worklist,
-                        slimwork,
-                        slimchunk,
-                        schedule,
-                        ..Default::default()
-                    };
+                    let opts = BfsOptions { slimwork, slimchunk, ..Default::default() }
+                        .sweep(SweepMode::Worklist)
+                        .schedule(schedule);
                     check_dist::<TropicalSemiring>(&g, 11, 0, &opts);
                     check_dist::<BooleanSemiring>(&g, 11, 0, &opts);
                     check_dist::<SelMaxSemiring>(&g, 11, 0, &opts);
@@ -784,12 +889,12 @@ mod tests {
         let full = BfsEngine::run::<_, TropicalSemiring, 4>(
             &slim,
             0,
-            &BfsOptions { sweep: SweepMode::Full, ..Default::default() },
+            &BfsOptions::default().sweep(SweepMode::Full),
         );
         let wl = BfsEngine::run::<_, TropicalSemiring, 4>(
             &slim,
             0,
-            &BfsOptions { sweep: SweepMode::Worklist, ..Default::default() },
+            &BfsOptions::default().sweep(SweepMode::Worklist),
         );
         assert_eq!(wl.dist, full.dist);
         assert_eq!(wl.stats.num_iterations(), full.stats.num_iterations());
@@ -822,12 +927,12 @@ mod tests {
         let full = BfsEngine::run::<_, BooleanSemiring, 4>(
             &slim,
             0,
-            &BfsOptions { sweep: SweepMode::Full, ..Default::default() },
+            &BfsOptions::default().sweep(SweepMode::Full),
         );
         let wl = BfsEngine::run::<_, BooleanSemiring, 4>(
             &slim,
             0,
-            &BfsOptions { sweep: SweepMode::Worklist, ..Default::default() },
+            &BfsOptions::default().sweep(SweepMode::Worklist),
         );
         assert_eq!(wl.stats.num_iterations(), full.stats.num_iterations());
         for (a, b) in wl.stats.iters.iter().zip(&full.stats.iters) {
@@ -840,7 +945,7 @@ mod tests {
     #[test]
     fn adaptive_matches_reference_all_semirings() {
         let g = sample();
-        let opts = BfsOptions { sweep: SweepMode::Adaptive, ..Default::default() };
+        let opts = BfsOptions::default().sweep(SweepMode::Adaptive);
         for sigma in [1, 4, 11] {
             for root in [0u32, 6, 8] {
                 check_dist::<TropicalSemiring>(&g, sigma, root, &opts);
@@ -857,13 +962,9 @@ mod tests {
         for slimwork in [false, true] {
             for slimchunk in [None, Some(2)] {
                 for schedule in [Schedule::Static, Schedule::Dynamic] {
-                    let opts = BfsOptions {
-                        sweep: SweepMode::Adaptive,
-                        slimwork,
-                        slimchunk,
-                        schedule,
-                        ..Default::default()
-                    };
+                    let opts = BfsOptions { slimwork, slimchunk, ..Default::default() }
+                        .sweep(SweepMode::Adaptive)
+                        .schedule(schedule);
                     check_dist::<TropicalSemiring>(&g, 11, 0, &opts);
                     check_dist::<BooleanSemiring>(&g, 11, 0, &opts);
                     check_dist::<SelMaxSemiring>(&g, 11, 0, &opts);
@@ -884,12 +985,12 @@ mod tests {
             .edges((0..32u32).map(|v| (v, v + 1)).chain((33..n).map(|w| (32, w))))
             .build();
         let slim = SlimSellMatrix::<4>::build(&g, 1);
-        let opts = BfsOptions { sweep: SweepMode::Adaptive, ..Default::default() };
+        let opts = BfsOptions::default().sweep(SweepMode::Adaptive);
         let out = BfsEngine::run::<_, TropicalSemiring, 4>(&slim, 0, &opts);
         let full = BfsEngine::run::<_, TropicalSemiring, 4>(
             &slim,
             0,
-            &BfsOptions { sweep: SweepMode::Full, ..Default::default() },
+            &BfsOptions::default().sweep(SweepMode::Full),
         );
         assert_eq!(out.dist, full.dist);
         assert_eq!(out.stats.num_iterations(), full.stats.num_iterations());
@@ -910,7 +1011,7 @@ mod tests {
         let wl = BfsEngine::run::<_, TropicalSemiring, 4>(
             &slim,
             0,
-            &BfsOptions { sweep: SweepMode::Worklist, ..Default::default() },
+            &BfsOptions::default().sweep(SweepMode::Worklist),
         );
         assert_eq!(wl.stats.mode_switches(), 0);
         assert!(wl.stats.iters.iter().all(|i| i.sweep_mode == ExecutedSweep::Worklist));
@@ -927,12 +1028,12 @@ mod tests {
         let ad = BfsEngine::run::<_, TropicalSemiring, 4>(
             &slim,
             0,
-            &BfsOptions { sweep: SweepMode::Adaptive, ..Default::default() },
+            &BfsOptions::default().sweep(SweepMode::Adaptive),
         );
         let wl = BfsEngine::run::<_, TropicalSemiring, 4>(
             &slim,
             0,
-            &BfsOptions { sweep: SweepMode::Worklist, ..Default::default() },
+            &BfsOptions::default().sweep(SweepMode::Worklist),
         );
         assert_eq!(ad.dist, wl.dist);
         assert_eq!(ad.stats.mode_switches(), 0);
@@ -953,7 +1054,7 @@ mod tests {
                 BfsEngine::run::<_, BooleanSemiring, 4>(
                     &slim,
                     root,
-                    &BfsOptions { sweep, ..Default::default() },
+                    &BfsOptions::default().sweep(sweep),
                 )
                 .stats
                 .total_col_steps()

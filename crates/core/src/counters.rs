@@ -76,6 +76,15 @@ pub struct IterStats {
     /// bottom-up dir-opt steps); 0 where not measured (SSSP and
     /// PageRank sweeps, top-down steps).
     pub active_cells: u64,
+    /// Lane probes paid by the direction-optimized drivers to recover
+    /// the sparse frontier after a bottom-up step. After a worklist
+    /// sweep the recovery walks only the set bits of the harvested
+    /// `(chunk, changed-lane mask)` pairs (one probe per discovered
+    /// vertex), where it used to rescan every lane of every worklist
+    /// chunk (`worklist_len · C` probes); full-sweep recovery still
+    /// scans the padded range. 0 outside direction-optimized bottom-up
+    /// iterations.
+    pub frontier_probes: u64,
     /// Whether any output changed (frontier non-empty).
     pub changed: bool,
 }
@@ -150,6 +159,12 @@ impl RunStats {
         self.iters.iter().map(|i| i.activations).sum()
     }
 
+    /// Total lane probes paid recovering sparse frontiers after
+    /// bottom-up steps (see [`IterStats::frontier_probes`]).
+    pub fn total_frontier_probes(&self) -> u64 {
+        self.iters.iter().map(|i| i.frontier_probes).sum()
+    }
+
     /// Per-iteration wall times in seconds (figure series).
     pub fn iter_seconds(&self) -> Vec<f64> {
         self.iters.iter().map(|i| i.elapsed.as_secs_f64()).collect()
@@ -193,6 +208,7 @@ mod tests {
             col_steps: 10,
             cells: 80,
             active_cells: 60,
+            frontier_probes: 7,
             changed: true,
         });
         s.iters.push(IterStats {
@@ -207,6 +223,7 @@ mod tests {
             col_steps: 4,
             cells: 32,
             active_cells: 24,
+            frontier_probes: 5,
             changed: false,
         });
         assert_eq!(s.num_iterations(), 2);
@@ -217,6 +234,7 @@ mod tests {
         assert_eq!(s.total_visited(), 10);
         assert_eq!(s.total_not_on_worklist(), 6);
         assert_eq!(s.total_activations(), 16);
+        assert_eq!(s.total_frontier_probes(), 12);
         assert_eq!(s.total_active_cells(), 84);
         assert!((s.lane_utilization() - 84.0 / 112.0).abs() < 1e-12);
         assert_eq!(RunStats::default().lane_utilization(), 1.0);

@@ -1,0 +1,418 @@
+//! GraphBLAS-style descriptors: one sweep API for masked push–pull BFS.
+//!
+//! A [`Descriptor`] bundles everything that modulates a semiring sweep
+//! without changing its algebra: an optional vertex mask (§III of the
+//! GraphBLAS spec's descriptor concept, transplanted onto the SlimSell
+//! chunk layout), a complement flag, a push/pull [`DirectionPolicy`],
+//! and the [`SweepConfig`] policy the engine already understood. The
+//! descriptor-driven BFS in [`run_descriptor`] generalizes the
+//! hand-rolled direction optimization of [`crate::dirop`]:
+//!
+//! * **push** (top-down) steps expand an explicit frontier list through
+//!   the structure's strided rows, filtering targets by the user mask;
+//! * **pull** (bottom-up) steps run the chunk-parallel SpMV of
+//!   [`crate::bfs`] under the *effective* mask `user ∩ ¬visited` — the
+//!   visited complement is exactly what the classic bottom-up step
+//!   computes implicitly, so chunks whose vertices are all settled are
+//!   dropped before activation probing even happens (see
+//!   [`crate::worklist::ActivationState::seed`]).
+//!
+//! With no user mask and the [`DirectionPolicy::Auto`] heuristic, the
+//! run is bit-identical to [`crate::dirop::run_diropt`] in distances,
+//! mode sequence and per-iteration work counters (`col_steps`, `cells`)
+//! — the hand-rolled path stays in-tree as the oracle for this module.
+//! The only counters allowed to differ are worklist bookkeeping
+//! (`worklist_len`, `activations`, `chunks_skipped`), which *drop*
+//! because the visited-complement mask filters settled chunks out of
+//! the worklist instead of skipping them one by one.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use slimsell_graph::{VertexId, UNREACHABLE};
+
+use crate::bfs::{step, BfsOptions, BfsOutput, EngineScratch, Schedule};
+use crate::counters::{IterStats, RunStats};
+use crate::dirop::{DirOptOutput, StepMode};
+use crate::mask::VertexMask;
+use crate::matrix::ChunkMatrix;
+use crate::semiring::{Semiring, StateVecs, TropicalSemiring};
+use crate::sweep::{ExecutedSweep, SweepConfig, SweepMode};
+use crate::tiling::ChunkTiling;
+
+/// Per-iteration push↔pull decision rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DirectionPolicy {
+    /// Beamer's α/β heuristic: pull when the frontier's out-edge count
+    /// exceeds `m/α`, push again when the frontier shrinks below `n/β`.
+    /// The defaults (α = 14, β = 24) match [`crate::dirop`].
+    Auto {
+        /// Pull when frontier out-edges > `m / alpha`.
+        alpha: f64,
+        /// Push again when frontier size < `n / beta`.
+        beta: f64,
+    },
+    /// Always push (sparse top-down expansion).
+    Push,
+    /// Always pull (chunk-parallel SpMV from the first iteration).
+    Pull,
+}
+
+impl Default for DirectionPolicy {
+    fn default() -> Self {
+        Self::Auto { alpha: 14.0, beta: 24.0 }
+    }
+}
+
+/// A sweep descriptor: (complemented) vertex mask + direction policy +
+/// sweep configuration.
+///
+/// ```
+/// use std::sync::Arc;
+/// use slimsell_core::{Descriptor, DirectionPolicy, SweepMode};
+///
+/// let desc = Descriptor::default()
+///     .direction(DirectionPolicy::Pull)
+///     .sweep(SweepMode::Worklist);
+/// assert!(desc.mask.is_none());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Descriptor {
+    /// Optional vertex mask: the sweep only updates vertices inside it
+    /// and never reads productive contributions out of vertices
+    /// outside it (they stay at their initial state, so gathers from
+    /// them contribute the semiring identity — "as-if-deleted").
+    pub mask: Option<Arc<VertexMask>>,
+    /// Complement the mask before use (GraphBLAS `GrB_COMP`). With no
+    /// mask set, complementing is a no-op (the implicit mask is full).
+    pub complement: bool,
+    /// Push↔pull decision rule applied each iteration.
+    pub direction: DirectionPolicy,
+    /// Sweep configuration for the pull (SpMV) iterations.
+    pub config: SweepConfig,
+}
+
+impl Descriptor {
+    /// Sets the vertex mask (builder).
+    #[must_use]
+    pub fn mask(mut self, mask: Arc<VertexMask>) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Sets the complement flag (builder).
+    #[must_use]
+    pub fn complement(mut self, complement: bool) -> Self {
+        self.complement = complement;
+        self
+    }
+
+    /// Sets the direction policy (builder).
+    #[must_use]
+    pub fn direction(mut self, direction: DirectionPolicy) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Sets the sweep configuration (builder).
+    #[must_use]
+    pub fn config(mut self, config: SweepConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the sweep mode, keeping the schedule (builder).
+    #[must_use]
+    pub fn sweep(mut self, sweep: SweepMode) -> Self {
+        self.config.sweep = sweep;
+        self
+    }
+
+    /// Sets the schedule, keeping the sweep mode (builder).
+    #[must_use]
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// The mask the sweep actually applies: the user mask with the
+    /// complement flag resolved. `None` means "all vertices allowed"
+    /// (also the result of complementing an absent mask).
+    pub fn resolved_mask(&self) -> Option<Arc<VertexMask>> {
+        match (&self.mask, self.complement) {
+            (None, _) => None,
+            (Some(m), false) => Some(Arc::clone(m)),
+            (Some(m), true) => Some(Arc::new(m.complement())),
+        }
+    }
+}
+
+/// Runs descriptor-driven BFS (tropical semiring) from `root`.
+///
+/// The generalized form of [`crate::dirop::run_diropt`]: push steps
+/// expand the frontier through the structure's rows (targets outside
+/// the resolved mask are never labeled), pull steps run the masked
+/// SpMV engine under the effective mask `user ∩ ¬visited`, so settled
+/// chunks fall out of the sweep before activation probing. Vertices
+/// outside the mask keep [`UNREACHABLE`] distances.
+///
+/// Panics if `root` is out of range or outside the resolved mask.
+pub fn run_descriptor<M, const C: usize>(
+    matrix: &M,
+    root: VertexId,
+    desc: &Descriptor,
+) -> DirOptOutput
+where
+    M: ChunkMatrix<C>,
+{
+    type S = TropicalSemiring;
+    let s = matrix.structure();
+    let n = s.n();
+    assert!((root as usize) < n, "root {root} out of range (n = {n})");
+    let user = desc.resolved_mask();
+    if let Some(u) = user.as_deref() {
+        u.check_layout(s);
+    }
+    let root_p = s.perm().to_new(root) as usize;
+    assert!(
+        user.as_deref().is_none_or(|u| u.contains(root_p)),
+        "root {root} is not in the descriptor's resolved vertex mask"
+    );
+    let np = s.n_padded();
+    let m2 = s.arcs(); // 2m
+
+    let mut cur = StateVecs::new(np);
+    let mut nxt = StateVecs::new(np);
+    let mut d = vec![0.0f32; np];
+    S::init(&mut cur, &mut d, n, root_p);
+
+    // Effective pull mask, maintained incrementally: user ∩ ¬visited.
+    // Newly labeled vertices are removed after every step, so pull
+    // iterations skip fully settled chunks at seed time instead of
+    // probing and SlimWork-skipping them.
+    let mut eff: Arc<VertexMask> = match user.as_deref() {
+        Some(u) => Arc::new(u.clone()),
+        None => Arc::new(VertexMask::full(n, C)),
+    };
+    Arc::make_mut(&mut eff).remove(root_p);
+
+    let base_opts = BfsOptions::default().config(desc.config);
+    let mut scratch = EngineScratch::new();
+    let track_wl = desc.config.sweep.uses_worklist();
+    if track_wl {
+        // Worklist invariant for the pull steps (see crate::bfs):
+        // outside the worklist, nxt already equals cur. Push steps
+        // write cur in place, so every chunk they touch goes on the
+        // pending list and the next pull sweep rewrites it.
+        S::clone_state(&cur, &mut nxt);
+        scratch.pending.push(((root_p / C) as u32, 1u32 << (root_p % C)));
+    }
+
+    let mut frontier: Vec<u32> = vec![root_p as u32];
+    let mut frontier_edges: u64 = s.row_len(root_p) as u64;
+    let mut stats = RunStats::default();
+    let mut modes = Vec::new();
+    let mut depth = 0u32;
+    let mut mode = match desc.direction {
+        DirectionPolicy::Pull => StepMode::BottomUp,
+        _ => StepMode::TopDown,
+    };
+
+    while !frontier.is_empty() {
+        depth += 1;
+        if let DirectionPolicy::Auto { alpha, beta } = desc.direction {
+            mode = match mode {
+                StepMode::TopDown if frontier_edges as f64 > m2 as f64 / alpha => {
+                    StepMode::BottomUp
+                }
+                StepMode::BottomUp if (frontier.len() as f64) < n as f64 / beta => {
+                    StepMode::TopDown
+                }
+                m => m,
+            };
+        }
+        modes.push(mode);
+        let t0 = Instant::now();
+        match mode {
+            StepMode::TopDown => {
+                let mut next = Vec::new();
+                let mut scanned = 0u64;
+                for &v in &frontier {
+                    for w in s.row_neighbors(v as usize) {
+                        scanned += 1;
+                        // The effective mask combines "allowed by the
+                        // user" and "not yet labeled" in one bit test.
+                        if cur.x[w as usize] == f32::INFINITY && eff.contains(w as usize) {
+                            cur.x[w as usize] = depth as f32;
+                            if track_wl {
+                                scratch.pending.push((w / C as u32, 1u32 << (w as usize % C)));
+                            }
+                            next.push(w);
+                        }
+                    }
+                }
+                frontier_edges = next.iter().map(|&w| s.row_len(w as usize) as u64).sum();
+                frontier = next;
+                stats.iters.push(IterStats {
+                    elapsed: t0.elapsed(),
+                    col_steps: scanned,
+                    cells: scanned,
+                    changed: !frontier.is_empty(),
+                    ..Default::default()
+                });
+            }
+            StepMode::BottomUp => {
+                let opts = base_opts.clone().mask(Some(Arc::clone(&eff)));
+                let mut it = step::<M, S, C>(
+                    matrix,
+                    &cur,
+                    &mut nxt,
+                    &mut d,
+                    depth as f32,
+                    &opts,
+                    &mut scratch,
+                );
+                drop(opts); // release the Arc so the mask update below stays in place
+                let next: Vec<u32> = if it.sweep_mode == ExecutedSweep::Worklist {
+                    // Harvested pending = changed chunks with per-lane
+                    // change masks, ascending; walk the set bits (see
+                    // crate::dirop for the oracle form of this
+                    // recovery).
+                    let mut out = Vec::new();
+                    for &(id, lanes) in &scratch.pending {
+                        it.frontier_probes += u64::from(lanes.count_ones());
+                        let lo = id as usize * C;
+                        let mut rest = lanes;
+                        while rest != 0 {
+                            let l = rest.trailing_zeros() as usize;
+                            rest &= rest - 1;
+                            let v = lo + l;
+                            debug_assert!(v < n && nxt.x[v] != cur.x[v]);
+                            out.push(v as u32);
+                        }
+                    }
+                    out
+                } else {
+                    it.frontier_probes += n as u64;
+                    let (nxt_x, cur_x) = (&nxt.x, &cur.x);
+                    let tiling = ChunkTiling::new(n, Schedule::Dynamic);
+                    tiling.map_reduce(
+                        tiling.ranges().to_vec(),
+                        |(v0, v1)| {
+                            (v0..v1)
+                                .filter(|&v| nxt_x[v] != cur_x[v])
+                                .map(|v| v as u32)
+                                .collect::<Vec<_>>()
+                        },
+                        Vec::new,
+                        |mut a, mut b| {
+                            a.append(&mut b);
+                            a
+                        },
+                    )
+                };
+                std::mem::swap(&mut cur, &mut nxt);
+                frontier_edges = next.iter().map(|&w| s.row_len(w as usize) as u64).sum();
+                frontier = next;
+                it.elapsed = t0.elapsed();
+                it.changed = !frontier.is_empty();
+                stats.iters.push(it);
+            }
+        }
+        // Settle the newly labeled vertices out of the effective mask.
+        let eff_mut = Arc::make_mut(&mut eff);
+        for &w in &frontier {
+            eff_mut.remove(w as usize);
+        }
+    }
+
+    let perm = s.perm();
+    let dist: Vec<u32> = (0..n)
+        .map(|old| {
+            let v = cur.x[perm.to_new(old as VertexId) as usize];
+            if v.is_finite() {
+                v as u32
+            } else {
+                UNREACHABLE
+            }
+        })
+        .collect();
+    DirOptOutput { bfs: BfsOutput { dist, parent: None, stats }, modes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::SlimSellMatrix;
+    use slimsell_gen::kronecker::{kronecker, KroneckerParams};
+    use slimsell_graph::{serial_bfs, GraphBuilder};
+
+    #[test]
+    fn unmasked_matches_reference() {
+        let g = kronecker(9, 12.0, KroneckerParams::GRAPH500, 7);
+        let root = (0..512u32).find(|&v| g.degree(v) > 0).unwrap();
+        let slim = SlimSellMatrix::<8>::build(&g, 64);
+        for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
+            let out = run_descriptor(&slim, root, &Descriptor::default().sweep(sweep));
+            assert_eq!(out.bfs.dist, serial_bfs(&g, root).dist, "{sweep:?}");
+        }
+    }
+
+    #[test]
+    fn push_pull_and_auto_agree() {
+        let g = kronecker(9, 8.0, KroneckerParams::GRAPH500, 3);
+        let root = (0..512u32).find(|&v| g.degree(v) > 0).unwrap();
+        let slim = SlimSellMatrix::<4>::build(&g, 64);
+        let push =
+            run_descriptor(&slim, root, &Descriptor::default().direction(DirectionPolicy::Push));
+        let pull =
+            run_descriptor(&slim, root, &Descriptor::default().direction(DirectionPolicy::Pull));
+        let auto = run_descriptor(&slim, root, &Descriptor::default());
+        assert_eq!(push.bfs.dist, pull.bfs.dist);
+        assert_eq!(push.bfs.dist, auto.bfs.dist);
+        assert!(push.modes.iter().all(|&m| m == StepMode::TopDown));
+        assert!(pull.modes.iter().all(|&m| m == StepMode::BottomUp));
+    }
+
+    #[test]
+    fn masked_run_matches_filtered_subgraph() {
+        // Path 0-1-…-19 with the upper half masked out: BFS must stop
+        // at the mask boundary exactly as if vertices 10.. were deleted.
+        let n = 20u32;
+        let g = GraphBuilder::new(n as usize).edges((0..n - 1).map(|v| (v, v + 1))).build();
+        let slim = SlimSellMatrix::<4>::build(&g, n as usize);
+        let mask = Arc::new(VertexMask::from_original(slim.structure(), 0..10u32));
+        for dir in [DirectionPolicy::Push, DirectionPolicy::Pull] {
+            let desc = Descriptor::default().mask(Arc::clone(&mask)).direction(dir);
+            let out = run_descriptor(&slim, 0, &desc);
+            for v in 0..10 {
+                assert_eq!(out.bfs.dist[v], v as u32, "{dir:?}");
+            }
+            for v in 10..20 {
+                assert_eq!(out.bfs.dist[v], UNREACHABLE, "{dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn complement_flag_inverts_the_mask() {
+        let n = 8u32;
+        let g = GraphBuilder::new(n as usize).edges((0..n - 1).map(|v| (v, v + 1))).build();
+        let slim = SlimSellMatrix::<4>::build(&g, n as usize);
+        // Masking OUT {5, 6, 7} via complement: reachable set is 0..=4.
+        let blocked = Arc::new(VertexMask::from_original(slim.structure(), 5..8u32));
+        let desc = Descriptor::default().mask(blocked).complement(true);
+        let out = run_descriptor(&slim, 0, &desc);
+        assert_eq!(out.bfs.dist[..5], [0, 1, 2, 3, 4]);
+        assert!(out.bfs.dist[5..].iter().all(|&d| d == UNREACHABLE));
+    }
+
+    #[test]
+    #[should_panic(expected = "resolved vertex mask")]
+    fn root_outside_mask_rejected() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        let slim = SlimSellMatrix::<4>::build(&g, 4);
+        let mask = Arc::new(VertexMask::from_original(slim.structure(), [1u32, 2]));
+        run_descriptor(&slim, 0, &Descriptor::default().mask(mask));
+    }
+}

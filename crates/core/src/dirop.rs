@@ -38,7 +38,7 @@ pub enum StepMode {
 }
 
 /// Direction-optimization parameters (Beamer's α/β).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DirOptOptions {
     /// Switch to bottom-up when frontier out-edges > `m / alpha`.
     pub alpha: f64,
@@ -51,6 +51,30 @@ pub struct DirOptOptions {
 impl Default for DirOptOptions {
     fn default() -> Self {
         Self { alpha: 14.0, beta: 24.0, spmv: BfsOptions::default() }
+    }
+}
+
+impl DirOptOptions {
+    /// Sets the sweep mode of the bottom-up SpMV iterations (builder).
+    #[must_use]
+    pub fn sweep(mut self, sweep: crate::sweep::SweepMode) -> Self {
+        self.spmv = self.spmv.sweep(sweep);
+        self
+    }
+
+    /// Sets the schedule of the bottom-up SpMV iterations (builder).
+    #[must_use]
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.spmv = self.spmv.schedule(schedule);
+        self
+    }
+
+    /// Sets the full sweep configuration of the bottom-up SpMV
+    /// iterations (builder).
+    #[must_use]
+    pub fn config(mut self, config: crate::sweep::SweepConfig) -> Self {
+        self.spmv = self.spmv.config(config);
+        self
     }
 }
 
@@ -73,6 +97,11 @@ where
     M: ChunkMatrix<C>,
 {
     type S = TropicalSemiring;
+    assert!(
+        opts.spmv.mask.is_none(),
+        "run_diropt does not take a vertex mask; use run_descriptor for masked \
+         direction-optimized BFS"
+    );
     let s = matrix.structure();
     let n = s.n();
     assert!((root as usize) < n, "root {root} out of range (n = {n})");
@@ -86,7 +115,7 @@ where
     S::init(&mut cur, &mut d, n, root_p);
 
     let mut scratch = EngineScratch::new();
-    let track_wl = opts.spmv.sweep.uses_worklist();
+    let track_wl = opts.spmv.config.sweep.uses_worklist();
     if track_wl {
         // Worklist invariant for the bottom-up steps (see crate::bfs):
         // outside the worklist, nxt already equals cur. Top-down steps
@@ -163,21 +192,34 @@ where
                 // ran (it.sweep_mode), not the configured policy — an
                 // adaptive step may have swept either way.
                 let next: Vec<u32> = if it.sweep_mode == ExecutedSweep::Worklist {
-                    // Only worklist chunks can hold changes (outside the
-                    // worklist nxt equals cur bit-for-bit), so the scan
-                    // is frontier-proportional too; worklist order is
-                    // ascending, matching the sequential full scan.
+                    // The harvested pending list holds exactly the
+                    // changed chunks with their per-lane change masks
+                    // (tropical change mask ⟺ nxt.x ≠ cur.x), in
+                    // ascending chunk order — walking its set bits
+                    // yields the same frontier as rescanning every
+                    // lane of every worklist chunk, at one probe per
+                    // discovered vertex.
                     let mut out = Vec::new();
-                    for &id in scratch.act.worklist() {
+                    for &(id, lanes) in &scratch.pending {
+                        it.frontier_probes += u64::from(lanes.count_ones());
                         let lo = id as usize * C;
-                        let hi = ((id as usize + 1) * C).min(n);
-                        out.extend((lo..hi).filter(|&v| nxt.x[v] != cur.x[v]).map(|v| v as u32));
+                        let mut rest = lanes;
+                        while rest != 0 {
+                            let l = rest.trailing_zeros() as usize;
+                            rest &= rest - 1;
+                            let v = lo + l;
+                            debug_assert!(v < n && nxt.x[v] != cur.x[v]);
+                            out.push(v as u32);
+                        }
                     }
                     out
                 } else {
                     // Parallel over contiguous vertex ranges; the
                     // ordered range merge keeps the frontier sorted
-                    // exactly like the sequential scan.
+                    // exactly like the sequential scan. A full sweep
+                    // leaves no change-mask trail, so every vertex is
+                    // probed.
+                    it.frontier_probes += n as u64;
                     let (nxt_x, cur_x) = (&nxt.x, &cur.x);
                     let tiling = ChunkTiling::new(n, Schedule::Dynamic);
                     tiling.map_reduce(

@@ -19,10 +19,16 @@
 //!   structure) and epoch-stamped activation worklists behind the
 //!   worklist sweep modes: frontier-proportional sweeps instead of
 //!   full sweeps with per-chunk skip tests.
-//! * [`sweep`] — the sweep-mode policy layer ([`BfsOptions::sweep`],
+//! * [`sweep`] — the sweep-mode policy layer ([`SweepConfig`],
 //!   `SLIMSELL_SWEEP`): pure full/worklist modes plus the default
 //!   adaptive controller that switches per iteration at the `~nc/2`
 //!   crossover with hysteresis.
+//! * [`mask`] — dense vertex masks over the chunk layout: one
+//!   allowed-lane word per chunk, padding lanes always set,
+//!   popcount-tracked updates. Every semiring sweep accepts one.
+//! * [`descriptor`] — GraphBLAS-style descriptors ((complemented)
+//!   mask + push/pull policy + [`SweepConfig`]) and the
+//!   descriptor-driven BFS that generalizes [`dirop`].
 //! * [`dp`] — the `DP` distance→parent transformation (§II-C).
 //! * [`dirop`] — direction-optimized algebraic BFS (the third curve of
 //!   Figure 1): sparse top-down steps on the SlimSell structure, SpMV
@@ -53,8 +59,10 @@ pub mod betweenness;
 pub mod bfs;
 pub mod components;
 pub mod counters;
+pub mod descriptor;
 pub mod dirop;
 pub mod dp;
+pub mod mask;
 pub mod matrix;
 pub mod msbfs;
 pub mod pagerank;
@@ -75,13 +83,15 @@ pub use betweenness::{
 pub use bfs::{chunk_mv, BfsEngine, BfsOptions, BfsOutput, Schedule};
 pub use components::connected_components;
 pub use counters::{IterStats, RunStats};
+pub use descriptor::{run_descriptor, Descriptor, DirectionPolicy};
 pub use dp::dp_transform;
+pub use mask::VertexMask;
 pub use matrix::{ChunkMatrix, SellCSigma, SlimSellMatrix};
 pub use msbfs::{multi_bfs, multi_bfs_while, multi_bfs_with, MsBfsOptions, MultiBfsOutput};
 pub use pagerank::{pagerank, PageRankOptions};
 pub use semiring::{BooleanSemiring, RealSemiring, SelMaxSemiring, Semiring, TropicalSemiring};
 pub use sssp::{sssp, sssp_with, SsspOptions, WeightedSellCSigma};
 pub use structure::SellStructure;
-pub use sweep::{AdaptiveController, ExecutedSweep, SweepMode};
+pub use sweep::{AdaptiveController, ExecutedSweep, SweepConfig, SweepMode};
 pub use validation::graph500_validate;
 pub use worklist::{ActivationState, ChunkDepGraph};

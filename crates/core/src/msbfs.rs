@@ -50,35 +50,77 @@
 //! assert!(out.completed);
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use slimsell_graph::{VertexId, UNREACHABLE};
 use slimsell_simd::prefetch_read;
 
 use crate::counters::{IterStats, RunStats};
+use crate::mask::VertexMask;
 use crate::matrix::ChunkMatrix;
 use crate::semiring::slice_bits_differ;
-use crate::sweep::{resolve_sweep, AdaptiveController, ExecutedSweep, SweepMode};
+use crate::sweep::{resolve_sweep, AdaptiveController, ExecutedSweep, SweepConfig, SweepMode};
 use crate::tiling::{ChunkTiling, Schedule, WorklistTiling};
-use crate::worklist::ActivationState;
+use crate::worklist::{full_lane_mask, ActivationState};
 
-/// Multi-source BFS options: sweep strategy and scheduling.
-#[derive(Clone, Copy, Debug)]
+/// Multi-source BFS options: sweep strategy, scheduling and an
+/// optional vertex mask shared by all `B` traversals.
+#[derive(Clone, Debug, Default)]
 pub struct MsBfsOptions {
-    /// Sweep strategy (defaults to the `SLIMSELL_SWEEP` env var;
-    /// adaptive when unset). Distances are bit-identical in every mode.
-    pub sweep: SweepMode,
-    /// Chunk scheduling policy.
-    pub schedule: Schedule,
+    /// Sweep strategy and chunk scheduling policy (defaults to the
+    /// `SLIMSELL_SWEEP` env var; adaptive when unset). Distances are
+    /// bit-identical in every mode.
+    pub config: SweepConfig,
     /// Safety cap on iterations (defaults to `n + 1`, which min-plus
     /// hop relaxation can never exceed). A capped run reports
     /// [`MultiBfsOutput::completed`] `= false`.
     pub max_iterations: Option<usize>,
+    /// Optional vertex mask applied to every source lane: all `B`
+    /// traversals run in the induced subgraph (every root must be
+    /// inside the mask; vertices outside stay [`UNREACHABLE`]).
+    pub mask: Option<Arc<VertexMask>>,
 }
 
-impl Default for MsBfsOptions {
-    fn default() -> Self {
-        Self { sweep: SweepMode::env_default(), schedule: Schedule::Dynamic, max_iterations: None }
+impl MsBfsOptions {
+    /// Sets the sweep mode, keeping the schedule (builder).
+    #[must_use]
+    pub fn sweep(mut self, sweep: SweepMode) -> Self {
+        self.config.sweep = sweep;
+        self
+    }
+
+    /// Sets the schedule, keeping the sweep mode (builder).
+    #[must_use]
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Sets the full sweep configuration (builder).
+    #[must_use]
+    pub fn config(mut self, config: SweepConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the vertex mask (builder).
+    #[must_use]
+    pub fn mask(mut self, mask: Option<Arc<VertexMask>>) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Migration shim for the pre-PR-10 `sweep` field.
+    #[deprecated(note = "set `config.sweep` or use the `.sweep(..)` builder")]
+    pub fn set_sweep(&mut self, sweep: SweepMode) {
+        self.config.sweep = sweep;
+    }
+
+    /// Migration shim for the pre-PR-10 `schedule` field.
+    #[deprecated(note = "set `config.schedule` or use the `.schedule(..)` builder")]
+    pub fn set_schedule(&mut self, schedule: Schedule) {
+        self.config.schedule = schedule;
     }
 }
 
@@ -126,13 +168,18 @@ fn ms_chunk<M, const C: usize, const B: usize>(
     cur: &[f32],
     i: usize,
     out: &mut [f32],
+    mask: Option<&VertexMask>,
 ) -> (u32, u64, u64, usize)
 where
     M: ChunkMatrix<C>,
 {
     let s = matrix.structure();
     let base = i * C;
-    if cur[base * B..(base + C) * B].iter().all(|&x| x != f32::INFINITY) {
+    // A fully masked chunk is skipped exactly like a converged one:
+    // its C·B state block is forwarded verbatim.
+    if mask.is_some_and(|mk| mk.allowed_real(i) == 0)
+        || cur[base * B..(base + C) * B].iter().all(|&x| x != f32::INFINITY)
+    {
         out.copy_from_slice(&cur[base * B..(base + C) * B]);
         return (0, 0, 0, 1);
     }
@@ -176,7 +223,20 @@ where
             }
         }
     }
-    let mut mask = 0u32;
+    // Under a partial mask, patch each masked-out row's B-lane group
+    // back to its previous state before the store/change test, so
+    // masked rows stay exactly at rest in every source lane.
+    if let Some(mk) = mask {
+        let allowed = mk.allowed(i);
+        if allowed != full_lane_mask(C) {
+            for (lane, a) in acc.iter_mut().enumerate() {
+                if allowed & (1 << lane) == 0 {
+                    a.copy_from_slice(&cur[(base + lane) * B..(base + lane + 1) * B]);
+                }
+            }
+        }
+    }
+    let mut changed_mask = 0u32;
     for (lane, a) in acc.iter().enumerate() {
         out[lane * B..(lane + 1) * B].copy_from_slice(a);
         let r = base + lane;
@@ -184,10 +244,10 @@ where
         // feeds the lane-filtered dependency expansion, so it must
         // match the byte-equality contract of the determinism suite.
         if slice_bits_differ(&cur[r * B..(r + 1) * B], &out[lane * B..(lane + 1) * B]) {
-            mask |= 1 << lane;
+            changed_mask |= 1 << lane;
         }
     }
-    (mask, steps as u64, s.chunk_arcs()[i] * B as u64, 0)
+    (changed_mask, steps as u64, s.chunk_arcs()[i] * B as u64, 0)
 }
 
 /// Runs `B` simultaneous BFS traversals over the Sell structure with
@@ -243,6 +303,10 @@ where
     let s = matrix.structure();
     let n = s.n();
     let np = s.n_padded();
+    let mask = opts.mask.as_deref();
+    if let Some(mk) = mask {
+        mk.check_layout(s);
+    }
     // x[v*B + b] = tentative distance of v from source b.
     let mut cur = vec![f32::INFINITY; np * B];
     // Virtual padding rows look finished so their chunk can be skipped.
@@ -252,17 +316,21 @@ where
     for (b, &r) in roots.iter().enumerate() {
         assert!((r as usize) < n, "root {r} out of range (n = {n})");
         let rp = s.perm().to_new(r) as usize;
+        assert!(
+            mask.is_none_or(|mk| mk.contains(rp)),
+            "root {r} (source lane {b}) is not in the vertex mask"
+        );
         cur[rp * B + b] = 0.0;
     }
     let mut nxt = cur.clone();
 
     let nc = np / C;
-    let tiling = ChunkTiling::new(nc, opts.schedule);
+    let tiling = ChunkTiling::new(nc, opts.config.schedule);
     let mut act = ActivationState::new();
     let mut ctl = AdaptiveController::new();
     let mut pending: Vec<(u32, u32)> = Vec::new();
     let mut full_changed: Vec<u32> = Vec::new();
-    if opts.sweep.uses_worklist() {
+    if opts.config.sweep.uses_worklist() {
         // Only the root rows differ from the all-∞ rest state, so only
         // chunks gathering a root's row lane can produce a different
         // output. Duplicate root chunks merge their lane masks in
@@ -273,7 +341,7 @@ where
         }
     }
     // Adaptive full sweeps must track changes to re-seed the worklist.
-    let track = opts.sweep == SweepMode::Adaptive;
+    let track = opts.config.sweep == SweepMode::Adaptive;
 
     let mut stats = RunStats::default();
     let max_iters = opts.max_iterations.unwrap_or(n + 1);
@@ -287,9 +355,17 @@ where
         let t0 = Instant::now();
         // Short-circuit before touching `dep_graph()`: pure full-sweep
         // runs must not force the lazy dependency-graph build.
-        let (exec, seeded) = match opts.sweep {
+        let (exec, seeded) = match opts.config.sweep {
             SweepMode::Full => (ExecutedSweep::Full, None),
-            _ => resolve_sweep(opts.sweep, &mut ctl, &mut act, s.dep_graph(), &mut pending, nc),
+            _ => resolve_sweep(
+                opts.config.sweep,
+                &mut ctl,
+                &mut act,
+                s.dep_graph(),
+                &mut pending,
+                nc,
+                mask,
+            ),
         };
         let cur_ref = &cur;
         let (changed, col_steps, active_cells, skipped, wl_len, changed_chunks);
@@ -310,7 +386,7 @@ where
                             t.data.chunks_mut(C * B).zip(f.data.iter_mut()).enumerate()
                         {
                             let (mask, steps, arcs, skip) =
-                                ms_chunk::<M, C, B>(matrix, cur_ref, t.c0 + k, out);
+                                ms_chunk::<M, C, B>(matrix, cur_ref, t.c0 + k, out, mask);
                             *flag = mask;
                             acc.0 |= mask != 0;
                             acc.1 += steps;
@@ -341,7 +417,7 @@ where
                         let mut acc = (false, 0u64, 0u64, 0usize);
                         for (k, out) in t.data.chunks_mut(C * B).enumerate() {
                             let (mask, steps, arcs, skip) =
-                                ms_chunk::<M, C, B>(matrix, cur_ref, t.c0 + k, out);
+                                ms_chunk::<M, C, B>(matrix, cur_ref, t.c0 + k, out, mask);
                             acc.0 |= mask != 0;
                             acc.1 += steps;
                             acc.2 += arcs;
@@ -358,7 +434,7 @@ where
             ExecutedSweep::Worklist => {
                 let (ids, flags) = act.split();
                 wl_len = ids.len();
-                let wt = WorklistTiling::new(ids, opts.schedule);
+                let wt = WorklistTiling::new(ids, opts.config.schedule);
                 let slabs = wt.split_slab(C * B, &mut nxt, flags);
                 (changed, col_steps, active_cells, skipped) = wt.map_reduce(
                     slabs,
@@ -370,7 +446,7 @@ where
                             let off = i * (C * B) - base0;
                             let out = &mut sl.data[off..off + C * B];
                             let (mask, steps, arcs, skip) =
-                                ms_chunk::<M, C, B>(matrix, cur_ref, i, out);
+                                ms_chunk::<M, C, B>(matrix, cur_ref, i, out, mask);
                             sl.changed[k] = mask;
                             acc.0 |= mask != 0;
                             acc.1 += steps;
@@ -398,6 +474,7 @@ where
             cells: col_steps * (C * B) as u64,
             active_cells,
             changed,
+            ..Default::default()
         });
         std::mem::swap(&mut cur, &mut nxt);
         if !changed {
@@ -435,7 +512,7 @@ mod tests {
     use slimsell_graph::{serial_bfs, GraphBuilder};
 
     fn opts(sweep: SweepMode) -> MsBfsOptions {
-        MsBfsOptions { sweep, ..Default::default() }
+        MsBfsOptions::default().sweep(sweep)
     }
 
     #[test]

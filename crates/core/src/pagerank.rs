@@ -54,12 +54,12 @@ use slimsell_simd::{SimdF32, SimdI32};
 use crate::counters::{IterStats, RunStats};
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{RealSemiring, Semiring};
-use crate::sweep::{resolve_sweep, AdaptiveController, ExecutedSweep, SweepMode};
+use crate::sweep::{resolve_sweep, AdaptiveController, ExecutedSweep, SweepConfig, SweepMode};
 use crate::tiling::{ChunkTiling, Schedule, WorklistTiling};
 use crate::worklist::ActivationState;
 
 /// PageRank options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct PageRankOptions {
     /// Damping factor `d` (0.85 is the classic choice).
     pub damping: f32,
@@ -67,10 +67,17 @@ pub struct PageRankOptions {
     pub tolerance: f32,
     /// Iteration cap.
     pub max_iterations: usize,
-    /// Sweep strategy for the SpMV pass (defaults to the
-    /// `SLIMSELL_SWEEP` env var; adaptive when unset). Scores are
+    /// Sweep strategy and scheduling for the SpMV pass (defaults to
+    /// the `SLIMSELL_SWEEP` env var; adaptive when unset). Scores are
     /// bit-identical in every mode.
-    pub sweep: SweepMode,
+    pub config: SweepConfig,
+    /// Personalization set (original vertex ids). `None` is classic
+    /// PageRank with the uniform teleport vector — byte-identical to
+    /// the pre-personalization behavior. `Some(seeds)` teleports (and
+    /// routes dangling mass) to the seed set only: the restart
+    /// distribution puts `1/|S|` on each seed and 0 elsewhere, so
+    /// scores concentrate around the seeds (personalized PageRank).
+    pub personalize: Option<Vec<VertexId>>,
 }
 
 impl Default for PageRankOptions {
@@ -79,8 +86,51 @@ impl Default for PageRankOptions {
             damping: 0.85,
             tolerance: 1e-7,
             max_iterations: 200,
-            sweep: SweepMode::env_default(),
+            config: SweepConfig::default(),
+            personalize: None,
         }
+    }
+}
+
+impl PageRankOptions {
+    /// Sets the sweep mode, keeping the schedule (builder).
+    #[must_use]
+    pub fn sweep(mut self, sweep: SweepMode) -> Self {
+        self.config.sweep = sweep;
+        self
+    }
+
+    /// Sets the schedule, keeping the sweep mode (builder).
+    #[must_use]
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Sets the full sweep configuration (builder).
+    #[must_use]
+    pub fn config(mut self, config: SweepConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the personalization seed set (builder; original ids).
+    #[must_use]
+    pub fn personalize(mut self, seeds: impl IntoIterator<Item = VertexId>) -> Self {
+        self.personalize = Some(seeds.into_iter().collect());
+        self
+    }
+
+    /// Migration shim for the pre-PR-10 `sweep` field.
+    #[deprecated(note = "set `config.sweep` or use the `.sweep(..)` builder")]
+    pub fn set_sweep(&mut self, sweep: SweepMode) {
+        self.config.sweep = sweep;
+    }
+
+    /// Migration shim for the pre-PR-10 `schedule` knob.
+    #[deprecated(note = "set `config.schedule` or use the `.schedule(..)` builder")]
+    pub fn set_schedule(&mut self, schedule: Schedule) {
+        self.config.schedule = schedule;
     }
 }
 
@@ -113,8 +163,33 @@ where
     let deg: Vec<f32> = (0..np).map(|r| if r < n { s.row_len(r) as f32 } else { 0.0 }).collect();
     let inv_deg: Vec<f32> = deg.iter().map(|&x| if x > 0.0 { 1.0 / x } else { 0.0 }).collect();
 
-    let mut x = vec![0.0f32; np];
-    x[..n].fill(1.0 / n as f32);
+    // Personalized restart distribution in permuted space: 1/|S| on
+    // each seed, 0 elsewhere. The `None` arm below keeps the classic
+    // uniform-teleport code path byte-identical to the
+    // pre-personalization behavior.
+    let tele: Option<Vec<f32>> = opts.personalize.as_ref().map(|seeds| {
+        assert!(!seeds.is_empty(), "personalization seed set is empty");
+        let mut uniq: Vec<VertexId> = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let w = 1.0 / uniq.len() as f32;
+        let mut t = vec![0.0f32; np];
+        for &v in &uniq {
+            assert!((v as usize) < n, "personalization seed {v} out of range (n = {n})");
+            t[s.perm().to_new(v) as usize] = w;
+        }
+        t
+    });
+
+    let mut x = match &tele {
+        None => {
+            let mut x = vec![0.0f32; np];
+            x[..n].fill(1.0 / n as f32);
+            x
+        }
+        // Personalized runs start from the restart distribution.
+        Some(t) => t.clone(),
+    };
     let mut y = vec![0.0f32; np]; // pre-scaled x/deg
     let mut nxt = vec![0.0f32; np];
     let nc = np / C;
@@ -135,9 +210,9 @@ where
     let mut ctl = AdaptiveController::new();
     // Change detection (the bit compares in the pre-scale pass and the
     // seed-list rebuild) is paid only by worklist-capable modes.
-    let track = opts.sweep.uses_worklist();
+    let track = opts.config.sweep.uses_worklist();
 
-    let tiling = ChunkTiling::new(nc, Schedule::Dynamic);
+    let tiling = ChunkTiling::new(nc, opts.config.schedule);
     let mut stats = RunStats::default();
     let mut iterations = 0;
     let mut residual = f32::INFINITY;
@@ -195,9 +270,17 @@ where
         // already bit-exact.
         // Short-circuit before touching `dep_graph()`: pure full-sweep
         // runs must not force the lazy dependency-graph build.
-        let (exec, seeded) = match opts.sweep {
+        let (exec, seeded) = match opts.config.sweep {
             SweepMode::Full => (ExecutedSweep::Full, None),
-            _ => resolve_sweep(opts.sweep, &mut ctl, &mut act, s.dep_graph(), &mut pending, nc),
+            _ => resolve_sweep(
+                opts.config.sweep,
+                &mut ctl,
+                &mut act,
+                s.dep_graph(),
+                &mut pending,
+                nc,
+                None,
+            ),
         };
         let y_ref = &y;
         let (col_steps, wl_len);
@@ -227,7 +310,7 @@ where
                 // slab is passed only to satisfy `split_slab`.
                 let (ids, flags) = act.split();
                 wl_len = ids.len();
-                let wt = WorklistTiling::new(ids, Schedule::Dynamic);
+                let wt = WorklistTiling::new(ids, opts.config.schedule);
                 let slabs = wt.split_slab(C, &mut acc, flags);
                 col_steps = wt.map_reduce(
                     slabs,
@@ -250,9 +333,12 @@ where
         }
 
         // Output + residual pass: each tile owns its slab of `nxt` and
-        // the matching slab of per-chunk residual partials.
+        // the matching slab of per-chunk residual partials. The
+        // personalized restart teleports (and routes dangling mass) to
+        // the seed distribution instead of the uniform one.
         {
             let (x_ref, acc_ref) = (&x, &acc);
+            let tele_ref = tele.as_deref();
             let tiles: Vec<_> = tiling
                 .split(C, &mut nxt)
                 .into_iter()
@@ -264,7 +350,14 @@ where
                     let mut partial = 0.0f32;
                     for (lane, o) in slot.iter_mut().enumerate() {
                         let v = i * C + lane;
-                        *o = if v < n { base_mass + d * acc_ref[v] } else { 0.0 };
+                        *o = if v >= n {
+                            0.0
+                        } else {
+                            match tele_ref {
+                                None => base_mass + d * acc_ref[v],
+                                Some(t) => (1.0 - d) * t[v] + d * (acc_ref[v] + dangling * t[v]),
+                            }
+                        };
                         partial += (*o - x_ref[v]).abs();
                     }
                     *r = partial;
@@ -286,6 +379,7 @@ where
             cells: col_steps * C as u64,
             active_cells: 0, // lane utilization is measured by the BFS family only
             changed: residual > opts.tolerance,
+            ..Default::default()
         });
     }
 
@@ -390,10 +484,10 @@ mod tests {
         // chunks whose cached accumulators stand in for a recompute.
         let g = kronecker(8, 4.0, KroneckerParams::GRAPH500, 9);
         let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
-        let full = pagerank(&m, &PageRankOptions { sweep: SweepMode::Full, ..Default::default() });
+        let full = pagerank(&m, &PageRankOptions::default().sweep(SweepMode::Full));
         assert!(full.iterations > 2, "trivial convergence makes this test vacuous");
         for sweep in [SweepMode::Worklist, SweepMode::Adaptive] {
-            let out = pagerank(&m, &PageRankOptions { sweep, ..Default::default() });
+            let out = pagerank(&m, &PageRankOptions::default().sweep(sweep));
             assert_eq!(
                 out.scores.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 full.scores.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
@@ -423,7 +517,7 @@ mod tests {
         }
         let g = b.build();
         let m = SlimSellMatrix::<4>::build(&g, 1);
-        let opts = PageRankOptions { sweep: SweepMode::Worklist, ..Default::default() };
+        let opts = PageRankOptions::default().sweep(SweepMode::Worklist);
         let out = pagerank(&m, &opts);
         let full_steps_per_iter: u64 = {
             let s = m.structure();
@@ -436,6 +530,92 @@ mod tests {
             out.iterations as u64 * full_steps_per_iter
         );
         assert!(out.stats.iters.iter().all(|i| i.sweep_mode == ExecutedSweep::Worklist));
+    }
+
+    fn reference_personalized(g: &CsrGraph, opts: &PageRankOptions, seeds: &[u32]) -> Vec<f32> {
+        let n = g.num_vertices();
+        let d = opts.damping;
+        let w = 1.0 / seeds.len() as f32;
+        let mut t = vec![0.0f32; n];
+        for &v in seeds {
+            t[v as usize] = w;
+        }
+        let mut x = t.clone();
+        for _ in 0..opts.max_iterations {
+            let dangling: f32 =
+                (0..n as u32).filter(|&v| g.degree(v) == 0).map(|v| x[v as usize]).sum();
+            let mut nxt: Vec<f32> =
+                t.iter().map(|&tv| (1.0 - d) * tv + d * dangling * tv).collect();
+            for v in 0..n as u32 {
+                let share = x[v as usize] / g.degree(v).max(1) as f32;
+                for &w2 in g.neighbors(v) {
+                    nxt[w2 as usize] += d * share;
+                }
+            }
+            let res: f32 = nxt.iter().zip(&x).map(|(a, b)| (a - b).abs()).sum();
+            x = nxt;
+            if res < opts.tolerance {
+                break;
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn personalized_matches_dense_oracle() {
+        let g = kronecker(8, 4.0, KroneckerParams::GRAPH500, 11);
+        let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        let seeds = [3u32, 17, 42];
+        let opts = PageRankOptions::default().personalize(seeds);
+        let out = pagerank(&m, &opts);
+        let reference = reference_personalized(&g, &opts, &seeds);
+        assert_close(&out.scores, &reference, 1e-4);
+        let sum: f32 = out.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "personalized mass not conserved: {sum}");
+    }
+
+    #[test]
+    fn personalized_concentrates_mass_on_the_seed_component() {
+        // Two disconnected paths; seeding the first component must
+        // leave the second with zero score.
+        let mut b = GraphBuilder::new(16);
+        for v in 0..7u32 {
+            b.edge(v, v + 1);
+        }
+        for v in 8..15u32 {
+            b.edge(v, v + 1);
+        }
+        let g = b.build();
+        let m = SlimSellMatrix::<4>::build(&g, 16);
+        let out = pagerank(&m, &PageRankOptions::default().personalize([0u32, 3]));
+        assert!(out.scores[..8].iter().sum::<f32>() > 0.999);
+        assert!(out.scores[8..].iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn personalized_is_bit_identical_across_sweep_modes() {
+        let g = kronecker(7, 4.0, KroneckerParams::GRAPH500, 5);
+        let m = SlimSellMatrix::<4>::build(&g, g.num_vertices());
+        let runs: Vec<Vec<u32>> = [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive]
+            .into_iter()
+            .map(|sweep| {
+                pagerank(&m, &PageRankOptions::default().personalize([1u32, 9]).sweep(sweep))
+                    .scores
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn personalized_seed_out_of_range_rejected() {
+        let g = GraphBuilder::new(4).edges([(0, 1)]).build();
+        let m = SlimSellMatrix::<4>::build(&g, 4);
+        pagerank(&m, &PageRankOptions::default().personalize([9u32]));
     }
 
     #[test]

@@ -39,10 +39,12 @@ use slimsell_simd::{SimdF32, SimdI32};
 
 use crate::bfs::{cached_full_tiling, BfsOptions, EngineScratch};
 use crate::counters::IterStats;
+use crate::mask::VertexMask;
 use crate::matrix::ChunkMatrix;
 use crate::semiring::{Semiring, StateVecs};
 use crate::sweep::ExecutedSweep;
 use crate::tiling::{ChunkSpan, ChunkTiling, WorklistSpan, WorklistTiling};
+use crate::worklist::full_lane_mask;
 
 /// Builds the vertical tile tasks for one chunk into `tasks`.
 #[inline]
@@ -69,7 +71,7 @@ fn phase1<M, S, const C: usize>(
 {
     partials.clear();
     partials.resize(tasks.len() * C, S::OP1_IDENTITY);
-    let task_tiling = ChunkTiling::new(tasks.len(), opts.schedule);
+    let task_tiling = ChunkTiling::new(tasks.len(), opts.config.schedule);
     let slabs = task_tiling.split(C, partials);
     task_tiling.for_each(slabs, |slab| {
         for (off, buf) in slab.data.chunks_mut(C).enumerate() {
@@ -82,9 +84,12 @@ fn phase1<M, S, const C: usize>(
 /// Phase 2 for one chunk: SlimWork carry-forward if the chunk was
 /// skipped, otherwise fold its tile partials (starting from the
 /// chunk's previous values) with `op1` and run the semiring
-/// post-processing. Returns (advanced, column steps). The shared body
-/// of the full-sweep and worklist merge passes, so the two modes
-/// cannot drift apart.
+/// post-processing. Under a partial vertex mask, masked-out lanes are
+/// blended back to their previous state before post-processing, so
+/// masked vertices stay exactly at rest (same contract as the untiled
+/// engine). Returns (advanced, column steps). The shared body of the
+/// full-sweep and worklist merge passes, so the two modes cannot drift
+/// apart.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn merge_chunk<S, const C: usize>(
@@ -96,6 +101,7 @@ fn merge_chunk<S, const C: usize>(
     partials: &[f32],
     out: (&mut [f32], &mut [f32], &mut [f32], &mut [f32]),
     depth: f32,
+    allowed: u32,
 ) -> (bool, u64)
 where
     S: Semiring,
@@ -109,6 +115,16 @@ where
     let mut acc = SimdF32::<C>::load(&cur.x[base..]);
     for t in tasks {
         acc = S::op1(acc, SimdF32::<C>::load(&partials[t * C..]));
+    }
+    if allowed != full_lane_mask(C) {
+        let mut lanes = [0.0f32; C];
+        acc.store(&mut lanes);
+        for (l, slot) in lanes.iter_mut().enumerate() {
+            if allowed & (1 << l) == 0 {
+                *slot = cur.x[base + l];
+            }
+        }
+        acc = SimdF32::load(&lanes);
     }
     (S::post_chunk(acc, cur, base, nx, ng, np, dd, depth), cl_i)
 }
@@ -139,11 +155,15 @@ where
     assert!(tile_w >= 1, "tile width must be at least 1");
     let s = matrix.structure();
     let nc = s.num_chunks();
+    let mask = opts.mask.as_deref();
+    let allowed_of =
+        |m: Option<&VertexMask>, i: usize| m.map_or_else(|| full_lane_mask(C), |m| m.allowed(i));
     let EngineScratch { tiling, tasks, task_start, skip, partials, full_changed, pending, .. } =
         scratch;
 
-    // Task list: (chunk, first column step, last column step). SlimWork
-    // is applied here so skipped chunks generate no tiles at all.
+    // Task list: (chunk, first column step, last column step). Fully
+    // masked chunks and SlimWork skips are applied here so skipped
+    // chunks generate no tiles at all.
     tasks.clear();
     task_start.clear();
     task_start.resize(nc + 1, 0);
@@ -152,7 +172,9 @@ where
     let mut skipped = 0usize;
     for i in 0..nc {
         task_start[i] = tasks.len();
-        if opts.slimwork && S::should_skip(cur, i * C..(i + 1) * C) {
+        if mask.is_some_and(|m| m.allowed_real(i) == 0)
+            || (opts.slimwork && S::should_skip(cur, i * C..(i + 1) * C))
+        {
             skip[i] = true;
             skipped += 1;
             continue;
@@ -176,9 +198,10 @@ where
             partials,
             out,
             depth,
+            allowed_of(mask, i),
         )
     };
-    let tiling = cached_full_tiling(tiling, nc, opts.schedule);
+    let tiling = cached_full_tiling(tiling, nc, opts.config.schedule);
     let (changed, col_steps, active_cells);
     let mut changed_chunks = 0;
     if track {
@@ -267,6 +290,7 @@ where
         cells: col_steps * C as u64,
         active_cells,
         changed,
+        ..Default::default()
     }
 }
 
@@ -293,6 +317,9 @@ where
     assert!(tile_w >= 1, "tile width must be at least 1");
     let s = matrix.structure();
     let nc = s.num_chunks();
+    let mask = opts.mask.as_deref();
+    let allowed_of =
+        |m: Option<&VertexMask>, i: usize| m.map_or_else(|| full_lane_mask(C), |m| m.allowed(i));
     let EngineScratch { act, pending, tasks, task_start, skip, partials, .. } = scratch;
 
     let (ids, flags) = act.split();
@@ -309,7 +336,9 @@ where
     for (k, &id) in ids.iter().enumerate() {
         let i = id as usize;
         task_start[k] = tasks.len();
-        if opts.slimwork && S::should_skip(cur, i * C..(i + 1) * C) {
+        if mask.is_some_and(|m| m.allowed_real(i) == 0)
+            || (opts.slimwork && S::should_skip(cur, i * C..(i + 1) * C))
+        {
             skip[k] = true;
             skipped += 1;
             continue;
@@ -344,6 +373,7 @@ where
                     &mut d[off..off + C],
                 ),
                 depth,
+                allowed_of(mask, i),
             );
             // A skipped chunk's mask stays 0 (state forwarded
             // verbatim); otherwise record the exact per-lane change
@@ -363,7 +393,7 @@ where
         }
         acc2
     };
-    let tiling = WorklistTiling::new(ids, opts.schedule);
+    let tiling = WorklistTiling::new(ids, opts.config.schedule);
     let spans = tiling.split_spans::<C>(nxt, d, flags);
     let (changed, col_steps, active_cells) = tiling.map_reduce(
         spans,
@@ -386,6 +416,7 @@ where
         cells: col_steps * C as u64,
         active_cells,
         changed,
+        ..Default::default()
     }
 }
 

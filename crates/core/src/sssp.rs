@@ -40,7 +40,7 @@
 //! assert_eq!(out.dist, vec![0.0, 1.0, 3.0]);
 //! ```
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use slimsell_graph::weighted::WeightedCsrGraph;
@@ -48,10 +48,11 @@ use slimsell_graph::{Permutation, VertexId};
 use slimsell_simd::{SimdF32, SimdI32};
 
 use crate::counters::{IterStats, RunStats};
+use crate::mask::VertexMask;
 use crate::semiring::lanes_ne_bits;
-use crate::sweep::{resolve_sweep, AdaptiveController, ExecutedSweep, SweepMode};
+use crate::sweep::{resolve_sweep, AdaptiveController, ExecutedSweep, SweepConfig, SweepMode};
 use crate::tiling::{ChunkTiling, Schedule, WorklistTiling};
-use crate::worklist::{ActivationState, ChunkDepGraph};
+use crate::worklist::{full_lane_mask, ActivationState, ChunkDepGraph};
 
 /// Sell-C-σ with real-valued weights: structure arrays plus a weight
 /// `val` array (padding cells hold `+∞`, the min-plus annihilator).
@@ -130,6 +131,13 @@ impl<const C: usize> WeightedSellCSigma<C> {
         self.n_padded / C
     }
 
+    /// Builds a [`VertexMask`] over this matrix's permuted chunk
+    /// layout from *original* graph ids (each mapped through the
+    /// σ-sort permutation), suitable for [`SsspOptions::mask`].
+    pub fn mask_from_original(&self, ids: impl IntoIterator<Item = VertexId>) -> VertexMask {
+        VertexMask::from_permuted(self.n, C, ids.into_iter().map(|v| self.perm.to_new(v) as usize))
+    }
+
     /// The chunk dependency graph (see
     /// [`SellStructure::dep_graph`](crate::SellStructure::dep_graph)):
     /// computed once per matrix on first call; drives the worklist and
@@ -141,22 +149,62 @@ impl<const C: usize> WeightedSellCSigma<C> {
     }
 }
 
-/// SSSP options: sweep strategy and scheduling. Unlike
-/// [`BfsOptions`](crate::BfsOptions) there is no SlimWork knob — the
-/// skip criterion is unsound for label-correcting relaxation (see the
-/// module docs).
-#[derive(Clone, Copy, Debug)]
+/// SSSP options: sweep strategy, scheduling and an optional vertex
+/// mask. Unlike [`BfsOptions`](crate::BfsOptions) there is no SlimWork
+/// knob — the skip criterion is unsound for label-correcting relaxation
+/// (see the module docs).
+#[derive(Clone, Debug, Default)]
 pub struct SsspOptions {
-    /// Sweep strategy (defaults to the `SLIMSELL_SWEEP` env var;
-    /// adaptive when unset). Distances are bit-identical in every mode.
-    pub sweep: SweepMode,
-    /// Chunk scheduling policy.
-    pub schedule: Schedule,
+    /// Sweep strategy and chunk scheduling policy (defaults to the
+    /// `SLIMSELL_SWEEP` env var, adaptive when unset, with dynamic
+    /// scheduling). Distances are bit-identical in every mode.
+    pub config: SweepConfig,
+    /// Optional vertex mask (permuted chunk layout, `C` lanes):
+    /// relaxation only updates labels of vertices inside the mask;
+    /// vertices outside stay at `+∞` and gathers from them contribute
+    /// the min-plus identity — shortest paths in the induced subgraph.
+    pub mask: Option<Arc<VertexMask>>,
 }
 
-impl Default for SsspOptions {
-    fn default() -> Self {
-        Self { sweep: SweepMode::env_default(), schedule: Schedule::Dynamic }
+impl SsspOptions {
+    /// Sets the sweep mode, keeping the schedule (builder).
+    #[must_use]
+    pub fn sweep(mut self, sweep: SweepMode) -> Self {
+        self.config.sweep = sweep;
+        self
+    }
+
+    /// Sets the schedule, keeping the sweep mode (builder).
+    #[must_use]
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Sets the full sweep configuration (builder).
+    #[must_use]
+    pub fn config(mut self, config: SweepConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the vertex mask (builder).
+    #[must_use]
+    pub fn mask(mut self, mask: Option<Arc<VertexMask>>) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Migration shim for the pre-PR-10 `sweep` field.
+    #[deprecated(note = "set `config.sweep` or use the `.sweep(..)` builder")]
+    pub fn set_sweep(&mut self, sweep: SweepMode) {
+        self.config.sweep = sweep;
+    }
+
+    /// Migration shim for the pre-PR-10 `schedule` field.
+    #[deprecated(note = "set `config.schedule` or use the `.schedule(..)` builder")]
+    pub fn set_schedule(&mut self, schedule: Schedule) {
+        self.config.schedule = schedule;
     }
 }
 
@@ -198,6 +246,39 @@ fn relax_chunk<const C: usize>(
     acc.any_ne(before)
 }
 
+/// Masked wrapper around [`relax_chunk`]: a fully masked chunk forwards
+/// its labels verbatim (no relaxation, returns `(false, true)` for
+/// (changed, skipped)); under a partial mask the masked-out lanes are
+/// patched back to their previous labels before the change test, so
+/// masked vertices stay exactly at `+∞` (or wherever they started).
+#[inline]
+fn relax_chunk_masked<const C: usize>(
+    m: &WeightedSellCSigma<C>,
+    cur: &[f32],
+    i: usize,
+    out: &mut [f32],
+    mask: Option<&VertexMask>,
+) -> (bool, bool) {
+    let Some(mk) = mask else {
+        return (relax_chunk(m, cur, i, out), false);
+    };
+    if mk.allowed_real(i) == 0 {
+        out.copy_from_slice(&cur[i * C..(i + 1) * C]);
+        return (false, true);
+    }
+    let allowed = mk.allowed(i);
+    if allowed == full_lane_mask(C) {
+        return (relax_chunk(m, cur, i, out), false);
+    }
+    relax_chunk(m, cur, i, out);
+    for (l, slot) in out.iter_mut().enumerate() {
+        if allowed & (1 << l) == 0 {
+            *slot = cur[i * C + l];
+        }
+    }
+    (lanes_ne_bits::<C>(&cur[i * C..], out) != 0, false)
+}
+
 /// Runs min-plus SSSP from `root` until the fixpoint, with the default
 /// options (env-selected sweep mode, dynamic scheduling).
 pub fn sssp<const C: usize>(m: &WeightedSellCSigma<C>, root: VertexId) -> SsspOutput {
@@ -220,23 +301,34 @@ pub fn sssp_with<const C: usize>(
     let n = m.n;
     assert!((root as usize) < n, "root {root} out of range (n = {n})");
     let root_p = m.perm.to_new(root) as usize;
+    let mask = opts.mask.as_deref();
+    if let Some(mk) = mask {
+        assert_eq!(
+            (mk.n(), mk.lanes()),
+            (n, C),
+            "mask built for n={} C={} used with a weighted structure of n={n} C={C}",
+            mk.n(),
+            mk.lanes(),
+        );
+        assert!(mk.contains(root_p), "root {root} is not in the vertex mask");
+    }
     let mut cur = vec![f32::INFINITY; m.n_padded];
     cur[root_p] = 0.0;
     let mut nxt = cur.clone();
 
     let nc = m.num_chunks();
-    let tiling = ChunkTiling::new(nc, opts.schedule);
+    let tiling = ChunkTiling::new(nc, opts.config.schedule);
     let mut act = ActivationState::new();
     let mut ctl = AdaptiveController::new();
     let mut pending: Vec<(u32, u32)> = Vec::new();
     let mut full_changed: Vec<u32> = Vec::new();
-    if opts.sweep.uses_worklist() {
+    if opts.config.sweep.uses_worklist() {
         // Only the root's label differs from +∞, so only dependents
         // gathering the root's lane can produce a different output.
         pending.push(((root_p / C) as u32, 1u32 << (root_p % C)));
     }
     // Adaptive full sweeps must track changes to re-seed the worklist.
-    let track = opts.sweep == SweepMode::Adaptive;
+    let track = opts.config.sweep == SweepMode::Adaptive;
 
     let mut stats = RunStats::default();
     let mut iterations = 0usize;
@@ -245,12 +337,20 @@ pub fn sssp_with<const C: usize>(
         let t0 = Instant::now();
         // Short-circuit before touching `dep_graph()`: pure full-sweep
         // runs must not force the lazy dependency-graph build.
-        let (exec, seeded) = match opts.sweep {
+        let (exec, seeded) = match opts.config.sweep {
             SweepMode::Full => (ExecutedSweep::Full, None),
-            _ => resolve_sweep(opts.sweep, &mut ctl, &mut act, m.dep_graph(), &mut pending, nc),
+            _ => resolve_sweep(
+                opts.config.sweep,
+                &mut ctl,
+                &mut act,
+                m.dep_graph(),
+                &mut pending,
+                nc,
+                mask,
+            ),
         };
         let cur_ref = &cur;
-        let (changed, col_steps, wl_len, changed_chunks);
+        let (changed, col_steps, skipped, wl_len, changed_chunks);
         match exec {
             ExecutedSweep::Full if track => {
                 full_changed.clear();
@@ -260,22 +360,27 @@ pub fn sssp_with<const C: usize>(
                     .into_iter()
                     .zip(tiling.split(1, &mut full_changed))
                     .collect();
-                (changed, col_steps) = tiling.map_reduce(
+                (changed, col_steps, skipped) = tiling.map_reduce(
                     tiles,
                     |(t, f)| {
-                        let mut acc = (false, 0u64);
+                        let mut acc = (false, 0u64, 0usize);
                         for (k, (out, flag)) in
                             t.data.chunks_mut(C).zip(f.data.iter_mut()).enumerate()
                         {
                             let i = t.c0 + k;
-                            acc.0 |= relax_chunk(m, cur_ref, i, out);
+                            let (adv, skip) = relax_chunk_masked(m, cur_ref, i, out, mask);
+                            acc.0 |= adv;
                             *flag = lanes_ne_bits::<C>(&cur_ref[i * C..], out);
-                            acc.1 += m.cl[i] as u64;
+                            if skip {
+                                acc.2 += 1;
+                            } else {
+                                acc.1 += m.cl[i] as u64;
+                            }
                         }
                         acc
                     },
-                    || (false, 0),
-                    |a, b| (a.0 | b.0, a.1 + b.1),
+                    || (false, 0, 0),
+                    |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2),
                 );
                 pending.clear();
                 pending.extend(
@@ -290,19 +395,24 @@ pub fn sssp_with<const C: usize>(
             }
             ExecutedSweep::Full => {
                 let tiles = tiling.split(C, &mut nxt);
-                (changed, col_steps) = tiling.map_reduce(
+                (changed, col_steps, skipped) = tiling.map_reduce(
                     tiles,
                     |t| {
-                        let mut acc = (false, 0u64);
+                        let mut acc = (false, 0u64, 0usize);
                         for (k, out) in t.data.chunks_mut(C).enumerate() {
                             let i = t.c0 + k;
-                            acc.0 |= relax_chunk(m, cur_ref, i, out);
-                            acc.1 += m.cl[i] as u64;
+                            let (adv, skip) = relax_chunk_masked(m, cur_ref, i, out, mask);
+                            acc.0 |= adv;
+                            if skip {
+                                acc.2 += 1;
+                            } else {
+                                acc.1 += m.cl[i] as u64;
+                            }
                         }
                         acc
                     },
-                    || (false, 0),
-                    |a, b| (a.0 | b.0, a.1 + b.1),
+                    || (false, 0, 0),
+                    |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2),
                 );
                 wl_len = nc;
                 changed_chunks = 0;
@@ -310,25 +420,30 @@ pub fn sssp_with<const C: usize>(
             ExecutedSweep::Worklist => {
                 let (ids, flags) = act.split();
                 wl_len = ids.len();
-                let wt = WorklistTiling::new(ids, opts.schedule);
+                let wt = WorklistTiling::new(ids, opts.config.schedule);
                 let slabs = wt.split_slab(C, &mut nxt, flags);
-                (changed, col_steps) = wt.map_reduce(
+                (changed, col_steps, skipped) = wt.map_reduce(
                     slabs,
                     |s| {
                         let base0 = s.ids[0] as usize * C;
-                        let mut acc = (false, 0u64);
+                        let mut acc = (false, 0u64, 0usize);
                         for (k, &id) in s.ids.iter().enumerate() {
                             let i = id as usize;
                             let off = i * C - base0;
                             let out = &mut s.data[off..off + C];
-                            acc.0 |= relax_chunk(m, cur_ref, i, out);
+                            let (adv, skip) = relax_chunk_masked(m, cur_ref, i, out, mask);
+                            acc.0 |= adv;
                             s.changed[k] = lanes_ne_bits::<C>(&cur_ref[i * C..], out);
-                            acc.1 += m.cl[i] as u64;
+                            if skip {
+                                acc.2 += 1;
+                            } else {
+                                acc.1 += m.cl[i] as u64;
+                            }
                         }
                         acc
                     },
-                    || (false, 0),
-                    |a, b| (a.0 | b.0, a.1 + b.1),
+                    || (false, 0, 0),
+                    |a, b| (a.0 | b.0, a.1 + b.1, a.2 + b.2),
                 );
                 changed_chunks = act.collect_changed_into(&mut pending);
             }
@@ -336,8 +451,8 @@ pub fn sssp_with<const C: usize>(
         stats.iters.push(IterStats {
             elapsed: t0.elapsed(),
             sweep_mode: exec,
-            chunks_processed: wl_len,
-            chunks_skipped: 0,
+            chunks_processed: wl_len - skipped,
+            chunks_skipped: skipped,
             chunks_not_on_worklist: nc - wl_len,
             worklist_len: wl_len,
             activations: seeded.unwrap_or(0),
@@ -346,6 +461,7 @@ pub fn sssp_with<const C: usize>(
             cells: col_steps * C as u64,
             active_cells: 0, // lane utilization is measured by the BFS family only
             changed,
+            ..Default::default()
         });
         std::mem::swap(&mut cur, &mut nxt);
         if !changed || iterations > n {
@@ -374,7 +490,7 @@ mod tests {
     }
 
     fn opts(sweep: SweepMode) -> SsspOptions {
-        SsspOptions { sweep, ..Default::default() }
+        SsspOptions::default().sweep(sweep)
     }
 
     #[test]

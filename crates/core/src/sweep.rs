@@ -12,7 +12,7 @@
 //! strategy is a property of the *iteration*, not the run.
 //!
 //! [`SweepMode`] is the policy knob
-//! ([`BfsOptions::sweep`](crate::BfsOptions::sweep), the
+//! ([`SweepConfig::sweep`], embedded in every kernel's options; the
 //! `SLIMSELL_SWEEP` env var):
 //!
 //! * [`SweepMode::Full`] — every iteration sweeps the whole chunk range
@@ -79,6 +79,8 @@
 
 use std::sync::OnceLock;
 
+use crate::mask::VertexMask;
+use crate::tiling::Schedule;
 use crate::worklist::{ActivationState, ChunkDepGraph};
 
 /// Sweep strategy for the iterative kernels (BFS, SSSP, PageRank's
@@ -192,6 +194,58 @@ impl ExecutedSweep {
     }
 }
 
+/// The sweep-policy pair shared by every kernel's options struct: which
+/// [`SweepMode`] drives the iteration loop and which tile [`Schedule`]
+/// distributes chunks over threads. PR 10 extracted it from the six
+/// per-kernel `*Options` structs (`BfsOptions`, `DirOptOptions`,
+/// `SsspOptions`, `PageRankOptions`, `MsBfsOptions`,
+/// `BetweennessOptions`), which had grown identical `sweep`/`schedule`
+/// field pairs independently; embedding one `SweepConfig` keeps the
+/// env-var default logic and the builder surface in exactly one place.
+///
+/// Construct with [`SweepConfig::default`] (reads `SLIMSELL_SWEEP`,
+/// dynamic scheduling) and refine with the consuming builders:
+///
+/// ```
+/// use slimsell_core::{Schedule, SweepConfig, SweepMode};
+/// let cfg = SweepConfig::default().sweep(SweepMode::Worklist).schedule(Schedule::Static);
+/// assert_eq!(cfg.sweep, SweepMode::Worklist);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Sweep strategy for the iteration loop.
+    pub sweep: SweepMode,
+    /// Tile schedule for distributing chunk ranges over threads.
+    pub schedule: Schedule,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self { sweep: SweepMode::env_default(), schedule: Schedule::Dynamic }
+    }
+}
+
+impl SweepConfig {
+    /// A config with both knobs pinned explicitly (no env lookup).
+    pub fn new(sweep: SweepMode, schedule: Schedule) -> Self {
+        Self { sweep, schedule }
+    }
+
+    /// Returns the config with the sweep mode replaced.
+    #[must_use]
+    pub fn sweep(mut self, sweep: SweepMode) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// Returns the config with the tile schedule replaced.
+    #[must_use]
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+}
+
 /// Hysteresis band numerators over [`CROSSOVER_DEN`]: worklist sweeps
 /// are entered at `seeds ≤ 7/16 · nc` and left at `seeds ≥ 9/16 · nc`,
 /// bracketing the `nc/2` crossover.
@@ -272,6 +326,11 @@ impl AdaptiveController {
 /// the lane-filtered activations paid (`None` when no seeding
 /// happened).
 ///
+/// When a [`VertexMask`] is supplied, dependent chunks with no allowed
+/// real lane are dropped *before* the activation probe is paid — a
+/// fully masked chunk can never change state, so it never belongs on a
+/// worklist and its probes would be pure waste.
+///
 /// In [`SweepMode::Adaptive`] the pending seed list is deduplicated
 /// *before* the decision (duplicate chunks merge their lane masks):
 /// callers like the direction-optimized driver push one entry per
@@ -286,9 +345,10 @@ pub fn resolve_sweep(
     dep: &ChunkDepGraph,
     pending: &mut Vec<(u32, u32)>,
     nc: usize,
+    mask: Option<&VertexMask>,
 ) -> (ExecutedSweep, Option<u64>) {
     let seed = |act: &mut ActivationState, pending: &mut Vec<(u32, u32)>| {
-        let probes = act.seed(dep, pending);
+        let probes = act.seed(dep, pending, mask);
         pending.clear();
         (ExecutedSweep::Worklist, Some(probes))
     };
@@ -367,6 +427,17 @@ mod tests {
         assert!(!SweepMode::Full.uses_worklist());
         assert!(SweepMode::Worklist.uses_worklist());
         assert!(SweepMode::Adaptive.uses_worklist());
+    }
+
+    #[test]
+    fn sweep_config_default_and_builders() {
+        let cfg = SweepConfig::default();
+        assert_eq!(cfg.sweep, SweepMode::env_default());
+        assert_eq!(cfg.schedule, Schedule::Dynamic);
+        let cfg = SweepConfig::new(SweepMode::Full, Schedule::Static)
+            .sweep(SweepMode::Worklist)
+            .schedule(Schedule::Dynamic);
+        assert_eq!(cfg, SweepConfig { sweep: SweepMode::Worklist, schedule: Schedule::Dynamic });
     }
 
     #[test]

@@ -53,13 +53,13 @@
 //! // folded up front, duplicate dependents by the epoch stamps.
 //! let mut act = ActivationState::new();
 //! let full = full_lane_mask(4);
-//! act.seed(dep, &mut vec![(0, full), (0, full)]);
+//! act.seed(dep, &mut vec![(0, full), (0, full)], None);
 //! assert_eq!(act.worklist(), &[0, 1]);
 //!
 //! // Chunk 1 gathers only row 3 of chunk 0 (the 0-4 path edge is row
 //! // 4's column 3 … row 3's column 4): a change confined to lane 0
 //! // re-activates chunk 0 (self edge, all lanes) but not chunk 1.
-//! act.seed(dep, &mut vec![(0, 0b0001)]);
+//! act.seed(dep, &mut vec![(0, 0b0001)], None);
 //! assert_eq!(act.worklist(), &[0]);
 //! ```
 
@@ -249,7 +249,24 @@ impl ActivationState {
     /// [`IterStats::activations`](crate::counters::IterStats::activations).
     /// Seeding every chunk with [`full_lane_mask`] reproduces the
     /// chunk-granular behavior exactly.
-    pub fn seed(&mut self, dep: &ChunkDepGraph, seeds: &mut Vec<(u32, u32)>) -> u64 {
+    ///
+    /// A [`VertexMask`](crate::mask::VertexMask) restricts the
+    /// expansion: dependents with no
+    /// allowed real lane are dropped *before* their probe is counted
+    /// (a fully masked chunk can never change state, so listing it
+    /// would only waste skip tests). Partially masked dependents are
+    /// kept — their allowed lanes still need the sweep. The seed's
+    /// *self edge* is exempt from the filter: a chunk that changed
+    /// last iteration has a stale double-buffered slot that must be
+    /// rewritten (via copy-forward if nothing else) before the next
+    /// buffer swap, even when a *shrinking* mask — the descriptor
+    /// driver's visited complement — has since masked it out entirely.
+    pub fn seed(
+        &mut self,
+        dep: &ChunkDepGraph,
+        seeds: &mut Vec<(u32, u32)>,
+        mask: Option<&crate::mask::VertexMask>,
+    ) -> u64 {
         seeds.sort_unstable_by_key(|&(j, _)| j);
         // Merge duplicate chunks by OR-ing their lane masks.
         seeds.dedup_by(|next, prev| {
@@ -283,6 +300,11 @@ impl ActivationState {
             for (&t, &edge_mask) in deps.iter().zip(masks) {
                 if seed_mask & edge_mask == 0 {
                     continue; // dependent gathers none of the changed rows
+                }
+                if let Some(m) = mask {
+                    if t != j && m.allowed_real(t as usize) == 0 {
+                        continue; // fully masked: skipped before the probe
+                    }
                 }
                 activations += 1;
                 let slot = &mut self.stamp[t as usize];
@@ -452,7 +474,7 @@ mod tests {
         // Duplicate seeds are folded before expansion: chunk 3's
         // dependents are walked once, not twice; full masks pass every
         // edge filter, reproducing chunk-granular probe counts.
-        let probes = act.seed(&dep, &mut vec![(3, FULL4), (0, FULL4), (3, 0b0010)]);
+        let probes = act.seed(&dep, &mut vec![(3, FULL4), (0, FULL4), (3, 0b0010)], None);
         assert_eq!(probes as usize, dep.dependents(3).len() + dep.dependents(0).len());
         let wl = act.worklist().to_vec();
         assert!(wl.windows(2).all(|w| w[0] < w[1]), "worklist not sorted/dedup: {wl:?}");
@@ -466,15 +488,15 @@ mod tests {
         let mut act = ActivationState::new();
         // A change confined to lane 2 of chunk 0: the self edge fires,
         // the cross edge (lane 0) is filtered out.
-        act.seed(&dep, &mut vec![(0, 0b0100)]);
+        act.seed(&dep, &mut vec![(0, 0b0100)], None);
         assert_eq!(act.worklist(), &[0]);
         assert_eq!(act.activations(), 1);
         // A change on lane 0 activates both.
-        act.seed(&dep, &mut vec![(0, 0b0001)]);
+        act.seed(&dep, &mut vec![(0, 0b0001)], None);
         assert_eq!(act.worklist(), &[0, 1]);
         assert_eq!(act.activations(), 2);
         // Zero masks seed nothing.
-        act.seed(&dep, &mut vec![(0, 0)]);
+        act.seed(&dep, &mut vec![(0, 0)], None);
         assert!(act.worklist().is_empty());
         assert_eq!(act.activations(), 0);
     }
@@ -483,7 +505,7 @@ mod tests {
     fn changed_masks_round_trip() {
         let dep = dep_of(16, &[(0, 15)]);
         let mut act = ActivationState::new();
-        act.seed(&dep, &mut vec![(0, FULL4), (1, FULL4), (2, FULL4), (3, FULL4)]);
+        act.seed(&dep, &mut vec![(0, FULL4), (1, FULL4), (2, FULL4), (3, FULL4)], None);
         let (ids, masks) = act.split();
         assert_eq!(ids, &[0, 1, 2, 3]);
         assert!(masks.iter().all(|&m| m == 0));
@@ -498,11 +520,11 @@ mod tests {
     fn reseeding_clears_previous_worklist() {
         let dep = dep_of(16, &[]);
         let mut act = ActivationState::new();
-        act.seed(&dep, &mut vec![(0, FULL4), (1, FULL4), (2, FULL4)]);
+        act.seed(&dep, &mut vec![(0, FULL4), (1, FULL4), (2, FULL4)], None);
         assert_eq!(act.worklist(), &[0, 1, 2]);
-        act.seed(&dep, &mut vec![(3, FULL4)]);
+        act.seed(&dep, &mut vec![(3, FULL4)], None);
         assert_eq!(act.worklist(), &[3]);
-        act.seed(&dep, &mut Vec::new());
+        act.seed(&dep, &mut Vec::new(), None);
         assert!(act.worklist().is_empty());
         assert_eq!(act.activations(), 0);
     }

@@ -26,6 +26,12 @@
 //!   budget the server degrades to rejecting new work while draining
 //!   what it admitted. [`FaultPlan`] injects panics and stalls
 //!   deterministically so the whole path is testable;
+//! * **masked (subgraph) queries**: a [`QuerySpec::mask`] restricts a
+//!   query's BFS to a vertex subset
+//!   ([`VertexMask`](slimsell_core::VertexMask)); queries sharing the
+//!   *same* `Arc<VertexMask>` still coalesce into one masked batch,
+//!   while mismatched masks split batches — observable as
+//!   [`ServerStats::mask_splits`];
 //! * **overload control**: per-query wall-clock deadlines
 //!   ([`QuerySpec`]) with earliest-deadline-first dispatch, shedding
 //!   of already-expired queued work, and a bounded admission queue
@@ -73,8 +79,8 @@ pub use stats::{ServerStats, ShutdownReport};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slimsell_core::SlimSellMatrix;
-    use slimsell_graph::{serial_bfs, CsrGraph, GraphBuilder};
+    use slimsell_core::{ChunkMatrix, SlimSellMatrix, VertexMask};
+    use slimsell_graph::{serial_bfs, CsrGraph, GraphBuilder, UNREACHABLE};
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -269,8 +275,8 @@ mod tests {
         let server = BfsServer::<_, 4, 1>::start(m, opts);
         let pinned = server.submit(0);
         std::thread::sleep(Duration::from_millis(30));
-        let doomed = server
-            .submit_spec(1, QuerySpec { budget: None, deadline: Some(Duration::from_millis(20)) });
+        let doomed =
+            server.submit_spec(1, QuerySpec::default().deadline(Duration::from_millis(20)));
         assert_eq!(doomed.wait(), Err(QueryError::DeadlineExceeded));
         pinned.wait().expect("stalled batch still serves");
         let stats = server.shutdown().stats;
@@ -295,10 +301,8 @@ mod tests {
         let pinned = server.submit(0);
         std::thread::sleep(Duration::from_millis(30));
         let relaxed = server.submit(1);
-        let lax = server
-            .submit_spec(2, QuerySpec { budget: None, deadline: Some(Duration::from_secs(10)) });
-        let urgent = server
-            .submit_spec(3, QuerySpec { budget: None, deadline: Some(Duration::from_secs(1)) });
+        let lax = server.submit_spec(2, QuerySpec::default().deadline(Duration::from_secs(10)));
+        let urgent = server.submit_spec(3, QuerySpec::default().deadline(Duration::from_secs(1)));
         let b_urgent = urgent.wait().expect("urgent served").batch.batch_id;
         let b_lax = lax.wait().expect("lax served").batch.batch_id;
         let b_relaxed = relaxed.wait().expect("relaxed served").batch.batch_id;
@@ -310,6 +314,61 @@ mod tests {
         let stats = server.shutdown().stats;
         assert_eq!(stats.served, 4);
         assert_partition(&stats);
+    }
+
+    #[test]
+    fn identical_masks_coalesce_and_serve_subgraph_distances() {
+        let g = path(12);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        let mask = Arc::new(VertexMask::from_original(m.structure(), 0..6u32));
+        let server = BfsServer::<_, 4, 2>::start(Arc::clone(&m), wide_opts());
+        let a = server.submit_spec(0, QuerySpec::default().mask(Arc::clone(&mask)));
+        let b = server.submit_spec(5, QuerySpec::default().mask(Arc::clone(&mask)));
+        let expect = |root: u32| -> Vec<u32> {
+            (0..12u32).map(|v| if v < 6 { v.abs_diff(root) } else { UNREACHABLE }).collect()
+        };
+        assert_eq!(a.wait().expect("served").dist, expect(0));
+        assert_eq!(b.wait().expect("served").dist, expect(5));
+        let stats = server.shutdown().stats;
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.batches, 1, "one shared Arc<VertexMask> must coalesce");
+        assert_eq!(stats.multi_root_batches, 1);
+        assert_eq!(stats.mask_splits, 0);
+        assert_partition(&stats);
+    }
+
+    #[test]
+    fn mismatched_masks_split_batches() {
+        let g = path(12);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        let lower = Arc::new(VertexMask::from_original(m.structure(), 0..6u32));
+        let upper = Arc::new(VertexMask::from_original(m.structure(), 6..12u32));
+        let server = BfsServer::<_, 4, 2>::start(Arc::clone(&m), wide_opts());
+        let a = server.submit_spec(0, QuerySpec::default().mask(lower));
+        let b = server.submit_spec(6, QuerySpec::default().mask(upper));
+        let da = a.wait().expect("served").dist;
+        let db = b.wait().expect("served").dist;
+        assert_eq!(&da[..6], &[0, 1, 2, 3, 4, 5]);
+        assert!(da[6..].iter().all(|&d| d == UNREACHABLE));
+        assert_eq!(&db[6..], &[0, 1, 2, 3, 4, 5]);
+        assert!(db[..6].iter().all(|&d| d == UNREACHABLE));
+        let stats = server.shutdown().stats;
+        assert_eq!(stats.batches, 2, "distinct masks must never share a batch");
+        assert_eq!(stats.mask_splits, 1, "the split must be counted");
+        assert_partition(&stats);
+    }
+
+    #[test]
+    fn masked_root_outside_mask_is_rejected_at_submission() {
+        let g = path(8);
+        let m = Arc::new(SlimSellMatrix::<4>::build(&g, g.num_vertices()));
+        let mask = Arc::new(VertexMask::from_original(m.structure(), 0..4u32));
+        let server = BfsServer::<_, 4, 2>::start(m, wide_opts());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            server.submit_spec(7, QuerySpec::default().mask(mask))
+        }));
+        assert!(err.is_err(), "a root outside the mask must panic at submission");
+        server.shutdown();
     }
 
     #[test]

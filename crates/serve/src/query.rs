@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use slimsell_core::VertexMask;
 use slimsell_graph::VertexId;
 
 use crate::stats::{Outcome, ServerStats};
@@ -64,7 +65,7 @@ impl std::fmt::Display for QueryError {
 impl std::error::Error for QueryError {}
 
 /// Per-query knobs for [`BfsServer::submit_spec`](crate::BfsServer::submit_spec).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct QuerySpec {
     /// Iteration budget (`None` = unbounded): the query fails with
     /// [`QueryError::BudgetExhausted`] if its batch needs more sweeps.
@@ -75,6 +76,39 @@ pub struct QuerySpec {
     /// while it is still queued, and fails it `DeadlineExceeded` if
     /// the deadline passes before extraction.
     pub deadline: Option<Duration>,
+    /// Optional subgraph filter: the BFS runs restricted to the masked
+    /// vertices (vertices outside the mask are never discovered and
+    /// report [`UNREACHABLE`](slimsell_graph::UNREACHABLE)). The root
+    /// must be inside the mask. Batching coalesces only queries whose
+    /// mask is the *same* `Arc` (or absent on both sides) — share one
+    /// `Arc<VertexMask>` across queries to let them ride one batch;
+    /// distinct masks split batches
+    /// ([`ServerStats::mask_splits`](crate::ServerStats)).
+    pub mask: Option<Arc<VertexMask>>,
+}
+
+impl QuerySpec {
+    /// Sets the iteration budget (builder).
+    #[must_use]
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the wall-clock deadline (builder).
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Restricts the query to a vertex mask (builder). Submit the
+    /// *same* `Arc` for queries that should coalesce into one batch.
+    #[must_use]
+    pub fn mask(mut self, mask: Arc<VertexMask>) -> Self {
+        self.mask = Some(mask);
+        self
+    }
 }
 
 /// How the batch that served a query ran — the per-batch slice of the
@@ -135,6 +169,10 @@ pub(crate) struct Ticket {
     /// Absolute wall-clock deadline (submission instant + the spec's
     /// relative deadline). `None` = no deadline.
     pub(crate) deadline: Option<Instant>,
+    /// Subgraph filter: only queries carrying the *same* `Arc` (or
+    /// none) may share a batch, because the whole batch runs one
+    /// masked sweep.
+    pub(crate) mask: Option<Arc<VertexMask>>,
     cancelled: AtomicBool,
     slot: Mutex<Option<Result<QueryOutput, QueryError>>>,
     cv: Condvar,
@@ -152,6 +190,7 @@ impl Ticket {
         root: VertexId,
         budget: Option<usize>,
         deadline: Option<Instant>,
+        mask: Option<Arc<VertexMask>>,
         stats: Arc<Mutex<ServerStats>>,
     ) -> Self {
         Self {
@@ -159,6 +198,7 @@ impl Ticket {
             root,
             budget,
             deadline,
+            mask,
             cancelled: AtomicBool::new(false),
             slot: Mutex::new(None),
             cv: Condvar::new(),

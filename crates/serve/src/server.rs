@@ -36,7 +36,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use slimsell_core::{multi_bfs_while, ChunkMatrix, MsBfsOptions, Schedule, SweepMode};
+use slimsell_core::{
+    multi_bfs_while, ChunkMatrix, MsBfsOptions, Schedule, SweepConfig, SweepMode, VertexMask,
+};
 use slimsell_graph::VertexId;
 
 use crate::fault::{FaultKind, FaultPlan};
@@ -100,10 +102,9 @@ pub struct ServeOptions {
     /// Deterministic chaos injection: which workers panic or stall on
     /// which batches. Empty by default (no faults).
     pub fault_plan: FaultPlan,
-    /// Sweep policy for the batch kernel (defaults to `SLIMSELL_SWEEP`).
-    pub sweep: SweepMode,
-    /// Tile schedule for the batch kernel.
-    pub schedule: Schedule,
+    /// Sweep policy and tile schedule for the batch kernel (the sweep
+    /// defaults to `SLIMSELL_SWEEP`).
+    pub config: SweepConfig,
 }
 
 impl Default for ServeOptions {
@@ -116,9 +117,43 @@ impl Default for ServeOptions {
             queue_capacity: None,
             max_worker_restarts: env_max_restarts(),
             fault_plan: FaultPlan::new(),
-            sweep: SweepMode::env_default(),
-            schedule: Schedule::Dynamic,
+            config: SweepConfig::default(),
         }
+    }
+}
+
+impl ServeOptions {
+    /// Sets the sweep policy of the batch kernel (builder).
+    #[must_use]
+    pub fn sweep(mut self, sweep: SweepMode) -> Self {
+        self.config.sweep = sweep;
+        self
+    }
+
+    /// Sets the tile schedule of the batch kernel (builder).
+    #[must_use]
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Sets the full sweep configuration of the batch kernel (builder).
+    #[must_use]
+    pub fn config(mut self, config: SweepConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Migration shim for the pre-PR-10 `sweep` field.
+    #[deprecated(note = "set `config.sweep` or use the `.sweep(..)` builder")]
+    pub fn set_sweep(&mut self, sweep: SweepMode) {
+        self.config.sweep = sweep;
+    }
+
+    /// Migration shim for the pre-PR-10 `schedule` field.
+    #[deprecated(note = "set `config.schedule` or use the `.schedule(..)` builder")]
+    pub fn set_schedule(&mut self, schedule: Schedule) {
+        self.config.schedule = schedule;
     }
 }
 
@@ -221,6 +256,7 @@ where
             QuerySpec {
                 budget: self.shared.opts.default_budget,
                 deadline: self.shared.opts.default_deadline,
+                mask: None,
             },
         )
     }
@@ -231,7 +267,10 @@ where
     /// it needs more than `budget` sweeps. A `Some(0)` budget fails
     /// fast at submission without entering the queue.
     pub fn submit_with(&self, root: VertexId, budget: Option<usize>) -> QueryHandle {
-        self.submit_spec(root, QuerySpec { budget, deadline: self.shared.opts.default_deadline })
+        self.submit_spec(
+            root,
+            QuerySpec { budget, deadline: self.shared.opts.default_deadline, mask: None },
+        )
     }
 
     /// Submits a query with explicit per-query controls: iteration
@@ -243,12 +282,28 @@ where
     /// passes before extraction (counted as [`ServerStats::expired`]).
     /// Panics if `root` is out of range for the snapshot.
     pub fn submit_spec(&self, root: VertexId, spec: QuerySpec) -> QueryHandle {
-        let n = self.shared.matrix.structure().n();
+        let s = self.shared.matrix.structure();
+        let n = s.n();
         assert!((root as usize) < n, "root {root} out of range for snapshot with {n} vertices");
+        if let Some(mask) = &spec.mask {
+            // Validate at submission, on the client's thread: a bad
+            // mask is a caller bug, not a batch fault to supervise.
+            mask.check_layout(s);
+            assert!(
+                mask.contains(s.perm().to_new(root) as usize),
+                "root {root} is not in the query's vertex mask"
+            );
+        }
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let deadline = spec.deadline.map(|d| Instant::now() + d);
-        let ticket =
-            Arc::new(Ticket::new(id, root, spec.budget, deadline, Arc::clone(&self.shared.stats)));
+        let ticket = Arc::new(Ticket::new(
+            id,
+            root,
+            spec.budget,
+            deadline,
+            spec.mask,
+            Arc::clone(&self.shared.stats),
+        ));
         let handle = QueryHandle { ticket: Arc::clone(&ticket) };
         sync::lock(&self.shared.stats).submitted += 1;
         if spec.budget == Some(0) {
@@ -502,10 +557,56 @@ fn pop_live(q: &mut QueueState) -> Option<Arc<Ticket>> {
     None
 }
 
+/// Two queries may share a batch only when their masks are identical:
+/// the *same* `Arc` (pointer equality — cheap, unambiguous, and the
+/// API contract clients are told to rely on) or absent on both sides.
+fn masks_match(a: Option<&Arc<VertexMask>>, b: Option<&Arc<VertexMask>>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+        _ => false,
+    }
+}
+
+/// Like [`pop_live`], but claims only queries whose vertex mask
+/// matches the forming batch's; live mismatched queries stay queued in
+/// EDF order for a later batch. Dead work is still pruned and expired
+/// work shed along the scan. The returned flag reports whether any
+/// live query was passed over for a mask mismatch — the signal behind
+/// [`ServerStats::mask_splits`].
+fn pop_live_matching(
+    q: &mut QueueState,
+    mask: Option<&Arc<VertexMask>>,
+) -> (Option<Arc<Ticket>>, bool) {
+    let mut passed_live = false;
+    let mut i = 0;
+    while i < q.queue.len() {
+        let t = &q.queue[i];
+        if t.is_resolved() || t.is_cancelled() {
+            q.queue.remove(i);
+            continue;
+        }
+        if t.deadline_passed() {
+            let t = q.queue.remove(i).expect("index checked by the loop condition");
+            t.resolve(Err(QueryError::DeadlineExceeded), Outcome::Shed);
+            continue;
+        }
+        if masks_match(t.mask.as_ref(), mask) {
+            return (q.queue.remove(i), passed_live);
+        }
+        passed_live = true;
+        i += 1;
+    }
+    (None, passed_live)
+}
+
 /// Blocks for the next admission batch: waits for a first live ticket,
-/// then holds the batch open until `B` roots arrive, the batch window
-/// expires, or shutdown — whichever comes first. Returns `None` when
-/// the server is shut down and the queue fully drained.
+/// then holds the batch open until `B` *mask-compatible* roots arrive,
+/// the batch window expires, or shutdown — whichever comes first. The
+/// first ticket fixes the batch's mask; live queries with a different
+/// mask are passed over (they lead a later batch) and the launch is
+/// counted as a mask split. Returns `None` when the server is shut
+/// down and the queue fully drained.
 fn next_batch<M, const B: usize>(shared: &Shared<M>) -> Option<Vec<Arc<Ticket>>> {
     let mut q = sync::lock(&shared.queue);
     let first = loop {
@@ -517,11 +618,15 @@ fn next_batch<M, const B: usize>(shared: &Shared<M>) -> Option<Vec<Arc<Ticket>>>
         }
         q = sync::wait(&shared.cv, q);
     };
+    let mask = first.mask.clone();
     let mut batch = vec![first];
+    let mut split = false;
     let deadline = Instant::now() + shared.opts.batch_window;
     loop {
         while batch.len() < B {
-            match pop_live(&mut q) {
+            let (t, passed_live) = pop_live_matching(&mut q, mask.as_ref());
+            split |= passed_live;
+            match t {
                 Some(t) => batch.push(t),
                 None => break,
             }
@@ -537,6 +642,9 @@ fn next_batch<M, const B: usize>(shared: &Shared<M>) -> Option<Vec<Arc<Ticket>>>
         q = guard;
     }
     drop(q);
+    if split {
+        sync::lock(&shared.stats).mask_splits += 1;
+    }
     Some(batch)
 }
 
@@ -565,11 +673,10 @@ fn run_batch<M, const C: usize, const B: usize>(
     for (lane, t) in live.iter().enumerate() {
         roots[lane] = t.root;
     }
-    let opts = MsBfsOptions {
-        sweep: shared.opts.sweep,
-        schedule: shared.opts.schedule,
-        max_iterations: None,
-    };
+    // Every live ticket in the batch carries the same mask (pointer-
+    // identical or absent) by batch-formation contract, so the whole
+    // batch rides one masked sweep.
+    let opts = MsBfsOptions::default().config(shared.opts.config).mask(live[0].mask.clone());
     // The iteration-level control hook: keep sweeping only while some
     // lane's query is still live — neither cancelled, past its budget,
     // nor past its wall-clock deadline. When the last live lane drops,

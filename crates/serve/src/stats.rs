@@ -71,6 +71,12 @@ pub struct ServerStats {
     pub batches: u64,
     /// Batches that coalesced more than one live query.
     pub multi_root_batches: u64,
+    /// Batches that launched while live work stayed queued because its
+    /// vertex mask differed from the batch's: masked batching only
+    /// coalesces queries whose [`QuerySpec::mask`](crate::QuerySpec)
+    /// is the *same* `Arc` (or absent on both sides), so a mask
+    /// mismatch splits what the window would otherwise have merged.
+    pub mask_splits: u64,
     /// Total live queries over all batches (`Σ batch_size`).
     pub coalesced: u64,
     /// Batches whose sweep the control hook stopped before convergence

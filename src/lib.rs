@@ -56,9 +56,10 @@ pub mod prelude {
     pub use slimsell_core::matrix::{ChunkMatrix, SellCSigma, SlimSellMatrix};
     pub use slimsell_core::{
         betweenness_exact, betweenness_from_sources, dp_transform, graph500_validate, multi_bfs,
-        pagerank, sssp, sssp_with, BfsEngine, BfsOptions, BooleanSemiring, ExecutedSweep,
-        PageRankOptions, RealSemiring, Schedule, SelMaxSemiring, Semiring, SsspOptions, SweepMode,
-        TropicalSemiring, WeightedSellCSigma,
+        pagerank, run_descriptor, sssp, sssp_with, BfsEngine, BfsOptions, BooleanSemiring,
+        Descriptor, DirectionPolicy, ExecutedSweep, PageRankOptions, RealSemiring, Schedule,
+        SelMaxSemiring, Semiring, SsspOptions, SweepConfig, SweepMode, TropicalSemiring,
+        VertexMask, WeightedSellCSigma,
     };
     pub use slimsell_gen::{erdos_renyi_gnp, kronecker, standin, KroneckerParams};
     pub use slimsell_graph::{

@@ -78,13 +78,9 @@ fn engine_option_combinations() {
             for slimchunk in [None, Some(1), Some(4)] {
                 for schedule in [Schedule::Static, Schedule::Dynamic] {
                     for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
-                        let opts = BfsOptions {
-                            slimwork,
-                            slimchunk,
-                            schedule,
-                            max_iterations: None,
-                            sweep,
-                        };
+                        let opts = BfsOptions { slimwork, slimchunk, ..Default::default() }
+                            .sweep(sweep)
+                            .schedule(schedule);
                         let out = BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &opts);
                         assert_eq!(
                             out.dist, reference.dist,
@@ -127,6 +123,43 @@ fn algebraic_diropt_agrees() {
 }
 
 #[test]
+fn descriptor_reproduces_diropt_counters() {
+    // The descriptor driver with no user mask is the generalized form
+    // of the hand-rolled direction optimization: distances, the
+    // push/pull mode sequence, iteration count and the per-iteration
+    // work counters (col_steps, cells) must be bit-identical on every
+    // family. Worklist bookkeeping (activations) may only *drop*,
+    // because the visited-complement mask filters settled chunks out
+    // of the worklist instead of probing and SlimWork-skipping them.
+    for (name, g) in families() {
+        let root = root_of(&g);
+        let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+        for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
+            let oracle = run_diropt(&slim, root, &DirOptOptions::default().sweep(sweep));
+            let desc = Descriptor::default().sweep(sweep);
+            let out = run_descriptor(&slim, root, &desc);
+            assert_eq!(out.bfs.dist, oracle.bfs.dist, "{name} {sweep:?} dist");
+            assert_eq!(out.modes, oracle.modes, "{name} {sweep:?} mode sequence");
+            assert_eq!(
+                out.bfs.stats.num_iterations(),
+                oracle.bfs.stats.num_iterations(),
+                "{name} {sweep:?} iterations"
+            );
+            for (k, (a, b)) in out.bfs.stats.iters.iter().zip(&oracle.bfs.stats.iters).enumerate() {
+                assert_eq!(a.col_steps, b.col_steps, "{name} {sweep:?} iter {k} col_steps");
+                assert_eq!(a.cells, b.cells, "{name} {sweep:?} iter {k} cells");
+            }
+            assert!(
+                out.bfs.stats.total_activations() <= oracle.bfs.stats.total_activations(),
+                "{name} {sweep:?}: descriptor paid {} activations, dirop {}",
+                out.bfs.stats.total_activations(),
+                oracle.bfs.stats.total_activations()
+            );
+        }
+    }
+}
+
+#[test]
 fn dp_transform_valid_on_all_families() {
     for (name, g) in families() {
         let root = root_of(&g);
@@ -147,7 +180,7 @@ fn msbfs_all_sweep_modes_agree() {
         let r = slimsell::graph::stats::sample_roots(&g, 4);
         let roots: [VertexId; 4] = [r[0], r[1 % r.len()], r[2 % r.len()], r[3 % r.len()]];
         for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
-            let opts = MsBfsOptions { sweep, ..Default::default() };
+            let opts = MsBfsOptions::default().sweep(sweep);
             let out = multi_bfs_with::<_, 8, 4>(&slim, &roots, &opts);
             assert!(out.completed, "{name} msbfs {sweep:?} hit its iteration cap");
             for (lane, &root) in roots.iter().enumerate() {
@@ -177,7 +210,7 @@ fn betweenness_all_sweep_modes_agree() {
             betweenness_from_sources_with(
                 &slim,
                 &sources,
-                &BetweennessOptions { sweep: SweepMode::Full, ..Default::default() },
+                &BetweennessOptions::default().sweep(SweepMode::Full),
             )
         }) else {
             continue;
@@ -187,7 +220,7 @@ fn betweenness_all_sweep_modes_agree() {
             let out = betweenness_from_sources_with(
                 &slim,
                 &sources,
-                &BetweennessOptions { sweep, ..Default::default() },
+                &BetweennessOptions::default().sweep(sweep),
             );
             let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(&out), bits(&full), "{name} betweenness {sweep:?}");
@@ -205,7 +238,7 @@ fn served_queries_agree_with_serial_reference() {
     for (name, g) in families() {
         let slim = Arc::new(SlimSellMatrix::<8>::build(&g, g.num_vertices()));
         for sweep in [SweepMode::Full, SweepMode::Adaptive] {
-            let opts = ServeOptions { sweep, ..Default::default() };
+            let opts = ServeOptions::default().sweep(sweep);
             let server = BfsServer::<_, 8, 4>::start(Arc::clone(&slim), opts);
             let roots = slimsell::graph::stats::sample_roots(&g, 6);
             let handles: Vec<_> = roots.iter().map(|&r| server.submit(r)).collect();

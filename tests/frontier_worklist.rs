@@ -14,15 +14,15 @@ use slimsell::prelude::*;
 const SCALE: u32 = 12;
 
 fn full_opts() -> BfsOptions {
-    BfsOptions { slimwork: true, sweep: SweepMode::Full, ..Default::default() }
+    BfsOptions::default().sweep(SweepMode::Full)
 }
 
 fn wl_opts() -> BfsOptions {
-    BfsOptions { slimwork: true, sweep: SweepMode::Worklist, ..Default::default() }
+    BfsOptions::default().sweep(SweepMode::Worklist)
 }
 
 fn ad_opts() -> BfsOptions {
-    BfsOptions { slimwork: true, sweep: SweepMode::Adaptive, ..Default::default() }
+    BfsOptions::default().sweep(SweepMode::Adaptive)
 }
 
 fn high_diameter_graphs() -> Vec<(&'static str, CsrGraph)> {
@@ -74,7 +74,8 @@ fn worklist_outputs_bit_identical_to_sequential_oracle_in_all_modes() {
     for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
         for slimchunk in [None, Some(4)] {
             for schedule in [Schedule::Static, Schedule::Dynamic] {
-                let opts = BfsOptions { sweep, slimchunk, schedule, ..Default::default() };
+                let opts =
+                    BfsOptions { slimchunk, ..Default::default() }.sweep(sweep).schedule(schedule);
                 let out = BfsEngine::run::<_, SelMaxSemiring, 8>(&m, root, &opts);
                 assert_eq!(out.dist, oracle.dist, "dist: {sweep:?} sc={slimchunk:?}");
                 assert_eq!(out.parent, oracle.parent, "parents: {sweep:?} sc={slimchunk:?}");
@@ -177,7 +178,7 @@ fn worklist_direction_optimized_matches_on_high_diameter_graphs() {
         let mk = |sweep| DirOptOptions {
             alpha: f64::INFINITY,
             beta: f64::INFINITY,
-            spmv: BfsOptions { sweep, ..Default::default() },
+            spmv: BfsOptions::default().sweep(sweep),
         };
         let full = run_diropt(&m, root, &mk(SweepMode::Full));
         let wl = run_diropt(&m, root, &mk(SweepMode::Worklist));

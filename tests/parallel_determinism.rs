@@ -97,7 +97,7 @@ fn schedules_and_slimchunk_bit_identical() {
     let (g, root) = graph();
     for schedule in [Schedule::Static, Schedule::Dynamic] {
         for slimchunk in [None, Some(4)] {
-            let opts = BfsOptions { schedule, slimchunk, ..Default::default() };
+            let opts = BfsOptions { slimchunk, ..Default::default() }.schedule(schedule);
             check_engine::<TropicalSemiring>(
                 &g,
                 root,
@@ -116,7 +116,7 @@ fn worklist_all_semirings_bit_identical_across_thread_counts() {
     // counter (worklist sizes, activations, exclusions) must be
     // byte-equal at any thread count.
     let (g, root) = graph();
-    let opts = BfsOptions { sweep: SweepMode::Worklist, ..Default::default() };
+    let opts = BfsOptions::default().sweep(SweepMode::Worklist);
     check_engine::<TropicalSemiring>(&g, root, &opts, "tropical+worklist");
     check_engine::<BooleanSemiring>(&g, root, &opts, "boolean+worklist");
     check_engine::<RealSemiring>(&g, root, &opts, "real+worklist");
@@ -128,12 +128,9 @@ fn worklist_schedules_and_slimchunk_bit_identical() {
     let (g, root) = graph();
     for schedule in [Schedule::Static, Schedule::Dynamic] {
         for slimchunk in [None, Some(4)] {
-            let opts = BfsOptions {
-                schedule,
-                slimchunk,
-                sweep: SweepMode::Worklist,
-                ..Default::default()
-            };
+            let opts = BfsOptions { slimchunk, ..Default::default() }
+                .sweep(SweepMode::Worklist)
+                .schedule(schedule);
             let label = format!("worklist/{schedule:?}/{slimchunk:?}");
             check_engine::<TropicalSemiring>(&g, root, &opts, &label);
             check_engine::<SelMaxSemiring>(&g, root, &opts, &label);
@@ -149,7 +146,7 @@ fn adaptive_all_semirings_bit_identical_across_thread_counts() {
     // sweep_mode assertions in check_engine — and every output must be
     // byte-equal at any thread count.
     let (g, root) = graph();
-    let opts = BfsOptions { sweep: SweepMode::Adaptive, ..Default::default() };
+    let opts = BfsOptions::default().sweep(SweepMode::Adaptive);
     check_engine::<TropicalSemiring>(&g, root, &opts, "tropical+adaptive");
     check_engine::<BooleanSemiring>(&g, root, &opts, "boolean+adaptive");
     check_engine::<RealSemiring>(&g, root, &opts, "real+adaptive");
@@ -161,12 +158,9 @@ fn adaptive_schedules_and_slimchunk_bit_identical() {
     let (g, root) = graph();
     for schedule in [Schedule::Static, Schedule::Dynamic] {
         for slimchunk in [None, Some(4)] {
-            let opts = BfsOptions {
-                schedule,
-                slimchunk,
-                sweep: SweepMode::Adaptive,
-                ..Default::default()
-            };
+            let opts = BfsOptions { slimchunk, ..Default::default() }
+                .sweep(SweepMode::Adaptive)
+                .schedule(schedule);
             let label = format!("adaptive/{schedule:?}/{slimchunk:?}");
             check_engine::<TropicalSemiring>(&g, root, &opts, &label);
             check_engine::<SelMaxSemiring>(&g, root, &opts, &label);
@@ -179,14 +173,12 @@ fn adaptive_direction_optimized_bit_identical() {
     let (g, root) = graph();
     let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
     let opts = DirOptOptions {
-        spmv: BfsOptions { sweep: SweepMode::Adaptive, ..Default::default() },
+        spmv: BfsOptions::default().sweep(SweepMode::Adaptive),
         ..Default::default()
     };
     let reference = with_threads(1, || run_diropt(&slim, root, &opts));
-    let full_opts = DirOptOptions {
-        spmv: BfsOptions { sweep: SweepMode::Full, ..Default::default() },
-        ..Default::default()
-    };
+    let full_opts =
+        DirOptOptions { spmv: BfsOptions::default().sweep(SweepMode::Full), ..Default::default() };
     let full = with_threads(1, || run_diropt(&slim, root, &full_opts));
     assert_eq!(reference.bfs.dist, full.bfs.dist, "adaptive diropt distances diverged");
     assert_eq!(reference.modes, full.modes, "adaptive diropt mode sequence diverged");
@@ -202,7 +194,7 @@ fn worklist_direction_optimized_bit_identical() {
     let (g, root) = graph();
     let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
     let opts = DirOptOptions {
-        spmv: BfsOptions { sweep: SweepMode::Worklist, ..Default::default() },
+        spmv: BfsOptions::default().sweep(SweepMode::Worklist),
         ..Default::default()
     };
     let reference = with_threads(1, || run_diropt(&slim, root, &opts));
@@ -211,10 +203,8 @@ fn worklist_direction_optimized_bit_identical() {
     // explicitly — under the SLIMSELL_SWEEP=worklist CI leg the
     // default would silently be worklist mode and the comparison
     // vacuous.
-    let full_opts = DirOptOptions {
-        spmv: BfsOptions { sweep: SweepMode::Full, ..Default::default() },
-        ..Default::default()
-    };
+    let full_opts =
+        DirOptOptions { spmv: BfsOptions::default().sweep(SweepMode::Full), ..Default::default() };
     let full = with_threads(1, || run_diropt(&slim, root, &full_opts));
     assert_eq!(reference.bfs.dist, full.bfs.dist, "worklist diropt distances diverged");
     assert_eq!(reference.modes, full.modes, "worklist diropt mode sequence diverged");
@@ -234,6 +224,82 @@ fn direction_optimized_bit_identical() {
         let out = with_threads(threads, || run_diropt(&slim, root, &DirOptOptions::default()));
         assert_eq!(out.bfs.dist, reference.bfs.dist, "diropt dist at {threads} threads");
         assert_eq!(out.modes, reference.modes, "diropt mode sequence at {threads} threads");
+    }
+}
+
+#[test]
+fn masked_engine_bit_identical_across_thread_counts() {
+    // Masked sweeps ride the same positional-write machinery: a vertex
+    // mask must not introduce any thread-count dependence, in any sweep
+    // mode — distances, skip accounting and activation counts included.
+    let (g, root) = graph();
+    let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+    let mut keep: Vec<VertexId> = (0..g.num_vertices() as VertexId / 2).collect();
+    keep.push(root);
+    let mask = Arc::new(VertexMask::from_original(slim.structure(), keep));
+    for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
+        let opts = BfsOptions::default().sweep(sweep).mask(Some(Arc::clone(&mask)));
+        let reference =
+            with_threads(1, || BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &opts));
+        for threads in THREAD_COUNTS {
+            let out = with_threads(threads, || {
+                BfsEngine::run::<_, TropicalSemiring, 8>(&slim, root, &opts)
+            });
+            assert_eq!(out.dist, reference.dist, "masked {sweep:?} dist at {threads} threads");
+            assert_eq!(
+                out.stats.total_col_steps(),
+                reference.stats.total_col_steps(),
+                "masked {sweep:?} column steps at {threads} threads"
+            );
+            assert_eq!(
+                out.stats.total_skipped(),
+                reference.stats.total_skipped(),
+                "masked {sweep:?} skip counters at {threads} threads"
+            );
+            assert_eq!(
+                out.stats.total_activations(),
+                reference.stats.total_activations(),
+                "masked {sweep:?} activations at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn masked_descriptor_bit_identical_across_thread_counts() {
+    // The descriptor driver's shrinking visited-complement mask is
+    // recomputed from deterministic per-iteration change masks, so its
+    // whole trace (distances, push/pull modes, work counters) must be
+    // byte-equal at any thread count.
+    let (g, root) = graph();
+    let slim = SlimSellMatrix::<8>::build(&g, g.num_vertices());
+    let mut keep: Vec<VertexId> = (0..g.num_vertices() as VertexId / 2).collect();
+    keep.push(root);
+    let mask = Arc::new(VertexMask::from_original(slim.structure(), keep));
+    for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
+        let desc = Descriptor::default().mask(Arc::clone(&mask)).sweep(sweep);
+        let reference = with_threads(1, || run_descriptor(&slim, root, &desc));
+        for threads in THREAD_COUNTS {
+            let out = with_threads(threads, || run_descriptor(&slim, root, &desc));
+            assert_eq!(
+                out.bfs.dist, reference.bfs.dist,
+                "masked descriptor {sweep:?} dist at {threads} threads"
+            );
+            assert_eq!(
+                out.modes, reference.modes,
+                "masked descriptor {sweep:?} modes at {threads} threads"
+            );
+            assert_eq!(
+                out.bfs.stats.total_col_steps(),
+                reference.bfs.stats.total_col_steps(),
+                "masked descriptor {sweep:?} column steps at {threads} threads"
+            );
+            assert_eq!(
+                out.bfs.stats.total_frontier_probes(),
+                reference.bfs.stats.total_frontier_probes(),
+                "masked descriptor {sweep:?} frontier probes at {threads} threads"
+            );
+        }
     }
 }
 
@@ -287,10 +353,10 @@ fn sssp_bit_identical_across_thread_counts() {
     // worklist and adaptive SSSP must reproduce its labels to the bit
     // at every thread count (and their own counters must be
     // thread-count-invariant too).
-    let full_opts = SsspOptions { sweep: SweepMode::Full, ..Default::default() };
+    let full_opts = SsspOptions::default().sweep(SweepMode::Full);
     let oracle = with_threads(1, || sssp_with(&m, root, &full_opts));
     for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
-        let opts = SsspOptions { sweep, ..Default::default() };
+        let opts = SsspOptions::default().sweep(sweep);
         let reference = with_threads(1, || sssp_with(&m, root, &opts));
         assert_eq!(
             bits32(&reference.dist),
@@ -332,11 +398,11 @@ fn msbfs_bit_identical_across_thread_counts() {
     let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
     let r = slimsell::graph::stats::sample_roots(&g, 4);
     let roots: [VertexId; 4] = [r[0], r[1 % r.len()], r[2 % r.len()], r[3 % r.len()]];
-    let full_opts = MsBfsOptions { sweep: SweepMode::Full, ..Default::default() };
+    let full_opts = MsBfsOptions::default().sweep(SweepMode::Full);
     let oracle = with_threads(1, || multi_bfs_with::<_, 8, 4>(&m, &roots, &full_opts));
     assert!(oracle.completed, "msbfs oracle hit its iteration cap");
     for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
-        let opts = MsBfsOptions { sweep, ..Default::default() };
+        let opts = MsBfsOptions::default().sweep(sweep);
         let reference = with_threads(1, || multi_bfs_with::<_, 8, 4>(&m, &roots, &opts));
         assert_eq!(
             reference.dist, oracle.dist,
@@ -386,15 +452,11 @@ fn betweenness_bit_identical_across_thread_counts() {
     let m = SlimSellMatrix::<8>::build(&g, g.num_vertices());
     let r = slimsell::graph::stats::sample_roots(&g, 4);
     let oracle = with_threads(1, || {
-        betweenness_from_sources_with(
-            &m,
-            &r,
-            &BetweennessOptions { sweep: SweepMode::Full, ..Default::default() },
-        )
+        betweenness_from_sources_with(&m, &r, &BetweennessOptions::default().sweep(SweepMode::Full))
     });
     assert!(oracle.iter().any(|&b| b > 0.0), "all-zero centralities; test is vacuous");
     for sweep in [SweepMode::Full, SweepMode::Worklist, SweepMode::Adaptive] {
-        let opts = BetweennessOptions { sweep, ..Default::default() };
+        let opts = BetweennessOptions::default().sweep(sweep);
         let reference = with_threads(1, || betweenness_from_sources_with(&m, &r, &opts));
         assert_eq!(
             bits64(&reference),

@@ -68,8 +68,8 @@ proptest! {
         let root = (root_sel % n) as VertexId;
         let sigma = [1, 8, n][sigma_sel].max(1);
         let slim = SlimSellMatrix::<4>::build(&g, sigma);
-        let full_opts = BfsOptions { sweep: SweepMode::Full, ..Default::default() };
-        let wl_opts = BfsOptions { sweep: SweepMode::Worklist, ..Default::default() };
+        let full_opts = BfsOptions::default().sweep(SweepMode::Full);
+        let wl_opts = BfsOptions::default().sweep(SweepMode::Worklist);
         macro_rules! check {
             ($sem:ty) => {{
                 let full = BfsEngine::run::<_, $sem, 4>(&slim, root, &full_opts);
@@ -110,9 +110,9 @@ proptest! {
         let sigma = [1, 8, n][sigma_sel].max(1);
         let slim = SlimSellMatrix::<4>::build(&g, sigma);
         let pin1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let full_opts = BfsOptions { sweep: SweepMode::Full, ..Default::default() };
-        let wl_opts = BfsOptions { sweep: SweepMode::Worklist, ..Default::default() };
-        let ad_opts = BfsOptions { sweep: SweepMode::Adaptive, ..Default::default() };
+        let full_opts = BfsOptions::default().sweep(SweepMode::Full);
+        let wl_opts = BfsOptions::default().sweep(SweepMode::Worklist);
+        let ad_opts = BfsOptions::default().sweep(SweepMode::Adaptive);
         macro_rules! check {
             ($sem:ty) => {{
                 let oracle = pin1.install(||
@@ -158,11 +158,11 @@ proptest! {
         let wg = slimsell::graph::weighted::synthetic_weighted_twin(&g);
         let m = WeightedSellCSigma::<4>::build(&wg, sigma);
         let pin1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let full = SsspOptions { sweep: SweepMode::Full, ..Default::default() };
+        let full = SsspOptions::default().sweep(SweepMode::Full);
         let oracle = pin1.install(|| sssp_with(&m, root, &full));
         let oracle_bits: Vec<u32> = oracle.dist.iter().map(|x| x.to_bits()).collect();
         for sweep in [SweepMode::Worklist, SweepMode::Adaptive] {
-            let out = sssp_with(&m, root, &SsspOptions { sweep, ..Default::default() });
+            let out = sssp_with(&m, root, &SsspOptions::default().sweep(sweep));
             let bits: Vec<u32> = out.dist.iter().map(|x| x.to_bits()).collect();
             prop_assert_eq!(&bits, &oracle_bits, "{:?} potentials diverged", sweep);
             prop_assert_eq!(out.iterations, oracle.iterations, "{:?} sweep count", sweep);

@@ -57,7 +57,7 @@ fn kernels_bit_identical_across_backends() {
                 set_backend(backend);
                 for sweep in sweeps {
                     for threads in [1usize, 2, 8] {
-                        let opts = BfsOptions { sweep, ..Default::default() };
+                        let opts = BfsOptions::default().sweep(sweep);
                         let out = with_threads(threads, || p.run(root, &opts));
                         assert_eq!(
                             out.dist,
@@ -173,7 +173,7 @@ fn activation_totals<const C: usize>(g: &CsrGraph, root: VertexId) -> (u64, u64,
         }
     }
     // The engine's own total for cross-checking the replay.
-    let opts = BfsOptions { sweep: SweepMode::Worklist, ..Default::default() };
+    let opts = BfsOptions::default().sweep(SweepMode::Worklist);
     let out = BfsEngine::run::<_, TropicalSemiring, C>(&m, root, &opts);
     assert_eq!(out.dist, reference.dist);
     (filtered, granular, out.stats.total_activations())

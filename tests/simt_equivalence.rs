@@ -91,8 +91,7 @@ fn cpu_counters_reproduce_simt_cost_model() {
     for slimwork in [false, true] {
         macro_rules! check {
             ($sem:ty) => {{
-                let cpu_opts =
-                    BfsOptions { slimwork, sweep: SweepMode::Full, ..Default::default() };
+                let cpu_opts = BfsOptions { slimwork, ..Default::default() }.sweep(SweepMode::Full);
                 let cpu = BfsEngine::run::<_, $sem, 32>(&slim, root, &cpu_opts);
                 let sim = run_simt_bfs::<_, $sem, 32>(
                     &slim,
